@@ -1,0 +1,283 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure),
+// plus engineering micro-benchmarks of the substrate. The figure
+// benchmarks drive the deterministic WAN simulation and report the
+// headline measures via b.ReportMetric (simulated milliseconds and TP/s);
+// ns/op for those reflects harness wall time, not system latency.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem ./...
+package ipa
+
+import (
+	"fmt"
+	"testing"
+
+	"ipa/internal/analysis"
+	"ipa/internal/bench"
+	"ipa/internal/clock"
+	"ipa/internal/crdt"
+	"ipa/internal/sat"
+	"ipa/internal/smt"
+	"ipa/internal/spec"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+func benchOpts() bench.ExpOptions {
+	o := bench.QuickExpOptions()
+	o.Duration = 5 * wan.Second
+	return o
+}
+
+// BenchmarkTable1Classification regenerates Table 1: invariant classes
+// per application and how IPA supports them.
+func BenchmarkTable1Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := bench.Table1(analysis.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + e.Render())
+		}
+	}
+}
+
+// BenchmarkFig4PeakThroughput regenerates Fig. 4: Tournament latency vs
+// throughput for Strong/Indigo/IPA/Causal.
+func BenchmarkFig4PeakThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := bench.Fig4(benchOpts())
+		if i == 0 {
+			b.Log("\n" + e.Render())
+			for _, s := range e.Series {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(last.X, "peakTP/s:"+s.Name)
+				b.ReportMetric(s.Points[0].Y, "ms:"+s.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5OperationLatency regenerates Fig. 5: per-operation latency
+// in Tournament for Indigo/IPA/Causal.
+func BenchmarkFig5OperationLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := bench.Fig5(benchOpts())
+		if i == 0 {
+			b.Log("\n" + e.Render())
+		}
+	}
+}
+
+// BenchmarkFig6TwitterStrategies regenerates Fig. 6: per-operation
+// latency in Twitter for Causal/Add-Wins/Rem-Wins.
+func BenchmarkFig6TwitterStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := bench.Fig6(benchOpts())
+		if i == 0 {
+			b.Log("\n" + e.Render())
+		}
+	}
+}
+
+// BenchmarkFig7TicketCompensations regenerates Fig. 7: Ticket latency vs
+// throughput with the invariant-violation counts.
+func BenchmarkFig7TicketCompensations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := bench.Fig7(benchOpts())
+		if i == 0 {
+			b.Log("\n" + e.Render())
+			if s, ok := e.FindSeries("Causal"); ok {
+				b.ReportMetric(s.Points[len(s.Points)-1].Aux["violations"], "violations:Causal")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8SingleObject regenerates Fig. 8 (top): speed-up IPA/Strong
+// vs number of updates on a single key.
+func BenchmarkFig8SingleObject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := bench.Fig8a(benchOpts())
+		if i == 0 {
+			b.Log("\n" + e.Render())
+			b.ReportMetric(e.Series[0].Points[0].Y, "speedup@1")
+		}
+	}
+}
+
+// BenchmarkFig8MultiObject regenerates Fig. 8 (bottom): speed-up
+// IPA/Strong vs number of updated keys.
+func BenchmarkFig8MultiObject(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := bench.Fig8b(benchOpts())
+		if i == 0 {
+			b.Log("\n" + e.Render())
+			last := e.Series[0].Points[len(e.Series[0].Points)-1]
+			b.ReportMetric(last.Y, fmt.Sprintf("speedup@%d", int(last.X)))
+		}
+	}
+}
+
+// BenchmarkFig9ReservationContention regenerates Fig. 9: latency vs
+// reservation contention, IPA vs Indigo.
+func BenchmarkFig9ReservationContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := bench.Fig9(benchOpts())
+		if i == 0 {
+			b.Log("\n" + e.Render())
+		}
+	}
+}
+
+// --- Engineering micro-benchmarks (real wall-clock ns/op) --------------
+
+func BenchmarkAWSetAdd(b *testing.B) {
+	s := crdt.NewAWSet()
+	vc := clock.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tag := vc.Tick("r")
+		s.Apply(s.PrepareAdd(fmt.Sprintf("e%d", i%1024), "", tag))
+	}
+}
+
+func BenchmarkRWSetAddRemove(b *testing.B) {
+	// Churn with periodic stability compaction, as a deployment would run
+	// it — without GC the observed-remove metadata grows quadratically.
+	s := crdt.NewRWSet()
+	vc := clock.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := fmt.Sprintf("e%d", i%256)
+		if i%3 == 0 {
+			s.Apply(s.PrepareRemove(e, vc.Tick("r")))
+		} else {
+			s.Apply(s.PrepareAdd(e, "", vc.Tick("r")))
+		}
+		if i%4096 == 4095 {
+			s.Compact(vc.Clone())
+		}
+	}
+}
+
+func BenchmarkStoreCommitReplicate(b *testing.B) {
+	sim := wan.NewSim(1)
+	c := store.NewCluster(sim, wan.PaperTopology(), []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest})
+	east := c.Replica(wan.USEast)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := east.Begin()
+		store.AWSetAt(tx, "k").Add(fmt.Sprintf("e%d", i%512), "")
+		tx.Commit()
+		if i%64 == 0 {
+			sim.Run() // drain replication
+		}
+	}
+	sim.Run()
+}
+
+func BenchmarkSATPigeonhole(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sat.New()
+		const n = 5 // PHP(5): UNSAT, forces real search
+		p := make([][]int, n+1)
+		for x := 0; x <= n; x++ {
+			p[x] = make([]int, n)
+			for y := 0; y < n; y++ {
+				p[x][y] = s.NewVar()
+			}
+			s.AddClause(p[x]...)
+		}
+		for y := 0; y < n; y++ {
+			for x := 0; x <= n; x++ {
+				for z := x + 1; z <= n; z++ {
+					s.AddClause(-p[x][y], -p[z][y])
+				}
+			}
+		}
+		if s.Solve() {
+			b.Fatal("PHP must be UNSAT")
+		}
+	}
+}
+
+func BenchmarkConflictDetectionPair(b *testing.B) {
+	src := `
+spec bench
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+}
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+`
+	s := spec.MustParse(src)
+	rem, _ := s.Operation("rem_tourn")
+	enr, _ := s.Operation("enroll")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := analysis.IsConflicting(s, rem, enr, analysis.Options{}, nil)
+		if err != nil || c == nil {
+			b.Fatal("conflict expected")
+		}
+	}
+}
+
+func BenchmarkAnalysisFullTournament(b *testing.B) {
+	s := spec.MustParse(`
+spec t
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
+operation add_player(Player: p) {
+    player(p) := true
+}
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+}
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Run(s, analysis.Options{})
+		if err != nil || len(res.Unsolved) != 0 {
+			b.Fatalf("analysis failed: %v", err)
+		}
+	}
+}
+
+func BenchmarkSMTGroundEncode(b *testing.B) {
+	inv := spec.MustParse(`
+spec t
+invariant forall (Player: p, q, Tournament: t) :- inMatch(p, q, t) => enrolled(p, t) and enrolled(q, t)
+operation noop(Player: p) {
+    player(p) := true
+}
+`).Invariant()
+	sig := smt.Signature{
+		"inMatch":  {"Player", "Player", "Tournament"},
+		"enrolled": {"Player", "Tournament"},
+		"player":   {"Player"},
+	}
+	dom := smt.Domain{"Player": {"P1", "P2", "P3"}, "Tournament": {"T1", "T2"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := smt.NewEncoder(dom, sig)
+		st := enc.NewState("s")
+		if err := enc.Assert(inv, st); err != nil {
+			b.Fatal(err)
+		}
+		if !enc.Solve() {
+			b.Fatal("must be satisfiable")
+		}
+	}
+}

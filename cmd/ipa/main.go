@@ -1,0 +1,175 @@
+// Command ipa is the IPA analysis tool (paper §4.1): it reads an
+// application specification, detects the operation pairs that can violate
+// invariants under concurrency, proposes repairs, and prints the patched,
+// invariant-preserving specification together with the synthesised
+// compensations.
+//
+// Usage:
+//
+//	ipa -app tournament                 # analyse a bundled application
+//	ipa -spec path/to/app.spec          # analyse a spec file
+//	ipa -app twitter -conflicts         # only list conflicts
+//	ipa -app tournament -interactive    # choose repairs by hand
+//	ipa -app ticket -classify           # Table-1 style classification
+//	ipa -list                           # list bundled applications
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ipa/internal/analysis"
+	"ipa/internal/apps/ticket"
+	"ipa/internal/apps/tournament"
+	"ipa/internal/apps/tpcw"
+	"ipa/internal/apps/twitter"
+	"ipa/internal/spec"
+)
+
+var bundled = map[string]func() *spec.Spec{
+	"tournament": tournament.Spec,
+	"twitter":    twitter.Spec,
+	"ticket":     ticket.Spec,
+	"tpcw":       tpcw.Spec,
+}
+
+func main() {
+	var (
+		specPath    = flag.String("spec", "", "path to a specification file")
+		appName     = flag.String("app", "", "bundled application to analyse")
+		list        = flag.Bool("list", false, "list bundled applications")
+		onlyConf    = flag.Bool("conflicts", false, "only detect and print conflicts")
+		classify    = flag.Bool("classify", false, "classify invariants (Table 1 style)")
+		interactive = flag.Bool("interactive", false, "choose repairs interactively")
+		scope       = flag.Int("scope", 0, "domain elements per sort (default 2)")
+		maxPreds    = flag.Int("max-preds", 0, "max extra effects per repair (default 2)")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(bundled))
+		for n := range bundled {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	s, err := loadSpec(*specPath, *appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipa:", err)
+		os.Exit(1)
+	}
+
+	opts := analysis.Options{Scope: *scope, MaxRepairPreds: *maxPreds}
+	if *interactive {
+		opts.Chooser = promptChooser(os.Stdin, os.Stdout)
+	}
+
+	switch {
+	case *onlyConf:
+		conflicts, err := analysis.FindConflicts(s, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if len(conflicts) == 0 {
+			fmt.Println("no conflicting operation pairs: the specification is I-confluent")
+			return
+		}
+		for _, c := range conflicts {
+			fmt.Println(c)
+			fmt.Print(c.Example)
+			fmt.Println()
+		}
+
+	case *classify:
+		ccs, err := analysis.Classify(s, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-18s %-10s %-6s  %s\n", "class", "I-Conf.", "IPA", "clause")
+		for _, cc := range ccs {
+			clause := ""
+			if cc.Clause != nil {
+				clause = cc.Clause.String()
+			}
+			iconf := "No"
+			if cc.IConfluent {
+				iconf = "Yes"
+			}
+			fmt.Printf("%-18s %-10s %-6s  %s\n", cc.Class, iconf, cc.IPASupport, clause)
+		}
+
+	default:
+		res, err := analysis.Run(s, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Summary())
+		fmt.Println()
+		fmt.Println("---- patch recipe ----")
+		fmt.Print(res.Diff(s))
+		fmt.Println()
+		fmt.Println("---- patched specification ----")
+		fmt.Print(res.Spec.String())
+	}
+}
+
+func loadSpec(path, app string) (*spec.Spec, error) {
+	switch {
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Parse(string(data))
+	case app != "":
+		mk, ok := bundled[app]
+		if !ok {
+			return nil, fmt.Errorf("unknown application %q (try -list)", app)
+		}
+		return mk(), nil
+	}
+	return nil, fmt.Errorf("one of -spec or -app is required")
+}
+
+// promptChooser implements the paper's interactive pickResolution: the
+// programmer sees every proposed repair and selects the semantics that
+// fits the application.
+func promptChooser(in *os.File, out *os.File) func(*analysis.Conflict, []analysis.Repair) int {
+	reader := bufio.NewReader(in)
+	return func(c *analysis.Conflict, repairs []analysis.Repair) int {
+		fmt.Fprintf(out, "\n%s\n", c)
+		for i, r := range repairs {
+			fmt.Fprintf(out, "  [%d] %s\n", i, r)
+		}
+		fmt.Fprintf(out, "choose resolution [0-%d, default 0]: ", len(repairs)-1)
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			return 0
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			return 0
+		}
+		n, err := strconv.Atoi(line)
+		if err != nil || n < 0 || n >= len(repairs) {
+			fmt.Fprintln(out, "invalid choice, using 0")
+			return 0
+		}
+		return n
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ipa:", err)
+	os.Exit(1)
+}

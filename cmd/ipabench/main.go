@@ -1,0 +1,90 @@
+// Command ipabench regenerates the tables and figures of the paper's
+// evaluation (§5) on the simulated geo-replicated deployment.
+//
+// Usage:
+//
+//	ipabench -experiment all            # everything (takes a while)
+//	ipabench -experiment fig4           # one figure
+//	ipabench -experiment table1
+//	ipabench -experiment fig7 -quick    # reduced parameters
+//
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8a, fig8b, fig9, and
+// the ablations beyond the paper: ablation-numeric, ablation-touch,
+// ablation-stability, ablation-scope.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ipa/internal/analysis"
+	"ipa/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run (comma separated)")
+		quick      = flag.Bool("quick", false, "reduced parameters (faster, noisier)")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	opts := bench.DefaultExpOptions()
+	if *quick {
+		opts = bench.QuickExpOptions()
+	}
+	opts.Seed = *seed
+
+	all := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
+		"ablation-numeric", "ablation-touch", "ablation-stability", "ablation-scope"}
+	var wanted []string
+	if *experiment == "all" {
+		wanted = all
+	} else {
+		wanted = strings.Split(*experiment, ",")
+	}
+
+	for _, name := range wanted {
+		var (
+			e   *bench.Experiment
+			err error
+		)
+		switch strings.TrimSpace(name) {
+		case "table1":
+			e, err = bench.Table1(analysis.Options{})
+		case "fig4":
+			e = bench.Fig4(opts)
+		case "fig5":
+			e = bench.Fig5(opts)
+		case "fig6":
+			e = bench.Fig6(opts)
+		case "fig7":
+			e = bench.Fig7(opts)
+		case "fig8a":
+			e = bench.Fig8a(opts)
+		case "fig8b":
+			e = bench.Fig8b(opts)
+		case "fig9":
+			e = bench.Fig9(opts)
+		case "ablation-numeric":
+			e = bench.AblationNumeric(opts)
+		case "ablation-touch":
+			e = bench.AblationTouch(opts)
+		case "ablation-stability":
+			e = bench.AblationStability(opts)
+		case "ablation-scope":
+			e = bench.AblationScope(opts)
+		default:
+			fmt.Fprintf(os.Stderr, "ipabench: unknown experiment %q (want one of %s)\n",
+				name, strings.Join(all, ", "))
+			os.Exit(1)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipabench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(e.Render())
+	}
+}

@@ -1,0 +1,94 @@
+// Quickstart: analyse a small specification with IPA, then watch the
+// proposed repair preserve an invariant at runtime on the replicated
+// store.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipa"
+)
+
+const appSpec = `
+spec quickstart
+
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
+
+operation add_player(Player: p) {
+    player(p) := true
+}
+operation add_tourn(Tournament: t) {
+    tournament(t) := true
+}
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+}
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+`
+
+func main() {
+	// --- Static analysis -------------------------------------------------
+	s, err := ipa.ParseSpec(appSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conflicts, err := ipa.FindConflicts(s, ipa.AnalysisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conflicts in the original application:")
+	for _, c := range conflicts {
+		fmt.Printf("  %s\n", c)
+	}
+
+	res, err := ipa.Analyze(s, ipa.AnalysisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Summary())
+
+	// --- Runtime ----------------------------------------------------------
+	// The repair (enroll additionally touches the tournament, with an
+	// add-wins rule) in action: a tournament removal concurrent with an
+	// enrolment no longer leaves a dangling enrolment.
+	sim, cluster := ipa.NewPaperCluster(1)
+	sites := ipa.PaperSites()
+	east, west := cluster.Replica(sites[0]), cluster.Replica(sites[1])
+
+	seed := east.Begin()
+	ipa.AWSetAt(seed, "players").Add("alice", "")
+	ipa.AWSetAt(seed, "tournaments").Add("cup", "prize: 100")
+	seed.Commit()
+	sim.Run()
+
+	// Concurrently: east removes the tournament, west enrols alice —
+	// running the PATCHED enroll, which touches the tournament.
+	tx1 := east.Begin()
+	ipa.AWSetAt(tx1, "tournaments").Remove("cup")
+	tx1.Commit()
+
+	tx2 := west.Begin()
+	ipa.AWSetAt(tx2, "enrolled").Add("alice|cup", "")
+	ipa.AWSetAt(tx2, "tournaments").Touch("cup") // the IPA repair
+	tx2.Commit()
+
+	sim.Run() // replicate everything everywhere
+
+	fmt.Println("\nafter concurrent rem_tourn ∥ enroll (patched):")
+	for _, id := range sites {
+		tx := cluster.Replica(id).Begin()
+		tourns := ipa.AWSetAt(tx, "tournaments")
+		enrolled := ipa.AWSetAt(tx, "enrolled")
+		payload, _ := tourns.Payload("cup")
+		fmt.Printf("  %-8s tournament exists=%v (payload %q), enrolment=%v\n",
+			id, tourns.Contains("cup"), payload, enrolled.Contains("alice|cup"))
+		tx.Commit()
+	}
+	fmt.Println("\nthe add-wins touch restored the tournament: the invariant holds at every replica")
+}

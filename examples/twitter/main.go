@@ -1,0 +1,97 @@
+// Twitter example: the two IPA strategies for the retweet-vs-delete
+// conflict (paper §5.1.2, Fig. 6).
+//
+//   - Add-wins: the retweet touches the original tweet, so a concurrent
+//     delete is undone — the tweet is recovered.
+//   - Rem-wins: the delete wins; dangling timeline entries are hidden and
+//     cleaned up lazily when a timeline is read (a compensation).
+//
+// go run ./examples/twitter
+package main
+
+import (
+	"fmt"
+
+	"ipa"
+)
+
+const (
+	keyTweets = "tweets"
+	timelines = "timeline/"
+)
+
+func seed(sim *ipa.Sim, cluster *ipa.Cluster) {
+	tx := cluster.Replica(ipa.PaperSites()[0]).Begin()
+	ipa.AWSetAt(tx, keyTweets).Add("tw1", "hello world")
+	ipa.AWSetAt(tx, timelines+"bob").Add("tw1", "")
+	tx.Commit()
+	sim.Run()
+}
+
+func addWinsScenario() {
+	sim, cluster := ipa.NewPaperCluster(1)
+	east := cluster.Replica(ipa.PaperSites()[0])
+	west := cluster.Replica(ipa.PaperSites()[1])
+	seed(sim, cluster)
+
+	// Concurrently: east deletes tw1; west retweets it to carol.
+	del := east.Begin()
+	ipa.AWSetAt(del, keyTweets).Remove("tw1")
+	del.Commit()
+
+	rt := west.Begin()
+	ipa.AWSetAt(rt, timelines+"carol").Add("tw1", "")
+	ipa.AWSetAt(rt, keyTweets).Touch("tw1") // add-wins: recover the tweet
+	rt.Commit()
+	sim.Run()
+
+	tx := cluster.Replica(ipa.PaperSites()[2]).Begin()
+	text, ok := ipa.AWSetAt(tx, keyTweets).Payload("tw1")
+	carol := ipa.AWSetAt(tx, timelines+"carol").Contains("tw1")
+	tx.Commit()
+	fmt.Printf("add-wins: tweet recovered=%v (text %q), carol sees it=%v\n", ok, text, carol)
+}
+
+func remWinsScenario() {
+	sim, cluster := ipa.NewPaperCluster(2)
+	east := cluster.Replica(ipa.PaperSites()[0])
+	west := cluster.Replica(ipa.PaperSites()[1])
+	seed(sim, cluster)
+
+	del := east.Begin()
+	ipa.AWSetAt(del, keyTweets).Remove("tw1")
+	del.Commit()
+
+	rt := west.Begin()
+	ipa.AWSetAt(rt, timelines+"carol").Add("tw1", "")
+	rt.Commit() // no touch: the delete is allowed to win
+	sim.Run()
+
+	// Reading carol's timeline compensates: dangling entries are hidden
+	// and removed, and the cleanup replicates with the reading txn.
+	eu := cluster.Replica(ipa.PaperSites()[2])
+	read := eu.Begin()
+	tl := ipa.AWSetAt(read, timelines+"carol")
+	tweets := ipa.AWSetAt(read, keyTweets)
+	var visible []string
+	for _, id := range tl.Elems() {
+		if tweets.Contains(id) {
+			visible = append(visible, id)
+		} else {
+			tl.Remove(id) // compensation
+		}
+	}
+	read.Commit()
+	sim.Run()
+
+	tx := west.Begin()
+	left := ipa.AWSetAt(tx, timelines+"carol").Elems()
+	tx.Commit()
+	fmt.Printf("rem-wins: visible timeline=%v, entries after compensation replicated=%v\n", visible, left)
+}
+
+func main() {
+	fmt.Println("retweet concurrent with delete, resolved both ways:")
+	addWinsScenario()
+	remWinsScenario()
+}

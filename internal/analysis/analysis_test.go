@@ -1,0 +1,433 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"ipa/internal/logic"
+	"ipa/internal/spec"
+)
+
+// miniTournament is the paper's running example, pared down to the
+// referential-integrity conflict of Fig. 2.
+const miniTournament = `
+spec mini
+
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
+
+operation add_player(Player: p) {
+    player(p) := true
+}
+operation add_tourn(Tournament: t) {
+    tournament(t) := true
+}
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+}
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+`
+
+func TestIsConflictingFindsFig2a(t *testing.T) {
+	s := spec.MustParse(miniTournament)
+	rem, _ := s.Operation("rem_tourn")
+	enr, _ := s.Operation("enroll")
+	c, err := IsConflicting(s, rem, enr, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil {
+		t.Fatal("rem_tourn ∥ enroll must conflict")
+	}
+	if len(c.ViolatedClauses) != 1 {
+		t.Fatalf("violated clauses = %v", c.ViolatedClauses)
+	}
+	if c.Numeric {
+		t.Fatal("referential integrity is not a numeric conflict")
+	}
+	// The bindings must agree on the tournament (that's the only way to
+	// produce the violation).
+	if c.Binding1["t"] != c.Binding2["t"] {
+		t.Fatalf("counterexample should alias tournaments: %v vs %v", c.Binding1, c.Binding2)
+	}
+	if c.Example == nil || len(c.Example.Merged) == 0 {
+		t.Fatal("counterexample missing")
+	}
+	if !strings.Contains(c.String(), "violates") {
+		t.Fatalf("Conflict.String() = %q", c.String())
+	}
+}
+
+func TestNonConflictingPairs(t *testing.T) {
+	s := spec.MustParse(miniTournament)
+	addP, _ := s.Operation("add_player")
+	addT, _ := s.Operation("add_tourn")
+	enr, _ := s.Operation("enroll")
+	for _, pair := range [][2]*spec.Operation{{addP, addT}, {addP, enr}, {addT, enr}, {enr, enr}} {
+		c, err := IsConflicting(s, pair[0], pair[1], Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != nil {
+			t.Fatalf("%s ∥ %s should not conflict: %v", pair[0].Name, pair[1].Name, c)
+		}
+	}
+}
+
+func TestFindConflictsEnumeratesPairs(t *testing.T) {
+	s := spec.MustParse(miniTournament)
+	cs, err := FindConflicts(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting pairs: rem_tourn∥enroll. add_player/add_tourn/enroll are
+	// all compatible; rem_tourn∥rem_tourn is fine (same effect).
+	if len(cs) != 1 {
+		for _, c := range cs {
+			t.Logf("conflict: %s", c)
+		}
+		t.Fatalf("conflicts = %d, want 1", len(cs))
+	}
+	if cs[0].Key() != pairKey("rem_tourn", "enroll") {
+		t.Fatalf("conflict key = %s", cs[0].Key())
+	}
+}
+
+func TestRepairConflictProposesPaperResolutions(t *testing.T) {
+	s := spec.MustParse(miniTournament)
+	rem, _ := s.Operation("rem_tourn")
+	enr, _ := s.Operation("enroll")
+	c, err := IsConflicting(s, rem, enr, Options{}, nil)
+	if err != nil || c == nil {
+		t.Fatalf("conflict expected: %v %v", c, err)
+	}
+	repairs, err := RepairConflict(s, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) == 0 {
+		t.Fatal("no repairs proposed")
+	}
+	// The paper's two resolutions must both be present:
+	// Fig 2b: enroll += tournament(t) := true with add-wins tournament.
+	// Fig 2c: rem_tourn += enrolled(*, t) := false with rem-wins enrolled.
+	var haveAddWins, haveRemWins bool
+	for _, r := range repairs {
+		str := r.String()
+		if r.Target == "enroll" && strings.Contains(str, "tournament(t) := true") && r.Rules["tournament"] == spec.AddWins {
+			haveAddWins = true
+		}
+		if r.Target == "rem_tourn" && strings.Contains(str, "enrolled(*, t) := false") && r.Rules["enrolled"] == spec.RemWins {
+			haveRemWins = true
+		}
+	}
+	if !haveAddWins {
+		for _, r := range repairs {
+			t.Logf("repair: %s", r)
+		}
+		t.Fatal("add-wins resolution (Fig 2b) not proposed")
+	}
+	if !haveRemWins {
+		for _, r := range repairs {
+			t.Logf("repair: %s", r)
+		}
+		t.Fatal("rem-wins resolution (Fig 2c) not proposed")
+	}
+	// Minimality: the first repairs add a single effect.
+	if len(repairs[0].Extra) != 1 {
+		t.Fatalf("repairs not ordered by size: first adds %d effects", len(repairs[0].Extra))
+	}
+}
+
+func TestRunRepairsMiniTournament(t *testing.T) {
+	s := spec.MustParse(miniTournament)
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("unsolved conflicts: %v", res.Unsolved)
+	}
+	if len(res.Applied) == 0 {
+		t.Fatal("expected at least one repair")
+	}
+	// The patched spec must be conflict-free.
+	cs, err := FindConflicts(res.Spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 0 {
+		for _, c := range cs {
+			t.Logf("residual conflict: %s", c)
+		}
+		t.Fatal("patched spec still has conflicts")
+	}
+	// Original spec untouched.
+	enr, _ := s.Operation("enroll")
+	if len(enr.Effects) != 1 {
+		t.Fatal("Run mutated its input spec")
+	}
+	if !strings.Contains(res.Summary(), "repair") {
+		t.Fatalf("summary = %q", res.Summary())
+	}
+}
+
+func TestRunRespectsProgrammerRules(t *testing.T) {
+	// With enrolled pinned to add-wins, the Fig 2c resolution (rem-wins
+	// enrolled) is unavailable; the loop must still succeed via Fig 2b.
+	src := strings.Replace(miniTournament, "spec mini", "spec mini\nrule enrolled add-wins", 1)
+	s := spec.MustParse(src)
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("unsolved: %v", res.Unsolved)
+	}
+	if res.Spec.Rules["enrolled"] != spec.AddWins {
+		t.Fatal("programmer rule overridden")
+	}
+}
+
+func TestRunWithoutRuleSuggestionFlags(t *testing.T) {
+	s := spec.MustParse(miniTournament)
+	opts := Options{DisableRuleSuggestion: true}
+	res, err := Run(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No convergence rules given and none may be invented: the conflict
+	// is unsolvable.
+	if len(res.Unsolved) == 0 {
+		t.Fatal("expected unsolved conflict without rule suggestion")
+	}
+}
+
+const capacitySpec = `
+spec cap
+
+const Capacity = 2
+
+invariant forall (Tournament: t) :- #enrolled(*, t) <= Capacity
+
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+operation disenroll(Player: p, Tournament: t) {
+    enrolled(p, t) := false
+}
+`
+
+func TestNumericConflictRoutesToCompensation(t *testing.T) {
+	s := spec.MustParse(capacitySpec)
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("unsolved: %v", res.Unsolved)
+	}
+	if len(res.Compensations) != 1 {
+		t.Fatalf("compensations = %v", res.Compensations)
+	}
+	comp := res.Compensations[0]
+	if comp.Kind != TrimExcess || comp.Pred != "enrolled" {
+		t.Fatalf("compensation = %+v", comp)
+	}
+	foundEnroll := false
+	for _, trig := range comp.Triggers {
+		if trig == "enroll" {
+			foundEnroll = true
+		}
+	}
+	if !foundEnroll {
+		t.Fatalf("enroll should trigger the compensation: %v", comp.Triggers)
+	}
+	if !strings.Contains(comp.String(), "trim-excess") {
+		t.Fatalf("comp.String() = %q", comp.String())
+	}
+}
+
+const stockSpec = `
+spec shop
+
+invariant forall (Item: i) :- stock(i) >= 0
+
+operation buy(Item: i) {
+    stock(i) -= 1
+}
+operation restock(Item: i) {
+    stock(i) += 5
+}
+`
+
+func TestStockConflictSynthesisesReplenish(t *testing.T) {
+	s := spec.MustParse(stockSpec)
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Compensations) != 1 {
+		t.Fatalf("compensations = %v", res.Compensations)
+	}
+	if res.Compensations[0].Kind != Replenish || res.Compensations[0].Pred != "stock" {
+		t.Fatalf("compensation = %+v", res.Compensations[0])
+	}
+	// buy ∥ buy triggers; restock alone cannot violate the lower bound.
+	trig := strings.Join(res.Compensations[0].Triggers, ",")
+	if !strings.Contains(trig, "buy") {
+		t.Fatalf("triggers = %v", res.Compensations[0].Triggers)
+	}
+}
+
+func TestMutualExclusionRepaired(t *testing.T) {
+	src := `
+spec tstate
+
+invariant forall (Tournament: t) :- not (active(t) and finished(t))
+
+operation begin_tourn(Tournament: t) {
+    active(t) := true
+}
+operation finish_tourn(Tournament: t) {
+    finished(t) := true
+    active(t) := false
+}
+`
+	s := spec.MustParse(src)
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("unsolved: %v", res.Unsolved)
+	}
+	cs, err := FindConflicts(res.Spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 0 {
+		t.Fatalf("patched spec still conflicts: %v", cs[0])
+	}
+}
+
+func TestClassify(t *testing.T) {
+	full := `
+spec t
+
+const Capacity = 4
+
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
+invariant forall (Tournament: t) :- #enrolled(*, t) <= Capacity
+invariant forall (Tournament: t) :- not (active(t) and finished(t))
+invariant forall (Item: i) :- stock(i) >= 0
+
+tag unique-ids
+
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+}
+operation buy(Item: i) {
+    stock(i) -= 1
+}
+operation begin_tourn(Tournament: t) {
+    active(t) := true
+}
+operation finish_tourn(Tournament: t) {
+    finished(t) := true
+    active(t) := false
+}
+`
+	s := spec.MustParse(full)
+	ccs, err := Classify(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[InvariantClass]ClassifiedClause{}
+	for _, cc := range ccs {
+		got[cc.Class] = cc
+	}
+	if cc := got[ReferentialIntegrity]; cc.IConfluent || cc.IPASupport != SupportYes {
+		t.Fatalf("ref integrity: %+v", cc)
+	}
+	if cc := got[AggregationConstraint]; cc.IConfluent || cc.IPASupport != SupportComp {
+		t.Fatalf("aggregation constraint: %+v", cc)
+	}
+	if cc := got[NumericInvariant]; cc.IConfluent || cc.IPASupport != SupportComp {
+		t.Fatalf("numeric invariant: %+v", cc)
+	}
+	if cc := got[Disjunction]; cc.IConfluent || cc.IPASupport != SupportYes {
+		t.Fatalf("disjunction: %+v", cc)
+	}
+	if cc := got[UniqueIDs]; !cc.IConfluent || cc.IPASupport != SupportYes {
+		t.Fatalf("unique ids: %+v", cc)
+	}
+
+	rows := SummarizeClasses(ccs)
+	if len(rows) != len(AllClasses) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Class == ReferentialIntegrity {
+			if !r.Present || r.IConfluent != SupportNo || r.IPA != SupportYes {
+				t.Fatalf("table row: %+v", r)
+			}
+		}
+		if r.Class == SequentialIDs && r.Present {
+			t.Fatal("sequential ids not in this spec")
+		}
+	}
+}
+
+func TestClassifyClauseShapes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want InvariantClass
+	}{
+		{"forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p)", ReferentialIntegrity},
+		{"forall (Tournament: t) :- #enrolled(*, t) <= Capacity", AggregationConstraint},
+		{"forall (Item: i) :- stock(i) >= 0", NumericInvariant},
+		{"forall (Tournament: t) :- not (active(t) and finished(t))", Disjunction},
+		{"forall (Player: p) :- premium(p) => gold(p) or silver(p)", Disjunction},
+		{"forall (Player: p) :- player(p)", AggregationInclusion},
+	}
+	for _, c := range cases {
+		if got := ClassifyClause(logic.MustParse(c.src)); got != c.want {
+			t.Errorf("ClassifyClause(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEnumBindings(t *testing.T) {
+	dom := domainFor(spec.MustParse(miniTournament), 2)
+	params := []logic.Var{{Name: "p", Sort: "Player"}, {Name: "q", Sort: "Player"}}
+	full := enumBindings(params, dom, false)
+	if len(full) != 4 {
+		t.Fatalf("full bindings = %d, want 4", len(full))
+	}
+	canon := enumBindings(params, dom, true)
+	// First player pinned to element 1, second ranges over both: 2.
+	if len(canon) != 2 {
+		t.Fatalf("canonical bindings = %d, want 2", len(canon))
+	}
+	empty := enumBindings(nil, dom, true)
+	if len(empty) != 1 || len(empty[0]) != 0 {
+		t.Fatalf("empty params should give one empty binding: %v", empty)
+	}
+}
+
+func TestSubsetsOfSize(t *testing.T) {
+	if got := subsetsOfSize(3, 2); len(got) != 3 {
+		t.Fatalf("C(3,2) = %d, want 3", len(got))
+	}
+	if got := subsetsOfSize(2, 3); got != nil {
+		t.Fatalf("C(2,3) should be empty, got %v", got)
+	}
+	if got := subsetsOfSize(4, 1); len(got) != 4 {
+		t.Fatalf("C(4,1) = %d, want 4", len(got))
+	}
+}

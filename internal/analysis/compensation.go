@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"ipa/internal/logic"
+)
+
+// CompensationKind distinguishes the two compensation shapes the analysis
+// can synthesise automatically (paper §3.4).
+type CompensationKind uint8
+
+// Compensation kinds.
+const (
+	// TrimExcess removes deterministically chosen elements from a
+	// collection until an aggregation constraint (#p(..) <= K) holds again
+	// — the Ticket application's oversell handling, implemented at runtime
+	// by the Compensation Set CRDT.
+	TrimExcess CompensationKind = iota
+	// Replenish adds back to a numeric field until a lower bound
+	// (fn(..) >= K) holds again — the TPC-W restock behaviour.
+	Replenish
+)
+
+func (k CompensationKind) String() string {
+	if k == Replenish {
+		return "replenish"
+	}
+	return "trim-excess"
+}
+
+// Compensation is a lazily executed repair for a numeric invariant: it is
+// triggered when a replica observes a violation, and its effects are
+// commutative, idempotent and monotonic so that replicas that detect the
+// same violation independently still converge.
+type Compensation struct {
+	Kind CompensationKind
+	// Clause is the numeric invariant clause being protected.
+	Clause logic.Formula
+	// Pred is the collection predicate (TrimExcess) or numeric field
+	// (Replenish) the compensation acts on.
+	Pred string
+	// Triggers are the operations whose effects can cause the violation.
+	Triggers []string
+	// Description is the human-readable recipe for the programmer.
+	Description string
+}
+
+func (c Compensation) String() string {
+	return fmt.Sprintf("compensation[%s] on %s for %q (triggered by %s): %s",
+		c.Kind, c.Pred, c.Clause, strings.Join(c.Triggers, ", "), c.Description)
+}
+
+// SynthesizeCompensation builds the compensation for a numeric conflict.
+// It inspects the violated clause: upper bounds on counts become
+// TrimExcess, lower bounds on numeric fields become Replenish. Conflicts
+// whose clause matches neither shape return ok=false and must be flagged.
+func SynthesizeCompensation(c *Conflict) (Compensation, bool) {
+	for _, cl := range c.ViolatedClauses {
+		body := cl
+		if fa, ok := body.(*logic.Forall); ok {
+			body = fa.Body
+		}
+		cmp, ok := body.(*logic.Cmp)
+		if !ok {
+			continue
+		}
+		comp := Compensation{Clause: cl, Triggers: []string{c.Op1.Name}}
+		if c.Op2.Name != c.Op1.Name {
+			comp.Triggers = append(comp.Triggers, c.Op2.Name)
+		}
+		// Upper bound on a count: #p(..) <= K or #p(..) < K.
+		if cnt, isCount := cmp.L.(*logic.Count); isCount && (cmp.Op == logic.LE || cmp.Op == logic.LT) {
+			comp.Kind = TrimExcess
+			comp.Pred = cnt.Pred
+			comp.Description = fmt.Sprintf(
+				"on read: while %s violates the bound, remove the deterministically smallest element of %s and commit the removal with the reading transaction",
+				cmp, cnt.Pred)
+			return comp, true
+		}
+		// Lower bound on a numeric field: fn(..) >= K or fn(..) > K.
+		if fn, isFn := cmp.L.(*logic.FnApp); isFn && (cmp.Op == logic.GE || cmp.Op == logic.GT) {
+			comp.Kind = Replenish
+			comp.Pred = fn.Fn
+			comp.Description = fmt.Sprintf(
+				"on read: if %s is violated, add back the deficit to %s (or cancel the excess operations) in a separate compensating transaction",
+				cmp, fn.Fn)
+			return comp, true
+		}
+		// Mirror orientations: K >= #p(..) etc.
+		if cnt, isCount := cmp.R.(*logic.Count); isCount && (cmp.Op == logic.GE || cmp.Op == logic.GT) {
+			comp.Kind = TrimExcess
+			comp.Pred = cnt.Pred
+			comp.Description = fmt.Sprintf(
+				"on read: while %s violates the bound, remove the deterministically smallest element of %s and commit the removal with the reading transaction",
+				cmp, cnt.Pred)
+			return comp, true
+		}
+		if fn, isFn := cmp.R.(*logic.FnApp); isFn && (cmp.Op == logic.LE || cmp.Op == logic.LT) {
+			comp.Kind = Replenish
+			comp.Pred = fn.Fn
+			comp.Description = fmt.Sprintf(
+				"on read: if %s is violated, add back the deficit to %s (or cancel the excess operations) in a separate compensating transaction",
+				cmp, fn.Fn)
+			return comp, true
+		}
+	}
+	return Compensation{}, false
+}

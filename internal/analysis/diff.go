@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ipa/internal/spec"
+)
+
+// DiffSpecs renders the difference between the original and the patched
+// specification as the recipe the programmer applies to the application
+// (paper §3, step 3: "patch the original application according to the
+// recipe, adding the necessary effects"): per operation, the effects to
+// add; plus the convergence rules to configure on the storage objects.
+func DiffSpecs(before, after *spec.Spec) string {
+	var b strings.Builder
+
+	// New or changed convergence rules.
+	var rules []string
+	for pred, pol := range after.Rules {
+		if pol == spec.NoPolicy {
+			continue
+		}
+		if old, ok := before.Rules[pred]; !ok || old != pol {
+			rules = append(rules, fmt.Sprintf("  configure %s as %s", pred, pol))
+		}
+	}
+	sort.Strings(rules)
+	if len(rules) > 0 {
+		b.WriteString("convergence rules to configure:\n")
+		for _, r := range rules {
+			b.WriteString(r)
+			b.WriteByte('\n')
+		}
+	}
+
+	// Added effects per operation.
+	var ops []string
+	for _, newOp := range after.Operations {
+		oldOp, ok := before.Operation(newOp.Name)
+		var added []string
+		for _, e := range newOp.Effects {
+			if !ok || !oldOp.HasEffect(e) {
+				added = append(added, e.String())
+			}
+		}
+		if len(added) > 0 && ok {
+			ops = append(ops, fmt.Sprintf("  %s: add %s", newOp.Name, strings.Join(added, "; ")))
+		}
+		if !ok {
+			ops = append(ops, fmt.Sprintf("  %s: new operation", newOp.Name))
+		}
+	}
+	sort.Strings(ops)
+	if len(ops) > 0 {
+		b.WriteString("operations to patch:\n")
+		for _, o := range ops {
+			b.WriteString(o)
+			b.WriteByte('\n')
+		}
+	}
+
+	if b.Len() == 0 {
+		return "no changes: the specification is already invariant-preserving\n"
+	}
+	return b.String()
+}
+
+// Diff renders the recipe of this analysis result against its input.
+func (r *Result) Diff(original *spec.Spec) string {
+	return DiffSpecs(original, r.Spec)
+}

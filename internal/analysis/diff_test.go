@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"ipa/internal/spec"
+)
+
+func TestDiffSpecs(t *testing.T) {
+	s := spec.MustParse(miniTournament)
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := res.Diff(s)
+	if !strings.Contains(diff, "operations to patch:") {
+		t.Fatalf("diff missing patches:\n%s", diff)
+	}
+	if !strings.Contains(diff, "enroll: add tournament(t) := true") {
+		t.Fatalf("diff missing the enroll patch:\n%s", diff)
+	}
+	if !strings.Contains(diff, "configure tournament as add-wins") {
+		t.Fatalf("diff missing the rule:\n%s", diff)
+	}
+}
+
+func TestDiffSpecsNoChanges(t *testing.T) {
+	s := spec.MustParse(miniTournament)
+	if got := DiffSpecs(s, s); !strings.Contains(got, "no changes") {
+		t.Fatalf("identity diff = %q", got)
+	}
+}
+
+func TestDiffSpecsNewOperation(t *testing.T) {
+	before := spec.MustParse(miniTournament)
+	after := before.Clone()
+	op := &spec.Operation{Name: "brand_new"}
+	op.Params = append(op.Params, before.Operations[0].Params...)
+	op.Effects = append(op.Effects, before.Operations[0].Effects...)
+	after.Operations = append(after.Operations, op)
+	if got := DiffSpecs(before, after); !strings.Contains(got, "brand_new: new operation") {
+		t.Fatalf("diff = %q", got)
+	}
+}

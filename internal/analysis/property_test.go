@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"testing"
+
+	"ipa/internal/spec"
+)
+
+// Property: the IPA loop is idempotent — analysing an already-patched
+// specification finds nothing left to repair.
+func TestRunIdempotent(t *testing.T) {
+	for _, src := range []string{miniTournament, capacitySpec, stockSpec} {
+		s := spec.MustParse(src)
+		first, err := Run(s, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Run(first.Spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(second.Applied) != 0 {
+			t.Fatalf("%s: second run applied repairs: %v", s.Name, second.Applied)
+		}
+		if len(second.Unsolved) != 0 {
+			t.Fatalf("%s: second run found unsolved conflicts", s.Name)
+		}
+		if second.Spec.String() != first.Spec.String() {
+			t.Fatalf("%s: second run changed the spec", s.Name)
+		}
+	}
+}
+
+// Property: the analysis is deterministic — identical inputs yield
+// byte-identical patched specs and summaries.
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(spec.MustParse(miniTournament), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec.MustParse(miniTournament), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spec.String() != b.Spec.String() {
+		t.Fatal("patched specs differ between runs")
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatal("summaries differ between runs")
+	}
+}
+
+// Property: a larger scope finds no fewer conflicts than the default (the
+// small-scope hypothesis in the safe direction: growing the scope can only
+// reveal more behaviour). For the tournament example both scopes find the
+// same conflicting pairs.
+func TestScopeMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scope-3 analysis is slow")
+	}
+	s := spec.MustParse(miniTournament)
+	at2, err := FindConflicts(s, Options{Scope: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at3, err := FindConflicts(s, Options{Scope: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys2 := map[string]bool{}
+	for _, c := range at2 {
+		keys2[c.Key()] = true
+	}
+	for _, c := range at2 {
+		found := false
+		for _, c3 := range at3 {
+			if c3.Key() == c.Key() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("conflict %s found at scope 2 but not scope 3", c.Key())
+		}
+	}
+	if len(at3) < len(at2) {
+		t.Fatalf("scope 3 found fewer conflicting pairs: %d vs %d", len(at3), len(at2))
+	}
+}
+
+// Property: the chooser sees every alternative, and any choice leads to a
+// conflict-free patched spec.
+func TestAnyRepairChoiceConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple analysis runs are slow")
+	}
+	// Run once to learn the max alternatives per conflict.
+	for _, pick := range []int{0, 1, 1 << 20} { // first, second, out-of-range->first
+		opts := Options{Chooser: func(c *Conflict, rs []Repair) int { return pick }}
+		res, err := Run(spec.MustParse(miniTournament), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Unsolved) != 0 {
+			t.Fatalf("pick=%d: unsolved conflicts", pick)
+		}
+		conflicts, err := FindConflicts(res.Spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(conflicts) != 0 {
+			t.Fatalf("pick=%d: patched spec still conflicts: %v", pick, conflicts[0])
+		}
+	}
+}
+
+// Repairs never override a programmer-pinned convergence rule.
+func TestRepairsRespectPinnedRules(t *testing.T) {
+	src := `
+spec pinned
+
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => tournament(t)
+
+rule tournament rem-wins
+
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+}
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+`
+	s := spec.MustParse(src)
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spec.Rules["tournament"] != spec.RemWins {
+		t.Fatal("pinned rule changed")
+	}
+	// With tournament pinned rem-wins, the Fig 2b repair is unavailable;
+	// the loop must find the rem-wins route (enrolled wipe) instead.
+	for _, a := range res.Applied {
+		for p, pol := range a.Repair.Rules {
+			if p == "tournament" && pol != spec.RemWins {
+				t.Fatalf("repair overrides pinned rule: %v", a.Repair)
+			}
+		}
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("should still solve via the rem-wins route:\n%s", res.Summary())
+	}
+	remTourn, _ := res.Spec.Operation("rem_tourn")
+	found := false
+	for _, e := range remTourn.Effects {
+		if e.Pred == "enrolled" && !e.Val {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected the enrolled wipe on rem_tourn:\n%s", res.Spec)
+	}
+}
+
+// Conflicts on disjunction invariants are repairable by asserting an
+// alternative disjunct (paper §5.1.1 "Disjunctions").
+func TestDisjunctionRepair(t *testing.T) {
+	src := `
+spec disj
+
+invariant forall (User: u) :- premium(u) => gold(u) or silver(u)
+
+operation upgrade(User: u) {
+    premium(u) := true
+}
+operation drop_gold(User: u) {
+    gold(u) := false
+}
+`
+	s := spec.MustParse(src)
+	res, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("disjunction should be repairable:\n%s", res.Summary())
+	}
+	if len(res.Applied) == 0 {
+		t.Fatal("expected a repair")
+	}
+	// The repair must ensure one of the disjuncts holds.
+	rep := res.Applied[0].Repair
+	ok := false
+	for _, e := range rep.Extra {
+		if (e.Pred == "gold" || e.Pred == "silver") && e.Val {
+			ok = true
+		}
+		if e.Pred == "premium" && !e.Val {
+			ok = true // the alternative: the drop wins, premium cleared
+		}
+	}
+	if !ok {
+		t.Fatalf("unexpected repair: %v", rep)
+	}
+}

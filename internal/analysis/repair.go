@@ -1,0 +1,544 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ipa/internal/logic"
+	"ipa/internal/smt"
+	"ipa/internal/spec"
+)
+
+// Repair is one candidate resolution for a conflict: extra effects added
+// to a single operation of the pair, together with the convergence rules
+// the repair relies on (paper §3.2, Fig. 2b/2c). Applying a repair makes
+// the target operation's effects prevail over the counterpart's.
+type Repair struct {
+	// Target is the operation receiving the extra effects.
+	Target string
+	// Extra are the effects to append to the target operation.
+	Extra []spec.Effect
+	// Rules are convergence rules the repair introduces for predicates the
+	// programmer left unconstrained. Never overrides a programmer rule.
+	Rules map[string]spec.Policy
+}
+
+func (r Repair) String() string {
+	var s string
+	if len(r.Extra) == 0 {
+		s = fmt.Sprintf("let %s win, no extra effects", r.Target)
+	} else {
+		parts := make([]string, len(r.Extra))
+		for i, e := range r.Extra {
+			parts[i] = e.String()
+		}
+		s = fmt.Sprintf("add to %s: %s", r.Target, strings.Join(parts, "; "))
+	}
+	if len(r.Rules) > 0 {
+		rules := make([]string, 0, len(r.Rules))
+		for p, pol := range r.Rules {
+			rules = append(rules, fmt.Sprintf("%s %s", p, pol))
+		}
+		sort.Strings(rules)
+		s += " (rules: " + strings.Join(rules, ", ") + ")"
+	}
+	return s
+}
+
+// wildcards counts wildcard arguments across the repair's effects, used as
+// a tie-breaker: repairs with concrete arguments are preferred.
+func (r Repair) wildcards() int {
+	n := 0
+	for _, e := range r.Extra {
+		for _, a := range e.Args {
+			if a.Kind == logic.TermWildcard {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// candidateEffect is one element of the generation pool.
+type candidateEffect struct {
+	pred string
+	args []logic.Term
+	val  bool
+}
+
+// RepairConflict proposes every minimal repair for the conflict, ordered
+// by increasing number of added effects, then fewer wildcards, then
+// lexicographically (paper repairConflicts + generate). Only boolean
+// clauses participate; numeric clauses route to compensations.
+func RepairConflict(s *spec.Spec, c *Conflict, opts Options) ([]Repair, error) {
+	opts = opts.withDefaults()
+
+	// Pool: predicates of the invariant clauses touched by either
+	// operation's effects (paper line 15).
+	pool, err := predicatePool(s, c)
+	if err != nil {
+		return nil, err
+	}
+
+	var solutions []Repair
+	// Rule-only resolutions first: when the two operations write opposing
+	// values to the same predicate, installing a convergence rule alone
+	// may already decide the winner (the paper's Fig. 3 uses exactly this
+	// for begin/finish: a rem-wins active set, no extra effects).
+	ruleOnly, err := ruleOnlyRepairs(s, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	solutions = append(solutions, ruleOnly...)
+
+	// Enumerate subsets by increasing size so found repairs are minimal;
+	// a candidate containing a known solution for the same target is
+	// skipped (paper line 18, isPairSubset).
+	for size := 1; size <= opts.MaxRepairPreds; size++ {
+		for _, target := range []*spec.Operation{c.Op1, c.Op2} {
+			counterpart := c.Op2
+			if target == c.Op2 {
+				counterpart = c.Op1
+			}
+			cands := candidatesFor(target, pool)
+			subsets := subsetsOfSize(len(cands), size)
+			for _, idxs := range subsets {
+				extra := make([]spec.Effect, 0, size)
+				skip := false
+				for _, i := range idxs {
+					e := spec.Effect{Kind: spec.BoolAssign, Pred: cands[i].pred, Args: cands[i].args, Val: cands[i].val}
+					if target.HasEffect(e) || hasOpposite(extra, e) {
+						skip = true
+						break
+					}
+					extra = append(extra, e)
+				}
+				if skip || len(extra) == 0 {
+					continue
+				}
+				if coveredBySolution(solutions, target.Name, extra) {
+					continue
+				}
+				rep := Repair{Target: target.Name, Extra: extra}
+				rules, ok := requiredRules(s, target, counterpart, extra, opts)
+				if !ok {
+					continue
+				}
+				rep.Rules = rules
+				solved, err := repairSolves(s, c, rep, opts)
+				if err != nil {
+					return nil, err
+				}
+				if solved {
+					solutions = append(solutions, rep)
+				}
+			}
+		}
+	}
+	sortRepairs(solutions)
+	return solutions, nil
+}
+
+// predicatePool collects boolean predicates from the invariant clauses
+// affected by the conflicting operations, with argument terms chosen from
+// the target op's parameters (or wildcards when no parameter of the sort
+// exists) at candidate-build time.
+func predicatePool(s *spec.Spec, c *Conflict) ([]logic.PredRef, error) {
+	sig, err := s.Signature()
+	if err != nil {
+		return nil, err
+	}
+	touched := map[string]bool{}
+	for _, op := range []*spec.Operation{c.Op1, c.Op2} {
+		for _, e := range op.Effects {
+			touched[e.Pred] = true
+		}
+	}
+	seen := map[string]bool{}
+	var pool []logic.PredRef
+	for _, cl := range logic.Clauses(s.Invariant()) {
+		if logic.HasCount(cl) {
+			continue
+		}
+		refs := logic.Predicates(cl)
+		relevant := false
+		for _, ref := range refs {
+			if touched[ref.Name] {
+				relevant = true
+				break
+			}
+		}
+		if !relevant {
+			continue
+		}
+		for _, ref := range refs {
+			if ref.Numeric || seen[ref.Name] {
+				continue
+			}
+			seen[ref.Name] = true
+			// Fill unknown sorts from the global signature.
+			if sorts, ok := sig[ref.Name]; ok {
+				ref.Sorts = sorts
+			}
+			pool = append(pool, ref)
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].Name < pool[j].Name })
+	return pool, nil
+}
+
+// ruleOnlyRepairs proposes resolutions that add no effects: for every
+// predicate the two operations write with opposing values, a convergence
+// rule alone decides the winner. The repair is attributed to the
+// operation whose write the rule favours.
+func ruleOnlyRepairs(s *spec.Spec, c *Conflict, opts Options) ([]Repair, error) {
+	if opts.DisableRuleSuggestion {
+		return nil, nil
+	}
+	var out []Repair
+	tried := map[string]bool{}
+	for _, e1 := range c.Op1.Effects {
+		if e1.Kind != spec.BoolAssign {
+			continue
+		}
+		for _, e2 := range c.Op2.Effects {
+			if e2.Kind != spec.BoolAssign || e2.Pred != e1.Pred || e2.Val == e1.Val {
+				continue
+			}
+			if tried[e1.Pred] {
+				continue
+			}
+			tried[e1.Pred] = true
+			if have, ok := s.Rules[e1.Pred]; ok && have != spec.NoPolicy {
+				continue // the programmer already decided
+			}
+			for _, pol := range []spec.Policy{spec.AddWins, spec.RemWins} {
+				target := c.Op1.Name
+				favoursOp1 := (pol == spec.AddWins) == e1.Val
+				if !favoursOp1 {
+					target = c.Op2.Name
+				}
+				rep := Repair{Target: target, Rules: map[string]spec.Policy{e1.Pred: pol}}
+				solved, err := repairSolves(s, c, rep, opts)
+				if err != nil {
+					return nil, err
+				}
+				if solved {
+					out = append(out, rep)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// candidatesFor instantiates the pool's predicates with the target
+// operation's parameters: each argument position takes every parameter of
+// the matching sort plus a wildcard. Predicates the operation already
+// writes are excluded (paper generate: "ignoring any predicates that are
+// already present in the operation") — a candidate opposing the op's own
+// effect would cancel the operation's semantics.
+func candidatesFor(target *spec.Operation, pool []logic.PredRef) []candidateEffect {
+	own := map[string]bool{}
+	for _, e := range target.Effects {
+		own[e.Pred] = true
+	}
+	var out []candidateEffect
+	for _, ref := range pool {
+		if own[ref.Name] {
+			continue
+		}
+		argChoices := make([][]logic.Term, ref.Arity)
+		feasible := true
+		for i := 0; i < ref.Arity; i++ {
+			var choices []logic.Term
+			for _, p := range target.Params {
+				if p.Sort == ref.Sorts[i] {
+					choices = append(choices, logic.V(p.Name))
+				}
+			}
+			if ref.Sorts[i] == "" && len(choices) == 0 {
+				feasible = false
+				break
+			}
+			// The wildcard is always an alternative: effects such as
+			// enrolled(*, t) or inMatch(p, *, t) cover elements the
+			// operation has no parameter for.
+			choices = append(choices, logic.Wild())
+			argChoices[i] = choices
+		}
+		if !feasible {
+			continue
+		}
+		for _, args := range cartesianTerms(argChoices) {
+			for _, val := range []bool{true, false} {
+				out = append(out, candidateEffect{pred: ref.Name, args: args, val: val})
+			}
+		}
+	}
+	return out
+}
+
+func cartesianTerms(choices [][]logic.Term) [][]logic.Term {
+	out := [][]logic.Term{{}}
+	for _, col := range choices {
+		var next [][]logic.Term
+		for _, prefix := range out {
+			for _, t := range col {
+				row := make([]logic.Term, len(prefix)+1)
+				copy(row, prefix)
+				row[len(prefix)] = t
+				next = append(next, row)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// subsetsOfSize enumerates index subsets of {0..n-1} with exactly k
+// elements, in lexicographic order.
+func subsetsOfSize(n, k int) [][]int {
+	if k > n {
+		return nil
+	}
+	var out [][]int
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// hasOpposite reports whether extra already assigns the same predicate
+// instance the opposite value (such a candidate set is self-contradictory).
+func hasOpposite(extra []spec.Effect, e spec.Effect) bool {
+	for _, x := range extra {
+		if x.Pred == e.Pred && x.Val != e.Val && sameArgs(x.Args, e.Args) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameArgs(a, b []logic.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// coveredBySolution implements the paper's isPairSubset: a candidate whose
+// effect set contains a known smaller solution for the same target is
+// redundant.
+func coveredBySolution(solutions []Repair, target string, extra []spec.Effect) bool {
+	for _, s := range solutions {
+		if s.Target != target {
+			continue
+		}
+		all := true
+		for _, se := range s.Extra {
+			found := false
+			for _, e := range extra {
+				if se.Equal(e) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// requiredRules determines the convergence rules a repair depends on: an
+// extra effect whose value must prevail over an opposing write by the
+// counterpart operation needs add-wins (for true) or rem-wins (for false)
+// on its predicate. Returns ok=false when the programmer pinned the
+// opposite rule, or when rule suggestion is disabled and no rule exists.
+func requiredRules(s *spec.Spec, target, counterpart *spec.Operation, extra []spec.Effect, opts Options) (map[string]spec.Policy, bool) {
+	rules := map[string]spec.Policy{}
+	for _, e := range extra {
+		opposes := false
+		for _, ce := range counterpart.Effects {
+			if ce.Kind == spec.BoolAssign && ce.Pred == e.Pred && ce.Val != e.Val {
+				opposes = true
+				break
+			}
+		}
+		// The new effect may also oppose the target's own original
+		// effects when applied with a different binding; require the rule
+		// whenever any opposing writer exists in the pair.
+		if !opposes {
+			for _, te := range target.Effects {
+				if te.Kind == spec.BoolAssign && te.Pred == e.Pred && te.Val != e.Val {
+					opposes = true
+					break
+				}
+			}
+		}
+		if !opposes {
+			continue
+		}
+		need := spec.RemWins
+		if e.Val {
+			need = spec.AddWins
+		}
+		if have, ok := s.Rules[e.Pred]; ok && have != spec.NoPolicy {
+			if have != need {
+				return nil, false
+			}
+			continue // programmer rule already matches
+		}
+		if opts.DisableRuleSuggestion {
+			return nil, false
+		}
+		rules[e.Pred] = need
+	}
+	return rules, true
+}
+
+// repairSolves applies the repair on a scratch copy of the spec and
+// re-runs conflict detection for the pair against the boolean clauses.
+// A repair is only accepted if it preserves executability: for every
+// parameter binding under which the original pair could execute
+// concurrently, the repaired pair must still be able to (otherwise a
+// repair could "solve" the conflict by making an operation's precondition
+// unsatisfiable, which changes the application semantics — the paper
+// requires the original semantics to be preserved when no conflict
+// occurs).
+func repairSolves(s *spec.Spec, c *Conflict, rep Repair, opts Options) (bool, error) {
+	scratch := s.Clone()
+	applyRepair(scratch, rep)
+	op1, _ := scratch.Operation(c.Op1.Name)
+	op2, _ := scratch.Operation(c.Op2.Name)
+	conflict, err := IsConflicting(scratch, op1, op2, opts, boolClausesOnly)
+	if err != nil {
+		return false, err
+	}
+	if conflict != nil {
+		return false, nil
+	}
+	return executabilityPreserved(s, scratch, c.Op1.Name, c.Op2.Name, opts)
+}
+
+// executabilityPreserved checks, binding by binding, that patching did not
+// turn a concurrently executable scenario into an impossible one.
+func executabilityPreserved(orig, patched *spec.Spec, op1Name, op2Name string, opts Options) (bool, error) {
+	opts = opts.withDefaults()
+	dom := domainFor(orig, opts.Scope)
+	o1, _ := orig.Operation(op1Name)
+	o2, _ := orig.Operation(op2Name)
+	p1, _ := patched.Operation(op1Name)
+	p2, _ := patched.Operation(op2Name)
+	b1s := enumBindings(o1.Params, dom, true)
+	b2s := enumBindings(o2.Params, dom, false)
+	for _, b1 := range b1s {
+		for _, b2 := range b2s {
+			origOK, err := pairExecutable(orig, o1, o2, b1, b2, opts)
+			if err != nil {
+				return false, err
+			}
+			if !origOK {
+				continue
+			}
+			patchedOK, err := pairExecutable(patched, p1, p2, b1, b2, opts)
+			if err != nil {
+				return false, err
+			}
+			if !patchedOK {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// pairExecutable reports whether some I-valid state admits both operations
+// concurrently under the given bindings: SAT(I(S) ∧ I(o1(S)) ∧ I(o2(S))).
+func pairExecutable(s *spec.Spec, op1, op2 *spec.Operation, b1, b2 map[string]string, opts Options) (bool, error) {
+	opts = opts.withDefaults()
+	dom := domainFor(s, opts.Scope)
+	sig, err := s.Signature()
+	if err != nil {
+		return false, err
+	}
+	ge1, err := op1.Ground(b1)
+	if err != nil {
+		return false, err
+	}
+	ge2, err := op2.Ground(b2)
+	if err != nil {
+		return false, err
+	}
+	enc := smt.NewEncoder(dom, sig)
+	pre := enc.NewState("pre")
+	post1 := enc.Apply(pre, ge1, "post1")
+	post2 := enc.Apply(pre, ge2, "post2")
+	inv := s.Invariant()
+	for _, st := range []*smt.State{pre, post1, post2} {
+		if err := enc.Assert(inv, st); err != nil {
+			return false, err
+		}
+	}
+	return enc.Solve(), nil
+}
+
+// applyRepair mutates the spec: appends the extra effects to the target
+// operation and installs the repair's convergence rules.
+func applyRepair(s *spec.Spec, rep Repair) {
+	op, ok := s.Operation(rep.Target)
+	if !ok {
+		return
+	}
+	newOp := op.Clone()
+	for _, e := range rep.Extra {
+		if !newOp.HasEffect(e) {
+			newOp.Effects = append(newOp.Effects, e)
+		}
+	}
+	s.Replace(newOp)
+	for pred, pol := range rep.Rules {
+		s.Rules[pred] = pol
+	}
+}
+
+// sortRepairs orders proposals: fewest wildcards first (a wildcard effect
+// touches every matching element, a much bigger semantic change than an
+// extra exact effect), then fewest added effects, then lexicographically.
+func sortRepairs(rs []Repair) {
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].wildcards() != rs[j].wildcards() {
+			return rs[i].wildcards() < rs[j].wildcards()
+		}
+		if len(rs[i].Extra) != len(rs[j].Extra) {
+			return len(rs[i].Extra) < len(rs[j].Extra)
+		}
+		return rs[i].String() < rs[j].String()
+	})
+}

@@ -1,0 +1,189 @@
+// Package ticket implements the paper's Ticket application (based on
+// FusionTicket, §5.1.2): events sell a bounded number of tickets, and the
+// key invariant — tickets cannot be oversold — cannot be preserved
+// up-front under weak consistency. The IPA variant uses the Compensation
+// Set CRDT (§4.2.2): a read that observes an oversold event cancels the
+// deterministically chosen excess tickets and records refunds; the Causal
+// variant exposes the overselling.
+package ticket
+
+import (
+	"fmt"
+
+	"ipa/internal/crdt"
+	"ipa/internal/spec"
+	"ipa/internal/store"
+)
+
+// Object keys.
+const (
+	KeyEvents  = "ticket/events"
+	KeyRefunds = "ticket/refunds"
+)
+
+// EventKey returns the ticket-set key of an event.
+func EventKey(event string) string { return "ticket/event/" + event }
+
+// SpecSource is the application specification used by the analysis.
+const SpecSource = `
+spec ticket
+
+const EventCapacity = 100
+
+invariant forall (Event: e) :- #sold(*, e) <= EventCapacity
+invariant forall (Ticket: k, Event: e) :- sold(k, e) => event(e)
+
+tag unique-ids
+
+operation add_event(Event: e) {
+    event(e) := true
+}
+operation buy(Ticket: k, Event: e) {
+    sold(k, e) := true
+}
+operation refund(Ticket: k, Event: e) {
+    sold(k, e) := false
+}
+`
+
+// Spec parses and returns the specification.
+func Spec() *spec.Spec { return spec.MustParse(SpecSource) }
+
+// Variant selects the executable flavour.
+type Variant int
+
+// Application variants.
+const (
+	// Causal sells without any protection: overselling shows up as an
+	// invariant violation.
+	Causal Variant = iota
+	// IPA sells through the Compensation Set: reads repair overselling by
+	// cancelling the newest tickets and refunding the buyers.
+	IPA
+)
+
+func (v Variant) String() string {
+	if v == IPA {
+		return "ipa"
+	}
+	return "causal"
+}
+
+// App executes ticket operations. Ticket elements are (buyer, tag)
+// tuples, unique per purchase.
+type App struct {
+	variant  Variant
+	capacity int
+}
+
+// New creates an application instance; capacity is per event.
+func New(variant Variant, capacity int) *App {
+	return &App{variant: variant, capacity: capacity}
+}
+
+// Variant returns the configured variant.
+func (a *App) Variant() Variant { return a.variant }
+
+// Capacity returns the per-event capacity.
+func (a *App) Capacity() int { return a.capacity }
+
+// Setup creates an event at every replica. Compensation sets carry their
+// bound in the object, so they are seeded cluster-wide before the
+// workload starts (they cannot be created lazily from a remote op).
+func (a *App) Setup(c *store.Cluster, events []string) {
+	for _, id := range c.Replicas() {
+		r := c.Replica(id)
+		for _, e := range events {
+			if a.variant == IPA {
+				store.SeedCompSet(r, EventKey(e), a.capacity)
+			} else {
+				r.Object(EventKey(e), func() crdt.CRDT { return crdt.NewAWSet() })
+			}
+		}
+	}
+	// The event listing itself replicates normally.
+	first := c.Replica(c.Replicas()[0])
+	tx := first.Begin()
+	for _, e := range events {
+		store.AWSetAt(tx, KeyEvents).Add(e, "")
+	}
+	tx.Commit()
+}
+
+// Buy purchases one ticket for the event on behalf of buyer. The returned
+// ticket ID is unique.
+func (a *App) Buy(r *store.Replica, buyer, event string) (string, *store.Txn) {
+	tx := r.Begin()
+	tag := tx.NewTag()
+	ticket := crdt.JoinTuple(buyer, tag.String())
+	if a.variant == IPA {
+		store.CompSetAt(tx, EventKey(event)).Add(ticket, "")
+	} else {
+		store.AWSetAt(tx, EventKey(event)).Add(ticket, "")
+	}
+	tx.Commit()
+	return ticket, tx
+}
+
+// View reads the sold tickets of an event. Under IPA this is where
+// compensations trigger: observing an oversold event cancels the excess
+// and records refunds in the same transaction.
+func (a *App) View(r *store.Replica, event string) ([]string, *store.Txn) {
+	tx := r.Begin()
+	if a.variant == IPA {
+		ref := store.CompSetAt(tx, EventKey(event))
+		before := ref.SizeObserved()
+		elems := ref.Read()
+		cancelled := before - len(elems)
+		refunds := store.AWSetAt(tx, KeyRefunds)
+		for i := 0; i < cancelled; i++ {
+			// One refund record per cancelled ticket; the ledger key is
+			// deterministic in the compensation decision, so replicas that
+			// cancel the same ticket record the same refund.
+			refunds.Add(crdt.JoinTuple(event, fmt.Sprintf("refund-%d-%d", before, i)), "")
+		}
+		tx.Commit()
+		return elems, tx
+	}
+	elems := store.AWSetAt(tx, EventKey(event)).Elems()
+	tx.Commit()
+	return elems, tx
+}
+
+// Sold returns the raw number of tickets currently recorded for event.
+func (a *App) Sold(r *store.Replica, event string) int {
+	tx := r.Begin()
+	defer tx.Commit()
+	if a.variant == IPA {
+		return store.CompSetAt(tx, EventKey(event)).SizeObserved()
+	}
+	return store.AWSetAt(tx, EventKey(event)).Size()
+}
+
+// Oversold returns how many tickets beyond capacity are visible at r for
+// the event — the invariant-violation measure of the paper's Fig. 7.
+func (a *App) Oversold(r *store.Replica, event string) int {
+	n := a.Sold(r, event) - a.capacity
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Refunds returns the number of refund records visible at r.
+func (a *App) Refunds(r *store.Replica) int {
+	tx := r.Begin()
+	defer tx.Commit()
+	return store.AWSetAt(tx, KeyRefunds).Size()
+}
+
+// Violations reports per-event overselling at replica r.
+func (a *App) Violations(r *store.Replica, events []string) []string {
+	var out []string
+	for _, e := range events {
+		if n := a.Oversold(r, e); n > 0 {
+			out = append(out, fmt.Sprintf("event %s oversold by %d", e, n))
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package ticket
+
+import (
+	"testing"
+
+	"ipa/internal/analysis"
+	"ipa/internal/clock"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+func newCluster(seed int64) (*wan.Sim, *store.Cluster) {
+	sim := wan.NewSim(seed)
+	ids := []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest}
+	return sim, store.NewCluster(sim, wan.PaperTopology(), ids)
+}
+
+func TestBuyWithinCapacity(t *testing.T) {
+	sim, c := newCluster(1)
+	app := New(IPA, 10)
+	app.Setup(c, []string{"concert"})
+	sim.Run()
+	for i := 0; i < 5; i++ {
+		app.Buy(c.Replica(wan.USEast), "buyer", "concert")
+	}
+	sim.Run()
+	got, tx := app.View(c.Replica(wan.USWest), "concert")
+	if len(got) != 5 {
+		t.Fatalf("sold = %d", len(got))
+	}
+	if tx.Updates() != 0 {
+		t.Fatal("no compensation expected within capacity")
+	}
+}
+
+// Concurrent last-ticket sales: Causal oversells; IPA compensates on read
+// and converges to capacity with refunds recorded.
+func TestConcurrentOversell(t *testing.T) {
+	for _, variant := range []Variant{Causal, IPA} {
+		sim, c := newCluster(2)
+		app := New(variant, 2)
+		app.Setup(c, []string{"gig"})
+		sim.Run()
+
+		// One ticket sold and replicated.
+		app.Buy(c.Replica(wan.USEast), "early", "gig")
+		sim.Run()
+
+		// The last ticket is sold concurrently at two sites.
+		app.Buy(c.Replica(wan.USEast), "east-buyer", "gig")
+		app.Buy(c.Replica(wan.USWest), "west-buyer", "gig")
+		sim.Run()
+
+		if app.Sold(c.Replica(wan.EUWest), "gig") != 3 {
+			t.Fatalf("%v: expected 3 recorded sales", variant)
+		}
+		switch variant {
+		case Causal:
+			if n := app.Oversold(c.Replica(wan.EUWest), "gig"); n != 1 {
+				t.Fatalf("causal: oversold = %d, want 1", n)
+			}
+			if v := app.Violations(c.Replica(wan.EUWest), []string{"gig"}); len(v) != 1 {
+				t.Fatalf("causal: violations = %v", v)
+			}
+		case IPA:
+			// A read compensates: cancels one ticket, refunds the buyer.
+			got, tx := app.View(c.Replica(wan.EUWest), "gig")
+			if len(got) != 2 {
+				t.Fatalf("ipa: visible tickets = %d, want 2", len(got))
+			}
+			if tx.Updates() == 0 {
+				t.Fatal("ipa: compensation should have committed")
+			}
+			sim.Run()
+			// Converged: every replica within capacity, refund recorded.
+			for _, id := range c.Replicas() {
+				if n := app.Oversold(c.Replica(id), "gig"); n != 0 {
+					t.Fatalf("ipa: replica %s still oversold by %d", id, n)
+				}
+			}
+			if app.Refunds(c.Replica(wan.USEast)) != 1 {
+				t.Fatalf("refunds = %d, want 1", app.Refunds(c.Replica(wan.USEast)))
+			}
+		}
+	}
+}
+
+// Two replicas compensating independently converge to the same outcome
+// without cancelling more tickets than necessary.
+func TestIndependentCompensationsConverge(t *testing.T) {
+	sim, c := newCluster(3)
+	app := New(IPA, 1)
+	app.Setup(c, []string{"e"})
+	sim.Run()
+	app.Buy(c.Replica(wan.USEast), "a", "e")
+	app.Buy(c.Replica(wan.USWest), "b", "e")
+	sim.Run()
+
+	// Both sides read (and compensate) before exchanging compensations.
+	gotE, _ := app.View(c.Replica(wan.USEast), "e")
+	gotW, _ := app.View(c.Replica(wan.USWest), "e")
+	if len(gotE) != 1 || len(gotW) != 1 {
+		t.Fatalf("views = %v / %v", gotE, gotW)
+	}
+	if gotE[0] != gotW[0] {
+		t.Fatalf("deterministic victim selection violated: %v vs %v", gotE, gotW)
+	}
+	sim.Run()
+	for _, id := range c.Replicas() {
+		if n := app.Sold(c.Replica(id), "e"); n != 1 {
+			t.Fatalf("replica %s: %d tickets after convergence", id, n)
+		}
+	}
+}
+
+func TestTicketIDsUnique(t *testing.T) {
+	sim, c := newCluster(4)
+	app := New(IPA, 100)
+	app.Setup(c, []string{"e"})
+	sim.Run()
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		id, _ := app.Buy(c.Replica(wan.USEast), "buyer", "e")
+		if seen[id] {
+			t.Fatalf("duplicate ticket id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+// The analysis routes the capacity invariant to a trim-excess
+// compensation — exactly what the CompSet implements.
+func TestSpecAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analysis integration is slow")
+	}
+	res, err := analysis.Run(Spec(), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("unsolved: %d\n%s", len(res.Unsolved), res.Summary())
+	}
+	found := false
+	for _, comp := range res.Compensations {
+		if comp.Kind == analysis.TrimExcess && comp.Pred == "sold" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trim-excess compensation on sold expected:\n%s", res.Summary())
+	}
+}

@@ -1,0 +1,101 @@
+package tournament
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ipa/internal/wan"
+)
+
+// The spec-driven checker and the handwritten oracle must agree on every
+// state a random concurrent workload can produce, under both variants —
+// cross-validating the specification against the implementation.
+func TestSpecCheckerAgreesWithOracle(t *testing.T) {
+	for _, variant := range []Variant{Causal, IPA} {
+		for seed := int64(0); seed < 6; seed++ {
+			sim, c := newCluster(100 + seed)
+			app := New(variant)
+			rng := rand.New(rand.NewSource(seed))
+
+			// Seed entities.
+			first := c.Replica(c.Replicas()[0])
+			for i := 0; i < 6; i++ {
+				app.AddPlayer(first, fmt.Sprintf("p%d", i))
+			}
+			for i := 0; i < 3; i++ {
+				app.AddTournament(first, fmt.Sprintf("t%d", i))
+			}
+			sim.Run()
+
+			// Random concurrent workload with partial replication.
+			for step := 0; step < 80; step++ {
+				r := c.Replica(c.Replicas()[rng.Intn(3)])
+				p := fmt.Sprintf("p%d", rng.Intn(6))
+				q := fmt.Sprintf("p%d", rng.Intn(6))
+				tt := fmt.Sprintf("t%d", rng.Intn(3))
+				switch rng.Intn(8) {
+				case 0:
+					app.RemTournament(r, tt)
+				case 1:
+					app.Enroll(r, p, tt)
+				case 2:
+					app.Disenroll(r, p, tt)
+				case 3:
+					app.Begin(r, tt)
+				case 4:
+					app.Finish(r, tt)
+				case 5:
+					app.DoMatch(r, p, q, tt)
+				case 6:
+					app.AddTournament(r, tt)
+				case 7:
+					app.RemPlayer(r, p)
+				}
+				sim.RunUntil(sim.Now() + wan.Time(rng.Int63n(int64(wan.Ms(30)))))
+			}
+			sim.Run()
+
+			for _, id := range c.Replicas() {
+				r := c.Replica(id)
+				oracle := app.Violations(r, 100) // capacity high: focus on boolean clauses
+				violated, err := CheckInvariants(r, 100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracleSays := len(oracle) > 0
+				specSays := len(violated) > 0
+				if oracleSays != specSays {
+					t.Fatalf("variant=%v seed=%d replica=%s: oracle=%v spec=%v\noracle: %v\nspec: %v",
+						variant, seed, id, oracleSays, specSays, oracle, violated)
+				}
+				if variant == IPA && specSays {
+					t.Fatalf("variant=IPA seed=%d replica=%s: spec checker found violations: %v",
+						seed, id, violated)
+				}
+			}
+		}
+	}
+}
+
+func TestInterpExtraction(t *testing.T) {
+	sim, c := newCluster(200)
+	app := New(IPA)
+	seedBase(sim, c, app)
+	app.Enroll(c.Replica(wan.USEast), "alice", "cup")
+	sim.Run()
+
+	in := Interp(c.Replica(wan.EUWest), 8)
+	if !in.Truth["enrolled(alice,cup)"] {
+		t.Fatalf("interp truth = %v", in.Truth)
+	}
+	if !in.Truth["player(alice)"] || !in.Truth["tournament(cup)"] {
+		t.Fatal("entities missing from interp")
+	}
+	if in.Consts["Capacity"] != 8 {
+		t.Fatal("capacity constant missing")
+	}
+	if len(in.Domain["Player"]) == 0 || len(in.Domain["Tournament"]) == 0 {
+		t.Fatal("domain not populated")
+	}
+}

@@ -1,0 +1,219 @@
+package tournament
+
+import (
+	"testing"
+
+	"ipa/internal/analysis"
+	"ipa/internal/clock"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+func newCluster(seed int64) (*wan.Sim, *store.Cluster) {
+	sim := wan.NewSim(seed)
+	ids := []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest}
+	return sim, store.NewCluster(sim, wan.PaperTopology(), ids)
+}
+
+// seedBase installs a player and a tournament everywhere.
+func seedBase(sim *wan.Sim, c *store.Cluster, app *App) {
+	east := c.Replica(wan.USEast)
+	app.AddPlayer(east, "alice")
+	app.AddPlayer(east, "bob")
+	app.AddTournament(east, "cup")
+	sim.Run()
+}
+
+// The paper's headline anomaly: enroll concurrent with rem_tourn leaves a
+// player enrolled in a missing tournament under Causal; IPA restores the
+// tournament via the add-wins touch.
+func TestConcurrentEnrollRemTournament(t *testing.T) {
+	for _, variant := range []Variant{Causal, IPA} {
+		sim, c := newCluster(1)
+		app := New(variant)
+		seedBase(sim, c, app)
+
+		app.RemTournament(c.Replica(wan.USEast), "cup")
+		app.Enroll(c.Replica(wan.USWest), "alice", "cup")
+		sim.Run()
+
+		for _, id := range c.Replicas() {
+			v := app.Violations(c.Replica(id), 8)
+			switch variant {
+			case Causal:
+				if len(v) == 0 {
+					t.Fatalf("causal variant should violate referential integrity at %s", id)
+				}
+			case IPA:
+				if len(v) != 0 {
+					t.Fatalf("IPA variant violated invariants at %s: %v", id, v)
+				}
+				// And the enrolment is preserved (enroll wins).
+				st, _ := app.ReadStatus(c.Replica(id), "cup")
+				if !st.Exists || len(st.Enrolled) != 1 {
+					t.Fatalf("IPA at %s: tournament should be restored with the enrolment: %+v", id, st)
+				}
+			}
+		}
+	}
+}
+
+func TestConcurrentBeginFinish(t *testing.T) {
+	sim, c := newCluster(2)
+	app := New(IPA)
+	seedBase(sim, c, app)
+	app.Begin(c.Replica(wan.USEast), "cup")
+	sim.Run()
+
+	// Concurrent: east finishes, west re-begins.
+	app.Finish(c.Replica(wan.USEast), "cup")
+	app.Begin(c.Replica(wan.USWest), "cup")
+	sim.Run()
+
+	for _, id := range c.Replicas() {
+		if v := app.Violations(c.Replica(id), 8); len(v) != 0 {
+			t.Fatalf("violations at %s: %v", id, v)
+		}
+		st, _ := app.ReadStatus(c.Replica(id), "cup")
+		if st.Active && st.Finished {
+			t.Fatalf("%s: both active and finished", id)
+		}
+		if !st.Finished {
+			t.Fatalf("%s: finish must win (rem-wins active): %+v", id, st)
+		}
+	}
+}
+
+func TestDoMatchConcurrentDisenroll(t *testing.T) {
+	sim, c := newCluster(3)
+	app := New(IPA)
+	seedBase(sim, c, app)
+	app.Enroll(c.Replica(wan.USEast), "alice", "cup")
+	app.Enroll(c.Replica(wan.USEast), "bob", "cup")
+	app.Begin(c.Replica(wan.USEast), "cup")
+	sim.Run()
+
+	// Concurrent: east disenrolls alice; west records a match with alice.
+	app.Disenroll(c.Replica(wan.USEast), "alice", "cup")
+	app.DoMatch(c.Replica(wan.USWest), "alice", "bob", "cup")
+	sim.Run()
+
+	for _, id := range c.Replicas() {
+		if v := app.Violations(c.Replica(id), 8); len(v) != 0 {
+			t.Fatalf("violations at %s: %v", id, v)
+		}
+	}
+}
+
+func TestCausalDoMatchViolates(t *testing.T) {
+	sim, c := newCluster(4)
+	app := New(Causal)
+	seedBase(sim, c, app)
+	app.Enroll(c.Replica(wan.USEast), "alice", "cup")
+	app.Enroll(c.Replica(wan.USEast), "bob", "cup")
+	app.Begin(c.Replica(wan.USEast), "cup")
+	sim.Run()
+
+	app.Disenroll(c.Replica(wan.USEast), "alice", "cup")
+	app.DoMatch(c.Replica(wan.USWest), "alice", "bob", "cup")
+	sim.Run()
+
+	violated := false
+	for _, id := range c.Replicas() {
+		if len(app.Violations(c.Replica(id), 8)) > 0 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("causal variant should expose the disenroll/do_match anomaly")
+	}
+}
+
+func TestTouchPreservesTournamentInfo(t *testing.T) {
+	sim, c := newCluster(5)
+	app := New(IPA)
+	seedBase(sim, c, app)
+
+	app.RemTournament(c.Replica(wan.USEast), "cup")
+	app.Enroll(c.Replica(wan.USWest), "alice", "cup")
+	sim.Run()
+
+	tx := c.Replica(wan.EUWest).Begin()
+	pay, ok := store.AWSetAt(tx, KeyTournaments).Payload("cup")
+	tx.Commit()
+	if !ok || pay != "info:cup" {
+		t.Fatalf("tournament payload lost after touch-restore: %q %v", pay, ok)
+	}
+}
+
+func TestStatusRead(t *testing.T) {
+	sim, c := newCluster(6)
+	app := New(IPA)
+	seedBase(sim, c, app)
+	app.Enroll(c.Replica(wan.USEast), "alice", "cup")
+	app.Begin(c.Replica(wan.USEast), "cup")
+	sim.Run()
+	st, tx := app.ReadStatus(c.Replica(wan.EUWest), "cup")
+	if !st.Exists || !st.Active || st.Finished || len(st.Enrolled) != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if tx.Updates() != 0 {
+		t.Fatal("status is read-only")
+	}
+}
+
+// The spec's analysis output matches the hand-written IPA variant: enroll
+// gains the add-wins tournament restore, finish relies on rem-wins active.
+func TestSpecAnalysisMatchesImplementation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analysis integration is slow")
+	}
+	res, err := analysis.Run(Spec(), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("unsolved: %d", len(res.Unsolved))
+	}
+	enroll, _ := res.Spec.Operation("enroll")
+	foundTournRestore := false
+	for _, e := range enroll.Effects {
+		if e.Pred == "tournament" && e.Val {
+			foundTournRestore = true
+		}
+	}
+	if !foundTournRestore {
+		t.Fatalf("analysis should add tournament restore to enroll: %v", enroll)
+	}
+	if res.Spec.Rules["tournament"].String() != "add-wins" {
+		t.Fatalf("tournament rule = %v", res.Spec.Rules["tournament"])
+	}
+	// The capacity constraint is compensated, as implemented by CompSet.
+	if len(res.Compensations) == 0 {
+		t.Fatal("capacity compensation missing")
+	}
+}
+
+func TestViolationsCapacity(t *testing.T) {
+	sim, c := newCluster(7)
+	app := New(Causal)
+	seedBase(sim, c, app)
+	for i := 0; i < 3; i++ {
+		app.AddPlayer(c.Replica(wan.USEast), string(rune('p'+i)))
+	}
+	sim.Run()
+	app.Enroll(c.Replica(wan.USEast), "alice", "cup")
+	app.Enroll(c.Replica(wan.USEast), "bob", "cup")
+	app.Enroll(c.Replica(wan.USEast), "p", "cup")
+	sim.Run()
+	v := app.Violations(c.Replica(wan.USEast), 2)
+	found := false
+	for _, s := range v {
+		if len(s) > 0 && s[0:10] == "tournament" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("capacity violation not reported: %v", v)
+	}
+}

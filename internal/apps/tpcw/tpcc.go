@@ -1,0 +1,128 @@
+package tpcw
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"ipa/internal/crdt"
+	"ipa/internal/store"
+)
+
+// TPC-C-style transactions layered on the same storefront state: a
+// multi-item NewOrder (every line decrements a stock counter and records
+// an order line atomically — the highly-available-transaction guarantee
+// keeps the order internally consistent at every replica), Payment
+// (customer balance counter), and Delivery (order status register).
+//
+// These exercise the paper's observation that standard benchmarks lack
+// listing management: NewOrder under IPA touches every ordered product so
+// concurrent delistings cannot strand order lines, and the stock lower
+// bound is protected by the restock compensation of ReadStock.
+
+// Object keys for the TPC-C-style state.
+const (
+	KeyCustomers = "tpcw/customers"
+)
+
+func balanceKey(customer string) string { return "tpcw/balance/" + customer }
+func orderKey(order string) string      { return "tpcw/order/" + order }
+func statusKey(order string) string     { return "tpcw/status/" + order }
+
+// OrderLine is one item/quantity pair of a NewOrder.
+type OrderLine struct {
+	Item string
+	Qty  int64
+}
+
+// AddCustomer registers a customer with an initial balance.
+func (a *App) AddCustomer(r *store.Replica, customer string, balance int64) *store.Txn {
+	tx := r.Begin()
+	store.AWSetAt(tx, KeyCustomers).Add(customer, "")
+	store.CounterAt(tx, balanceKey(customer)).Add(balance)
+	tx.Commit()
+	return tx
+}
+
+// NewOrder places a multi-line order atomically: order lines, per-item
+// stock decrements, and (IPA) product touches all commit in one
+// transaction and integrate atomically at every replica.
+func (a *App) NewOrder(r *store.Replica, customer, order string, lines []OrderLine) *store.Txn {
+	tx := r.Begin()
+	olSet := store.AWSetAt(tx, orderKey(order))
+	for _, l := range lines {
+		store.AWSetAt(tx, KeyOrders).Add(crdt.JoinTuple(order, l.Item), "")
+		olSet.Add(crdt.JoinTuple(l.Item, strconv.FormatInt(l.Qty, 10)), "")
+		store.CounterAt(tx, stockKey(l.Item)).Add(-l.Qty)
+		if a.variant == IPA {
+			store.AWSetAt(tx, KeyProducts).Touch(l.Item)
+		}
+	}
+	store.RegisterAt(tx, statusKey(order)).Set("new")
+	tx.Commit()
+	return tx
+}
+
+// OrderLines reads back an order's lines at replica r.
+func (a *App) OrderLines(r *store.Replica, order string) []OrderLine {
+	tx := r.Begin()
+	defer tx.Commit()
+	var out []OrderLine
+	for _, e := range store.AWSetAt(tx, orderKey(order)).Elems() {
+		parts := crdt.SplitTuple(e)
+		qty, _ := strconv.ParseInt(parts[1], 10, 64)
+		out = append(out, OrderLine{Item: parts[0], Qty: qty})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
+	return out
+}
+
+// Payment debits the customer's balance.
+func (a *App) Payment(r *store.Replica, customer string, amount int64) *store.Txn {
+	tx := r.Begin()
+	store.CounterAt(tx, balanceKey(customer)).Add(-amount)
+	tx.Commit()
+	return tx
+}
+
+// Balance reads the customer's balance at replica r.
+func (a *App) Balance(r *store.Replica, customer string) int64 {
+	tx := r.Begin()
+	defer tx.Commit()
+	return store.CounterAt(tx, balanceKey(customer)).Value()
+}
+
+// Deliver marks the order delivered. Status is a last-writer-wins
+// register: concurrent deliveries converge to one value everywhere.
+func (a *App) Deliver(r *store.Replica, order string) *store.Txn {
+	tx := r.Begin()
+	store.RegisterAt(tx, statusKey(order)).Set("delivered")
+	tx.Commit()
+	return tx
+}
+
+// OrderStatus reads an order's status at replica r.
+func (a *App) OrderStatus(r *store.Replica, order string) string {
+	tx := r.Begin()
+	defer tx.Commit()
+	v, _ := store.RegisterAt(tx, statusKey(order)).Value()
+	return v
+}
+
+// OrderConsistent checks the atomicity guarantee at one replica: either
+// the order is entirely visible (entry, lines, status) or entirely
+// absent. Returns an error description when a partial order is visible.
+func (a *App) OrderConsistent(r *store.Replica, order string, wantLines int) (bool, string) {
+	tx := r.Begin()
+	defer tx.Commit()
+	entries := len(store.AWSetAt(tx, KeyOrders).ElemsWhere(crdt.Match{Index: 0, Value: order}))
+	lines := store.AWSetAt(tx, orderKey(order)).Size()
+	status, hasStatus := store.RegisterAt(tx, statusKey(order)).Value()
+	if entries == 0 && lines == 0 && !hasStatus {
+		return true, "" // entirely absent
+	}
+	if entries == wantLines && lines == wantLines && hasStatus && status != "" {
+		return true, ""
+	}
+	return false, fmt.Sprintf("partial order: entries=%d lines=%d/%d status=%q", entries, lines, wantLines, status)
+}

@@ -1,0 +1,181 @@
+// Package tpcw implements the paper's TPC-W/TPC-C-derived application
+// (§5.1.2): a storefront with product stock, orders, and — beyond the
+// standard benchmarks — product-listing management, which introduces
+// referential integrity between orders and products.
+//
+// The two invariants exercise both IPA mechanisms:
+//
+//   - stock(i) >= 0 is a numeric invariant: concurrent purchases can
+//     drive it negative, so the IPA variant uses a restock compensation
+//     (the TPC-W behaviour: top the stock back up) implemented as an
+//     idempotent ledger — replicas that observe the same deficit record
+//     the same restock entry, so independent compensations converge.
+//   - orders => product is referential integrity: the IPA variant's
+//     purchase touches the product (add-wins), restoring a concurrently
+//     delisted product.
+package tpcw
+
+import (
+	"fmt"
+	"strconv"
+
+	"ipa/internal/crdt"
+	"ipa/internal/spec"
+	"ipa/internal/store"
+)
+
+// Object keys.
+const (
+	KeyProducts = "tpcw/products"
+	KeyOrders   = "tpcw/orders"
+)
+
+// stockKey is the PN-counter with the raw stock movements of an item.
+func stockKey(item string) string { return "tpcw/stock/" + item }
+
+// restockKey is the compensation ledger of an item.
+func restockKey(item string) string { return "tpcw/restock/" + item }
+
+// RestockBatch is how many units one compensation entry adds (the TPC-W
+// "replenish" amount).
+const RestockBatch = 50
+
+// SpecSource is the application specification used by the analysis.
+const SpecSource = `
+spec tpcw
+
+invariant forall (Item: i) :- stock(i) >= 0
+invariant forall (Order: o, Item: i) :- ordered(o, i) => product(i)
+
+tag unique-ids
+tag sequential-ids
+
+operation add_product(Item: i) {
+    product(i) := true
+}
+operation rem_product(Item: i) {
+    product(i) := false
+}
+operation purchase(Order: o, Item: i) {
+    ordered(o, i) := true
+    stock(i) -= 1
+}
+operation restock(Item: i) {
+    stock(i) += 50
+}
+`
+
+// Spec parses and returns the specification.
+func Spec() *spec.Spec { return spec.MustParse(SpecSource) }
+
+// Variant selects the executable flavour.
+type Variant int
+
+// Application variants.
+const (
+	Causal Variant = iota
+	IPA
+)
+
+func (v Variant) String() string {
+	if v == IPA {
+		return "ipa"
+	}
+	return "causal"
+}
+
+// App executes storefront operations.
+type App struct {
+	variant Variant
+}
+
+// New creates an application instance.
+func New(variant Variant) *App { return &App{variant: variant} }
+
+// Variant returns the configured variant.
+func (a *App) Variant() Variant { return a.variant }
+
+// AddProduct lists an item with initial stock.
+func (a *App) AddProduct(r *store.Replica, item string, stock int64) *store.Txn {
+	tx := r.Begin()
+	store.AWSetAt(tx, KeyProducts).Add(item, "")
+	store.CounterAt(tx, stockKey(item)).Add(stock)
+	tx.Commit()
+	return tx
+}
+
+// RemProduct delists an item.
+func (a *App) RemProduct(r *store.Replica, item string) *store.Txn {
+	tx := r.Begin()
+	store.AWSetAt(tx, KeyProducts).Remove(item)
+	tx.Commit()
+	return tx
+}
+
+// Purchase records an order for one unit of item. The IPA variant touches
+// the product so a concurrent delisting cannot strand the order.
+func (a *App) Purchase(r *store.Replica, order, item string) *store.Txn {
+	tx := r.Begin()
+	store.AWSetAt(tx, KeyOrders).Add(crdt.JoinTuple(order, item), "")
+	store.CounterAt(tx, stockKey(item)).Add(-1)
+	if a.variant == IPA {
+		store.AWSetAt(tx, KeyProducts).Touch(item)
+	}
+	tx.Commit()
+	return tx
+}
+
+// Stock returns the effective stock of item at replica r: the raw counter
+// plus the replicated restock ledger.
+func (a *App) Stock(r *store.Replica, item string) int64 {
+	tx := r.Begin()
+	defer tx.Commit()
+	return a.stockIn(tx, item)
+}
+
+func (a *App) stockIn(tx *store.Txn, item string) int64 {
+	raw := store.CounterAt(tx, stockKey(item)).Value()
+	ledger := int64(store.AWSetAt(tx, restockKey(item)).Size())
+	return raw + ledger*RestockBatch
+}
+
+// ReadStock reads the stock of item; under IPA an observed violation of
+// stock >= 0 triggers the restock compensation: an idempotent ledger
+// entry keyed by the restock epoch, so replicas that observe the same
+// deficit add the same entry and the stock is replenished exactly once.
+func (a *App) ReadStock(r *store.Replica, item string) (int64, *store.Txn) {
+	tx := r.Begin()
+	stock := a.stockIn(tx, item)
+	if a.variant == IPA && stock < 0 {
+		ledger := store.AWSetAt(tx, restockKey(item))
+		epoch := ledger.Size()
+		need := (-stock + RestockBatch - 1) / RestockBatch
+		for k := int64(0); k < need; k++ {
+			ledger.Add("epoch-"+strconv.FormatInt(int64(epoch)+k, 10), "")
+		}
+		stock = a.stockIn(tx, item)
+	}
+	tx.Commit()
+	return stock, tx
+}
+
+// Violations reports invariant violations at replica r: negative stock
+// and orders referencing delisted products.
+func (a *App) Violations(r *store.Replica, items []string) []string {
+	tx := r.Begin()
+	defer tx.Commit()
+	var out []string
+	for _, i := range items {
+		if s := a.stockIn(tx, i); s < 0 {
+			out = append(out, fmt.Sprintf("stock(%s) = %d < 0", i, s))
+		}
+	}
+	products := store.AWSetAt(tx, KeyProducts)
+	for _, o := range store.AWSetAt(tx, KeyOrders).Elems() {
+		parts := crdt.SplitTuple(o)
+		if !products.Contains(parts[1]) {
+			out = append(out, fmt.Sprintf("order %s references delisted product %s", parts[0], parts[1]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package tpcw
+
+import (
+	"fmt"
+	"testing"
+
+	"ipa/internal/analysis"
+	"ipa/internal/clock"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+func newCluster(seed int64) (*wan.Sim, *store.Cluster) {
+	sim := wan.NewSim(seed)
+	ids := []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest}
+	return sim, store.NewCluster(sim, wan.PaperTopology(), ids)
+}
+
+func TestPurchaseDecrementsStock(t *testing.T) {
+	sim, c := newCluster(1)
+	app := New(Causal)
+	app.AddProduct(c.Replica(wan.USEast), "widget", 10)
+	sim.Run()
+	app.Purchase(c.Replica(wan.USWest), "o1", "widget")
+	sim.Run()
+	for _, id := range c.Replicas() {
+		if s := app.Stock(c.Replica(id), "widget"); s != 9 {
+			t.Fatalf("replica %s stock = %d", id, s)
+		}
+	}
+}
+
+// Concurrent purchases of the last unit: Causal goes negative; IPA's
+// read-triggered restock compensation replenishes.
+func TestConcurrentUnderflow(t *testing.T) {
+	for _, variant := range []Variant{Causal, IPA} {
+		sim, c := newCluster(2)
+		app := New(variant)
+		app.AddProduct(c.Replica(wan.USEast), "widget", 1)
+		sim.Run()
+
+		app.Purchase(c.Replica(wan.USEast), "oe", "widget")
+		app.Purchase(c.Replica(wan.USWest), "ow", "widget")
+		sim.Run()
+
+		if s := app.Stock(c.Replica(wan.EUWest), "widget"); s != -1 {
+			t.Fatalf("%v: converged raw stock = %d, want -1", variant, s)
+		}
+		switch variant {
+		case Causal:
+			if v := app.Violations(c.Replica(wan.EUWest), []string{"widget"}); len(v) == 0 {
+				t.Fatal("causal: negative stock should be a violation")
+			}
+		case IPA:
+			s, tx := app.ReadStock(c.Replica(wan.EUWest), "widget")
+			if s < 0 {
+				t.Fatalf("ipa: read should compensate, got %d", s)
+			}
+			if tx.Updates() == 0 {
+				t.Fatal("ipa: restock should commit")
+			}
+			sim.Run()
+			for _, id := range c.Replicas() {
+				if v := app.Violations(c.Replica(id), []string{"widget"}); len(v) != 0 {
+					t.Fatalf("ipa: replica %s violations %v", id, v)
+				}
+			}
+		}
+	}
+}
+
+// Two replicas observing the same deficit restock idempotently: the
+// ledger converges to one entry, not two.
+func TestRestockIsIdempotent(t *testing.T) {
+	sim, c := newCluster(3)
+	app := New(IPA)
+	app.AddProduct(c.Replica(wan.USEast), "w", 1)
+	sim.Run()
+	app.Purchase(c.Replica(wan.USEast), "o1", "w")
+	app.Purchase(c.Replica(wan.USWest), "o2", "w")
+	sim.Run()
+
+	// Both replicas observe stock=-1 and compensate independently.
+	se, _ := app.ReadStock(c.Replica(wan.USEast), "w")
+	sw, _ := app.ReadStock(c.Replica(wan.USWest), "w")
+	if se != sw {
+		t.Fatalf("independent compensations disagree: %d vs %d", se, sw)
+	}
+	sim.Run()
+	// Converged: exactly one batch added (entries deduplicate).
+	want := int64(-1 + RestockBatch)
+	for _, id := range c.Replicas() {
+		if s := app.Stock(c.Replica(id), "w"); s != want {
+			t.Fatalf("replica %s stock = %d, want %d (double restock?)", id, s, want)
+		}
+	}
+}
+
+// Purchase concurrent with delisting: Causal strands the order, IPA's
+// touch restores the product.
+func TestPurchaseVsDelist(t *testing.T) {
+	for _, variant := range []Variant{Causal, IPA} {
+		sim, c := newCluster(4)
+		app := New(variant)
+		app.AddProduct(c.Replica(wan.USEast), "gadget", 5)
+		sim.Run()
+
+		app.RemProduct(c.Replica(wan.USEast), "gadget")
+		app.Purchase(c.Replica(wan.USWest), "o9", "gadget")
+		sim.Run()
+
+		viol := app.Violations(c.Replica(wan.EUWest), nil)
+		if variant == Causal && len(viol) == 0 {
+			t.Fatal("causal: stranded order expected")
+		}
+		if variant == IPA && len(viol) != 0 {
+			t.Fatalf("ipa: violations %v", viol)
+		}
+	}
+}
+
+func TestBigDeficitRestocksEnough(t *testing.T) {
+	sim, c := newCluster(5)
+	app := New(IPA)
+	app.AddProduct(c.Replica(wan.USEast), "w", 0)
+	sim.Run()
+	for i := 0; i < RestockBatch+10; i++ {
+		app.Purchase(c.Replica(wan.USEast), fmt.Sprintf("o%d", i), "w")
+	}
+	sim.Run()
+	s, _ := app.ReadStock(c.Replica(wan.USWest), "w")
+	if s < 0 {
+		t.Fatalf("deficit not fully compensated: %d", s)
+	}
+}
+
+// The analysis classifies the spec's two invariants onto the two IPA
+// mechanisms: repairs for referential integrity, compensation for stock.
+func TestSpecAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analysis integration is slow")
+	}
+	res, err := analysis.Run(Spec(), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("unsolved: %d\n%s", len(res.Unsolved), res.Summary())
+	}
+	haveReplenish := false
+	for _, comp := range res.Compensations {
+		if comp.Kind == analysis.Replenish && comp.Pred == "stock" {
+			haveReplenish = true
+		}
+	}
+	if !haveReplenish {
+		t.Fatalf("replenish compensation expected:\n%s", res.Summary())
+	}
+	haveRepair := false
+	for _, ar := range res.Applied {
+		if ar.Repair.Target == "purchase" {
+			haveRepair = true
+		}
+	}
+	if !haveRepair {
+		t.Fatalf("purchase should be repaired (product touch):\n%s", res.Summary())
+	}
+}

@@ -1,0 +1,196 @@
+package twitter
+
+import (
+	"testing"
+
+	"ipa/internal/analysis"
+	"ipa/internal/clock"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+func newCluster(seed int64) (*wan.Sim, *store.Cluster) {
+	sim := wan.NewSim(seed)
+	ids := []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest}
+	return sim, store.NewCluster(sim, wan.PaperTopology(), ids)
+}
+
+func seedUsers(sim *wan.Sim, c *store.Cluster, app *App) {
+	east := c.Replica(wan.USEast)
+	app.AddUser(east, "alice")
+	app.AddUser(east, "bob")
+	app.AddUser(east, "carol")
+	app.Follow(east, "bob", "alice")   // bob follows alice
+	app.Follow(east, "carol", "alice") // carol follows alice
+	app.Follow(east, "carol", "bob")
+	sim.Run()
+}
+
+func TestTweetFansOutToFollowers(t *testing.T) {
+	sim, c := newCluster(1)
+	app := New(Causal)
+	seedUsers(sim, c, app)
+	app.Tweet(c.Replica(wan.USEast), "alice", "tw1", "hello")
+	sim.Run()
+	for _, u := range []string{"alice", "bob", "carol"} {
+		tl, _ := app.ReadTimeline(c.Replica(wan.EUWest), u)
+		if len(tl) != 1 {
+			t.Fatalf("%s timeline = %v", u, tl)
+		}
+	}
+}
+
+// Retweet concurrent with delete: under Causal the followers keep a
+// dangling reference; under AddWins the tweet is recovered (paper §5.1.2).
+func TestRetweetVsDeleteAddWins(t *testing.T) {
+	for _, strat := range []Strategy{Causal, AddWins} {
+		sim, c := newCluster(2)
+		app := New(strat)
+		seedUsers(sim, c, app)
+		app.Tweet(c.Replica(wan.USEast), "alice", "tw1", "hello")
+		sim.Run()
+
+		// Concurrent: alice deletes; bob retweets (to carol's timeline).
+		app.DelTweet(c.Replica(wan.USEast), "tw1", "alice")
+		app.Retweet(c.Replica(wan.USWest), "bob", "tw1", "alice")
+		sim.Run()
+
+		viol := app.Violations(c.Replica(wan.EUWest), true)
+		switch strat {
+		case Causal:
+			if len(viol) == 0 {
+				t.Fatal("causal should leave dangling timeline entries")
+			}
+		case AddWins:
+			if len(viol) != 0 {
+				t.Fatalf("add-wins should recover the tweet: %v", viol)
+			}
+		}
+	}
+}
+
+// The same conflict under RemWins: the delete wins, and timeline reads
+// compensate the dangling entries away.
+func TestRetweetVsDeleteRemWins(t *testing.T) {
+	sim, c := newCluster(3)
+	app := New(RemWins)
+	seedUsers(sim, c, app)
+	app.Tweet(c.Replica(wan.USEast), "alice", "tw1", "hello")
+	sim.Run()
+
+	app.DelTweet(c.Replica(wan.USEast), "tw1", "alice")
+	app.Retweet(c.Replica(wan.USWest), "bob", "tw1", "alice")
+	sim.Run()
+
+	// The visible (compensated) state is clean.
+	if viol := app.Violations(c.Replica(wan.EUWest), false); len(viol) != 0 {
+		t.Fatalf("compensated view should be clean: %v", viol)
+	}
+	// Reads hide the tweet and repair the timeline.
+	tl, tx := app.ReadTimeline(c.Replica(wan.EUWest), "carol")
+	for _, e := range tl {
+		if e == "tw1" {
+			t.Fatal("deleted tweet visible")
+		}
+	}
+	if tx.Updates() == 0 {
+		t.Fatal("read should have committed compensating removals")
+	}
+	sim.Run()
+	// After the compensation replicates, the raw state is clean too.
+	tl2, tx2 := app.ReadTimeline(c.Replica(wan.USEast), "carol")
+	_ = tl2
+	if tx2.Updates() != 0 {
+		t.Fatal("second read should find nothing to compensate")
+	}
+}
+
+// Removing a user under RemWins purges their history from all timelines,
+// defeating concurrent retweets of their tweets.
+func TestRemUserPurgesRemWins(t *testing.T) {
+	sim, c := newCluster(4)
+	app := New(RemWins)
+	seedUsers(sim, c, app)
+	app.Tweet(c.Replica(wan.USEast), "alice", "tw1", "hello")
+	sim.Run()
+
+	// Concurrent: east removes alice; west retweets alice's tweet.
+	app.RemUser(c.Replica(wan.USEast), "alice")
+	app.Retweet(c.Replica(wan.USWest), "bob", "tw1", "alice")
+	sim.Run()
+
+	// Alice's entries must be gone everywhere, including the concurrent
+	// retweet fan-out (wildcard rem-wins).
+	for _, id := range c.Replicas() {
+		if viol := app.Violations(c.Replica(id), true); len(viol) != 0 {
+			t.Fatalf("replica %s: raw violations remain: %v", id, viol)
+		}
+		tl, _ := app.ReadTimeline(c.Replica(id), "carol")
+		if len(tl) != 0 {
+			t.Fatalf("replica %s: purged author still visible: %v", id, tl)
+		}
+	}
+}
+
+// Under AddWins, a concurrent tweet revives the removed user.
+func TestRemUserVsTweetAddWins(t *testing.T) {
+	sim, c := newCluster(5)
+	app := New(AddWins)
+	seedUsers(sim, c, app)
+
+	app.RemUser(c.Replica(wan.USEast), "alice")
+	app.Tweet(c.Replica(wan.USWest), "alice", "tw9", "still here")
+	sim.Run()
+
+	tx := c.Replica(wan.EUWest).Begin()
+	alive := store.AWSetAt(tx, KeyUsers).Contains("alice")
+	tx.Commit()
+	if !alive {
+		t.Fatal("add-wins: tweeting user must be revived")
+	}
+	if viol := app.Violations(c.Replica(wan.EUWest), true); len(viol) != 0 {
+		t.Fatalf("violations: %v", viol)
+	}
+}
+
+func TestFollowUnfollow(t *testing.T) {
+	sim, c := newCluster(6)
+	app := New(Causal)
+	seedUsers(sim, c, app)
+	app.Unfollow(c.Replica(wan.USEast), "bob", "alice")
+	sim.Run()
+	app.Tweet(c.Replica(wan.USWest), "alice", "tw2", "bye")
+	sim.Run()
+	tl, _ := app.ReadTimeline(c.Replica(wan.USEast), "bob")
+	if len(tl) != 0 {
+		t.Fatalf("bob unfollowed but got the tweet: %v", tl)
+	}
+	tl2, _ := app.ReadTimeline(c.Replica(wan.USEast), "carol")
+	if len(tl2) != 1 {
+		t.Fatalf("carol should still receive: %v", tl2)
+	}
+}
+
+// The analysis on the Twitter spec repairs the tweet/rem_user and
+// retweet/del_tweet conflicts.
+func TestSpecAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analysis integration is slow")
+	}
+	res, err := analysis.Run(Spec(), analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("unsolved conflicts: %d\n%s", len(res.Unsolved), res.Summary())
+	}
+	if len(res.Applied) == 0 {
+		t.Fatal("expected repairs for the twitter spec")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Causal.String() != "causal" || AddWins.String() != "add-wins" || RemWins.String() != "rem-wins" {
+		t.Fatal("strategy strings")
+	}
+}

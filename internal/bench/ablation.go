@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ipa/internal/analysis"
+	"ipa/internal/apps/ticket"
+	"ipa/internal/clock"
+	"ipa/internal/crdt"
+	"ipa/internal/indigo"
+	"ipa/internal/spec"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+// The ablations probe design decisions DESIGN.md calls out, beyond the
+// paper's own figures:
+//
+//   - AblationNumeric: three mechanisms for the ticket bound — ignore it
+//     (Causal), repair lazily (IPA compensations), or prevent up-front
+//     (escrow reservations, the Indigo/bounded-counter route).
+//   - AblationTouch: the touch operation vs a plain re-add: how many
+//     entity payloads survive concurrent remove/restore races.
+//   - AblationStability: CRDT metadata growth with and without
+//     stability-based garbage collection.
+//   - AblationScope: analysis cost and findings at scope 2 vs scope 3.
+
+// AblationNumeric compares overselling, latency, and refusals across the
+// three numeric-invariant mechanisms on the ticket workload.
+func AblationNumeric(opts ExpOptions) *Experiment {
+	e := &Experiment{
+		ID:     "ablation-numeric",
+		Title:  "Ticket bound: Causal vs IPA compensations vs escrow reservations",
+		XLabel: "mechanism",
+		YLabel: "latency ms",
+		XTicks: []string{"Causal", "IPA", "Escrow"},
+	}
+	const capacity = 40
+	const events = 10
+	clients := opts.FixedClients * 4 // enough load to provoke overselling
+
+	s := Series{Name: "mechanisms"}
+	for i, mode := range []string{"Causal", "IPA", "Escrow"} {
+		sim, cluster, lat := NewPaperCluster(opts.Seed + 17)
+		variant := ticket.Causal
+		if mode == "IPA" {
+			variant = ticket.IPA
+		}
+		app := ticket.New(variant, capacity)
+		w := NewTicketWorkload(app, events)
+		w.Seed(cluster)
+		sim.Run()
+
+		var esc *indigo.Escrow
+		var denied uint64
+		if mode == "Escrow" {
+			esc = indigo.NewEscrow(lat, cluster.Replicas())
+			for _, ev := range w.EventNames() {
+				esc.Create(ev, capacity)
+			}
+		}
+
+		d := NewDriver(sim, cluster, lat, Causal)
+		workload := w.Next
+		if esc != nil {
+			// A dedicated escrow workload: a buy first consumes a unit of
+			// the event's rights; refusals are observable cheap rounds.
+			workload = func(rng *rand.Rand, site clock.ReplicaID) OpSpec {
+				ev := w.event(rng.Intn(w.Events))
+				buyer := fmt.Sprintf("buyer-%s", site)
+				if rng.Float64() < w.BuyFraction {
+					delay, ok := esc.Consume(ev, site, 1)
+					if !ok {
+						denied++
+						// The refusal is still an operation the client
+						// observes: a cheap local round.
+						return OpSpec{Label: "Buy", ExtraDelay: delay,
+							Exec: func(r *store.Replica) *store.Txn { return nil }}
+					}
+					return OpSpec{Label: "Buy", IsWrite: true, ExtraDelay: delay,
+						Exec: func(r *store.Replica) *store.Txn {
+							_, tx := app.Buy(r, buyer, ev)
+							return tx
+						}}
+				}
+				return OpSpec{Label: "View", Reads: 1,
+					Exec: func(r *store.Replica) *store.Txn {
+						_, tx := app.View(r, ev)
+						return tx
+					}}
+			}
+		}
+		d.Run(workload, clients, opts.Duration)
+		sim.Run()
+
+		violations := 0
+		sold := 0
+		first := cluster.Replica(cluster.Replicas()[0])
+		if mode == "IPA" {
+			// Reads repair any residual overshoot.
+			for _, ev := range w.EventNames() {
+				app.View(first, ev)
+			}
+			sim.Run()
+		}
+		for _, ev := range w.EventNames() {
+			violations += app.Oversold(first, ev)
+			sold += app.Sold(first, ev)
+		}
+		s.Points = append(s.Points, Point{
+			X: float64(i),
+			Y: d.Rec.Mean("Buy"),
+			Aux: map[string]float64{
+				"violations": float64(violations),
+				"sold":       float64(sold),
+				"denied":     float64(denied),
+			},
+		})
+	}
+	e.Series = append(e.Series, s)
+	e.Notes = append(e.Notes,
+		"expected: Causal oversells (violations > 0); IPA sells optimistically and compensates to 0;",
+		"escrow never oversells but refuses buyers once rights run out and pays transfer RTTs.")
+	return e
+}
+
+// AblationTouch measures payload survival under concurrent remove/restore
+// races, with the restore implemented as touch versus as a plain re-add.
+func AblationTouch(opts ExpOptions) *Experiment {
+	e := &Experiment{
+		ID:     "ablation-touch",
+		Title:  "Touch vs plain re-add: payload survival under remove/restore races",
+		XLabel: "strategy",
+		YLabel: "payloads intact %",
+		XTicks: []string{"touch", "re-add"},
+	}
+	const entities = 64
+	s := Series{Name: "survival"}
+	for i, useTouch := range []bool{true, false} {
+		sim, cluster, _ := NewPaperCluster(opts.Seed + int64(i))
+		sites := cluster.Replicas()
+		seedTx := cluster.Replica(sites[0]).Begin()
+		for k := 0; k < entities; k++ {
+			store.AWSetAt(seedTx, "entities").Add(fmt.Sprintf("e%03d", k), fmt.Sprintf("payload-%03d", k))
+		}
+		seedTx.Commit()
+		sim.Run()
+
+		// Every entity: one replica removes, another concurrently
+		// restores (the IPA extra effect).
+		rng := rand.New(rand.NewSource(opts.Seed))
+		for k := 0; k < entities; k++ {
+			el := fmt.Sprintf("e%03d", k)
+			r1 := cluster.Replica(sites[rng.Intn(len(sites))])
+			r2 := cluster.Replica(sites[(rng.Intn(2)+1+indexOf(sites, r1.ID()))%len(sites)])
+			tx1 := r1.Begin()
+			store.AWSetAt(tx1, "entities").Remove(el)
+			tx1.Commit()
+			tx2 := r2.Begin()
+			if useTouch {
+				store.AWSetAt(tx2, "entities").Touch(el)
+			} else {
+				store.AWSetAt(tx2, "entities").Add(el, "") // plain re-add loses the payload
+			}
+			tx2.Commit()
+		}
+		sim.Run()
+
+		intact := 0
+		tx := cluster.Replica(sites[0]).Begin()
+		set := store.AWSetAt(tx, "entities")
+		for k := 0; k < entities; k++ {
+			el := fmt.Sprintf("e%03d", k)
+			if p, ok := set.Payload(el); ok && p == fmt.Sprintf("payload-%03d", k) {
+				intact++
+			}
+		}
+		tx.Commit()
+		s.Points = append(s.Points, Point{X: float64(i), Y: 100 * float64(intact) / entities})
+	}
+	e.Series = append(e.Series, s)
+	e.Notes = append(e.Notes,
+		"expected: touch preserves ~100% of payloads; a plain re-add loses every payload that",
+		"races with a concurrent remove.")
+	return e
+}
+
+func indexOf(ids []clock.ReplicaID, id clock.ReplicaID) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	return 0
+}
+
+// AblationStability measures CRDT metadata growth with and without
+// stability-based garbage collection over a churn-heavy workload.
+func AblationStability(opts ExpOptions) *Experiment {
+	e := &Experiment{
+		ID:     "ablation-stability",
+		Title:  "Stability GC: metadata entries with and without compaction",
+		XLabel: "strategy",
+		YLabel: "metadata entries",
+		XTicks: []string{"with GC", "without GC"},
+	}
+	const churn = 600
+	s := Series{Name: "rw-set metadata"}
+	for i, gc := range []bool{true, false} {
+		sim, cluster, _ := NewPaperCluster(opts.Seed + 5)
+		sites := cluster.Replicas()
+		rng := rand.New(rand.NewSource(opts.Seed))
+		for step := 0; step < churn; step++ {
+			r := cluster.Replica(sites[rng.Intn(len(sites))])
+			tx := r.Begin()
+			el := fmt.Sprintf("e%02d", rng.Intn(16))
+			if rng.Intn(2) == 0 {
+				store.RWSetAt(tx, "churn").Add(el, "")
+			} else {
+				store.RWSetAt(tx, "churn").Remove(el)
+			}
+			tx.Commit()
+			sim.RunUntil(sim.Now() + wan.Ms(10))
+			if gc && step%50 == 49 {
+				sim.Run()
+				cluster.Stabilize()
+			}
+		}
+		sim.Run()
+		if gc {
+			cluster.Stabilize()
+		}
+		obj, _ := cluster.Replica(sites[0]).Lookup("churn")
+		meta := obj.(*crdt.RWSet).MetadataSize()
+		s.Points = append(s.Points, Point{X: float64(i), Y: float64(meta)})
+	}
+	e.Series = append(e.Series, s)
+	e.Notes = append(e.Notes,
+		"expected: with periodic stability compaction the metadata stays near the live-element",
+		"count; without it, tombstones and observation sets grow with the operation count.")
+	return e
+}
+
+// AblationScope compares analysis findings and runtime at scope 2 vs 3 on
+// the tournament's referential-integrity core.
+func AblationScope(_ ExpOptions) *Experiment {
+	e := &Experiment{
+		ID:     "ablation-scope",
+		Title:  "Analysis scope: conflicts found and runtime at scope 2 vs 3",
+		XLabel: "scope",
+		YLabel: "conflicting pairs",
+		XTicks: []string{"", "", "scope 2", "scope 3"},
+	}
+	src := `
+spec scopetest
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
+invariant forall (Tournament: t) :- #enrolled(*, t) <= Capacity
+operation add_player(Player: p) {
+    player(p) := true
+}
+operation rem_player(Player: p) {
+    player(p) := false
+}
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+}
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+`
+	sp := spec.MustParse(src)
+	s := Series{Name: "findings"}
+	for _, scope := range []int{2, 3} {
+		start := time.Now()
+		conflicts, err := analysis.FindConflicts(sp, analysis.Options{Scope: scope})
+		elapsed := time.Since(start)
+		if err != nil {
+			e.Notes = append(e.Notes, "error: "+err.Error())
+			continue
+		}
+		s.Points = append(s.Points, Point{
+			X: float64(scope),
+			Y: float64(len(conflicts)),
+			Aux: map[string]float64{
+				"runtime ms": float64(elapsed.Milliseconds()),
+			},
+		})
+	}
+	e.Series = append(e.Series, s)
+	e.Notes = append(e.Notes,
+		"expected: identical conflict sets (scope 2 suffices for these invariant shapes, since",
+		"capacity constants are symbolic); scope 3 costs substantially more solver time.")
+	return e
+}

@@ -1,0 +1,71 @@
+package bench
+
+import "testing"
+
+func TestAblationNumeric(t *testing.T) {
+	e := AblationNumeric(QuickExpOptions())
+	s := e.Series[0]
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	causal, ipa, escrow := s.Points[0], s.Points[1], s.Points[2]
+	if causal.Aux["violations"] == 0 {
+		t.Fatal("causal should oversell under load")
+	}
+	if ipa.Aux["violations"] != 0 {
+		t.Fatalf("IPA exposed %v violations", ipa.Aux["violations"])
+	}
+	if escrow.Aux["violations"] != 0 {
+		t.Fatalf("escrow oversold by %v", escrow.Aux["violations"])
+	}
+	if escrow.Aux["denied"] == 0 {
+		t.Fatal("escrow under load should refuse some buyers")
+	}
+	// Escrow never records more sales than capacity allows (10 events x 40).
+	if escrow.Aux["sold"] > 400 {
+		t.Fatalf("escrow sold %v > 400", escrow.Aux["sold"])
+	}
+	// Causal and IPA sell optimistically: at high load they record more
+	// attempts than capacity; the difference is who repairs afterwards.
+	if causal.Aux["sold"] <= 400 {
+		t.Skip("load too light to oversell in quick mode")
+	}
+}
+
+func TestAblationTouch(t *testing.T) {
+	e := AblationTouch(QuickExpOptions())
+	s := e.Series[0]
+	touch, readd := s.Points[0].Y, s.Points[1].Y
+	if touch < 99 {
+		t.Fatalf("touch survival = %.1f%%, want ~100%%", touch)
+	}
+	if readd > 50 {
+		t.Fatalf("plain re-add survival = %.1f%%, should lose most racing payloads", readd)
+	}
+}
+
+func TestAblationStability(t *testing.T) {
+	e := AblationStability(QuickExpOptions())
+	s := e.Series[0]
+	withGC, withoutGC := s.Points[0].Y, s.Points[1].Y
+	if withGC >= withoutGC {
+		t.Fatalf("GC should shrink metadata: %f vs %f", withGC, withoutGC)
+	}
+	if withoutGC < 2*withGC {
+		t.Fatalf("expected substantial growth without GC: %f vs %f", withGC, withoutGC)
+	}
+}
+
+func TestAblationScope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scope-3 analysis is slow")
+	}
+	e := AblationScope(QuickExpOptions())
+	s := e.Series[0]
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	if s.Points[0].Y != s.Points[1].Y {
+		t.Fatalf("scope 2 and 3 disagree on conflicts: %v vs %v", s.Points[0].Y, s.Points[1].Y)
+	}
+}

@@ -1,0 +1,247 @@
+// Package bench is the evaluation harness: it re-creates every table and
+// figure of the paper's §5 on top of the simulated geo-replicated
+// deployment. Each experiment returns an Experiment value whose Render
+// output is the series the paper plots; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Latency accounting: a transaction's service time follows a simple cost
+// model (per-transaction overhead, per-key storage access, per-update
+// processing) calibrated against the paper's Fig. 8 microbenchmarks
+// (~28x IPA/Strong speed-up for one-update operations, ~40 ms for 2048
+// updates on one key, IPA/Strong crossover near 64 updated keys). Wide
+// area costs come from the wan package's paper topology. Absolute
+// throughput numbers therefore differ from the paper's testbed, but the
+// relative shapes — who wins, by what factor, where curves cross — are
+// reproduced.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ipa/internal/wan"
+)
+
+// CostModel gives the local service time of one transaction.
+type CostModel struct {
+	// Base is the fixed per-transaction overhead.
+	Base wan.Time
+	// PerKey is the storage cost of each distinct key read or written.
+	PerKey wan.Time
+	// PerUpdate is the processing cost of one update on an open object.
+	PerUpdate wan.Time
+}
+
+// DefaultCostModel returns the calibration used throughout the
+// reproduction (see package comment).
+func DefaultCostModel() CostModel {
+	return CostModel{Base: wan.Ms(1.0), PerKey: wan.Ms(0.85), PerUpdate: wan.Ms(0.02)}
+}
+
+// Service returns the service time of a transaction touching the given
+// number of distinct keys (reads + written keys) with the given number of
+// updates.
+func (m CostModel) Service(keys, updates int) wan.Time {
+	return m.Base + wan.Time(keys)*m.PerKey + wan.Time(updates)*m.PerUpdate
+}
+
+// Config is a deployment configuration of the evaluation (§5.2.1).
+type Config int
+
+// Configurations.
+const (
+	// Causal: unmodified application on causal consistency.
+	Causal Config = iota
+	// IPA: the application patched by the analysis, on causal consistency.
+	IPA
+	// Strong: update operations forwarded to a single primary replica.
+	Strong
+	// Indigo: conflicting operations guarded by reservations.
+	Indigo
+)
+
+func (c Config) String() string {
+	switch c {
+	case Causal:
+		return "Causal"
+	case IPA:
+		return "IPA"
+	case Strong:
+		return "Strong"
+	case Indigo:
+		return "Indigo"
+	}
+	return "?"
+}
+
+// Recorder accumulates latency samples per label.
+type Recorder struct {
+	byLabel map[string][]float64 // milliseconds
+	order   []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{byLabel: map[string][]float64{}} }
+
+// Add records one latency sample under the label.
+func (r *Recorder) Add(label string, d wan.Time) {
+	if _, ok := r.byLabel[label]; !ok {
+		r.order = append(r.order, label)
+	}
+	r.byLabel[label] = append(r.byLabel[label], d.Millis())
+}
+
+// Labels returns the labels in first-seen order.
+func (r *Recorder) Labels() []string { return r.order }
+
+// Count returns the number of samples for the label ("" for all).
+func (r *Recorder) Count(label string) int {
+	if label != "" {
+		return len(r.byLabel[label])
+	}
+	n := 0
+	for _, s := range r.byLabel {
+		n += len(s)
+	}
+	return n
+}
+
+func (r *Recorder) samples(label string) []float64 {
+	if label != "" {
+		return r.byLabel[label]
+	}
+	var all []float64
+	for _, l := range r.order {
+		all = append(all, r.byLabel[l]...)
+	}
+	return all
+}
+
+// Mean returns the mean latency in milliseconds ("" for all labels).
+func (r *Recorder) Mean(label string) float64 {
+	s := r.samples(label)
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Stddev returns the sample standard deviation in milliseconds.
+func (r *Recorder) Stddev(label string) float64 {
+	s := r.samples(label)
+	if len(s) < 2 {
+		return 0
+	}
+	m := r.Mean(label)
+	acc := 0.0
+	for _, v := range s {
+		acc += (v - m) * (v - m)
+	}
+	return math.Sqrt(acc / float64(len(s)-1))
+}
+
+// Percentile returns the p-th percentile (0..100) in milliseconds.
+func (r *Recorder) Percentile(label string, p float64) float64 {
+	s := append([]float64(nil), r.samples(label)...)
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Float64s(s)
+	idx := int(p / 100 * float64(len(s)-1))
+	return s[idx]
+}
+
+// Point is one data point of a series.
+type Point struct {
+	X float64
+	Y float64
+	// Aux carries extra measures (stddev, violations, ...).
+	Aux map[string]float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Experiment is a reproduced table or figure.
+type Experiment struct {
+	ID     string // e.g. "fig4"
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks optionally names the X positions (per-operation figures).
+	XTicks []string
+	Series []Series
+	Notes  []string
+	// Text carries pre-rendered content for table-style experiments.
+	Text string
+}
+
+// Render prints the experiment as aligned text, one block per series.
+func (e *Experiment) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", e.ID, e.Title)
+	if e.Text != "" {
+		b.WriteString(e.Text)
+		if !strings.HasSuffix(e.Text, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	for _, s := range e.Series {
+		fmt.Fprintf(&b, "-- %s --\n", s.Name)
+		auxKeys := auxKeysOf(s)
+		fmt.Fprintf(&b, "%16s %16s", e.XLabel, e.YLabel)
+		for _, k := range auxKeys {
+			fmt.Fprintf(&b, " %16s", k)
+		}
+		b.WriteByte('\n')
+		for _, p := range s.Points {
+			x := fmt.Sprintf("%16.2f", p.X)
+			if int(p.X) >= 0 && int(p.X) < len(e.XTicks) && float64(int(p.X)) == p.X {
+				x = fmt.Sprintf("%16s", e.XTicks[int(p.X)])
+			}
+			fmt.Fprintf(&b, "%s %16.2f", x, p.Y)
+			for _, k := range auxKeys {
+				fmt.Fprintf(&b, " %16.2f", p.Aux[k])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func auxKeysOf(s Series) []string {
+	set := map[string]bool{}
+	for _, p := range s.Points {
+		for k := range p.Aux {
+			set[k] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindSeries returns the series with the given name.
+func (e *Experiment) FindSeries(name string) (Series, bool) {
+	for _, s := range e.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}

@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ipa/internal/analysis"
+	"ipa/internal/wan"
+)
+
+func TestCostModelCalibration(t *testing.T) {
+	cost := DefaultCostModel()
+	// Fig 8 anchor points from the paper:
+	// (a) one-update op: IPA ~28x faster than Strong.
+	strong := strongMeanLatency(cost, 1, 1)
+	ipa := cost.Service(1, 1)
+	speedup := float64(strong) / float64(ipa)
+	if speedup < 20 || speedup > 40 {
+		t.Fatalf("single-op speedup = %.1f, want ~28", speedup)
+	}
+	// (b) 2048 updates on one key: ~40ms absolute.
+	lat2048 := cost.Service(1, 2048)
+	if lat2048 < wan.Ms(30) || lat2048 > wan.Ms(55) {
+		t.Fatalf("2048-update latency = %.1fms, want ~40ms", lat2048.Millis())
+	}
+}
+
+func TestRecorderStats(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		r.Add("op", wan.Ms(v))
+	}
+	if r.Count("op") != 5 || r.Count("") != 5 {
+		t.Fatal("count")
+	}
+	if m := r.Mean("op"); m < 2.99 || m > 3.01 {
+		t.Fatalf("mean = %f", m)
+	}
+	if sd := r.Stddev("op"); sd < 1.57 || sd > 1.59 {
+		t.Fatalf("stddev = %f", sd)
+	}
+	if p := r.Percentile("op", 100); p != 5 {
+		t.Fatalf("p100 = %f", p)
+	}
+	if p := r.Percentile("op", 0); p != 1 {
+		t.Fatalf("p0 = %f", p)
+	}
+	if len(r.Labels()) != 1 {
+		t.Fatal("labels")
+	}
+	if r.Mean("absent") != 0 || r.Stddev("absent") != 0 || r.Percentile("absent", 50) != 0 {
+		t.Fatal("absent label should be zero")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	e := Fig4(QuickExpOptions())
+	get := func(name string) Series {
+		s, ok := e.FindSeries(name)
+		if !ok {
+			t.Fatalf("series %s missing", name)
+		}
+		return s
+	}
+	causal, ipa, strong, indigo := get("Causal"), get("IPA"), get("Strong"), get("Indigo")
+
+	last := func(s Series) Point { return s.Points[len(s.Points)-1] }
+	// Strong has the highest latency at every load.
+	for i := range strong.Points {
+		if strong.Points[i].Y <= causal.Points[i].Y || strong.Points[i].Y <= ipa.Points[i].Y {
+			t.Fatalf("Strong should have the highest latency: %v vs causal %v / ipa %v",
+				strong.Points[i].Y, causal.Points[i].Y, ipa.Points[i].Y)
+		}
+	}
+	// Causal reaches the highest throughput; Strong the lowest.
+	if last(causal).X <= last(strong).X {
+		t.Fatalf("Causal peak (%.0f) should beat Strong peak (%.0f)", last(causal).X, last(strong).X)
+	}
+	// IPA is close to Causal: within 2x latency at the low-load point and
+	// above it (extra effects), and its peak throughput within 40%.
+	if ipa.Points[0].Y < causal.Points[0].Y {
+		t.Fatalf("IPA latency should be >= Causal: %v vs %v", ipa.Points[0].Y, causal.Points[0].Y)
+	}
+	if ipa.Points[0].Y > 3*causal.Points[0].Y {
+		t.Fatalf("IPA latency should be near Causal: %v vs %v", ipa.Points[0].Y, causal.Points[0].Y)
+	}
+	if last(ipa).X < 0.5*last(causal).X {
+		t.Fatalf("IPA peak throughput too far below Causal: %.0f vs %.0f", last(ipa).X, last(causal).X)
+	}
+	// Indigo's low-load latency is at or above IPA's (occasional
+	// reservation exchanges), far below Strong's.
+	if indigo.Points[0].Y >= strong.Points[0].Y {
+		t.Fatalf("Indigo should be far below Strong: %v vs %v", indigo.Points[0].Y, strong.Points[0].Y)
+	}
+	if !strings.Contains(e.Render(), "fig4") {
+		t.Fatal("render")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	e := Fig5(QuickExpOptions())
+	indigo, _ := e.FindSeries("Indigo")
+	ipa, _ := e.FindSeries("IPA")
+	causal, _ := e.FindSeries("Causal")
+	if len(indigo.Points) != 7 || len(ipa.Points) != 7 {
+		t.Fatalf("expected 7 ops per series")
+	}
+	// Indexes: Begin 0, Finish 1, Remove 2, DoMatch 3, Enroll 4, Status 6.
+	// Indigo pays on exclusive-reservation ops.
+	for _, i := range []int{0, 1, 2} {
+		if indigo.Points[i].Y <= ipa.Points[i].Y {
+			t.Fatalf("Indigo should exceed IPA on op %d: %v vs %v", i, indigo.Points[i].Y, ipa.Points[i].Y)
+		}
+	}
+	// IPA write ops cost at least Causal's.
+	for _, i := range []int{3, 4} {
+		if ipa.Points[i].Y < causal.Points[i].Y*0.95 {
+			t.Fatalf("IPA op %d cheaper than Causal: %v vs %v", i, ipa.Points[i].Y, causal.Points[i].Y)
+		}
+	}
+	// Status (read) is essentially identical for IPA and Causal.
+	ratio := ipa.Points[6].Y / causal.Points[6].Y
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("Status latency should match: ratio %.2f", ratio)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	e := Fig6(QuickExpOptions())
+	causal, _ := e.FindSeries("Causal")
+	aw, _ := e.FindSeries("Add-Wins")
+	rw, _ := e.FindSeries("Rem-Wins")
+	// Tweet (0) and Retweet (1): Add-Wins pays the touches.
+	for _, i := range []int{0, 1} {
+		if aw.Points[i].Y <= causal.Points[i].Y {
+			t.Fatalf("Add-Wins should pay on op %d: %v vs %v", i, aw.Points[i].Y, causal.Points[i].Y)
+		}
+	}
+	// Timeline (7): Rem-Wins pays the lazy compensation reads.
+	if rw.Points[7].Y <= causal.Points[7].Y {
+		t.Fatalf("Rem-Wins should pay on Timeline: %v vs %v", rw.Points[7].Y, causal.Points[7].Y)
+	}
+	// Rem user (6): Rem-Wins pays the purge.
+	if rw.Points[6].Y <= causal.Points[6].Y {
+		t.Fatalf("Rem-Wins should pay on Rem user: %v vs %v", rw.Points[6].Y, causal.Points[6].Y)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	e := Fig7(QuickExpOptions())
+	causal, _ := e.FindSeries("Causal")
+	ipa, _ := e.FindSeries("IPA")
+	// Violations under Causal appear and grow with load.
+	lastV := causal.Points[len(causal.Points)-1].Aux["violations"]
+	if lastV == 0 {
+		t.Fatal("Causal at high load should oversell")
+	}
+	firstV := causal.Points[0].Aux["violations"]
+	if lastV < firstV {
+		t.Fatalf("violations should not shrink with load: %v -> %v", firstV, lastV)
+	}
+	// IPA never exposes violations.
+	for _, p := range ipa.Points {
+		if p.Aux["violations"] != 0 {
+			t.Fatalf("IPA exposed %v violations", p.Aux["violations"])
+		}
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	a := Fig8a(QuickExpOptions())
+	s := a.Series[0]
+	if s.Points[0].X != 1 {
+		t.Fatal("first point should be k=1")
+	}
+	if s.Points[0].Y < 20 || s.Points[0].Y > 40 {
+		t.Fatalf("k=1 speedup = %.1f, want ~28", s.Points[0].Y)
+	}
+	// Monotone decay.
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y >= s.Points[i-1].Y {
+			t.Fatalf("speedup should decay: %v", s.Points)
+		}
+	}
+	lastPt := s.Points[len(s.Points)-1]
+	if lastPt.Aux["ipa ms"] < 30 || lastPt.Aux["ipa ms"] > 55 {
+		t.Fatalf("2048-update IPA latency = %.1f, want ~40", lastPt.Aux["ipa ms"])
+	}
+
+	b := Fig8b(QuickExpOptions())
+	sb := b.Series[0]
+	// Decays and crosses 1 near 64 keys.
+	if sb.Points[0].Y < 10 {
+		t.Fatalf("1-key speedup = %.1f", sb.Points[0].Y)
+	}
+	lastB := sb.Points[len(sb.Points)-1]
+	if lastB.X != 64 {
+		t.Fatal("last point should be 64 keys")
+	}
+	if lastB.Y > 1.15 || lastB.Y < 0.6 {
+		t.Fatalf("crossover should land near 64 keys: speedup(64) = %.2f", lastB.Y)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	e := Fig9(QuickExpOptions())
+	ipa, _ := e.FindSeries("IPA")
+	indigo, _ := e.FindSeries("Indigo")
+	// IPA flat.
+	for _, p := range ipa.Points {
+		if p.Y != ipa.Points[0].Y {
+			t.Fatal("IPA latency should be flat")
+		}
+	}
+	// Indigo monotone rising with contention, below IPA at no contention
+	// (the unmodified op is cheaper), far above at 50%.
+	for i := 2; i < len(indigo.Points); i++ {
+		if indigo.Points[i].Y <= indigo.Points[i-1].Y {
+			t.Fatalf("Indigo latency should rise with contention: %v", indigo.Points)
+		}
+	}
+	if indigo.Points[1].Y >= ipa.Points[1].Y {
+		t.Fatal("at 0%% contention Indigo should be at/below IPA")
+	}
+	last := indigo.Points[len(indigo.Points)-1]
+	if last.Y < 5*ipa.Points[0].Y {
+		t.Fatalf("at 50%% contention Indigo should be way above IPA: %v vs %v", last.Y, ipa.Points[0].Y)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full classification is slow")
+	}
+	e, err := Table1(analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Render()
+	// Key cells from the paper's Table 1.
+	for _, want := range []string{
+		"Unique id.", "Ref. integrity", "Aggreg. const.", "Numeric inv.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing row %q in:\n%s", want, out)
+		}
+	}
+	// Referential integrity: not I-confluent, IPA Yes.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Ref. integrity") {
+			if !strings.Contains(line, "No") || !strings.Contains(line, "Yes") {
+				t.Fatalf("ref integrity row: %q", line)
+			}
+		}
+		if strings.HasPrefix(line, "Numeric inv.") {
+			if !strings.Contains(line, "Comp.") {
+				t.Fatalf("numeric row should be Comp.: %q", line)
+			}
+		}
+		if strings.HasPrefix(line, "Sequential id.") {
+			if !strings.Contains(line, "No") {
+				t.Fatalf("sequential ids row should be No: %q", line)
+			}
+		}
+	}
+}
+
+func TestDriverStrongForwardsWrites(t *testing.T) {
+	opts := QuickExpOptions()
+	d := runTournament(Strong, 2, opts)
+	// Writes from remote sites pay ~80ms; global mean must sit well above
+	// the causal baseline.
+	causal := runTournament(Causal, 2, opts)
+	if d.Rec.Mean("Enroll") < 5*causal.Rec.Mean("Enroll") {
+		t.Fatalf("Strong Enroll %.2fms vs Causal %.2fms", d.Rec.Mean("Enroll"), causal.Rec.Mean("Enroll"))
+	}
+	// Reads stay local (they never pay a WAN round trip, though reads at
+	// the primary site do queue behind the forwarded writes).
+	ratio := d.Rec.Mean("Status") / causal.Rec.Mean("Status")
+	if ratio > 4 {
+		t.Fatalf("Strong Status should stay local: ratio %.2f", ratio)
+	}
+	if d.Rec.Mean("Status") > 40 {
+		t.Fatalf("Strong Status absolute latency too high: %.2fms", d.Rec.Mean("Status"))
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	opts := QuickExpOptions()
+	a := runTournament(IPA, 4, opts)
+	b := runTournament(IPA, 4, opts)
+	if a.Completed != b.Completed || a.Rec.Mean("") != b.Rec.Mean("") {
+		t.Fatalf("runs not deterministic: %d/%f vs %d/%f",
+			a.Completed, a.Rec.Mean(""), b.Completed, b.Rec.Mean(""))
+	}
+}

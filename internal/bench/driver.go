@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"math/rand"
+
+	"ipa/internal/clock"
+	"ipa/internal/indigo"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+// OpSpec describes one operation issued by a client: the actual effect on
+// the store, the number of keys it reads (for service-time accounting;
+// written keys and update counts are measured from the transaction), and
+// the reservation the operation needs under the Indigo configuration.
+type OpSpec struct {
+	Label string
+	// Reads is the number of distinct keys the operation reads.
+	Reads int
+	// IsWrite routes the op to the primary under Strong.
+	IsWrite bool
+	// Exec applies the operation at the executing replica and returns the
+	// transaction (for written-keys/updates accounting). It may be nil
+	// for no-ops.
+	Exec func(r *store.Replica) *store.Txn
+	// Reservation is the Indigo reservation the op requires, if NeedsRes.
+	Reservation string
+	ResMode     indigo.Mode
+	NeedsRes    bool
+	// ExtraDelay is additional coordination latency the workload already
+	// paid for this operation (e.g. an escrow rights transfer).
+	ExtraDelay wan.Time
+}
+
+// Workload produces the next operation for a client at the given site.
+type Workload func(rng *rand.Rand, site clock.ReplicaID) OpSpec
+
+// Driver runs a closed-loop workload against a cluster under one of the
+// four configurations, accounting latency as
+//
+//	latency = forward + coordination + queueing + service + return
+//
+// where forward/return are one-way WAN delays to the executing replica
+// (zero except under Strong for writes), coordination is the reservation
+// acquisition cost (Indigo only), queueing models each replica as a FIFO
+// server, and service follows the cost model.
+type Driver struct {
+	Sim     *wan.Sim
+	Cluster *store.Cluster
+	Latency *wan.Latency
+	Cost    CostModel
+	Config  Config
+	Primary clock.ReplicaID
+	Res     *indigo.Manager
+
+	// ThinkTime is the mean client think time between operations.
+	ThinkTime wan.Time
+
+	nextFree  map[clock.ReplicaID]wan.Time
+	Rec       *Recorder
+	Completed uint64
+	Failed    uint64 // ops that could not run (e.g. unreachable reservation)
+}
+
+// NewDriver creates a driver for the given configuration.
+func NewDriver(sim *wan.Sim, cluster *store.Cluster, lat *wan.Latency, cfg Config) *Driver {
+	d := &Driver{
+		Sim:       sim,
+		Cluster:   cluster,
+		Latency:   lat,
+		Cost:      DefaultCostModel(),
+		Config:    cfg,
+		Primary:   cluster.Replicas()[0],
+		ThinkTime: wan.Ms(50),
+		nextFree:  map[clock.ReplicaID]wan.Time{},
+		Rec:       NewRecorder(),
+	}
+	if cfg == Indigo {
+		d.Res = indigo.NewManager(lat, cluster.Replicas())
+	}
+	return d
+}
+
+// Run launches clientsPerSite closed-loop clients at every replica site
+// and processes the simulation until the virtual deadline.
+func (d *Driver) Run(workload Workload, clientsPerSite int, duration wan.Time) {
+	deadline := d.Sim.Now() + duration
+	for _, site := range d.Cluster.Replicas() {
+		for c := 0; c < clientsPerSite; c++ {
+			site := site
+			// Stagger client starts to avoid lockstep.
+			start := wan.Time(d.Sim.Rand().Int63n(int64(d.ThinkTime) + 1))
+			d.Sim.At(d.Sim.Now()+start, func() { d.issue(workload, site, deadline) })
+		}
+	}
+	d.Sim.RunUntil(deadline)
+}
+
+// issue runs one client iteration and reschedules until the deadline.
+func (d *Driver) issue(workload Workload, site clock.ReplicaID, deadline wan.Time) {
+	if d.Sim.Now() >= deadline {
+		return
+	}
+	op := workload(d.Sim.Rand(), site)
+	t0 := d.Sim.Now()
+
+	execSite := site
+	var forward wan.Time
+	coordination := op.ExtraDelay
+
+	switch d.Config {
+	case Strong:
+		if op.IsWrite {
+			execSite = d.Primary
+			forward = d.Latency.OneWay(string(site), string(execSite), d.Sim.Rand())
+		}
+	case Indigo:
+		if op.NeedsRes {
+			delay, ok := d.Res.Acquire(op.Reservation, site, op.ResMode)
+			if !ok {
+				// Reservation unobtainable (partition): the operation
+				// cannot execute — Indigo's availability cost.
+				d.Failed++
+				d.Sim.After(d.think(), func() { d.issue(workload, site, deadline) })
+				return
+			}
+			coordination += delay
+		}
+	}
+
+	// Execute the operation's effects; the latency model charges the
+	// measured footprint below. (The effects become visible at the origin
+	// slightly before the modelled response time, which only affects the
+	// simulation's visibility skew, not the latency accounting.)
+	keys, updates := 0, 0
+	if op.Exec != nil {
+		tx := op.Exec(d.Cluster.Replica(execSite))
+		if tx != nil {
+			keys, updates = tx.KeysTouched(), tx.Updates()
+		}
+	}
+
+	arrival := t0 + forward + coordination
+	service := d.Cost.Service(op.Reads+keys, updates)
+	start := arrival
+	if d.nextFree[execSite] > start {
+		start = d.nextFree[execSite]
+	}
+	complete := start + service
+	d.nextFree[execSite] = complete
+
+	var back wan.Time
+	if execSite != site {
+		back = d.Latency.OneWay(string(execSite), string(site), d.Sim.Rand())
+	}
+	respond := complete + back
+
+	d.Sim.At(respond, func() {
+		d.Rec.Add(op.Label, respond-t0)
+		d.Completed++
+		d.Sim.After(d.think(), func() { d.issue(workload, site, deadline) })
+	})
+}
+
+// think samples an exponential think time with the configured mean,
+// capped at 10x to keep the tail bounded.
+func (d *Driver) think() wan.Time {
+	if d.ThinkTime <= 0 {
+		return 0
+	}
+	f := d.Sim.Rand().ExpFloat64() * float64(d.ThinkTime)
+	if f > 10*float64(d.ThinkTime) {
+		f = 10 * float64(d.ThinkTime)
+	}
+	return wan.Time(f)
+}
+
+// Throughput returns completed operations per simulated second over the
+// given duration.
+func (d *Driver) Throughput(duration wan.Time) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	return float64(d.Completed) / (float64(duration) / float64(wan.Second))
+}

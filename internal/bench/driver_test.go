@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipa/internal/apps/twitter"
+	"ipa/internal/clock"
+	"ipa/internal/indigo"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+// constWorkload issues the same local write op forever.
+func constWorkload(label string) Workload {
+	return func(rng *rand.Rand, site clock.ReplicaID) OpSpec {
+		return OpSpec{Label: label, IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn {
+				tx := r.Begin()
+				store.AWSetAt(tx, "k").Add("x", "")
+				tx.Commit()
+				return tx
+			}}
+	}
+}
+
+func TestDriverQueueing(t *testing.T) {
+	// With zero think time, a single site saturates: mean latency grows
+	// well above the bare service time because ops queue.
+	sim, cluster, lat := NewPaperCluster(3)
+	d := NewDriver(sim, cluster, lat, Causal)
+	d.ThinkTime = 0
+	d.Run(constWorkload("w"), 20, 2*wan.Second)
+	service := d.Cost.Service(1, 1).Millis()
+	if d.Rec.Mean("w") < 3*service {
+		t.Fatalf("saturated latency %.2fms should exceed 3x service %.2fms", d.Rec.Mean("w"), service)
+	}
+	// Throughput is bounded by the service rate per replica.
+	maxTP := 3.0 / (service / 1000.0) // 3 replicas
+	if tp := d.Throughput(2 * wan.Second); tp > maxTP*1.05 {
+		t.Fatalf("throughput %.0f exceeds server capacity %.0f", tp, maxTP)
+	}
+}
+
+func TestDriverExtraDelayCharged(t *testing.T) {
+	sim, cluster, lat := NewPaperCluster(4)
+	d := NewDriver(sim, cluster, lat, Causal)
+	base := constWorkload("w")
+	delayed := func(rng *rand.Rand, site clock.ReplicaID) OpSpec {
+		op := base(rng, site)
+		op.ExtraDelay = wan.Ms(25)
+		return op
+	}
+	d.Run(delayed, 1, 2*wan.Second)
+	if m := d.Rec.Mean("w"); m < 25 {
+		t.Fatalf("mean %.2fms should include the 25ms extra delay", m)
+	}
+}
+
+func TestDriverIndigoPartitionFails(t *testing.T) {
+	sim, cluster, lat := NewPaperCluster(5)
+	d := NewDriver(sim, cluster, lat, Indigo)
+	// Reservation held exclusively by eu-west; everyone else partitioned
+	// from it: their acquisitions must fail.
+	d.Res.Acquire("r", wan.EUWest, indigo.Exclusive)
+	d.Res.Partitioned = func(a, b clock.ReplicaID) bool {
+		return a == wan.EUWest || b == wan.EUWest
+	}
+	w := func(rng *rand.Rand, site clock.ReplicaID) OpSpec {
+		if site == wan.EUWest {
+			return OpSpec{Label: "noop"} // keep the holder idle
+		}
+		op := constWorkload("w")(rng, site)
+		op.Reservation, op.ResMode, op.NeedsRes = "r", indigo.Exclusive, true
+		return op
+	}
+	d.Run(w, 2, 2*wan.Second)
+	if d.Failed == 0 {
+		t.Fatal("partitioned reservation should fail operations")
+	}
+	if d.Rec.Count("w") != 0 {
+		t.Fatal("no coordinated op should have completed")
+	}
+}
+
+func TestDriverStrongReadStaysLocal(t *testing.T) {
+	sim, cluster, lat := NewPaperCluster(6)
+	d := NewDriver(sim, cluster, lat, Strong)
+	read := func(rng *rand.Rand, site clock.ReplicaID) OpSpec {
+		return OpSpec{Label: "r", Reads: 1,
+			Exec: func(r *store.Replica) *store.Txn {
+				tx := r.Begin()
+				tx.Commit()
+				return tx
+			}}
+	}
+	d.Run(read, 1, 2*wan.Second)
+	// A pure read never pays a WAN trip: mean well under one RTT.
+	if m := d.Rec.Mean("r"); m > 20 {
+		t.Fatalf("read latency %.2fms suggests forwarding", m)
+	}
+}
+
+func TestThroughputAccounting(t *testing.T) {
+	sim, cluster, lat := NewPaperCluster(7)
+	d := NewDriver(sim, cluster, lat, Causal)
+	d.Run(constWorkload("w"), 1, wan.Second)
+	if d.Completed == 0 {
+		t.Fatal("no ops completed")
+	}
+	if tp := d.Throughput(wan.Second); tp != float64(d.Completed) {
+		t.Fatalf("throughput %.1f != completed %d over 1s", tp, d.Completed)
+	}
+	if d.Throughput(0) != 0 {
+		t.Fatal("zero duration must yield zero throughput")
+	}
+}
+
+// The twitter rem-wins strategy must preserve referential integrity in
+// its visible state under the bench workload itself (not just in the
+// targeted unit tests).
+func TestFig6WorkloadPreservesInvariants(t *testing.T) {
+	sim, cluster, lat := NewPaperCluster(QuickExpOptions().Seed + 77)
+	appRW := twitter.New(twitter.RemWins)
+	w := NewTwitterWorkload(appRW)
+	w.Seed(cluster, rand.New(rand.NewSource(1)))
+	sim.Run()
+	d := NewDriver(sim, cluster, lat, Causal)
+	d.Run(w.Next, 4, 3*wan.Second)
+	sim.Run()
+	for _, id := range cluster.Replicas() {
+		if v := appRW.Violations(cluster.Replica(id), false); len(v) != 0 {
+			t.Fatalf("rem-wins visible state violated at %s: %v", id, v[0])
+		}
+	}
+}

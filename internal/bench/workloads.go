@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ipa/internal/apps/ticket"
+	"ipa/internal/apps/tournament"
+	"ipa/internal/apps/twitter"
+	"ipa/internal/clock"
+	"ipa/internal/indigo"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+// TournamentWorkload is the paper's §5.2.2 workload: 35% writes spread
+// over the tournament operations, 65% status reads, over a fixed pool of
+// players and tournaments. The workload tracks an approximate lifecycle
+// per tournament (its own intended enrolments and active state) so the
+// operations it issues usually satisfy their origin preconditions —
+// concurrency across sites still produces the conflicts the paper
+// studies. All write operations conflict in the original specification.
+type TournamentWorkload struct {
+	App         *tournament.App
+	Players     int
+	Tournaments int
+
+	rosters map[string][]string // workload-side view of enrolments
+	began   map[string]bool
+}
+
+// NewTournamentWorkload builds the workload for one app variant.
+func NewTournamentWorkload(app *tournament.App) *TournamentWorkload {
+	return &TournamentWorkload{
+		App: app, Players: 100, Tournaments: 50,
+		rosters: map[string][]string{}, began: map[string]bool{},
+	}
+}
+
+// Seed populates the pool at the first replica (replicates to the rest):
+// players, tournaments, two seed enrolments per tournament, and an active
+// state, so matches are playable from the start.
+func (w *TournamentWorkload) Seed(c *store.Cluster) {
+	first := c.Replica(c.Replicas()[0])
+	for i := 0; i < w.Players; i++ {
+		w.App.AddPlayer(first, w.player(i))
+	}
+	for i := 0; i < w.Tournaments; i++ {
+		t := w.tourn(i)
+		w.App.AddTournament(first, t)
+		p1 := w.player(i % w.Players)
+		p2 := w.player((i + 1) % w.Players)
+		w.App.Enroll(first, p1, t)
+		w.App.Enroll(first, p2, t)
+		w.rosters[t] = []string{p1, p2}
+		w.App.Begin(first, t)
+		w.began[t] = true
+	}
+}
+
+func (w *TournamentWorkload) player(i int) string { return fmt.Sprintf("player-%03d", i) }
+func (w *TournamentWorkload) tourn(i int) string  { return fmt.Sprintf("tourn-%02d", i) }
+
+// Next implements Workload. The op mix covers Fig. 5's operations with
+// 35% writes total: Enroll 15%, Disenroll 7%, DoMatch 9%, Begin 1.5%,
+// Finish 1.5%, Remove 1%, Status 65%. Exclusive-reservation operations
+// (Begin/Finish/Remove) are rare, matching the paper's observation that
+// under Indigo "reservations are exchanged among replicas very
+// infrequently".
+func (w *TournamentWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
+	p := w.player(rng.Intn(w.Players))
+	t := w.tourn(rng.Intn(w.Tournaments))
+	app := w.App
+	x := rng.Float64()
+	switch {
+	case x < 0.15:
+		w.rosters[t] = append(w.rosters[t], p)
+		return OpSpec{Label: "Enroll", IsWrite: true,
+			Exec:        func(r *store.Replica) *store.Txn { return app.Enroll(r, p, t) },
+			Reservation: "tourn/" + t, ResMode: indigo.Shared, NeedsRes: true}
+	case x < 0.22:
+		roster := w.rosters[t]
+		if len(roster) > 0 {
+			p = roster[rng.Intn(len(roster))]
+			w.rosters[t] = removeOne(roster, p)
+		}
+		return OpSpec{Label: "Disenroll", IsWrite: true,
+			Exec:        func(r *store.Replica) *store.Txn { return app.Disenroll(r, p, t) },
+			Reservation: "tourn/" + t, ResMode: indigo.Shared, NeedsRes: true}
+	case x < 0.31:
+		// Pick two distinct enrolled players of an active tournament.
+		roster := w.rosters[t]
+		if len(roster) < 2 || !w.began[t] {
+			// Fall back to enrolling, keeping the write ratio.
+			w.rosters[t] = append(w.rosters[t], p)
+			return OpSpec{Label: "Enroll", IsWrite: true,
+				Exec:        func(r *store.Replica) *store.Txn { return app.Enroll(r, p, t) },
+				Reservation: "tourn/" + t, ResMode: indigo.Shared, NeedsRes: true}
+		}
+		i := rng.Intn(len(roster))
+		j := rng.Intn(len(roster) - 1)
+		if j >= i {
+			j++
+		}
+		pa, pb := roster[i], roster[j]
+		return OpSpec{Label: "DoMatch", IsWrite: true,
+			Exec:        func(r *store.Replica) *store.Txn { return app.DoMatch(r, pa, pb, t) },
+			Reservation: "tourn/" + t, ResMode: indigo.Shared, NeedsRes: true}
+	case x < 0.325:
+		w.began[t] = true
+		return OpSpec{Label: "Begin", IsWrite: true,
+			Exec:        func(r *store.Replica) *store.Txn { return app.Begin(r, t) },
+			Reservation: "state/" + t, ResMode: indigo.Exclusive, NeedsRes: true}
+	case x < 0.34:
+		return OpSpec{Label: "Finish", IsWrite: true,
+			Exec:        func(r *store.Replica) *store.Txn { return app.Finish(r, t) },
+			Reservation: "state/" + t, ResMode: indigo.Exclusive, NeedsRes: true}
+	case x < 0.35:
+		// Removal targets an emptied tournament; the slot is immediately
+		// repopulated so the pool stays constant.
+		victim := t
+		w.rosters[victim] = nil
+		w.began[victim] = false
+		return OpSpec{Label: "Remove", IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn {
+				for _, enrolled := range app.Roster(r, victim) {
+					app.Disenroll(r, enrolled, victim)
+				}
+				tx := app.RemTournament(r, victim)
+				app.AddTournament(r, victim)
+				return tx
+			},
+			Reservation: "tourn/" + t, ResMode: indigo.Exclusive, NeedsRes: true}
+	default:
+		return OpSpec{Label: "Status", Reads: 4,
+			Exec: func(r *store.Replica) *store.Txn {
+				_, tx := app.ReadStatus(r, t)
+				return tx
+			}}
+	}
+}
+
+func removeOne(list []string, v string) []string {
+	for i, x := range list {
+		if x == v {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// GrantReservations pre-grants shared rights everywhere, the steady state
+// the paper describes ("reservations are exchanged among replicas very
+// infrequently").
+func (w *TournamentWorkload) GrantReservations(m *indigo.Manager) {
+	for i := 0; i < w.Tournaments; i++ {
+		m.GrantInitial("tourn/" + w.tourn(i))
+		m.GrantInitial("state/" + w.tourn(i))
+	}
+}
+
+// TwitterWorkload drives the paper's Fig. 6 experiment: the full Twitter
+// operation mix over a fixed social graph.
+type TwitterWorkload struct {
+	App     *twitter.App
+	Users   int
+	nextID  int
+	tweeted []string // circulating tweet ids with their author
+}
+
+// NewTwitterWorkload builds the workload for one strategy.
+func NewTwitterWorkload(app *twitter.App) *TwitterWorkload {
+	return &TwitterWorkload{App: app, Users: 50}
+}
+
+func (w *TwitterWorkload) user(i int) string { return fmt.Sprintf("user-%03d", i) }
+
+// Seed creates users and a follower graph (each user follows ~5 others).
+func (w *TwitterWorkload) Seed(c *store.Cluster, rng *rand.Rand) {
+	first := c.Replica(c.Replicas()[0])
+	for i := 0; i < w.Users; i++ {
+		w.App.AddUser(first, w.user(i))
+	}
+	for i := 0; i < w.Users; i++ {
+		for k := 0; k < 5; k++ {
+			w.App.Follow(first, w.user(i), w.user(rng.Intn(w.Users)))
+		}
+	}
+	// Seed a few tweets so retweets/deletes have material.
+	for i := 0; i < 20; i++ {
+		author := w.user(rng.Intn(w.Users))
+		id := w.newTweetID()
+		w.App.Tweet(first, author, id, "seed tweet")
+		w.tweeted = append(w.tweeted, id+"\x00"+author)
+	}
+}
+
+func (w *TwitterWorkload) newTweetID() string {
+	w.nextID++
+	return fmt.Sprintf("tw-%06d", w.nextID)
+}
+
+func (w *TwitterWorkload) randTweet(rng *rand.Rand) (id, author string, ok bool) {
+	if len(w.tweeted) == 0 {
+		return "", "", false
+	}
+	e := w.tweeted[rng.Intn(len(w.tweeted))]
+	for i := 0; i < len(e); i++ {
+		if e[i] == 0 {
+			return e[:i], e[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// Next implements Workload: Tweet 15%, Retweet 10%, DelTweet 5%, Follow
+// 5%, Unfollow 5%, AddUser 2%, RemUser 3%, Timeline 55%.
+func (w *TwitterWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
+	app := w.App
+	u := w.user(rng.Intn(w.Users))
+	v := w.user(rng.Intn(w.Users))
+	x := rng.Float64()
+	switch {
+	case x < 0.15:
+		id := w.newTweetID()
+		w.tweeted = append(w.tweeted, id+"\x00"+u)
+		return OpSpec{Label: "Tweet", Reads: 1, IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn { return app.Tweet(r, u, id, "hello world") }}
+	case x < 0.25:
+		id, author, ok := w.randTweet(rng)
+		if !ok {
+			break
+		}
+		return OpSpec{Label: "Retweet", Reads: 1, IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn { return app.Retweet(r, u, id, author) }}
+	case x < 0.30:
+		id, author, ok := w.randTweet(rng)
+		if !ok {
+			break
+		}
+		return OpSpec{Label: "Del. Tweet", IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn { return app.DelTweet(r, id, author) }}
+	case x < 0.35:
+		return OpSpec{Label: "Follow", IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn { return app.Follow(r, u, v) }}
+	case x < 0.40:
+		return OpSpec{Label: "Unfollow", IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn { return app.Unfollow(r, u, v) }}
+	case x < 0.42:
+		fresh := fmt.Sprintf("user-new-%06d", rng.Int63n(1e6))
+		return OpSpec{Label: "Add user", IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn { return app.AddUser(r, fresh) }}
+	case x < 0.45:
+		return OpSpec{Label: "Rem user", Reads: 1, IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn { return app.RemUser(r, u) }}
+	}
+	return OpSpec{Label: "Timeline", Reads: 3,
+		Exec: func(r *store.Replica) *store.Txn {
+			_, tx := app.ReadTimeline(r, u)
+			return tx
+		}}
+}
+
+// TicketWorkload drives the paper's Fig. 7 experiment: ticket purchases
+// against a pool of events, mixed with event views (which trigger the
+// compensations under IPA).
+type TicketWorkload struct {
+	App    *ticket.App
+	Events int
+	// BuyFraction is the probability of a purchase (vs a view).
+	BuyFraction float64
+}
+
+// NewTicketWorkload builds the workload.
+func NewTicketWorkload(app *ticket.App, events int) *TicketWorkload {
+	return &TicketWorkload{App: app, Events: events, BuyFraction: 0.5}
+}
+
+func (w *TicketWorkload) event(i int) string { return fmt.Sprintf("event-%03d", i) }
+
+// EventNames lists the event identifiers.
+func (w *TicketWorkload) EventNames() []string {
+	out := make([]string, w.Events)
+	for i := range out {
+		out[i] = w.event(i)
+	}
+	return out
+}
+
+// Seed creates the events at every replica.
+func (w *TicketWorkload) Seed(c *store.Cluster) {
+	w.App.Setup(c, w.EventNames())
+}
+
+// Next implements Workload.
+func (w *TicketWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
+	app := w.App
+	e := w.event(rng.Intn(w.Events))
+	buyer := fmt.Sprintf("buyer-%s", site)
+	if rng.Float64() < w.BuyFraction {
+		return OpSpec{Label: "Buy", IsWrite: true,
+			Exec: func(r *store.Replica) *store.Txn {
+				_, tx := app.Buy(r, buyer, e)
+				return tx
+			}}
+	}
+	return OpSpec{Label: "View", Reads: 1,
+		Exec: func(r *store.Replica) *store.Txn {
+			_, tx := app.View(r, e)
+			return tx
+		}}
+}
+
+// NewPaperCluster builds the paper's three-site deployment.
+func NewPaperCluster(seed int64) (*wan.Sim, *store.Cluster, *wan.Latency) {
+	sim := wan.NewSim(seed)
+	lat := wan.PaperTopology()
+	ids := []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest}
+	return sim, store.NewCluster(sim, lat, ids), lat
+}

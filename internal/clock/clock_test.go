@@ -1,0 +1,218 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickAndContains(t *testing.T) {
+	v := New()
+	e1 := v.Tick("a")
+	if e1.Replica != "a" || e1.Seq != 1 {
+		t.Fatalf("first tick = %v, want a:1", e1)
+	}
+	e2 := v.Tick("a")
+	if e2.Seq != 2 {
+		t.Fatalf("second tick seq = %d, want 2", e2.Seq)
+	}
+	if !v.Contains(e1) || !v.Contains(e2) {
+		t.Fatal("vector should contain its own events")
+	}
+	if v.Contains(EventID{"a", 3}) {
+		t.Fatal("vector should not contain future events")
+	}
+	if v.Contains(EventID{"b", 1}) {
+		t.Fatal("vector should not contain events from unseen replicas")
+	}
+}
+
+func TestPartialOrder(t *testing.T) {
+	a := Vector{"r1": 2, "r2": 1}
+	b := Vector{"r1": 3, "r2": 1}
+	c := Vector{"r1": 1, "r2": 5}
+
+	if !a.LEq(b) || b.LEq(a) {
+		t.Fatal("a < b expected")
+	}
+	if !a.Before(b) {
+		t.Fatal("a.Before(b) expected")
+	}
+	if !b.Concurrent(c) || !c.Concurrent(b) {
+		t.Fatal("b || c expected")
+	}
+	if a.Concurrent(a.Clone()) {
+		t.Fatal("a not concurrent with itself")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone should be equal")
+	}
+}
+
+func TestZeroValueIsBottom(t *testing.T) {
+	var zero Vector
+	a := Vector{"r1": 1}
+	if !zero.LEq(a) {
+		t.Fatal("zero clock must be below everything")
+	}
+	if !zero.LEq(Vector{}) || !(Vector{}).LEq(zero) {
+		t.Fatal("zero and empty must be equal")
+	}
+}
+
+func TestMergeIsLUB(t *testing.T) {
+	a := Vector{"r1": 2, "r2": 1}
+	b := Vector{"r1": 1, "r3": 4}
+	m := a.Clone()
+	m.Merge(b)
+	if !a.LEq(m) || !b.LEq(m) {
+		t.Fatal("merge must dominate both inputs")
+	}
+	want := Vector{"r1": 2, "r2": 1, "r3": 4}
+	if !m.Equal(want) {
+		t.Fatalf("merge = %v, want %v", m, want)
+	}
+}
+
+func TestGLB(t *testing.T) {
+	a := Vector{"r1": 5, "r2": 3}
+	b := Vector{"r1": 2, "r2": 7}
+	g := GLB(a, b)
+	if !g.Equal(Vector{"r1": 2, "r2": 3}) {
+		t.Fatalf("GLB = %v", g)
+	}
+	// A replica absent from one vector clamps to zero.
+	c := Vector{"r1": 9}
+	g2 := GLB(a, c)
+	if g2["r2"] != 0 {
+		t.Fatalf("GLB with missing replica = %v, want r2 absent", g2)
+	}
+	if !GLB().Equal(Vector{}) {
+		t.Fatal("GLB of nothing is bottom")
+	}
+}
+
+func TestStabilityHorizon(t *testing.T) {
+	s := NewStability([]ReplicaID{"a", "b"})
+	s.Ack("a", Vector{"a": 5, "b": 2})
+	s.Ack("b", Vector{"a": 3, "b": 4})
+	h := s.Horizon()
+	if !h.Equal(Vector{"a": 3, "b": 2}) {
+		t.Fatalf("horizon = %v, want {a:3 b:2}", h)
+	}
+	// Acks are monotone: a stale ack cannot move the horizon backwards.
+	s.Ack("a", Vector{"a": 1})
+	if !s.Horizon().Equal(h) {
+		t.Fatalf("horizon moved backwards: %v", s.Horizon())
+	}
+	s.Ack("b", Vector{"a": 9, "b": 9})
+	h2 := s.Horizon()
+	if !h.LEq(h2) {
+		t.Fatalf("horizon must be monotone: %v -> %v", h, h2)
+	}
+}
+
+func TestStabilityUnknownReplica(t *testing.T) {
+	s := NewStability([]ReplicaID{"a"})
+	s.Ack("ghost", Vector{"a": 3})
+	if got := s.Horizon(); got["a"] != 0 {
+		t.Fatalf("new member with empty history should pin horizon at 0, got %v", got)
+	}
+}
+
+func TestEventIDOrdering(t *testing.T) {
+	a := EventID{"r1", 1}
+	b := EventID{"r1", 2}
+	c := EventID{"r2", 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("seq ordering broken")
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Fatal("replica ordering broken")
+	}
+	if a.Less(a) {
+		t.Fatal("irreflexive")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := Vector{"b": 2, "a": 1}
+	if got := v.String(); got != "{a:1 b:2}" {
+		t.Fatalf("String() = %q", got)
+	}
+	e := EventID{"x", 7}
+	if e.String() != "x:7" {
+		t.Fatalf("EventID.String() = %q", e.String())
+	}
+}
+
+// Property: merge is commutative, associative, idempotent (join-semilattice).
+func TestQuickMergeSemilattice(t *testing.T) {
+	type gen struct{ A, B, C map[string]uint8 }
+	toVec := func(m map[string]uint8) Vector {
+		v := New()
+		for k, n := range m {
+			if len(k) > 0 {
+				v[ReplicaID(k[:1])] = uint64(n)
+			}
+		}
+		return v
+	}
+	f := func(g gen) bool {
+		a, b, c := toVec(g.A), toVec(g.B), toVec(g.C)
+
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+
+		abc1 := ab.Clone()
+		abc1.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		abc2 := a.Clone()
+		abc2.Merge(bc)
+		if !abc1.Equal(abc2) {
+			return false
+		}
+
+		aa := a.Clone()
+		aa.Merge(a)
+		return aa.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LEq is antisymmetric and Merge is the least upper bound.
+func TestQuickMergeIsLUB(t *testing.T) {
+	toVec := func(m map[string]uint8) Vector {
+		v := New()
+		for k, n := range m {
+			if len(k) > 0 {
+				v[ReplicaID(k[:1])] = uint64(n)
+			}
+		}
+		return v
+	}
+	f := func(am, bm, cm map[string]uint8) bool {
+		a, b, c := toVec(am), toVec(bm), toVec(cm)
+		m := a.Clone()
+		m.Merge(b)
+		// upper bound
+		if !a.LEq(m) || !b.LEq(m) {
+			return false
+		}
+		// least: any other upper bound dominates m
+		if a.LEq(c) && b.LEq(c) && !m.LEq(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

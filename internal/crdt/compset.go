@@ -1,0 +1,108 @@
+package crdt
+
+import (
+	"sort"
+
+	"ipa/internal/clock"
+)
+
+// CompSet is the paper's Compensation Set (§4.2.2): an add-wins set with
+// an attached aggregation constraint — at most MaxSize elements — enforced
+// lazily. Whenever the object is read, the constraint is checked against
+// the observed state; if it is violated (concurrent adds overshot the
+// bound), the compensation removes deterministically chosen elements and
+// the removals are committed alongside the reading transaction, so every
+// replica that observes the violation converges on the same repair.
+//
+// Victims are the elements with the largest add events (the newest adds
+// are cancelled first — in the Ticket application these are the purchases
+// to refund). The choice is deterministic in the observed state, so
+// replicas that saw the same overshoot remove the same elements; replicas
+// with different partial views may issue overlapping removals, which are
+// idempotent.
+type CompSet struct {
+	set     *AWSet
+	maxSize int
+
+	// CompensationsApplied counts elements this replica removed through
+	// compensations (local statistic, not replicated).
+	CompensationsApplied int64
+}
+
+// NewCompSet creates a compensation set with the given size bound.
+func NewCompSet(maxSize int) *CompSet {
+	return &CompSet{set: NewAWSet(), maxSize: maxSize}
+}
+
+// Type implements CRDT.
+func (c *CompSet) Type() string { return "comp-set" }
+
+// MaxSize returns the constraint bound.
+func (c *CompSet) MaxSize() int { return c.maxSize }
+
+// PrepareAdd builds an insertion op.
+func (c *CompSet) PrepareAdd(elem, payload string, tag clock.EventID) AWAddOp {
+	return c.set.PrepareAdd(elem, payload, tag)
+}
+
+// PrepareRemove builds a removal op.
+func (c *CompSet) PrepareRemove(elem string, tag clock.EventID) AWRemoveOp {
+	return c.set.PrepareRemove(elem, tag)
+}
+
+// Apply implements CRDT.
+func (c *CompSet) Apply(op Op) { c.set.Apply(op) }
+
+// Compact implements CRDT.
+func (c *CompSet) Compact(h clock.Vector) { c.set.Compact(h) }
+
+// Contains reports membership of the observed (uncompensated) state.
+func (c *CompSet) Contains(elem string) bool { return c.set.Contains(elem) }
+
+// Size returns the observed (possibly overshooting) size.
+func (c *CompSet) Size() int { return c.set.Size() }
+
+// Violating reports whether the constraint is currently violated.
+func (c *CompSet) Violating() bool { return c.set.Size() > c.maxSize }
+
+// Read returns the elements after compensation, plus the compensating
+// removal ops the caller must commit with the reading transaction
+// (nil when the constraint holds). tags must supply one fresh event ID per
+// compensating removal.
+func (c *CompSet) Read(tags func() clock.EventID) (elems []string, comps []Op) {
+	elems = c.set.Elems()
+	over := len(elems) - c.maxSize
+	if over <= 0 {
+		return elems, nil
+	}
+	// Sort victims by their largest add event, newest first.
+	type victim struct {
+		elem string
+		tag  clock.EventID
+	}
+	victims := make([]victim, 0, len(elems))
+	for _, e := range elems {
+		if t, ok := c.set.MaxTag(e); ok {
+			victims = append(victims, victim{elem: e, tag: t})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[j].tag.Less(victims[i].tag) })
+
+	kept := make(map[string]bool, len(elems))
+	for _, e := range elems {
+		kept[e] = true
+	}
+	for i := 0; i < over && i < len(victims); i++ {
+		rm := c.set.PrepareRemove(victims[i].elem, tags())
+		comps = append(comps, rm)
+		kept[victims[i].elem] = false
+		c.CompensationsApplied++
+	}
+	out := elems[:0]
+	for _, e := range elems {
+		if kept[e] {
+			out = append(out, e)
+		}
+	}
+	return out, comps
+}

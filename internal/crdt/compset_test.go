@@ -1,0 +1,118 @@
+package crdt
+
+import (
+	"testing"
+
+	"ipa/internal/clock"
+)
+
+func TestCompSetWithinBound(t *testing.T) {
+	g := newTagger()
+	c := NewCompSet(2)
+	c.Apply(c.PrepareAdd("t1", "", g.tag("a")))
+	c.Apply(c.PrepareAdd("t2", "", g.tag("a")))
+	elems, comps := c.Read(func() clock.EventID { return g.tag("a") })
+	if len(comps) != 0 {
+		t.Fatal("no compensation expected within bound")
+	}
+	if len(elems) != 2 {
+		t.Fatalf("elems = %v", elems)
+	}
+	if c.Violating() {
+		t.Fatal("not violating")
+	}
+}
+
+func TestCompSetTrimsNewestFirst(t *testing.T) {
+	g := newTagger()
+	// Two replicas concurrently oversell a 2-capacity event.
+	a, b := NewCompSet(2), NewCompSet(2)
+	seed := a.PrepareAdd("early", "", g.tag("a"))
+	a.Apply(seed)
+	b.Apply(seed)
+
+	oa := a.PrepareAdd("fromA", "", g.tag("a"))
+	ob := b.PrepareAdd("fromB", "", g.tag("b"))
+	a.Apply(oa)
+	b.Apply(ob)
+	a.Apply(ob)
+	b.Apply(oa)
+
+	if !a.Violating() || a.Size() != 3 {
+		t.Fatalf("expected overshoot, size=%d", a.Size())
+	}
+
+	elemsA, compsA := a.Read(func() clock.EventID { return g.tag("a") })
+	if len(compsA) != 1 {
+		t.Fatalf("compensations = %d, want 1", len(compsA))
+	}
+	if len(elemsA) != 2 {
+		t.Fatalf("post-compensation elems = %v", elemsA)
+	}
+	// Victim is the newest add: tag b:1 > a:2 -> "fromB" removed.
+	for _, e := range elemsA {
+		if e == "fromB" {
+			t.Fatalf("newest add should be the victim, kept %v", elemsA)
+		}
+	}
+	if a.CompensationsApplied != 1 {
+		t.Fatalf("CompensationsApplied = %d", a.CompensationsApplied)
+	}
+
+	// Replica b independently compensates: same victim (determinism).
+	elemsB, compsB := b.Read(func() clock.EventID { return g.tag("b") })
+	if len(compsB) != 1 || len(elemsB) != 2 {
+		t.Fatalf("b compensation = %d elems = %v", len(compsB), elemsB)
+	}
+	for i := range elemsA {
+		if elemsA[i] != elemsB[i] {
+			t.Fatalf("replicas chose different victims: %v vs %v", elemsA, elemsB)
+		}
+	}
+
+	// Cross-apply the compensations: converged, no further violation.
+	for _, op := range compsB {
+		a.Apply(op)
+	}
+	for _, op := range compsA {
+		b.Apply(op)
+	}
+	if a.Violating() || b.Violating() {
+		t.Fatal("still violating after compensations")
+	}
+	if a.Size() != b.Size() || a.Size() != 2 {
+		t.Fatalf("sizes diverged: %d vs %d", a.Size(), b.Size())
+	}
+}
+
+func TestCompSetReadIsRepeatable(t *testing.T) {
+	g := newTagger()
+	c := NewCompSet(1)
+	c.Apply(c.PrepareAdd("x", "", g.tag("a")))
+	c.Apply(c.PrepareAdd("y", "", g.tag("b")))
+	elems, comps := c.Read(func() clock.EventID { return g.tag("a") })
+	if len(elems) != 1 || len(comps) != 1 {
+		t.Fatalf("elems=%v comps=%d", elems, comps)
+	}
+	// Commit the compensation, then read again: stable.
+	for _, op := range comps {
+		c.Apply(op)
+	}
+	elems2, comps2 := c.Read(func() clock.EventID { return g.tag("a") })
+	if len(comps2) != 0 {
+		t.Fatal("second read must not compensate again")
+	}
+	if len(elems2) != 1 || elems2[0] != elems[0] {
+		t.Fatalf("reads disagree: %v vs %v", elems, elems2)
+	}
+}
+
+func TestCompSetMaxSize(t *testing.T) {
+	c := NewCompSet(7)
+	if c.MaxSize() != 7 {
+		t.Fatal("MaxSize")
+	}
+	if c.Type() != "comp-set" {
+		t.Fatal("Type")
+	}
+}

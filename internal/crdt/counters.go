@@ -1,0 +1,172 @@
+package crdt
+
+import (
+	"ipa/internal/clock"
+)
+
+// PNCounter is an increment/decrement counter. With exactly-once causal
+// delivery a plain sum of deltas converges at every replica.
+type PNCounter struct {
+	value int64
+	incs  int64
+	decs  int64
+}
+
+// NewPNCounter returns a counter at zero.
+func NewPNCounter() *PNCounter { return &PNCounter{} }
+
+// Type implements CRDT.
+func (c *PNCounter) Type() string { return "pn-counter" }
+
+// CounterOp adjusts the counter by Delta.
+type CounterOp struct {
+	Delta int64
+	Tag   clock.EventID
+}
+
+// ID implements Op.
+func (o CounterOp) ID() clock.EventID { return o.Tag }
+
+// PrepareAdd builds an op adding delta (negative to decrement).
+func (c *PNCounter) PrepareAdd(delta int64, tag clock.EventID) CounterOp {
+	return CounterOp{Delta: delta, Tag: tag}
+}
+
+// Apply implements CRDT.
+func (c *PNCounter) Apply(op Op) {
+	o, ok := op.(CounterOp)
+	if !ok {
+		return
+	}
+	c.value += o.Delta
+	if o.Delta >= 0 {
+		c.incs += o.Delta
+	} else {
+		c.decs -= o.Delta
+	}
+}
+
+// Compact implements CRDT (nothing to discard).
+func (c *PNCounter) Compact(clock.Vector) {}
+
+// Value returns the current count.
+func (c *PNCounter) Value() int64 { return c.value }
+
+// Increments returns the total of positive deltas; Decrements the total of
+// negative deltas (both non-negative). Useful for violation accounting.
+func (c *PNCounter) Increments() int64 { return c.incs }
+
+// Decrements returns the total magnitude of negative deltas.
+func (c *PNCounter) Decrements() int64 { return c.decs }
+
+// BoundedCounter is the escrow counter behind Indigo-style reservations
+// (O'Neil's escrow method [35], Balegas et al. [11]): the right to
+// decrement is split into per-replica rights so that a replica holding
+// rights can decrement locally without risking the global lower bound
+// (value never drops below zero).
+//
+// Rights move between replicas with transfer operations; consuming more
+// rights than locally available is a local error the caller must handle by
+// requesting a transfer (which is where Indigo pays its coordination
+// latency).
+type BoundedCounter struct {
+	rights   map[clock.ReplicaID]int64
+	consumed map[clock.ReplicaID]int64
+}
+
+// NewBoundedCounter creates a counter whose initial value is the sum of
+// the initial rights.
+func NewBoundedCounter(initialRights map[clock.ReplicaID]int64) *BoundedCounter {
+	r := make(map[clock.ReplicaID]int64, len(initialRights))
+	for k, v := range initialRights {
+		r[k] = v
+	}
+	return &BoundedCounter{rights: r, consumed: map[clock.ReplicaID]int64{}}
+}
+
+// Type implements CRDT.
+func (c *BoundedCounter) Type() string { return "bounded-counter" }
+
+// BCConsumeOp consumes N rights at Replica (a decrement of the value).
+type BCConsumeOp struct {
+	Replica clock.ReplicaID
+	N       int64
+	Tag     clock.EventID
+}
+
+// ID implements Op.
+func (o BCConsumeOp) ID() clock.EventID { return o.Tag }
+
+// BCGrantOp adds N fresh rights at Replica (an increment of the value).
+type BCGrantOp struct {
+	Replica clock.ReplicaID
+	N       int64
+	Tag     clock.EventID
+}
+
+// ID implements Op.
+func (o BCGrantOp) ID() clock.EventID { return o.Tag }
+
+// BCTransferOp moves N rights From one replica To another.
+type BCTransferOp struct {
+	From, To clock.ReplicaID
+	N        int64
+	Tag      clock.EventID
+}
+
+// ID implements Op.
+func (o BCTransferOp) ID() clock.EventID { return o.Tag }
+
+// Local reports the rights locally available to replica r.
+func (c *BoundedCounter) Local(r clock.ReplicaID) int64 {
+	return c.rights[r] - c.consumed[r]
+}
+
+// Value is the global counter value: total rights minus total consumed.
+func (c *BoundedCounter) Value() int64 {
+	var v int64
+	for _, n := range c.rights {
+		v += n
+	}
+	for _, n := range c.consumed {
+		v -= n
+	}
+	return v
+}
+
+// PrepareConsume builds a consume op if r holds at least n local rights.
+func (c *BoundedCounter) PrepareConsume(r clock.ReplicaID, n int64, tag clock.EventID) (BCConsumeOp, bool) {
+	if c.Local(r) < n {
+		return BCConsumeOp{}, false
+	}
+	return BCConsumeOp{Replica: r, N: n, Tag: tag}, true
+}
+
+// PrepareGrant builds an op adding fresh rights at r.
+func (c *BoundedCounter) PrepareGrant(r clock.ReplicaID, n int64, tag clock.EventID) BCGrantOp {
+	return BCGrantOp{Replica: r, N: n, Tag: tag}
+}
+
+// PrepareTransfer builds a transfer of n rights from -> to, if available.
+func (c *BoundedCounter) PrepareTransfer(from, to clock.ReplicaID, n int64, tag clock.EventID) (BCTransferOp, bool) {
+	if c.Local(from) < n {
+		return BCTransferOp{}, false
+	}
+	return BCTransferOp{From: from, To: to, N: n, Tag: tag}, true
+}
+
+// Apply implements CRDT.
+func (c *BoundedCounter) Apply(op Op) {
+	switch o := op.(type) {
+	case BCConsumeOp:
+		c.consumed[o.Replica] += o.N
+	case BCGrantOp:
+		c.rights[o.Replica] += o.N
+	case BCTransferOp:
+		c.rights[o.From] -= o.N
+		c.rights[o.To] += o.N
+	}
+}
+
+// Compact implements CRDT (state is already constant-size per replica).
+func (c *BoundedCounter) Compact(clock.Vector) {}

@@ -1,0 +1,98 @@
+// Package crdt implements the operation-based conflict-free replicated
+// data types the IPA runtime relies on (paper §4.2): add-wins and
+// remove-wins sets extended with touch operations, predicate (wildcard)
+// removes and payload preservation; PN- and bounded (escrow) counters;
+// last-writer-wins and multi-value registers; and the Compensation Set,
+// which enforces an aggregation constraint lazily on every read.
+//
+// All types assume the replication layer (package store) delivers each
+// operation exactly once per replica, in causal order. Under that contract
+// concurrent updates commute and all replicas converge. Stability
+// information (a causal cut known to be delivered everywhere) lets the
+// types discard tombstones and graveyard payloads (the SwiftCloud
+// mechanism the paper uses to garbage-collect touch metadata).
+package crdt
+
+import (
+	"fmt"
+	"strings"
+
+	"ipa/internal/clock"
+)
+
+// CRDT is a replicated object. Mutations are split operation-based:
+// Prepare* methods (on the concrete types) build an Op against the local
+// state, the store commits and replicates it, and Apply integrates it at
+// every replica, the origin included.
+type CRDT interface {
+	// Type identifies the concrete kind, e.g. "aw-set".
+	Type() string
+	// Apply integrates one operation. Ops arrive exactly once, in causal
+	// order. Apply must be deterministic.
+	Apply(op Op)
+	// Compact discards metadata made redundant by the stability horizon:
+	// every event at or below the cut is known to be at every replica.
+	Compact(horizon clock.Vector)
+}
+
+// Op is one replicated update. Concrete op types are defined next to their
+// CRDTs. Every op carries the unique event ID the store assigned to it.
+type Op interface {
+	// ID returns the globally unique event identifier of this update.
+	ID() clock.EventID
+}
+
+// Match is a serialisable element predicate used by wildcard updates such
+// as the paper's enrolled(*, t) = false. Set elements that represent
+// predicate tuples are Sep-joined strings (see JoinTuple); Match selects
+// the elements whose Index-th component equals Value.
+type Match struct {
+	Index int
+	Value string
+}
+
+// TupleSep separates tuple components in set elements.
+const TupleSep = "\x1f"
+
+// JoinTuple encodes a predicate tuple as a set element.
+func JoinTuple(parts ...string) string { return strings.Join(parts, TupleSep) }
+
+// SplitTuple decodes a set element into its tuple components.
+func SplitTuple(elem string) []string { return strings.Split(elem, TupleSep) }
+
+// Matches reports whether the element satisfies the predicate.
+func (m Match) Matches(elem string) bool {
+	parts := SplitTuple(elem)
+	return m.Index < len(parts) && parts[m.Index] == m.Value
+}
+
+func (m Match) String() string { return fmt.Sprintf("[%d]=%s", m.Index, m.Value) }
+
+// MatchAll selects every element (wildcard over the whole set).
+type MatchAll struct{}
+
+// Matches always reports true.
+func (MatchAll) Matches(string) bool { return true }
+
+// Predicate is either a Match, MatchAll, or nil (matches nothing extra).
+type Predicate interface {
+	Matches(elem string) bool
+}
+
+// eventSet is a small set of event IDs.
+type eventSet map[clock.EventID]struct{}
+
+func (s eventSet) add(e clock.EventID)      { s[e] = struct{}{} }
+func (s eventSet) has(e clock.EventID) bool { _, ok := s[e]; return ok }
+func (s eventSet) addAll(es []clock.EventID) {
+	for _, e := range es {
+		s[e] = struct{}{}
+	}
+}
+func (s eventSet) list() []clock.EventID {
+	out := make([]clock.EventID, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	return out
+}

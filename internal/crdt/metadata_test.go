@@ -1,0 +1,106 @@
+package crdt
+
+import (
+	"testing"
+
+	"ipa/internal/clock"
+)
+
+func TestAWSetMetadataSize(t *testing.T) {
+	g := newTagger()
+	s := NewAWSet()
+	if s.MetadataSize() != 0 {
+		t.Fatal("empty set has metadata")
+	}
+	s.Apply(s.PrepareAdd("x", "pay", g.tag("a")))
+	s.Apply(s.PrepareAdd("x", "pay", g.tag("b"))) // second tag
+	if s.MetadataSize() != 2 {
+		t.Fatalf("metadata = %d, want 2 tags", s.MetadataSize())
+	}
+	s.Apply(s.PrepareRemove("x", g.tag("a")))
+	// Tags gone, payload moved to the graveyard.
+	if s.MetadataSize() != 1 {
+		t.Fatalf("metadata = %d, want 1 graveyard entry", s.MetadataSize())
+	}
+	s.Compact(clock.Vector{"a": 99, "b": 99})
+	if s.MetadataSize() != 0 {
+		t.Fatalf("metadata = %d after compaction", s.MetadataSize())
+	}
+}
+
+func TestRWSetMetadataGrowsAndCompacts(t *testing.T) {
+	g := newTagger()
+	s := NewRWSet()
+	for i := 0; i < 10; i++ {
+		s.Apply(s.PrepareAdd("x", "", g.tag("a")))
+		s.Apply(s.PrepareRemove("x", g.tag("a")))
+	}
+	grown := s.MetadataSize()
+	if grown < 20 {
+		t.Fatalf("churn should grow metadata, got %d", grown)
+	}
+	s.Apply(s.PrepareAdd("x", "", g.tag("a"))) // final state: present
+	s.Compact(clock.Vector{"a": 99})
+	if !s.Contains("x") {
+		t.Fatal("compaction lost the element")
+	}
+	if got := s.MetadataSize(); got >= grown || got > 2 {
+		t.Fatalf("compaction should shrink metadata to ~1 add record, got %d", got)
+	}
+}
+
+// Ops of foreign types are ignored by sets (defensive behaviour for the
+// store's generic delivery path).
+func TestSetsIgnoreForeignOps(t *testing.T) {
+	g := newTagger()
+	aw := NewAWSet()
+	aw.Apply(CounterOp{Delta: 1, Tag: g.tag("a")})
+	if aw.Size() != 0 {
+		t.Fatal("foreign op mutated AWSet")
+	}
+	rw := NewRWSet()
+	rw.Apply(LWWSetOp{Value: "x", TS: 1, Tag: g.tag("a")})
+	if rw.Size() != 0 {
+		t.Fatal("foreign op mutated RWSet")
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	e := JoinTuple("p1", "t1", "x")
+	parts := SplitTuple(e)
+	if len(parts) != 3 || parts[0] != "p1" || parts[2] != "x" {
+		t.Fatalf("parts = %v", parts)
+	}
+	if !(Match{Index: 1, Value: "t1"}).Matches(e) {
+		t.Fatal("match by index failed")
+	}
+	if (Match{Index: 0, Value: "t1"}).Matches(e) {
+		t.Fatal("wrong index matched")
+	}
+	if (Match{Index: 9, Value: "t1"}).Matches(e) {
+		t.Fatal("out-of-range index matched")
+	}
+	if !(MatchAll{}).Matches(e) {
+		t.Fatal("MatchAll must match")
+	}
+	if (Match{Index: 1, Value: "t1"}).String() == "" {
+		t.Fatal("Match.String empty")
+	}
+}
+
+func TestCRDTTypeNames(t *testing.T) {
+	cases := map[string]CRDT{
+		"aw-set":          NewAWSet(),
+		"rw-set":          NewRWSet(),
+		"pn-counter":      NewPNCounter(),
+		"bounded-counter": NewBoundedCounter(nil),
+		"lww-register":    NewLWWRegister(),
+		"mv-register":     NewMVRegister(),
+		"comp-set":        NewCompSet(1),
+	}
+	for want, c := range cases {
+		if c.Type() != want {
+			t.Fatalf("Type() = %q, want %q", c.Type(), want)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package crdt
+
+import (
+	"sort"
+
+	"ipa/internal/clock"
+)
+
+// RWSet is a remove-wins set: a remove cancels every add it is concurrent
+// with, not only the adds it observed. An element is present iff some add
+// has observed (causally follows) every remove affecting the element —
+// including wildcard removes whose predicate matches it. This is the
+// resolution IPA uses when the effects of a removal must prevail, e.g.
+// purging a removed tournament's enrolments (paper Fig. 2c) or a removed
+// user's timeline entries.
+type RWSet struct {
+	adds    map[string]map[clock.EventID]addRecord // element -> add event -> observations
+	removes map[string]eventSet                    // element -> exact remove events
+	wild    map[clock.EventID]wildRemove           // wildcard tombstones
+	payload map[string]string
+}
+
+type addRecord struct {
+	observedRemoves eventSet // exact removes of this element seen at origin
+	observedWild    eventSet // wildcard tombstones seen at origin
+}
+
+type wildRemove struct {
+	pred Predicate
+}
+
+// NewRWSet returns an empty remove-wins set.
+func NewRWSet() *RWSet {
+	return &RWSet{
+		adds:    map[string]map[clock.EventID]addRecord{},
+		removes: map[string]eventSet{},
+		wild:    map[clock.EventID]wildRemove{},
+		payload: map[string]string{},
+	}
+}
+
+// Type implements CRDT.
+func (s *RWSet) Type() string { return "rw-set" }
+
+// RWAddOp (re-)adds an element, recording the removes observed at origin.
+type RWAddOp struct {
+	Elem            string
+	Pay             string
+	Touch           bool
+	Tag             clock.EventID
+	ObservedRemoves []clock.EventID
+	ObservedWild    []clock.EventID
+}
+
+// ID implements Op.
+func (o RWAddOp) ID() clock.EventID { return o.Tag }
+
+// RWRemoveOp removes one element (remove-wins: it also defeats concurrent
+// adds of the element).
+type RWRemoveOp struct {
+	Elem string
+	Tag  clock.EventID
+}
+
+// ID implements Op.
+func (o RWRemoveOp) ID() clock.EventID { return o.Tag }
+
+// RWRemoveWhereOp is the wildcard remove: it defeats every add of a
+// matching element unless the add causally follows this op.
+type RWRemoveWhereOp struct {
+	Pred Predicate
+	Tag  clock.EventID
+}
+
+// ID implements Op.
+func (o RWRemoveWhereOp) ID() clock.EventID { return o.Tag }
+
+// PrepareAdd builds an add observing the current removes of elem.
+func (s *RWSet) PrepareAdd(elem, payload string, tag clock.EventID) RWAddOp {
+	op := RWAddOp{Elem: elem, Pay: payload, Tag: tag}
+	if rs, ok := s.removes[elem]; ok {
+		op.ObservedRemoves = rs.list()
+	}
+	for wid := range s.wild {
+		op.ObservedWild = append(op.ObservedWild, wid)
+	}
+	return op
+}
+
+// PrepareTouch is PrepareAdd preserving the existing payload.
+func (s *RWSet) PrepareTouch(elem string, tag clock.EventID) RWAddOp {
+	op := s.PrepareAdd(elem, "", tag)
+	op.Touch = true
+	return op
+}
+
+// PrepareRemove builds an exact remove of elem.
+func (s *RWSet) PrepareRemove(elem string, tag clock.EventID) RWRemoveOp {
+	return RWRemoveOp{Elem: elem, Tag: tag}
+}
+
+// PrepareRemoveWhere builds a wildcard remove.
+func (s *RWSet) PrepareRemoveWhere(pred Predicate, tag clock.EventID) RWRemoveWhereOp {
+	return RWRemoveWhereOp{Pred: pred, Tag: tag}
+}
+
+// Apply implements CRDT.
+func (s *RWSet) Apply(op Op) {
+	switch o := op.(type) {
+	case RWAddOp:
+		recs, ok := s.adds[o.Elem]
+		if !ok {
+			recs = map[clock.EventID]addRecord{}
+			s.adds[o.Elem] = recs
+		}
+		rec := addRecord{observedRemoves: eventSet{}, observedWild: eventSet{}}
+		rec.observedRemoves.addAll(o.ObservedRemoves)
+		rec.observedWild.addAll(o.ObservedWild)
+		recs[o.Tag] = rec
+		if o.Touch {
+			if _, have := s.payload[o.Elem]; !have {
+				s.payload[o.Elem] = ""
+			}
+		} else {
+			s.payload[o.Elem] = o.Pay
+		}
+	case RWRemoveOp:
+		rs, ok := s.removes[o.Elem]
+		if !ok {
+			rs = eventSet{}
+			s.removes[o.Elem] = rs
+		}
+		rs.add(o.Tag)
+	case RWRemoveWhereOp:
+		s.wild[o.Tag] = wildRemove{pred: o.Pred}
+	}
+}
+
+// Contains reports membership: some add observed every remove that affects
+// the element.
+func (s *RWSet) Contains(elem string) bool {
+	recs, ok := s.adds[elem]
+	if !ok {
+		return false
+	}
+	removes := s.removes[elem]
+	for _, rec := range recs {
+		alive := true
+		for r := range removes {
+			if !rec.observedRemoves.has(r) {
+				alive = false
+				break
+			}
+		}
+		if !alive {
+			continue
+		}
+		for wid, w := range s.wild {
+			if w.pred.Matches(elem) && !rec.observedWild.has(wid) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			return true
+		}
+	}
+	return false
+}
+
+// Payload returns the element's payload.
+func (s *RWSet) Payload(elem string) (string, bool) {
+	if !s.Contains(elem) {
+		return "", false
+	}
+	return s.payload[elem], true
+}
+
+// Size returns the number of present elements.
+func (s *RWSet) Size() int {
+	n := 0
+	for e := range s.adds {
+		if s.Contains(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// Elems returns the present elements, sorted.
+func (s *RWSet) Elems() []string {
+	var out []string
+	for e := range s.adds {
+		if s.Contains(e) {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ElemsWhere returns the present elements matching pred, sorted.
+func (s *RWSet) ElemsWhere(pred Predicate) []string {
+	var out []string
+	for e := range s.adds {
+		if pred.Matches(e) && s.Contains(e) {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MetadataSize reports the number of metadata entries held: add records
+// (with their observation sets), remove tombstones and wildcard
+// tombstones. Used by the stability-GC ablation.
+func (s *RWSet) MetadataSize() int {
+	n := len(s.wild)
+	for _, recs := range s.adds {
+		for _, rec := range recs {
+			n += 1 + len(rec.observedRemoves) + len(rec.observedWild)
+		}
+	}
+	for _, rs := range s.removes {
+		n += len(rs)
+	}
+	return n
+}
+
+// Compact implements CRDT. A remove at or below the stability horizon has
+// been delivered everywhere, so no concurrent add can still arrive: the
+// presence decision it participates in is final. Dead adds are dropped,
+// surviving adds no longer need to track the stable remove, and fully
+// resolved tombstones disappear.
+func (s *RWSet) Compact(horizon clock.Vector) {
+	// Identify stable wildcard tombstones.
+	stableWild := map[clock.EventID]wildRemove{}
+	for wid, w := range s.wild {
+		if horizon.Contains(wid) {
+			stableWild[wid] = w
+		}
+	}
+	for elem, recs := range s.adds {
+		removes := s.removes[elem]
+		for tag, rec := range recs {
+			dead := false
+			for r := range removes {
+				if horizon.Contains(r) && !rec.observedRemoves.has(r) {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				for wid, w := range stableWild {
+					if w.pred.Matches(elem) && !rec.observedWild.has(wid) {
+						dead = true
+						break
+					}
+				}
+			}
+			if dead {
+				delete(recs, tag)
+				continue
+			}
+			// Surviving add: forget stable observations.
+			for r := range removes {
+				if horizon.Contains(r) {
+					delete(rec.observedRemoves, r)
+				}
+			}
+			for wid := range stableWild {
+				delete(rec.observedWild, wid)
+			}
+		}
+		if len(recs) == 0 {
+			delete(s.adds, elem)
+			delete(s.payload, elem)
+		}
+	}
+	// Stable exact removes: every surviving add has observed them (the
+	// unobserving adds were just dropped) — the tombstone is redundant.
+	for elem, rs := range s.removes {
+		for r := range rs {
+			if horizon.Contains(r) {
+				delete(rs, r)
+			}
+		}
+		if len(rs) == 0 {
+			delete(s.removes, elem)
+		}
+	}
+	for wid := range stableWild {
+		delete(s.wild, wid)
+	}
+}

@@ -1,0 +1,144 @@
+package indigo
+
+import (
+	"ipa/internal/clock"
+	"ipa/internal/crdt"
+	"ipa/internal/wan"
+)
+
+// Escrow manages numeric reservations (O'Neil's escrow method [35], the
+// Indigo/bounded-counter approach of Balegas et al. [11]): the right to
+// decrement a bounded quantity — tickets, stock — is split into
+// per-replica rights backed by a crdt.BoundedCounter. A replica holding
+// enough local rights consumes them with zero coordination; otherwise it
+// must transfer rights from a reachable peer, paying a wide-area round
+// trip. When no peer has spare rights the operation fails — the quantity
+// is exhausted (or unreachable), which is exactly the invariant being
+// protected.
+type Escrow struct {
+	lat      *wan.Latency
+	replicas []clock.ReplicaID
+	counters map[string]*crdt.BoundedCounter
+	clock    clock.Vector
+
+	// Partitioned mirrors Manager.Partitioned.
+	Partitioned func(a, b clock.ReplicaID) bool
+
+	// Stats
+	Consumes  uint64
+	Transfers uint64
+	Denied    uint64
+}
+
+// NewEscrow creates an escrow manager.
+func NewEscrow(lat *wan.Latency, replicas []clock.ReplicaID) *Escrow {
+	return &Escrow{
+		lat:      lat,
+		replicas: append([]clock.ReplicaID(nil), replicas...),
+		counters: map[string]*crdt.BoundedCounter{},
+		clock:    clock.New(),
+	}
+}
+
+// Create initialises a resource with total units split evenly across the
+// replicas (the usual initial rights distribution).
+func (e *Escrow) Create(resource string, total int64) {
+	per := total / int64(len(e.replicas))
+	rights := map[clock.ReplicaID]int64{}
+	rem := total
+	for i, r := range e.replicas {
+		n := per
+		if i == len(e.replicas)-1 {
+			n = rem
+		}
+		rights[r] = n
+		rem -= n
+	}
+	e.counters[resource] = crdt.NewBoundedCounter(rights)
+}
+
+// Remaining returns the global remaining units of the resource.
+func (e *Escrow) Remaining(resource string) int64 {
+	c, ok := e.counters[resource]
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// LocalRights returns the units replica id can consume without
+// coordination.
+func (e *Escrow) LocalRights(resource string, id clock.ReplicaID) int64 {
+	c, ok := e.counters[resource]
+	if !ok {
+		return 0
+	}
+	return c.Local(id)
+}
+
+// Consume takes n units at replica id. It returns the coordination
+// latency paid (zero on the local fast path) and whether the consume
+// succeeded. On the slow path rights are transferred from the reachable
+// peer with the most spare rights.
+func (e *Escrow) Consume(resource string, id clock.ReplicaID, n int64) (wan.Time, bool) {
+	e.Consumes++
+	c, ok := e.counters[resource]
+	if !ok {
+		e.Denied++
+		return 0, false
+	}
+	var delay wan.Time
+	if c.Local(id) < n {
+		// Find the richest reachable peer and transfer what we need.
+		var donor clock.ReplicaID
+		var best int64
+		for _, r := range e.replicas {
+			if r == id {
+				continue
+			}
+			if e.Partitioned != nil && e.Partitioned(id, r) {
+				continue
+			}
+			if spare := c.Local(r); spare > best {
+				best, donor = spare, r
+			}
+		}
+		need := n - c.Local(id)
+		if donor == "" || best < need {
+			e.Denied++
+			return 0, false // exhausted or unreachable
+		}
+		// Transfer a chunk (the deficit plus a half of the donor's spare,
+		// so repeated consumes amortise the round trip — the "exchange
+		// infrequently" behaviour the paper highlights).
+		amount := need + (best-need)/2
+		op, ok := c.PrepareTransfer(donor, id, amount, e.tick(donor))
+		if !ok {
+			e.Denied++
+			return 0, false
+		}
+		c.Apply(op)
+		e.Transfers++
+		delay = e.lat.RTT(string(id), string(donor))
+	}
+	op, ok := c.PrepareConsume(id, n, e.tick(id))
+	if !ok {
+		e.Denied++
+		return delay, false
+	}
+	c.Apply(op)
+	return delay, true
+}
+
+// Refund returns n units to replica id (a cancelled purchase).
+func (e *Escrow) Refund(resource string, id clock.ReplicaID, n int64) {
+	c, ok := e.counters[resource]
+	if !ok {
+		return
+	}
+	c.Apply(c.PrepareGrant(id, n, e.tick(id)))
+}
+
+func (e *Escrow) tick(r clock.ReplicaID) clock.EventID {
+	return e.clock.Tick(r)
+}

@@ -1,0 +1,154 @@
+package indigo
+
+import (
+	"testing"
+
+	"ipa/internal/clock"
+	"ipa/internal/wan"
+)
+
+func newEscrow(total int64) *Escrow {
+	e := NewEscrow(wan.PaperTopology(), []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest})
+	e.Create("tickets", total)
+	return e
+}
+
+func TestEscrowSplitsRights(t *testing.T) {
+	e := newEscrow(9)
+	if e.Remaining("tickets") != 9 {
+		t.Fatalf("remaining = %d", e.Remaining("tickets"))
+	}
+	for _, r := range []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest} {
+		if e.LocalRights("tickets", r) != 3 {
+			t.Fatalf("%s rights = %d", r, e.LocalRights("tickets", r))
+		}
+	}
+}
+
+func TestEscrowLocalFastPath(t *testing.T) {
+	e := newEscrow(9)
+	d, ok := e.Consume("tickets", wan.USEast, 2)
+	if !ok || d != 0 {
+		t.Fatalf("local consume: d=%v ok=%v", d, ok)
+	}
+	if e.LocalRights("tickets", wan.USEast) != 1 {
+		t.Fatal("rights not consumed")
+	}
+	if e.Remaining("tickets") != 7 {
+		t.Fatal("global value wrong")
+	}
+}
+
+func TestEscrowTransferOnDeficit(t *testing.T) {
+	e := newEscrow(9)
+	// Drain east's rights, then one more: must transfer, paying an RTT.
+	e.Consume("tickets", wan.USEast, 3)
+	d, ok := e.Consume("tickets", wan.USEast, 1)
+	if !ok {
+		t.Fatal("transfer consume should succeed")
+	}
+	if d != wan.Ms(80) {
+		t.Fatalf("transfer cost = %v, want 80ms (nearest-rich peer)", d.Millis())
+	}
+	if e.Transfers != 1 {
+		t.Fatalf("transfers = %d", e.Transfers)
+	}
+	// The chunked transfer left spare local rights: next consume is free.
+	d2, ok := e.Consume("tickets", wan.USEast, 1)
+	if !ok || d2 != 0 {
+		t.Fatalf("amortised consume: d=%v ok=%v", d2, ok)
+	}
+}
+
+func TestEscrowExhaustionDenied(t *testing.T) {
+	e := newEscrow(3)
+	for i := 0; i < 3; i++ {
+		if _, ok := e.Consume("tickets", wan.USEast, 1); !ok {
+			t.Fatalf("consume %d should succeed", i)
+		}
+	}
+	if _, ok := e.Consume("tickets", wan.USEast, 1); ok {
+		t.Fatal("exhausted resource must deny")
+	}
+	if e.Remaining("tickets") != 0 {
+		t.Fatalf("remaining = %d", e.Remaining("tickets"))
+	}
+	if e.Denied == 0 {
+		t.Fatal("denial not counted")
+	}
+	// THE invariant: never negative, no overselling — ever.
+	if e.Remaining("tickets") < 0 {
+		t.Fatal("escrow oversold")
+	}
+}
+
+func TestEscrowPartitionDenies(t *testing.T) {
+	e := newEscrow(9)
+	e.Consume("tickets", wan.EUWest, 3) // eu-west out of local rights
+	e.Partitioned = func(a, b clock.ReplicaID) bool { return a == wan.EUWest || b == wan.EUWest }
+	if _, ok := e.Consume("tickets", wan.EUWest, 1); ok {
+		t.Fatal("isolated replica without rights must be denied")
+	}
+	// Other replicas with local rights continue unaffected.
+	if _, ok := e.Consume("tickets", wan.USEast, 1); !ok {
+		t.Fatal("east should still work")
+	}
+	// Heal: eu-west can transfer again.
+	e.Partitioned = nil
+	if _, ok := e.Consume("tickets", wan.EUWest, 1); !ok {
+		t.Fatal("consume after heal should succeed")
+	}
+}
+
+func TestEscrowRefund(t *testing.T) {
+	e := newEscrow(3)
+	e.Consume("tickets", wan.USEast, 1)
+	e.Refund("tickets", wan.USEast, 1)
+	if e.Remaining("tickets") != 3 {
+		t.Fatalf("remaining after refund = %d", e.Remaining("tickets"))
+	}
+}
+
+func TestEscrowUnknownResource(t *testing.T) {
+	e := newEscrow(3)
+	if _, ok := e.Consume("ghost", wan.USEast, 1); ok {
+		t.Fatal("unknown resource must deny")
+	}
+	if e.Remaining("ghost") != 0 || e.LocalRights("ghost", wan.USEast) != 0 {
+		t.Fatal("unknown resource should read as zero")
+	}
+	e.Refund("ghost", wan.USEast, 1) // must not panic
+}
+
+// Escrow never oversells regardless of the consume/transfer interleaving.
+func TestEscrowNeverOversells(t *testing.T) {
+	reps := []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest}
+	for seed := 0; seed < 20; seed++ {
+		e := newEscrow(30)
+		granted := int64(0)
+		rng := newRand(seed)
+		for i := 0; i < 200; i++ {
+			r := reps[rng.Intn(len(reps))]
+			if _, ok := e.Consume("tickets", r, 1); ok {
+				granted++
+			}
+		}
+		if granted > 30 {
+			t.Fatalf("seed %d: oversold: granted %d of 30", seed, granted)
+		}
+		if granted != 30 {
+			t.Fatalf("seed %d: undersold without partitions: %d of 30", seed, granted)
+		}
+	}
+}
+
+// newRand is a tiny deterministic PRNG to avoid importing math/rand in
+// multiple test files with conflicting seeds.
+type lcg struct{ s uint64 }
+
+func newRand(seed int) *lcg { return &lcg{s: uint64(seed)*2862933555777941757 + 3037000493} }
+
+func (l *lcg) Intn(n int) int {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return int((l.s >> 33) % uint64(n))
+}

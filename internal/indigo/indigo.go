@@ -1,0 +1,210 @@
+// Package indigo models the coordination baseline the paper compares
+// against (Balegas et al., "Putting consistency back into eventual
+// consistency" [10]): invariant violations are avoided, rather than
+// repaired, by protecting conflicting operation pairs with reservations.
+//
+// A reservation is a multi-level lock replicated across data centers. A
+// replica that already holds the right it needs executes locally at causal
+// speed; otherwise it must obtain the right from its current holders,
+// which costs a pairwise wide-area round trip (and, for exclusive rights,
+// a revocation round to every holder). Rights stick with their holder
+// until another replica demands them, so workloads with low contention
+// pay almost nothing (paper §5.2.2) while contended workloads see latency
+// rise steeply with the competing fraction (paper Fig. 9).
+//
+// The model exposes the latency cost of each acquisition; the benchmark
+// driver charges it to the operation and advances the simulation, which
+// reproduces the coordination penalty without simulating the lock
+// protocol's message contents.
+package indigo
+
+import (
+	"fmt"
+
+	"ipa/internal/clock"
+	"ipa/internal/wan"
+)
+
+// Mode is the strength of a reservation right.
+type Mode uint8
+
+// Reservation modes.
+const (
+	// Shared rights may be held by many replicas at once (e.g. the right
+	// to enroll players into an existing tournament).
+	Shared Mode = iota
+	// Exclusive rights revoke every other holder (e.g. the right to
+	// remove the tournament).
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "exclusive"
+	}
+	return "shared"
+}
+
+// Manager tracks reservation state for one deployment.
+type Manager struct {
+	lat      *wan.Latency
+	replicas []clock.ReplicaID
+	res      map[string]*reservation
+
+	// Partitioned reports whether two replicas cannot currently reach
+	// each other; acquisitions that must contact an unreachable holder
+	// fail (the paper's availability argument against coordination).
+	Partitioned func(a, b clock.ReplicaID) bool
+
+	// Stats
+	Acquisitions uint64
+	Transfers    uint64
+	Revocations  uint64
+}
+
+type reservation struct {
+	holders map[clock.ReplicaID]Mode
+}
+
+// NewManager creates a manager over the given replicas. Initially every
+// reservation is held shared by its first accessor's... nothing: rights
+// materialise on first acquisition, granted to the requester for free (the
+// system hands out initial rights at object creation).
+func NewManager(lat *wan.Latency, replicas []clock.ReplicaID) *Manager {
+	return &Manager{lat: lat, replicas: append([]clock.ReplicaID(nil), replicas...), res: map[string]*reservation{}}
+}
+
+// GrantInitial seeds a reservation with shared rights at every replica —
+// the common starting state for rarely-conflicting operations.
+func (m *Manager) GrantInitial(name string) {
+	r := &reservation{holders: map[clock.ReplicaID]Mode{}}
+	for _, id := range m.replicas {
+		r.holders[id] = Shared
+	}
+	m.res[name] = r
+}
+
+// Holds reports whether replica id holds the reservation with at least
+// the given mode.
+func (m *Manager) Holds(name string, id clock.ReplicaID, mode Mode) bool {
+	r, ok := m.res[name]
+	if !ok {
+		return false
+	}
+	h, ok := r.holders[id]
+	if !ok {
+		return false
+	}
+	return mode == Shared || h == Exclusive
+}
+
+// Acquire obtains the reservation for replica id in the given mode. It
+// returns the wide-area latency the acquisition costs and whether it
+// succeeded (it fails only when a needed holder is partitioned away).
+// Costs:
+//   - already held in a sufficient mode: 0 (the fast path Indigo banks on);
+//   - shared right fetched from the nearest holder: one RTT to it;
+//   - exclusive right: one RTT to the farthest other holder (revocations
+//     proceed in parallel).
+func (m *Manager) Acquire(name string, id clock.ReplicaID, mode Mode) (wan.Time, bool) {
+	m.Acquisitions++
+	r, ok := m.res[name]
+	if !ok {
+		// First accessor materialises the reservation and gets the right.
+		r = &reservation{holders: map[clock.ReplicaID]Mode{id: mode}}
+		m.res[name] = r
+		return 0, true
+	}
+	if h, held := r.holders[id]; held && (mode == Shared || h == Exclusive) {
+		if mode == Exclusive && len(r.holders) > 1 {
+			// Holding exclusive implies sole ownership; holding shared and
+			// wanting exclusive falls through to revocation below.
+			if h == Exclusive {
+				return 0, true
+			}
+		} else {
+			return 0, true
+		}
+	}
+
+	switch mode {
+	case Shared:
+		// Fetch from the nearest reachable holder.
+		best := wan.Time(-1)
+		for holder := range r.holders {
+			if holder == id {
+				continue
+			}
+			if m.Partitioned != nil && m.Partitioned(id, holder) {
+				continue
+			}
+			rtt := m.lat.RTT(string(id), string(holder))
+			if best < 0 || rtt < best {
+				best = rtt
+			}
+		}
+		if best < 0 {
+			if len(r.holders) == 0 {
+				r.holders[id] = Shared
+				return 0, true
+			}
+			return 0, false // all holders unreachable
+		}
+		m.Transfers++
+		r.holders[id] = Shared
+		return best, true
+
+	case Exclusive:
+		// Revoke every other holder; cost is the farthest reachable RTT.
+		worst := wan.Time(0)
+		for holder := range r.holders {
+			if holder == id {
+				continue
+			}
+			if m.Partitioned != nil && m.Partitioned(id, holder) {
+				return 0, false // cannot revoke an unreachable holder
+			}
+			rtt := m.lat.RTT(string(id), string(holder))
+			if rtt > worst {
+				worst = rtt
+			}
+			m.Revocations++
+		}
+		r.holders = map[clock.ReplicaID]Mode{id: Exclusive}
+		if worst > 0 {
+			m.Transfers++
+		}
+		return worst, true
+	}
+	return 0, false
+}
+
+// Release downgrades an exclusive right back to shared, letting other
+// replicas reacquire cheaply.
+func (m *Manager) Release(name string, id clock.ReplicaID) {
+	r, ok := m.res[name]
+	if !ok {
+		return
+	}
+	if r.holders[id] == Exclusive {
+		r.holders[id] = Shared
+	}
+}
+
+// Holders returns a copy of the holder map (diagnostics).
+func (m *Manager) Holders(name string) map[clock.ReplicaID]Mode {
+	r, ok := m.res[name]
+	if !ok {
+		return nil
+	}
+	out := make(map[clock.ReplicaID]Mode, len(r.holders))
+	for k, v := range r.holders {
+		out[k] = v
+	}
+	return out
+}
+
+func (m *Manager) String() string {
+	return fmt.Sprintf("indigo.Manager{reservations: %d, acquisitions: %d, transfers: %d}",
+		len(m.res), m.Acquisitions, m.Transfers)
+}

@@ -1,0 +1,157 @@
+package indigo
+
+import (
+	"testing"
+
+	"ipa/internal/clock"
+	"ipa/internal/wan"
+)
+
+func newManager() *Manager {
+	return NewManager(wan.PaperTopology(), []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest})
+}
+
+func TestFirstAcquisitionIsFree(t *testing.T) {
+	m := newManager()
+	d, ok := m.Acquire("r1", wan.USEast, Shared)
+	if !ok || d != 0 {
+		t.Fatalf("first acquire: d=%v ok=%v", d, ok)
+	}
+	// Re-acquire by the same replica: free.
+	d, ok = m.Acquire("r1", wan.USEast, Shared)
+	if !ok || d != 0 {
+		t.Fatalf("re-acquire: d=%v ok=%v", d, ok)
+	}
+}
+
+func TestSharedFetchCostsNearestRTT(t *testing.T) {
+	m := newManager()
+	m.Acquire("r", wan.USEast, Shared)
+	// eu-west fetches from us-east: 80ms RTT.
+	d, ok := m.Acquire("r", wan.EUWest, Shared)
+	if !ok || d != wan.Ms(80) {
+		t.Fatalf("d=%v ok=%v, want 80ms", d.Millis(), ok)
+	}
+	// Now us-west fetches; nearest holder is us-east (80ms) vs eu-west
+	// (160ms): pays 80.
+	d, ok = m.Acquire("r", wan.USWest, Shared)
+	if !ok || d != wan.Ms(80) {
+		t.Fatalf("d=%v, want 80ms", d.Millis())
+	}
+	// All three hold shared now: everyone's fast path.
+	for _, id := range []clock.ReplicaID{wan.USEast, wan.USWest, wan.EUWest} {
+		if d, _ := m.Acquire("r", id, Shared); d != 0 {
+			t.Fatalf("%s should hold shared", id)
+		}
+	}
+}
+
+func TestExclusiveRevokesAll(t *testing.T) {
+	m := newManager()
+	m.GrantInitial("r")
+	// us-west demands exclusive: revokes us-east (80) and eu-west (160) in
+	// parallel -> 160ms.
+	d, ok := m.Acquire("r", wan.USWest, Exclusive)
+	if !ok || d != wan.Ms(160) {
+		t.Fatalf("d=%v ok=%v, want 160ms", d.Millis(), ok)
+	}
+	if !m.Holds("r", wan.USWest, Exclusive) {
+		t.Fatal("us-west should hold exclusive")
+	}
+	if m.Holds("r", wan.USEast, Shared) {
+		t.Fatal("us-east should be revoked")
+	}
+	// Exclusive holder re-acquires free.
+	if d, _ := m.Acquire("r", wan.USWest, Exclusive); d != 0 {
+		t.Fatal("exclusive holder should be free")
+	}
+	// Another replica's shared acquire fetches from the exclusive holder.
+	d, ok = m.Acquire("r", wan.USEast, Shared)
+	if !ok || d != wan.Ms(80) {
+		t.Fatalf("shared after exclusive: %v", d.Millis())
+	}
+}
+
+func TestReleaseDowngrades(t *testing.T) {
+	m := newManager()
+	m.Acquire("r", wan.USEast, Exclusive)
+	m.Release("r", wan.USEast)
+	if m.Holds("r", wan.USEast, Exclusive) {
+		t.Fatal("release should downgrade to shared")
+	}
+	if !m.Holds("r", wan.USEast, Shared) {
+		t.Fatal("shared right should remain")
+	}
+}
+
+func TestSharedThenExclusiveUpgrade(t *testing.T) {
+	m := newManager()
+	m.GrantInitial("r")
+	// us-east upgrades shared->exclusive: revokes the other two.
+	d, ok := m.Acquire("r", wan.USEast, Exclusive)
+	if !ok || d != wan.Ms(80) {
+		t.Fatalf("upgrade cost = %v, want 80ms (both peers at 80)", d.Millis())
+	}
+	if len(m.Holders("r")) != 1 {
+		t.Fatalf("holders = %v", m.Holders("r"))
+	}
+}
+
+func TestPartitionBlocksAcquisition(t *testing.T) {
+	m := newManager()
+	m.GrantInitial("r")
+	cut := map[clock.ReplicaID]bool{wan.EUWest: true}
+	m.Partitioned = func(a, b clock.ReplicaID) bool { return cut[a] || cut[b] }
+
+	// eu-west is isolated: it cannot revoke others for exclusive.
+	if _, ok := m.Acquire("r", wan.EUWest, Exclusive); ok {
+		t.Fatal("exclusive across a partition must fail")
+	}
+	// Its own shared fast path still works (already a holder).
+	if d, ok := m.Acquire("r", wan.EUWest, Shared); !ok || d != 0 {
+		t.Fatal("local shared right should survive the partition")
+	}
+	// us-east demanding exclusive cannot revoke the unreachable eu-west.
+	if _, ok := m.Acquire("r", wan.USEast, Exclusive); ok {
+		t.Fatal("exclusive must fail while a holder is unreachable")
+	}
+	// Heal: works again.
+	m.Partitioned = nil
+	if _, ok := m.Acquire("r", wan.USEast, Exclusive); !ok {
+		t.Fatal("exclusive should succeed after heal")
+	}
+}
+
+func TestSharedFetchWithAllHoldersPartitioned(t *testing.T) {
+	m := newManager()
+	m.Acquire("r", wan.USEast, Shared)
+	m.Partitioned = func(a, b clock.ReplicaID) bool { return true }
+	if _, ok := m.Acquire("r", wan.USWest, Shared); ok {
+		t.Fatal("shared fetch must fail when every holder is unreachable")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := newManager()
+	m.GrantInitial("r")
+	m.Acquire("r", wan.USEast, Shared)    // free
+	m.Acquire("r", wan.USWest, Exclusive) // revokes 2
+	if m.Acquisitions != 2 {
+		t.Fatalf("acquisitions = %d", m.Acquisitions)
+	}
+	if m.Revocations != 2 {
+		t.Fatalf("revocations = %d", m.Revocations)
+	}
+	if m.Transfers != 1 {
+		t.Fatalf("transfers = %d", m.Transfers)
+	}
+	if m.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "shared" || Exclusive.String() != "exclusive" {
+		t.Fatal("mode strings")
+	}
+}

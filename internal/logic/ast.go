@@ -1,0 +1,390 @@
+// Package logic defines the first-order specification logic used by IPA:
+// application invariants are universally quantified boolean combinations of
+// predicate atoms and numeric comparisons over counts, numeric fields and
+// named constants (paper §3.1, Fig. 1).
+//
+// The package provides the AST, a parser for the textual form, substitution
+// and free-variable analysis. Grounding to propositional logic lives in
+// package smt; the IPA analysis itself in package analysis.
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sort names a parameter type, e.g. "Player" or "Tournament".
+type Sort string
+
+// Var is a sorted variable, bound by a quantifier or an operation signature.
+type Var struct {
+	Name string
+	Sort Sort
+}
+
+func (v Var) String() string { return fmt.Sprintf("%s: %s", v.Sort, v.Name) }
+
+// TermKind distinguishes the kinds of predicate arguments.
+type TermKind uint8
+
+const (
+	// TermVar is a reference to a quantified or parameter variable.
+	TermVar TermKind = iota
+	// TermConst is a ground domain element.
+	TermConst
+	// TermWildcard is the paper's "*": matches every domain element, used
+	// in effects such as enrolled(*, t) = false and counts #enrolled(*, t).
+	TermWildcard
+)
+
+// Term is a predicate argument.
+type Term struct {
+	Kind TermKind
+	Name string // variable name or constant label; empty for wildcard
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Kind: TermVar, Name: name} }
+
+// C returns a constant (ground) term.
+func C(name string) Term { return Term{Kind: TermConst, Name: name} }
+
+// Wild returns the wildcard term.
+func Wild() Term { return Term{Kind: TermWildcard} }
+
+func (t Term) String() string {
+	switch t.Kind {
+	case TermWildcard:
+		return "*"
+	case TermConst:
+		return "'" + t.Name + "'"
+	default:
+		return t.Name
+	}
+}
+
+// Formula is a first-order formula node. Implementations: *BoolLit, *Atom,
+// *Not, *And, *Or, *Implies, *Forall, *Cmp.
+type Formula interface {
+	fmt.Stringer
+	isFormula()
+}
+
+// BoolLit is the constant true or false.
+type BoolLit struct{ Val bool }
+
+// Atom is an application of a boolean predicate, e.g. enrolled(p, t).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// Not is logical negation.
+type Not struct{ F Formula }
+
+// And is n-ary conjunction.
+type And struct{ L []Formula }
+
+// Or is n-ary disjunction.
+type Or struct{ L []Formula }
+
+// Implies is material implication A => B.
+type Implies struct{ A, B Formula }
+
+// Forall is universal quantification over sorted variables.
+type Forall struct {
+	Vars []Var
+	Body Formula
+}
+
+// CmpOp is a numeric comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Negate returns the complementary operator (e.g. LE -> GT).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	}
+	return op
+}
+
+// Cmp is a numeric comparison L op R.
+type Cmp struct {
+	Op   CmpOp
+	L, R NumTerm
+}
+
+func (*BoolLit) isFormula() {}
+func (*Atom) isFormula()    {}
+func (*Not) isFormula()     {}
+func (*And) isFormula()     {}
+func (*Or) isFormula()      {}
+func (*Implies) isFormula() {}
+func (*Forall) isFormula()  {}
+func (*Cmp) isFormula()     {}
+
+// NumTerm is a numeric term: integer literal, named constant, count of a
+// predicate pattern, numeric field application, or sum/difference.
+// Implementations: *IntLit, *ConstRef, *Count, *FnApp, *NumBin.
+type NumTerm interface {
+	fmt.Stringer
+	isNumTerm()
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ N int }
+
+// ConstRef names a symbolic application constant such as Capacity.
+type ConstRef struct{ Name string }
+
+// Count is the paper's #p(args) cardinality term; wildcard arguments range
+// over the whole domain.
+type Count struct {
+	Pred string
+	Args []Term
+}
+
+// FnApp applies a numeric field, e.g. stock(i).
+type FnApp struct {
+	Fn   string
+	Args []Term
+}
+
+// NumBin is addition or subtraction of numeric terms.
+type NumBin struct {
+	Op   byte // '+' or '-'
+	L, R NumTerm
+}
+
+func (*IntLit) isNumTerm()   {}
+func (*ConstRef) isNumTerm() {}
+func (*Count) isNumTerm()    {}
+func (*FnApp) isNumTerm()    {}
+func (*NumBin) isNumTerm()   {}
+
+func argString(args []Term) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (f *BoolLit) String() string {
+	if f.Val {
+		return "true"
+	}
+	return "false"
+}
+func (f *Atom) String() string { return fmt.Sprintf("%s(%s)", f.Pred, argString(f.Args)) }
+func (f *Not) String() string  { return "not " + paren(f.F) }
+func (f *And) String() string  { return joinFormulas(f.L, " and ") }
+func (f *Or) String() string   { return joinFormulas(f.L, " or ") }
+func (f *Implies) String() string {
+	return paren(f.A) + " => " + paren(f.B)
+}
+func (f *Forall) String() string {
+	groups := make([]string, len(f.Vars))
+	for i, v := range f.Vars {
+		groups[i] = v.String()
+	}
+	return fmt.Sprintf("forall (%s) :- %s", strings.Join(groups, ", "), f.Body)
+}
+func (f *Cmp) String() string { return fmt.Sprintf("%s %s %s", f.L, f.Op, f.R) }
+
+func (t *IntLit) String() string   { return fmt.Sprintf("%d", t.N) }
+func (t *ConstRef) String() string { return t.Name }
+func (t *Count) String() string    { return fmt.Sprintf("#%s(%s)", t.Pred, argString(t.Args)) }
+func (t *FnApp) String() string    { return fmt.Sprintf("%s(%s)", t.Fn, argString(t.Args)) }
+
+// String renders the sum without parentheses: the grammar has only
+// left-associative + and -, so the term is flattened with signs
+// distributed (a - (b + c) prints as "a - b - c"). A leading negative
+// term prints as "0 - t" since the grammar has no unary minus.
+func (t *NumBin) String() string {
+	type signed struct {
+		neg  bool
+		term NumTerm
+	}
+	var parts []signed
+	var flatten func(u NumTerm, neg bool)
+	flatten = func(u NumTerm, neg bool) {
+		if bin, ok := u.(*NumBin); ok {
+			flatten(bin.L, neg)
+			flatten(bin.R, neg != (bin.Op == '-'))
+			return
+		}
+		parts = append(parts, signed{neg: neg, term: u})
+	}
+	flatten(t, false)
+	var b strings.Builder
+	if parts[0].neg {
+		b.WriteString("0 - ")
+	}
+	b.WriteString(parts[0].term.String())
+	for _, p := range parts[1:] {
+		if p.neg {
+			b.WriteString(" - ")
+		} else {
+			b.WriteString(" + ")
+		}
+		b.WriteString(p.term.String())
+	}
+	return b.String()
+}
+
+func paren(f Formula) string {
+	switch f.(type) {
+	case *Atom, *BoolLit, *Cmp, *Not:
+		return f.String()
+	}
+	return "(" + f.String() + ")"
+}
+
+func joinFormulas(fs []Formula, sep string) string {
+	parts := make([]string, len(fs))
+	for i, f := range fs {
+		parts[i] = paren(f)
+	}
+	return strings.Join(parts, sep)
+}
+
+// Conj builds a conjunction, flattening and folding constants.
+func Conj(fs ...Formula) Formula {
+	out := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch g := f.(type) {
+		case *BoolLit:
+			if !g.Val {
+				return &BoolLit{Val: false}
+			}
+		case *And:
+			out = append(out, g.L...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return &BoolLit{Val: true}
+	case 1:
+		return out[0]
+	}
+	return &And{L: out}
+}
+
+// Disj builds a disjunction, flattening and folding constants.
+func Disj(fs ...Formula) Formula {
+	out := make([]Formula, 0, len(fs))
+	for _, f := range fs {
+		switch g := f.(type) {
+		case *BoolLit:
+			if g.Val {
+				return &BoolLit{Val: true}
+			}
+		case *Or:
+			out = append(out, g.L...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return &BoolLit{Val: false}
+	case 1:
+		return out[0]
+	}
+	return &Or{L: out}
+}
+
+// Neg builds a negation, folding constants and double negation.
+func Neg(f Formula) Formula {
+	switch g := f.(type) {
+	case *BoolLit:
+		return &BoolLit{Val: !g.Val}
+	case *Not:
+		return g.F
+	}
+	return &Not{F: f}
+}
+
+// Impl builds an implication with constant folding.
+func Impl(a, b Formula) Formula {
+	if l, ok := a.(*BoolLit); ok {
+		if l.Val {
+			return b
+		}
+		return &BoolLit{Val: true}
+	}
+	if l, ok := b.(*BoolLit); ok {
+		if l.Val {
+			return &BoolLit{Val: true}
+		}
+		return Neg(a)
+	}
+	return &Implies{A: a, B: b}
+}
+
+// Clauses splits a formula into its top-level conjuncts, hoisting nested
+// quantifiers: forall xs. (A and B) yields forall xs. A and forall xs. B.
+// The IPA repair step works clause-by-clause (paper Alg. 1, invClauses).
+func Clauses(f Formula) []Formula {
+	switch g := f.(type) {
+	case *And:
+		var out []Formula
+		for _, c := range g.L {
+			out = append(out, Clauses(c)...)
+		}
+		return out
+	case *Forall:
+		inner := Clauses(g.Body)
+		if len(inner) == 1 {
+			return []Formula{f}
+		}
+		out := make([]Formula, len(inner))
+		for i, c := range inner {
+			out[i] = &Forall{Vars: g.Vars, Body: c}
+		}
+		return out
+	}
+	return []Formula{f}
+}

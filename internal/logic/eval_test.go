@@ -1,0 +1,128 @@
+package logic
+
+import "testing"
+
+func tourInterp() Interp {
+	return Interp{
+		Domain: map[Sort][]string{"Player": {"P1", "P2"}, "Tournament": {"T1"}},
+		Truth: map[string]bool{
+			GroundAtom("player", "P1"):         true,
+			GroundAtom("player", "P2"):         true,
+			GroundAtom("tournament", "T1"):     true,
+			GroundAtom("enrolled", "P1", "T1"): true,
+			GroundAtom("active", "T1"):         true,
+		},
+		Nums:   map[string]int{GroundAtom("stock", "I1"): 5},
+		Consts: map[string]int{"Capacity": 2},
+	}
+}
+
+func TestEvalInvariantHolds(t *testing.T) {
+	in := tourInterp()
+	f := MustParse("forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)")
+	v, err := in.Eval(f, nil)
+	if err != nil || !v {
+		t.Fatalf("invariant should hold: %v %v", v, err)
+	}
+	// Break it: remove the tournament.
+	in.Truth[GroundAtom("tournament", "T1")] = false
+	v, err = in.Eval(f, nil)
+	if err != nil || v {
+		t.Fatalf("invariant should be violated: %v %v", v, err)
+	}
+}
+
+func TestEvalCount(t *testing.T) {
+	in := tourInterp()
+	f := MustParse("forall (Tournament: t) :- #enrolled(*, t) <= Capacity")
+	v, err := in.Eval(f, nil)
+	if err != nil || !v {
+		t.Fatalf("capacity should hold: %v %v", v, err)
+	}
+	in.Truth[GroundAtom("enrolled", "P2", "T1")] = true
+	in.Consts["Capacity"] = 1
+	v, err = in.Eval(f, nil)
+	if err != nil || v {
+		t.Fatalf("capacity should be violated: %v %v", v, err)
+	}
+}
+
+func TestEvalNumeric(t *testing.T) {
+	in := tourInterp()
+	f := MustParse("forall (Item: i) :- stock(i) - 2 >= 0")
+	in.Domain["Item"] = []string{"I1"}
+	v, err := in.Eval(f, nil)
+	if err != nil || !v {
+		t.Fatalf("5-2 >= 0 should hold: %v %v", v, err)
+	}
+	in.Nums[GroundAtom("stock", "I1")] = 1
+	v, err = in.Eval(f, nil)
+	if err != nil || v {
+		t.Fatalf("1-2 >= 0 should fail: %v %v", v, err)
+	}
+}
+
+func TestEvalCmpOps(t *testing.T) {
+	in := Interp{Domain: map[Sort][]string{}}
+	cases := map[string]bool{
+		"1 = 1": true, "1 != 1": false, "1 < 2": true, "2 <= 2": true,
+		"3 > 2": true, "2 >= 3": false, "1 + 1 = 2": true, "5 - 2 - 1 = 2": true,
+	}
+	for src, want := range cases {
+		v, err := in.Eval(MustParse(src), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if v != want {
+			t.Fatalf("%s = %v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	in := tourInterp()
+	if _, err := in.Eval(MustParse("player(p)"), nil); err == nil {
+		t.Fatal("unbound variable must error")
+	}
+	if _, err := in.Eval(MustParse("forall (Ghost: g) :- ok(g)"), nil); err == nil {
+		t.Fatal("unknown sort must error")
+	}
+	if _, err := in.Eval(MustParse("#enrolled(*, t) <= 2"), nil); err == nil {
+		t.Fatal("unbound variable in count must error")
+	}
+}
+
+func TestEvalWithBinding(t *testing.T) {
+	in := tourInterp()
+	f := MustParse("enrolled(p, t) => player(p)")
+	v, err := in.Eval(f, map[string]string{"p": "P1", "t": "T1"})
+	if err != nil || !v {
+		t.Fatalf("bound eval: %v %v", v, err)
+	}
+	// P2 is not enrolled: implication vacuously true.
+	v, err = in.Eval(f, map[string]string{"p": "P2", "t": "T1"})
+	if err != nil || !v {
+		t.Fatalf("vacuous eval: %v %v", v, err)
+	}
+}
+
+func TestEvalMissingEntriesDefault(t *testing.T) {
+	in := Interp{Domain: map[Sort][]string{"S": {"a"}}}
+	v, err := in.Eval(MustParse("forall (S: x) :- ghost(x)"), nil)
+	if err != nil || v {
+		t.Fatalf("missing atoms default false: %v %v", v, err)
+	}
+	v, err = in.Eval(MustParse("forall (S: x) :- gone(x) >= 0"), nil)
+	if err != nil || !v {
+		t.Fatalf("missing numeric defaults 0: %v %v", v, err)
+	}
+}
+
+func TestGroundAtom(t *testing.T) {
+	if GroundAtom("open") != "open" {
+		t.Fatal("0-ary")
+	}
+	if GroundAtom("enrolled", "P1", "T1") != "enrolled(P1,T1)" {
+		t.Fatal("n-ary")
+	}
+}

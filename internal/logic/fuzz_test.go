@@ -1,0 +1,38 @@
+package logic
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// round-trips through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)",
+		"forall (Tournament: t) :- #enrolled(*, t) <= Capacity",
+		"forall (Item: i) :- stock(i) - 1 >= 0",
+		"not (a() and b()) or c()",
+		"x = y",
+		"forall (A: x) :- p(x) => q(x) or r(x, x)",
+		"true => false",
+		"#p() > 0",
+		"forall (: p) :- player(p)",
+		"((((a()))))",
+		"ℵ(☃)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := formula.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own printout %q: %v", src, printed, err)
+		}
+		if back.String() != printed {
+			t.Fatalf("printout not a fixed point: %q -> %q", printed, back.String())
+		}
+	})
+}

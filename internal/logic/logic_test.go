@@ -1,0 +1,302 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseReferentialIntegrity(t *testing.T) {
+	f, err := Parse("forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, ok := f.(*Forall)
+	if !ok {
+		t.Fatalf("expected Forall, got %T", f)
+	}
+	if len(fa.Vars) != 2 || fa.Vars[0] != (Var{"p", "Player"}) || fa.Vars[1] != (Var{"t", "Tournament"}) {
+		t.Fatalf("vars = %v", fa.Vars)
+	}
+	imp, ok := fa.Body.(*Implies)
+	if !ok {
+		t.Fatalf("body = %T", fa.Body)
+	}
+	at, ok := imp.A.(*Atom)
+	if !ok || at.Pred != "enrolled" || len(at.Args) != 2 {
+		t.Fatalf("antecedent = %v", imp.A)
+	}
+	and, ok := imp.B.(*And)
+	if !ok || len(and.L) != 2 {
+		t.Fatalf("consequent = %v", imp.B)
+	}
+}
+
+func TestParseSharedSortGroup(t *testing.T) {
+	// "Player: p, q" — q inherits the Player sort.
+	f := MustParse("forall (Player: p, q, Tournament: t) :- inMatch(p, q, t) => enrolled(p, t) and enrolled(q, t) and (active(t) or finished(t))")
+	fa := f.(*Forall)
+	want := []Var{{"p", "Player"}, {"q", "Player"}, {"t", "Tournament"}}
+	if len(fa.Vars) != 3 {
+		t.Fatalf("vars = %v", fa.Vars)
+	}
+	for i, v := range want {
+		if fa.Vars[i] != v {
+			t.Fatalf("vars[%d] = %v, want %v", i, fa.Vars[i], v)
+		}
+	}
+}
+
+func TestParseCountInvariant(t *testing.T) {
+	f := MustParse("forall (Tournament: t) :- #enrolled(*, t) <= Capacity")
+	fa := f.(*Forall)
+	cmp, ok := fa.Body.(*Cmp)
+	if !ok || cmp.Op != LE {
+		t.Fatalf("body = %v", fa.Body)
+	}
+	cnt, ok := cmp.L.(*Count)
+	if !ok || cnt.Pred != "enrolled" {
+		t.Fatalf("left = %v", cmp.L)
+	}
+	if cnt.Args[0].Kind != TermWildcard || cnt.Args[1] != V("t") {
+		t.Fatalf("count args = %v", cnt.Args)
+	}
+	if _, ok := cmp.R.(*ConstRef); !ok {
+		t.Fatalf("right = %T", cmp.R)
+	}
+}
+
+func TestParseNumericField(t *testing.T) {
+	f := MustParse("forall (Item: i) :- stock(i) >= 0")
+	cmp := f.(*Forall).Body.(*Cmp)
+	fn, ok := cmp.L.(*FnApp)
+	if !ok || fn.Fn != "stock" {
+		t.Fatalf("left = %v", cmp.L)
+	}
+	if lit, ok := cmp.R.(*IntLit); !ok || lit.N != 0 {
+		t.Fatalf("right = %v", cmp.R)
+	}
+}
+
+func TestParseArithmetic(t *testing.T) {
+	f := MustParse("forall (Item: i) :- stock(i) - 1 >= 0")
+	cmp := f.(*Forall).Body.(*Cmp)
+	bin, ok := cmp.L.(*NumBin)
+	if !ok || bin.Op != '-' {
+		t.Fatalf("left = %v", cmp.L)
+	}
+}
+
+func TestParseMutualExclusion(t *testing.T) {
+	f := MustParse("forall (Tournament: t) :- not (active(t) and finished(t))")
+	n, ok := f.(*Forall).Body.(*Not)
+	if !ok {
+		t.Fatalf("body = %T", f.(*Forall).Body)
+	}
+	if _, ok := n.F.(*And); !ok {
+		t.Fatalf("negated = %T", n.F)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// a or b and c  parses as  a or (b and c)
+	f := MustParse("a() or b() and c()")
+	or, ok := f.(*Or)
+	if !ok || len(or.L) != 2 {
+		t.Fatalf("f = %v", f)
+	}
+	if _, ok := or.L[1].(*And); !ok {
+		t.Fatalf("right of or = %T", or.L[1])
+	}
+	// implication binds loosest and is right-associative
+	g := MustParse("a() => b() => c()")
+	imp := g.(*Implies)
+	if _, ok := imp.B.(*Implies); !ok {
+		t.Fatalf("=> not right-associative: %v", g)
+	}
+}
+
+func TestParseZeroAryAtom(t *testing.T) {
+	f := MustParse("open => not closed")
+	imp := f.(*Implies)
+	if a, ok := imp.A.(*Atom); !ok || a.Pred != "open" || len(a.Args) != 0 {
+		t.Fatalf("A = %v", imp.A)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"forall (Player p) :- player(p)",  // missing colon in group
+		"forall (Player: p) : player(",    // unclosed args
+		"enrolled(p, t) =>",               // missing consequent
+		"#enrolled(*, t)",                 // count without comparison
+		"forall (Player: p) :- 3",         // bare number
+		"player(p) extra",                 // trailing garbage
+		"forall (: p) :- player(p)",       // missing sort
+		"forall (Player: p) :- $wild(p)",  // bad rune
+		"forall (Player: p) :- not",       // dangling not
+		"x <",                             // missing rhs
+		"forall(Player: p, ) :- ok(p)",    // dangling comma
+		"forall (Player: p) :- ok(p) and", // dangling and
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)",
+		"forall (Tournament: t) :- #enrolled(*, t) <= Capacity",
+		"forall (Tournament: t) :- not (active(t) and finished(t))",
+		"forall (Item: i) :- stock(i) >= 0",
+		"forall (Player: p, q, Tournament: t) :- inMatch(p, q, t) => enrolled(p, t) and enrolled(q, t) and (active(t) or finished(t))",
+	}
+	for _, src := range srcs {
+		f := MustParse(src)
+		g, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q): %v", src, f.String(), err)
+		}
+		if f.String() != g.String() {
+			t.Fatalf("round trip changed: %q -> %q", f.String(), g.String())
+		}
+	}
+}
+
+func TestSubstitution(t *testing.T) {
+	f := MustParse("enrolled(p, t) => player(p)")
+	g := Subst{"p": C("P1")}.Apply(f)
+	want := "enrolled('P1', t) => player('P1')"
+	if g.String() != want {
+		t.Fatalf("subst = %q, want %q", g.String(), want)
+	}
+	// Original unchanged.
+	if strings.Contains(f.String(), "P1") {
+		t.Fatal("substitution mutated the input")
+	}
+}
+
+func TestSubstitutionRespectsBinding(t *testing.T) {
+	f := MustParse("forall (Player: p) :- player(p)")
+	g := Subst{"p": C("P1")}.Apply(f)
+	if strings.Contains(g.String(), "P1") {
+		t.Fatalf("bound variable substituted: %s", g)
+	}
+}
+
+func TestSubstitutionNumeric(t *testing.T) {
+	f := MustParse("#enrolled(*, t) <= Capacity")
+	g := Subst{"t": C("T1")}.Apply(f)
+	if g.String() != "#enrolled(*, 'T1') <= Capacity" {
+		t.Fatalf("got %q", g.String())
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	f := MustParse("enrolled(p, t) => player(p) and tournament(t)")
+	fv := FreeVars(f)
+	if len(fv) != 2 || fv[0] != "p" || fv[1] != "t" {
+		t.Fatalf("free vars = %v", fv)
+	}
+	g := MustParse("forall (Player: p, Tournament: t) :- enrolled(p, t)")
+	if len(FreeVars(g)) != 0 {
+		t.Fatalf("closed formula has free vars: %v", FreeVars(g))
+	}
+	h := MustParse("#enrolled(*, t) <= Capacity")
+	fvh := FreeVars(h)
+	if len(fvh) != 1 || fvh[0] != "t" {
+		t.Fatalf("free vars = %v", fvh)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	f := MustParse("forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)")
+	ps := Predicates(f)
+	if len(ps) != 3 {
+		t.Fatalf("predicates = %v", ps)
+	}
+	if ps[0].Name != "enrolled" || ps[0].Arity != 2 {
+		t.Fatalf("ps[0] = %v", ps[0])
+	}
+	if ps[0].Sorts[0] != "Player" || ps[0].Sorts[1] != "Tournament" {
+		t.Fatalf("sorts = %v", ps[0].Sorts)
+	}
+	g := MustParse("forall (Item: i) :- stock(i) >= 0")
+	qs := Predicates(g)
+	if len(qs) != 1 || !qs[0].Numeric || qs[0].Sorts[0] != "Item" {
+		t.Fatalf("numeric pred = %v", qs)
+	}
+}
+
+func TestClauses(t *testing.T) {
+	f := MustParse("forall (Tournament: t) :- (active(t) => tournament(t)) and (finished(t) => tournament(t))")
+	cs := Clauses(f)
+	if len(cs) != 2 {
+		t.Fatalf("clauses = %d, want 2", len(cs))
+	}
+	for _, c := range cs {
+		if _, ok := c.(*Forall); !ok {
+			t.Fatalf("clause should keep quantifier: %T", c)
+		}
+	}
+	// Conjunction of two independent invariants.
+	g := Conj(MustParse("forall (Tournament: t) :- active(t) => tournament(t)"),
+		MustParse("forall (Tournament: t) :- finished(t) => tournament(t)"))
+	if len(Clauses(g)) != 2 {
+		t.Fatalf("top-level conj should split")
+	}
+}
+
+func TestBuildersFold(t *testing.T) {
+	tr := &BoolLit{Val: true}
+	fl := &BoolLit{Val: false}
+	a := &Atom{Pred: "a"}
+	if Conj(tr, a).String() != "a()" {
+		t.Fatal("Conj(true, a) != a")
+	}
+	if Conj(fl, a).String() != "false" {
+		t.Fatal("Conj(false, a) != false")
+	}
+	if Disj(tr, a).String() != "true" {
+		t.Fatal("Disj(true, a) != true")
+	}
+	if Disj(fl, a).String() != "a()" {
+		t.Fatal("Disj(false, a) != a")
+	}
+	if Neg(Neg(a)) != a {
+		t.Fatal("double negation should fold")
+	}
+	if Impl(tr, a) != a {
+		t.Fatal("true => a folds to a")
+	}
+	if Impl(a, tr).String() != "true" {
+		t.Fatal("a => true folds to true")
+	}
+	if Impl(a, fl).String() != "not a()" {
+		t.Fatal("a => false folds to not a")
+	}
+}
+
+func TestHasCount(t *testing.T) {
+	if !HasCount(MustParse("forall (Tournament: t) :- #enrolled(*, t) <= Capacity")) {
+		t.Fatal("count invariant not detected")
+	}
+	if !HasCount(MustParse("forall (Item: i) :- stock(i) >= 0")) {
+		t.Fatal("numeric field invariant not detected")
+	}
+	if HasCount(MustParse("forall (Player: p) :- player(p)")) {
+		t.Fatal("boolean invariant misdetected as numeric")
+	}
+}
+
+func TestCmpOpNegate(t *testing.T) {
+	cases := map[CmpOp]CmpOp{EQ: NE, NE: EQ, LT: GE, LE: GT, GT: LE, GE: LT}
+	for op, want := range cases {
+		if op.Negate() != want {
+			t.Fatalf("%v.Negate() = %v, want %v", op, op.Negate(), want)
+		}
+	}
+}

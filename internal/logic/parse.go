@@ -1,0 +1,542 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// Parse parses a formula in the textual specification language, e.g.
+//
+//	forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
+//	forall (Tournament: t) :- #enrolled(*, t) <= Capacity
+//	forall (Tournament: t) :- not (active(t) and finished(t))
+//
+// Grammar (precedence low to high): forall, =>, or, and, not.
+// Numeric comparisons use <=, <, >=, >, =, != between numeric terms built
+// from integers, named constants, #pred(args) counts, numeric fields
+// fn(args), and + / -.
+func Parse(src string) (Formula, error) {
+	p := &parser{lexer: newLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %q after formula", p.tok.text)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; for tests and embedded specs.
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon   // ':' and the ':-' turnstile both lex to this
+	tokStar    // *
+	tokHash    // #
+	tokPlus    // +
+	tokMinus   // -
+	tokCmp     // <=, <, >=, >, =, !=
+	tokImplies // =>
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src []rune
+	i   int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: []rune(src)} }
+
+func (l *lexer) lex() (token, error) {
+	for l.i < len(l.src) && unicode.IsSpace(l.src[l.i]) {
+		l.i++
+	}
+	if l.i >= len(l.src) {
+		return token{kind: tokEOF, pos: l.i}, nil
+	}
+	start := l.i
+	ch := l.src[l.i]
+	switch {
+	case unicode.IsLetter(ch) || ch == '_':
+		for l.i < len(l.src) && (unicode.IsLetter(l.src[l.i]) || unicode.IsDigit(l.src[l.i]) || l.src[l.i] == '_') {
+			l.i++
+		}
+		return token{kind: tokIdent, text: string(l.src[start:l.i]), pos: start}, nil
+	case unicode.IsDigit(ch):
+		for l.i < len(l.src) && unicode.IsDigit(l.src[l.i]) {
+			l.i++
+		}
+		return token{kind: tokInt, text: string(l.src[start:l.i]), pos: start}, nil
+	}
+	l.i++
+	two := ""
+	if l.i < len(l.src) {
+		two = string(ch) + string(l.src[l.i])
+	}
+	switch ch {
+	case '(':
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case ',':
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case '*':
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case '#':
+		return token{kind: tokHash, text: "#", pos: start}, nil
+	case '+':
+		return token{kind: tokPlus, text: "+", pos: start}, nil
+	case ':':
+		if two == ":-" {
+			l.i++
+		}
+		return token{kind: tokColon, text: ":", pos: start}, nil
+	case '-':
+		return token{kind: tokMinus, text: "-", pos: start}, nil
+	case '<':
+		if two == "<=" {
+			l.i++
+			return token{kind: tokCmp, text: "<=", pos: start}, nil
+		}
+		return token{kind: tokCmp, text: "<", pos: start}, nil
+	case '>':
+		if two == ">=" {
+			l.i++
+			return token{kind: tokCmp, text: ">=", pos: start}, nil
+		}
+		return token{kind: tokCmp, text: ">", pos: start}, nil
+	case '=':
+		if two == "=>" {
+			l.i++
+			return token{kind: tokImplies, text: "=>", pos: start}, nil
+		}
+		if two == "==" {
+			l.i++
+		}
+		return token{kind: tokCmp, text: "=", pos: start}, nil
+	case '!':
+		if two == "!=" {
+			l.i++
+			return token{kind: tokCmp, text: "!=", pos: start}, nil
+		}
+	}
+	return token{}, fmt.Errorf("logic: unexpected character %q at offset %d", ch, start)
+}
+
+type parser struct {
+	lexer *lexer
+	tok   token
+	peek  *token
+}
+
+func (p *parser) next() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lexer.lex()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lexer.lex()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("logic: offset %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind, what string) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, found %q", what, p.tok.text)
+	}
+	return p.next()
+}
+
+// formula := 'forall' '(' varGroups ')' ':' formula | implication
+func (p *parser) formula() (Formula, error) {
+	if p.tok.kind == tokIdent && p.tok.text == "forall" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		vars, err := p.varGroups()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokColon, "':-'"); err != nil {
+			return nil, err
+		}
+		body, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return &Forall{Vars: vars, Body: body}, nil
+	}
+	return p.implication()
+}
+
+// varGroups := Sort ':' name (',' (Sort ':' name | name))*
+func (p *parser) varGroups() ([]Var, error) {
+	var out []Var
+	var cur Sort
+	for {
+		if p.tok.kind != tokIdent {
+			return nil, p.errf("expected sort or variable name, found %q", p.tok.text)
+		}
+		name := p.tok.text
+		nxt, err := p.peekTok()
+		if err != nil {
+			return nil, err
+		}
+		if nxt.kind == tokColon {
+			cur = Sort(name)
+			if err := p.next(); err != nil { // consume sort
+				return nil, err
+			}
+			if err := p.next(); err != nil { // consume ':'
+				return nil, err
+			}
+			if p.tok.kind != tokIdent {
+				return nil, p.errf("expected variable after sort %q", cur)
+			}
+			name = p.tok.text
+		}
+		if cur == "" {
+			return nil, p.errf("variable %q has no sort", name)
+		}
+		out = append(out, Var{Name: name, Sort: cur})
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokComma {
+			return out, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) implication() (Formula, error) {
+	a, err := p.disjunction()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokImplies {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		b, err := p.implication() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &Implies{A: a, B: b}, nil
+	}
+	return a, nil
+}
+
+func (p *parser) disjunction() (Formula, error) {
+	f, err := p.conjunction()
+	if err != nil {
+		return nil, err
+	}
+	out := []Formula{f}
+	for p.tok.kind == tokIdent && p.tok.text == "or" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		g, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	if len(out) == 1 {
+		return out[0], nil
+	}
+	return &Or{L: out}, nil
+}
+
+func (p *parser) conjunction() (Formula, error) {
+	f, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	out := []Formula{f}
+	for p.tok.kind == tokIdent && p.tok.text == "and" {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		g, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	if len(out) == 1 {
+		return out[0], nil
+	}
+	return &And{L: out}, nil
+}
+
+func (p *parser) unary() (Formula, error) {
+	switch {
+	case p.tok.kind == tokIdent && p.tok.text == "not":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{F: f}, nil
+	case p.tok.kind == tokIdent && p.tok.text == "true":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &BoolLit{Val: true}, nil
+	case p.tok.kind == tokIdent && p.tok.text == "false":
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &BoolLit{Val: false}, nil
+	case p.tok.kind == tokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		// A parenthesised numeric term could begin a comparison, but the
+		// language keeps parentheses at the formula level only.
+		return f, nil
+	case p.tok.kind == tokHash || p.tok.kind == tokInt:
+		return p.comparison(nil)
+	case p.tok.kind == tokIdent:
+		// Either a boolean atom, or the left side of a numeric comparison
+		// (named constant or numeric field).
+		name := p.tok.text
+		nxt, err := p.peekTok()
+		if err != nil {
+			return nil, err
+		}
+		if nxt.kind == tokLParen {
+			// pred(args) — boolean unless followed by a numeric operator.
+			if err := p.next(); err != nil { // move onto '('
+				return nil, err
+			}
+			if err := p.next(); err != nil { // consume '('
+				return nil, err
+			}
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokCmp || p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+				return p.comparison(&FnApp{Fn: name, Args: args})
+			}
+			return &Atom{Pred: name, Args: args}, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokCmp || p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+			return p.comparison(&ConstRef{Name: name})
+		}
+		// 0-ary predicate.
+		return &Atom{Pred: name, Args: nil}, nil
+	}
+	return nil, p.errf("expected formula, found %q", p.tok.text)
+}
+
+// comparison parses `numterm cmp numterm`; left, if non-nil, is an already
+// parsed first factor of the left term.
+func (p *parser) comparison(left NumTerm) (Formula, error) {
+	var err error
+	if left == nil {
+		left, err = p.numFactor()
+		if err != nil {
+			return nil, err
+		}
+	}
+	left, err = p.numTail(left)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokCmp {
+		return nil, p.errf("expected comparison operator, found %q", p.tok.text)
+	}
+	var op CmpOp
+	switch p.tok.text {
+	case "=":
+		op = EQ
+	case "!=":
+		op = NE
+	case "<":
+		op = LT
+	case "<=":
+		op = LE
+	case ">":
+		op = GT
+	case ">=":
+		op = GE
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	right, err := p.numFactor()
+	if err != nil {
+		return nil, err
+	}
+	right, err = p.numTail(right)
+	if err != nil {
+		return nil, err
+	}
+	return &Cmp{Op: op, L: left, R: right}, nil
+}
+
+func (p *parser) numTail(left NumTerm) (NumTerm, error) {
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := byte('+')
+		if p.tok.kind == tokMinus {
+			op = '-'
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.numFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &NumBin{Op: op, L: left, R: r}
+	}
+	return left, nil
+}
+
+func (p *parser) numFactor() (NumTerm, error) {
+	switch p.tok.kind {
+	case tokInt:
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil {
+			return nil, p.errf("bad integer %q", p.tok.text)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &IntLit{N: n}, nil
+	case tokHash:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, p.errf("expected predicate after '#'")
+		}
+		name := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		args, err := p.argList()
+		if err != nil {
+			return nil, err
+		}
+		return &Count{Pred: name, Args: args}, nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLParen {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return &FnApp{Fn: name, Args: args}, nil
+		}
+		return &ConstRef{Name: name}, nil
+	}
+	return nil, p.errf("expected numeric term, found %q", p.tok.text)
+}
+
+// argList parses terms up to and including the closing paren. The opening
+// paren has already been consumed.
+func (p *parser) argList() ([]Term, error) {
+	var args []Term
+	if p.tok.kind == tokRParen {
+		return args, p.next()
+	}
+	for {
+		switch p.tok.kind {
+		case tokStar:
+			args = append(args, Wild())
+		case tokIdent:
+			args = append(args, V(p.tok.text))
+		default:
+			return nil, p.errf("expected argument, found %q", p.tok.text)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.tok.kind == tokRParen {
+			return args, p.next()
+		}
+		return nil, p.errf("expected ',' or ')', found %q", p.tok.text)
+	}
+}

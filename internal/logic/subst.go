@@ -1,0 +1,291 @@
+package logic
+
+import "sort"
+
+// Subst maps variable names to replacement terms.
+type Subst map[string]Term
+
+// Apply substitutes free variables in f according to s. Bound variables
+// shadow the substitution. The input formula is not modified.
+func (s Subst) Apply(f Formula) Formula {
+	if len(s) == 0 {
+		return f
+	}
+	switch g := f.(type) {
+	case *BoolLit:
+		return g
+	case *Atom:
+		return &Atom{Pred: g.Pred, Args: s.applyTerms(g.Args)}
+	case *Not:
+		return &Not{F: s.Apply(g.F)}
+	case *And:
+		return &And{L: s.applyAll(g.L)}
+	case *Or:
+		return &Or{L: s.applyAll(g.L)}
+	case *Implies:
+		return &Implies{A: s.Apply(g.A), B: s.Apply(g.B)}
+	case *Forall:
+		inner := s.without(g.Vars)
+		return &Forall{Vars: g.Vars, Body: inner.Apply(g.Body)}
+	case *Cmp:
+		return &Cmp{Op: g.Op, L: s.ApplyNum(g.L), R: s.ApplyNum(g.R)}
+	}
+	panic("logic: unknown formula node")
+}
+
+// ApplyNum substitutes free variables in a numeric term.
+func (s Subst) ApplyNum(t NumTerm) NumTerm {
+	switch u := t.(type) {
+	case *IntLit, *ConstRef:
+		return t
+	case *Count:
+		return &Count{Pred: u.Pred, Args: s.applyTerms(u.Args)}
+	case *FnApp:
+		return &FnApp{Fn: u.Fn, Args: s.applyTerms(u.Args)}
+	case *NumBin:
+		return &NumBin{Op: u.Op, L: s.ApplyNum(u.L), R: s.ApplyNum(u.R)}
+	}
+	panic("logic: unknown numeric term")
+}
+
+func (s Subst) applyAll(fs []Formula) []Formula {
+	out := make([]Formula, len(fs))
+	for i, f := range fs {
+		out[i] = s.Apply(f)
+	}
+	return out
+}
+
+func (s Subst) applyTerms(args []Term) []Term {
+	out := make([]Term, len(args))
+	for i, a := range args {
+		if a.Kind == TermVar {
+			if r, ok := s[a.Name]; ok {
+				out[i] = r
+				continue
+			}
+		}
+		out[i] = a
+	}
+	return out
+}
+
+func (s Subst) without(vars []Var) Subst {
+	shadowed := false
+	for _, v := range vars {
+		if _, ok := s[v.Name]; ok {
+			shadowed = true
+			break
+		}
+	}
+	if !shadowed {
+		return s
+	}
+	inner := make(Subst, len(s))
+	for k, t := range s {
+		inner[k] = t
+	}
+	for _, v := range vars {
+		delete(inner, v.Name)
+	}
+	return inner
+}
+
+// FreeVars returns the names of free variables in f, sorted.
+func FreeVars(f Formula) []string {
+	set := map[string]bool{}
+	collectFree(f, map[string]bool{}, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectFree(f Formula, bound, out map[string]bool) {
+	switch g := f.(type) {
+	case *BoolLit:
+	case *Atom:
+		collectFreeTerms(g.Args, bound, out)
+	case *Not:
+		collectFree(g.F, bound, out)
+	case *And:
+		for _, c := range g.L {
+			collectFree(c, bound, out)
+		}
+	case *Or:
+		for _, c := range g.L {
+			collectFree(c, bound, out)
+		}
+	case *Implies:
+		collectFree(g.A, bound, out)
+		collectFree(g.B, bound, out)
+	case *Forall:
+		inner := map[string]bool{}
+		for v := range bound {
+			inner[v] = true
+		}
+		for _, v := range g.Vars {
+			inner[v.Name] = true
+		}
+		collectFree(g.Body, inner, out)
+	case *Cmp:
+		collectFreeNum(g.L, bound, out)
+		collectFreeNum(g.R, bound, out)
+	}
+}
+
+func collectFreeNum(t NumTerm, bound, out map[string]bool) {
+	switch u := t.(type) {
+	case *Count:
+		collectFreeTerms(u.Args, bound, out)
+	case *FnApp:
+		collectFreeTerms(u.Args, bound, out)
+	case *NumBin:
+		collectFreeNum(u.L, bound, out)
+		collectFreeNum(u.R, bound, out)
+	}
+}
+
+func collectFreeTerms(args []Term, bound, out map[string]bool) {
+	for _, a := range args {
+		if a.Kind == TermVar && !bound[a.Name] {
+			out[a.Name] = true
+		}
+	}
+}
+
+// PredRef describes one predicate or numeric field occurrence: its name,
+// arity, the sorts of its arguments (when derivable from quantifier
+// context), and whether it occurs as a numeric field.
+type PredRef struct {
+	Name    string
+	Arity   int
+	Sorts   []Sort
+	Numeric bool
+}
+
+// Predicates walks f and returns every predicate and numeric field used,
+// with argument sorts inferred from the quantifiers binding the argument
+// variables. Deterministic order (by name).
+func Predicates(f Formula) []PredRef {
+	acc := map[string]*PredRef{}
+	collectPreds(f, map[string]Sort{}, acc)
+	names := make([]string, 0, len(acc))
+	for n := range acc {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]PredRef, len(names))
+	for i, n := range names {
+		out[i] = *acc[n]
+	}
+	return out
+}
+
+func collectPreds(f Formula, env map[string]Sort, acc map[string]*PredRef) {
+	switch g := f.(type) {
+	case *Atom:
+		recordPred(g.Pred, g.Args, false, env, acc)
+	case *Not:
+		collectPreds(g.F, env, acc)
+	case *And:
+		for _, c := range g.L {
+			collectPreds(c, env, acc)
+		}
+	case *Or:
+		for _, c := range g.L {
+			collectPreds(c, env, acc)
+		}
+	case *Implies:
+		collectPreds(g.A, env, acc)
+		collectPreds(g.B, env, acc)
+	case *Forall:
+		inner := map[string]Sort{}
+		for k, v := range env {
+			inner[k] = v
+		}
+		for _, v := range g.Vars {
+			inner[v.Name] = v.Sort
+		}
+		collectPreds(g.Body, inner, acc)
+	case *Cmp:
+		collectNumPreds(g.L, env, acc)
+		collectNumPreds(g.R, env, acc)
+	}
+}
+
+func collectNumPreds(t NumTerm, env map[string]Sort, acc map[string]*PredRef) {
+	switch u := t.(type) {
+	case *Count:
+		recordPred(u.Pred, u.Args, false, env, acc)
+	case *FnApp:
+		recordPred(u.Fn, u.Args, true, env, acc)
+	case *NumBin:
+		collectNumPreds(u.L, env, acc)
+		collectNumPreds(u.R, env, acc)
+	}
+}
+
+func recordPred(name string, args []Term, numeric bool, env map[string]Sort, acc map[string]*PredRef) {
+	ref, ok := acc[name]
+	if !ok {
+		ref = &PredRef{Name: name, Arity: len(args), Sorts: make([]Sort, len(args)), Numeric: numeric}
+		acc[name] = ref
+	}
+	if numeric {
+		ref.Numeric = true
+	}
+	for i, a := range args {
+		if i >= len(ref.Sorts) {
+			break
+		}
+		if a.Kind == TermVar {
+			if s, ok := env[a.Name]; ok && ref.Sorts[i] == "" {
+				ref.Sorts[i] = s
+			}
+		}
+	}
+}
+
+// HasCount reports whether f contains a cardinality (#) or numeric field
+// term — the invariants the paper routes to compensations (§3.4).
+func HasCount(f Formula) bool {
+	found := false
+	var walk func(Formula)
+	var walkNum func(NumTerm)
+	walkNum = func(t NumTerm) {
+		switch u := t.(type) {
+		case *Count, *FnApp:
+			found = true
+		case *NumBin:
+			walkNum(u.L)
+			walkNum(u.R)
+		}
+	}
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case *Not:
+			walk(g.F)
+		case *And:
+			for _, c := range g.L {
+				walk(c)
+			}
+		case *Or:
+			for _, c := range g.L {
+				walk(c)
+			}
+		case *Implies:
+			walk(g.A)
+			walk(g.B)
+		case *Forall:
+			walk(g.Body)
+		case *Cmp:
+			walkNum(g.L)
+			walkNum(g.R)
+		}
+	}
+	walk(f)
+	return found
+}

@@ -1,0 +1,199 @@
+package netrepl
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ipa/internal/clock"
+	"ipa/internal/store"
+)
+
+// newTrio spins up three connected nodes on localhost.
+func newTrio(t *testing.T) []*Node {
+	t.Helper()
+	ids := []clock.ReplicaID{"n1", "n2", "n3"}
+	nodes := make([]*Node, len(ids))
+	for i, id := range ids {
+		n, err := NewNode(id, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		t.Cleanup(func() { n.Close() })
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				a.AddPeer(b.ID(), b.Addr())
+			}
+		}
+	}
+	return nodes
+}
+
+// waitConverged polls until every node's clock covers every other's.
+func waitConverged(t *testing.T, nodes []*Node) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		clocks := make([]clock.Vector, len(nodes))
+		for i, n := range nodes {
+			clocks[i] = n.Clock()
+		}
+		for i := range clocks {
+			for j := range clocks {
+				if !clocks[i].LEq(clocks[j]) {
+					done = false
+				}
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("nodes did not converge in time")
+}
+
+func TestTCPReplicationConverges(t *testing.T) {
+	nodes := newTrio(t)
+
+	// Concurrent writes from all nodes over real sockets.
+	for i, n := range nodes {
+		i := i
+		n.Do(func(r *store.Replica) {
+			for k := 0; k < 10; k++ {
+				tx := r.Begin()
+				store.AWSetAt(tx, "set").Add(fmt.Sprintf("n%d-e%d", i, k), "")
+				store.CounterAt(tx, "cnt").Add(1)
+				tx.Commit()
+			}
+		})
+	}
+	waitConverged(t, nodes)
+
+	var sizes []int
+	var counts []int64
+	for _, n := range nodes {
+		n.Do(func(r *store.Replica) {
+			tx := r.Begin()
+			sizes = append(sizes, store.AWSetAt(tx, "set").Size())
+			counts = append(counts, store.CounterAt(tx, "cnt").Value())
+			tx.Commit()
+		})
+	}
+	for i := range nodes {
+		if sizes[i] != 30 || counts[i] != 30 {
+			t.Fatalf("node %d: size=%d count=%d, want 30/30", i, sizes[i], counts[i])
+		}
+	}
+}
+
+func TestTCPCausalDependencyHolds(t *testing.T) {
+	nodes := newTrio(t)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+
+	// a writes X; wait until b has it; b then writes Y (depends on X).
+	a.Do(func(r *store.Replica) {
+		tx := r.Begin()
+		store.AWSetAt(tx, "s").Add("X", "")
+		tx.Commit()
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var has bool
+		b.Do(func(r *store.Replica) {
+			tx := r.Begin()
+			has = store.AWSetAt(tx, "s").Contains("X")
+			tx.Commit()
+		})
+		if has {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("b never received X")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	b.Do(func(r *store.Replica) {
+		tx := r.Begin()
+		store.AWSetAt(tx, "s").Add("Y", "")
+		tx.Commit()
+	})
+	waitConverged(t, nodes)
+
+	// Wherever Y is visible, X must be too (causal order), and c has both.
+	c.Do(func(r *store.Replica) {
+		tx := r.Begin()
+		s := store.AWSetAt(tx, "s")
+		if s.Contains("Y") && !s.Contains("X") {
+			t.Error("causal order violated: Y without X")
+		}
+		if !s.Contains("X") || !s.Contains("Y") {
+			t.Error("c missing updates after convergence")
+		}
+		tx.Commit()
+	})
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	// Every op kind survives encode/decode.
+	nodes := newTrio(t)
+	n := nodes[0]
+	n.Do(func(r *store.Replica) {
+		tx := r.Begin()
+		store.AWSetAt(tx, "aw").Add("x", "payload")
+		store.AWSetAt(tx, "aw").Touch("x")
+		store.AWSetAt(tx, "aw").Remove("x")
+		store.RWSetAt(tx, "rw").Add("y", "")
+		store.RWSetAt(tx, "rw").Remove("y")
+		store.CounterAt(tx, "c").Add(-7)
+		store.RegisterAt(tx, "reg").Set("v")
+		tx.Commit()
+	})
+	waitConverged(t, nodes)
+	nodes[2].Do(func(r *store.Replica) {
+		tx := r.Begin()
+		if store.AWSetAt(tx, "aw").Contains("x") {
+			t.Error("aw state wrong after wire round trip")
+		}
+		if store.RWSetAt(tx, "rw").Contains("y") {
+			t.Error("rw state wrong after wire round trip")
+		}
+		if store.CounterAt(tx, "c").Value() != -7 {
+			t.Error("counter state wrong after wire round trip")
+		}
+		if v, _ := store.RegisterAt(tx, "reg").Value(); v != "v" {
+			t.Error("register state wrong after wire round trip")
+		}
+		tx.Commit()
+	})
+	if nodes[2].Delivered == 0 {
+		t.Fatal("no frames delivered")
+	}
+}
+
+func TestEncodeDecodeDirect(t *testing.T) {
+	w := store.WireTxn{
+		Origin:   "n1",
+		Deps:     clock.Vector{"n1": 3, "n2": 1},
+		FirstSeq: 3,
+		LastSeq:  5,
+	}
+	data, err := store.EncodeTxn(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := store.DecodeTxn(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Origin != "n1" || back.LastSeq != 5 || !back.Deps.Equal(w.Deps) {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if _, err := store.DecodeTxn([]byte("garbage")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}

@@ -1,0 +1,241 @@
+package sat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Formula is a propositional formula over solver variables. Build formulas
+// with Var, Not, And, Or, Implies, Iff and the constants TrueF/FalseF, then
+// assert them on a Solver with Assert (Tseitin transformation).
+type Formula struct {
+	kind formulaKind
+	v    int // for fVar
+	args []*Formula
+}
+
+type formulaKind uint8
+
+const (
+	fTrue formulaKind = iota
+	fFalse
+	fVar
+	fNot
+	fAnd
+	fOr
+)
+
+// TrueF is the constant true formula.
+func TrueF() *Formula { return &Formula{kind: fTrue} }
+
+// FalseF is the constant false formula.
+func FalseF() *Formula { return &Formula{kind: fFalse} }
+
+// Var lifts solver variable v (allocated with NewVar) into a formula.
+func Var(v int) *Formula {
+	if v <= 0 {
+		panic("sat: Var requires a positive variable index")
+	}
+	return &Formula{kind: fVar, v: v}
+}
+
+// Not negates f, folding constants and double negation.
+func Not(f *Formula) *Formula {
+	switch f.kind {
+	case fTrue:
+		return FalseF()
+	case fFalse:
+		return TrueF()
+	case fNot:
+		return f.args[0]
+	}
+	return &Formula{kind: fNot, args: []*Formula{f}}
+}
+
+// And is n-ary conjunction with constant folding.
+func And(fs ...*Formula) *Formula {
+	out := make([]*Formula, 0, len(fs))
+	for _, f := range fs {
+		switch f.kind {
+		case fTrue:
+			continue
+		case fFalse:
+			return FalseF()
+		case fAnd:
+			out = append(out, f.args...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return TrueF()
+	case 1:
+		return out[0]
+	}
+	return &Formula{kind: fAnd, args: out}
+}
+
+// Or is n-ary disjunction with constant folding.
+func Or(fs ...*Formula) *Formula {
+	out := make([]*Formula, 0, len(fs))
+	for _, f := range fs {
+		switch f.kind {
+		case fFalse:
+			continue
+		case fTrue:
+			return TrueF()
+		case fOr:
+			out = append(out, f.args...)
+		default:
+			out = append(out, f)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return FalseF()
+	case 1:
+		return out[0]
+	}
+	return &Formula{kind: fOr, args: out}
+}
+
+// Implies returns a → b.
+func Implies(a, b *Formula) *Formula { return Or(Not(a), b) }
+
+// Iff returns a ↔ b.
+func Iff(a, b *Formula) *Formula { return And(Implies(a, b), Implies(b, a)) }
+
+// IsConst reports whether f is a constant, and if so its value.
+func (f *Formula) IsConst() (isConst, val bool) {
+	switch f.kind {
+	case fTrue:
+		return true, true
+	case fFalse:
+		return true, false
+	}
+	return false, false
+}
+
+// IsLiteral reports whether f is a plain variable or a negated variable.
+func (f *Formula) IsLiteral() bool {
+	return f.kind == fVar || (f.kind == fNot && f.args[0].kind == fVar)
+}
+
+// String renders the formula for debugging.
+func (f *Formula) String() string {
+	switch f.kind {
+	case fTrue:
+		return "true"
+	case fFalse:
+		return "false"
+	case fVar:
+		return fmt.Sprintf("x%d", f.v)
+	case fNot:
+		return "!" + f.args[0].String()
+	case fAnd, fOr:
+		op := " & "
+		if f.kind == fOr {
+			op = " | "
+		}
+		parts := make([]string, len(f.args))
+		for i, a := range f.args {
+			parts[i] = a.String()
+		}
+		return "(" + strings.Join(parts, op) + ")"
+	}
+	return "?"
+}
+
+// Assert adds clauses to s equivalent to requiring f to hold, using the
+// Tseitin transformation (fresh definition variables for internal nodes).
+// Returns false if the formula is detected unsatisfiable during encoding.
+func (s *Solver) Assert(f *Formula) bool {
+	switch f.kind {
+	case fTrue:
+		return true
+	case fFalse:
+		return s.AddClause() // empty clause: UNSAT
+	case fAnd:
+		for _, a := range f.args {
+			if !s.Assert(a) {
+				return false
+			}
+		}
+		return true
+	}
+	l := s.encode(f)
+	return s.AddClause(l)
+}
+
+// encode returns a literal equivalent to f, adding defining clauses.
+func (s *Solver) encode(f *Formula) int {
+	switch f.kind {
+	case fTrue:
+		// A fresh variable forced true.
+		v := s.NewVar()
+		s.AddClause(v)
+		return v
+	case fFalse:
+		v := s.NewVar()
+		s.AddClause(-v)
+		return v
+	case fVar:
+		return f.v
+	case fNot:
+		return -s.encode(f.args[0])
+	case fAnd:
+		d := s.NewVar()
+		all := make([]int, 0, len(f.args)+1)
+		for _, a := range f.args {
+			la := s.encode(a)
+			s.AddClause(-d, la) // d → a
+			all = append(all, -la)
+		}
+		all = append(all, d) // (∧a) → d
+		s.AddClause(all...)
+		return d
+	case fOr:
+		d := s.NewVar()
+		all := make([]int, 0, len(f.args)+1)
+		for _, a := range f.args {
+			la := s.encode(a)
+			s.AddClause(d, -la) // a → d
+			all = append(all, la)
+		}
+		all = append(all, -d) // d → (∨a)
+		s.AddClause(all...)
+		return d
+	}
+	panic("sat: unknown formula kind")
+}
+
+// Eval evaluates f under the assignment given by model (indexed by
+// variable). Used by tests to cross-check solver models.
+func (f *Formula) Eval(model []bool) bool {
+	switch f.kind {
+	case fTrue:
+		return true
+	case fFalse:
+		return false
+	case fVar:
+		return model[f.v]
+	case fNot:
+		return !f.args[0].Eval(model)
+	case fAnd:
+		for _, a := range f.args {
+			if !a.Eval(model) {
+				return false
+			}
+		}
+		return true
+	case fOr:
+		for _, a := range f.args {
+			if a.Eval(model) {
+				return true
+			}
+		}
+		return false
+	}
+	panic("sat: unknown formula kind")
+}

@@ -1,0 +1,433 @@
+// Package sat implements a small conflict-driven clause-learning (CDCL)
+// boolean satisfiability solver with two-literal watching, first-UIP clause
+// learning and an activity-based decision heuristic, plus a Tseitin encoder
+// for arbitrary propositional formulas.
+//
+// The IPA static analysis grounds first-order verification conditions over a
+// small scope and decides them here; this package plays the role Z3 plays in
+// the paper. Problems are small (hundreds to a few thousand variables), so
+// the solver favours clarity over heavy optimisation while still using the
+// standard algorithms so that pathological inputs stay tractable.
+//
+// Literals are non-zero ints in the DIMACS convention: +v is the variable v,
+// -v its negation. Variables are allocated with NewVar and numbered from 1.
+package sat
+
+import "fmt"
+
+// value of a variable in the partial assignment.
+type value int8
+
+const (
+	unassigned value = iota
+	vTrue
+	vFalse
+)
+
+func (v value) negate() value {
+	switch v {
+	case vTrue:
+		return vFalse
+	case vFalse:
+		return vTrue
+	}
+	return unassigned
+}
+
+// lit is the internal literal encoding: variable v (1-based) as positive
+// literal 2v, negative literal 2v+1.
+type lit uint32
+
+func toLit(l int) lit {
+	if l > 0 {
+		return lit(2 * l)
+	}
+	return lit(-2*l + 1)
+}
+
+func (l lit) fromLit() int {
+	if l&1 == 0 {
+		return int(l / 2)
+	}
+	return -int(l / 2)
+}
+
+func (l lit) variable() int { return int(l >> 1) }
+func (l lit) neg() lit      { return l ^ 1 }
+func (l lit) sign() bool    { return l&1 == 1 } // true when negative
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	nVars    int
+	clauses  []*clause // problem + learned clauses
+	watches  [][]*clause
+	assigns  []value // indexed by var
+	level    []int   // decision level per var
+	reason   []*clause
+	trail    []lit
+	trailLim []int // trail index at each decision level
+	activity []float64
+	varInc   float64
+
+	propHead int
+	unsat    bool // conflict at level 0 discovered during AddClause/solve
+
+	seen  []bool // scratch for analyze
+	Stats Stats
+}
+
+// Stats reports solver effort, useful in benchmarks and tests.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Learned      int64
+}
+
+type clause struct {
+	lits    []lit
+	learned bool
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1.0}
+	// index 0 unused so vars are 1-based
+	s.assigns = append(s.assigns, unassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its index (≥ 1).
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assigns = append(s.assigns, unassigned)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	return s.nVars
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+func (s *Solver) litValue(l lit) value {
+	v := s.assigns[l.variable()]
+	if v == unassigned {
+		return unassigned
+	}
+	if l.sign() {
+		return v.negate()
+	}
+	return v
+}
+
+// AddClause adds a disjunction of literals. It returns false if the clause
+// makes the formula trivially unsatisfiable (empty clause, or conflicting
+// unit at level 0). Tautologies and duplicate literals are simplified away.
+// Adding a clause after a successful Solve invalidates the current model.
+func (s *Solver) AddClause(lits ...int) bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	// Simplify: sort-free dedup, drop false lits (level 0), detect tautology
+	// and satisfied clauses.
+	out := make([]lit, 0, len(lits))
+	for _, li := range lits {
+		if li == 0 {
+			panic("sat: literal 0 in clause")
+		}
+		v := li
+		if v < 0 {
+			v = -v
+		}
+		if v > s.nVars {
+			panic(fmt.Sprintf("sat: literal %d references unallocated variable", li))
+		}
+		l := toLit(li)
+		switch s.litValue(l) {
+		case vTrue:
+			if s.level[l.variable()] == 0 {
+				return true // already satisfied forever
+			}
+		case vFalse:
+			if s.level[l.variable()] == 0 {
+				continue // literal is dead
+			}
+		}
+		dup := false
+		for _, e := range out {
+			if e == l {
+				dup = true
+				break
+			}
+			if e == l.neg() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.unsat = true
+			return false
+		}
+		if s.propagate() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.attach(c)
+	s.clauses = append(s.clauses, c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	// Watch the first two literals.
+	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], c)
+	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+}
+
+// enqueue assigns l true with the given reason; returns false on conflict.
+func (s *Solver) enqueue(l lit, from *clause) bool {
+	switch s.litValue(l) {
+	case vTrue:
+		return true
+	case vFalse:
+		return false
+	}
+	v := l.variable()
+	if l.sign() {
+		s.assigns[v] = vFalse
+	} else {
+		s.assigns[v] = vTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate runs unit propagation; returns the conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.propHead < len(s.trail) {
+		p := s.trail[s.propHead] // p is true; visit clauses watching ¬p
+		s.propHead++
+		ws := s.watches[p]
+		s.watches[p] = nil
+		var kept []*clause
+		var conflict *clause
+		for i, c := range ws {
+			if conflict != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			// Normalise so lits[1] is the false literal (¬p ... p true).
+			if c.lits[0].neg() == p {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If first watch is true, clause satisfied.
+			if s.litValue(c.lits[0]) == vTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Find a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != vFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			s.Stats.Propagations++
+			if !s.enqueue(c.lits[0], c) {
+				conflict = c
+			}
+		}
+		s.watches[p] = append(s.watches[p], kept...)
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learned
+// clause (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]lit, int) {
+	learnt := []lit{0} // slot for the asserting literal
+	counter := 0
+	var p lit
+	havep := false
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if havep && q == p {
+				continue
+			}
+			v := q.variable()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] == s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find the next seen literal on the trail.
+		for !s.seen[s.trail[idx].variable()] {
+			idx--
+		}
+		p = s.trail[idx]
+		havep = true
+		idx--
+		v := p.variable()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[v]
+	}
+	learnt[0] = p.neg()
+
+	// Backtrack level: max level among the non-asserting literals.
+	btLevel := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := s.level[learnt[i].variable()]; lv > btLevel {
+			btLevel = lv
+		}
+	}
+	// Move a literal of btLevel to position 1 so watching works.
+	for i := 1; i < len(learnt); i++ {
+		if s.level[learnt[i].variable()] == btLevel {
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+			break
+		}
+	}
+	for i := 1; i < len(learnt); i++ {
+		s.seen[learnt[i].variable()] = false
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].variable()
+		s.assigns[v] = unassigned
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.propHead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assigns[v] == unassigned && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// Solve decides satisfiability of the added clauses. After a true result,
+// Value reports the satisfying assignment. Solve may be called again after
+// adding more clauses (incremental use); learned clauses are retained.
+func (s *Solver) Solve() bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.unsat = true
+		return false
+	}
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return false
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learned: true}
+				s.clauses = append(s.clauses, c)
+				s.attach(c)
+				s.Stats.Learned++
+				s.enqueue(learnt[0], c)
+			}
+			s.varInc /= 0.95 // decay by bumping the increment
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return true // complete assignment
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		// Phase heuristic: try false first (predicates default to absent).
+		s.enqueue(toLit(-v), nil)
+	}
+}
+
+// Value returns the model value of variable v after a successful Solve.
+func (s *Solver) Value(v int) bool { return s.assigns[v] == vTrue }
+
+// Model returns the full model as a slice indexed by variable (entry 0
+// unused).
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.nVars+1)
+	for v := 1; v <= s.nVars; v++ {
+		m[v] = s.Value(v)
+	}
+	return m
+}

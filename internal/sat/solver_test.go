@@ -1,0 +1,286 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(a) {
+		t.Fatal("unit clause rejected")
+	}
+	if !s.Solve() {
+		t.Fatal("x should be SAT")
+	}
+	if !s.Value(a) {
+		t.Fatal("x must be true")
+	}
+}
+
+func TestEmptyFormulaIsSAT(t *testing.T) {
+	s := New()
+	if !s.Solve() {
+		t.Fatal("empty formula must be SAT")
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(a)
+	if s.AddClause(-a) {
+		t.Fatal("adding -a after a should report conflict")
+	}
+	if s.Solve() {
+		t.Fatal("a & -a must be UNSAT")
+	}
+}
+
+func TestEmptyClauseIsUNSAT(t *testing.T) {
+	s := New()
+	if s.AddClause() {
+		t.Fatal("empty clause must be rejected")
+	}
+	if s.Solve() {
+		t.Fatal("must be UNSAT")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(a, -a) {
+		t.Fatal("tautology should be accepted (and dropped)")
+	}
+	if !s.Solve() {
+		t.Fatal("SAT expected")
+	}
+}
+
+func TestChainImplication(t *testing.T) {
+	// x1 & (x1->x2) & ... & (x_{n-1}->x_n): all true.
+	s := New()
+	const n = 50
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(vars[0])
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(-vars[i], vars[i+1])
+	}
+	if !s.Solve() {
+		t.Fatal("chain must be SAT")
+	}
+	for i, v := range vars {
+		if !s.Value(v) {
+			t.Fatalf("x%d should be true", i)
+		}
+	}
+}
+
+func TestXorChainUNSAT(t *testing.T) {
+	// (a xor b), (b xor c), (a xor c) is UNSAT.
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	xor := func(x, y int) {
+		s.AddClause(x, y)
+		s.AddClause(-x, -y)
+	}
+	xor(a, b)
+	xor(b, c)
+	xor(a, c)
+	if s.Solve() {
+		t.Fatal("odd xor cycle must be UNSAT")
+	}
+}
+
+// pigeonhole: n+1 pigeons, n holes — classic UNSAT family.
+func pigeonhole(s *Solver, n int) {
+	p := make([][]int, n+1) // p[i][j]: pigeon i in hole j
+	for i := 0; i <= n; i++ {
+		p[i] = make([]int, n)
+		for j := 0; j < n; j++ {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ { // every pigeon somewhere
+		row := make([]int, n)
+		copy(row, p[i])
+		s.AddClause(row...)
+	}
+	for j := 0; j < n; j++ { // no two pigeons share a hole
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				s.AddClause(-p[i][j], -p[k][j])
+			}
+		}
+	}
+}
+
+func TestPigeonholeUNSAT(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := New()
+		pigeonhole(s, n)
+		if s.Solve() {
+			t.Fatalf("PHP(%d) must be UNSAT", n)
+		}
+	}
+}
+
+func TestGraphColoringSAT(t *testing.T) {
+	// 3-coloring of a 5-cycle is satisfiable.
+	s := New()
+	const n, k = 5, 3
+	col := make([][]int, n)
+	for i := range col {
+		col[i] = make([]int, k)
+		for c := range col[i] {
+			col[i][c] = s.NewVar()
+		}
+		s.AddClause(col[i]...)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		for c := 0; c < k; c++ {
+			s.AddClause(-col[i][c], -col[j][c])
+		}
+	}
+	if !s.Solve() {
+		t.Fatal("3-coloring C5 must be SAT")
+	}
+	// Check model: adjacent vertices differ.
+	color := make([]int, n)
+	for i := 0; i < n; i++ {
+		color[i] = -1
+		for c := 0; c < k; c++ {
+			if s.Value(col[i][c]) {
+				color[i] = c
+				break
+			}
+		}
+		if color[i] == -1 {
+			t.Fatalf("vertex %d uncolored", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if color[i] == color[(i+1)%n] {
+			t.Fatalf("adjacent vertices %d,%d share color", i, (i+1)%n)
+		}
+	}
+}
+
+// bruteForce decides satisfiability of CNF over nVars by enumeration.
+func bruteForce(nVars int, cnf [][]int) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				val := m&(1<<(v-1)) != 0
+				if (l > 0) == val {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 3 + rng.Intn(8) // 3..10
+		nClauses := 1 + rng.Intn(4*nVars)
+		cnf := make([][]int, nClauses)
+		for i := range cnf {
+			cl := make([]int, 3)
+			for j := range cl {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				cl[j] = v
+			}
+			cnf[i] = cl
+		}
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				ok = false
+				break
+			}
+		}
+		got := ok && s.Solve()
+		want := bruteForce(nVars, cnf)
+		if got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v cnf=%v", trial, got, want, cnf)
+		}
+		if got {
+			// Verify the model satisfies every clause.
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					v := l
+					if v < 0 {
+						v = -v
+					}
+					if (l > 0) == s.Value(v) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model violates clause %v", trial, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalSolving(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	if !s.Solve() {
+		t.Fatal("SAT expected")
+	}
+	s.AddClause(-a)
+	if !s.Solve() {
+		t.Fatal("still SAT with b")
+	}
+	if !s.Value(b) {
+		t.Fatal("b must be true")
+	}
+	s.AddClause(-b)
+	if s.Solve() {
+		t.Fatal("UNSAT expected after forcing both false")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	s := New()
+	pigeonhole(s, 4)
+	s.Solve()
+	if s.Stats.Conflicts == 0 || s.Stats.Decisions == 0 {
+		t.Fatalf("expected nontrivial search stats, got %+v", s.Stats)
+	}
+}

@@ -1,0 +1,116 @@
+package smt
+
+import (
+	"testing"
+
+	"ipa/internal/logic"
+)
+
+// Exhaustively verify the bit-vector comparators and arithmetic against
+// native integers over a signed range — any encoding bug in the adders,
+// sign handling or comparison circuits shows up here.
+func TestComparatorsExhaustive(t *testing.T) {
+	ops := []logic.CmpOp{logic.EQ, logic.NE, logic.LT, logic.LE, logic.GT, logic.GE}
+	check := func(op logic.CmpOp, a, b int) bool {
+		switch op {
+		case logic.EQ:
+			return a == b
+		case logic.NE:
+			return a != b
+		case logic.LT:
+			return a < b
+		case logic.LE:
+			return a <= b
+		case logic.GT:
+			return a > b
+		case logic.GE:
+			return a >= b
+		}
+		return false
+	}
+	for a := -9; a <= 9; a++ {
+		for b := -9; b <= 9; b++ {
+			for _, op := range ops {
+				e := NewEncoder(Domain{}, Signature{})
+				e.S.Assert(e.compare(op, constBV(a), constBV(b)))
+				got := e.Solve()
+				want := check(op, a, b)
+				if got != want {
+					t.Fatalf("%d %v %d: encoder=%v native=%v", a, op, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestArithmeticExhaustive(t *testing.T) {
+	for a := -6; a <= 6; a++ {
+		for b := -6; b <= 6; b++ {
+			e := NewEncoder(Domain{}, Signature{})
+			sum := e.add(constBV(a), constBV(b))
+			diff := e.sub(constBV(a), constBV(b))
+			e.S.Assert(e.equal(sum, constBV(a+b)))
+			e.S.Assert(e.equal(diff, constBV(a-b)))
+			if !e.Solve() {
+				t.Fatalf("%d+%d or %d-%d misencoded", a, b, a, b)
+			}
+			// And the negative check: sum must NOT equal a+b+1.
+			e2 := NewEncoder(Domain{}, Signature{})
+			sum2 := e2.add(constBV(a), constBV(b))
+			e2.S.Assert(e2.equal(sum2, constBV(a+b+1)))
+			if e2.Solve() {
+				t.Fatalf("%d+%d also equals %d?!", a, b, a+b+1)
+			}
+		}
+	}
+}
+
+func TestNegExhaustive(t *testing.T) {
+	for a := -8; a <= 8; a++ {
+		e := NewEncoder(Domain{}, Signature{})
+		e.S.Assert(e.equal(e.neg(constBV(a)), constBV(-a)))
+		if !e.Solve() {
+			t.Fatalf("neg(%d) != %d", a, -a)
+		}
+	}
+}
+
+func TestConstBVWidths(t *testing.T) {
+	// Every value in a wide range round-trips through its bit pattern.
+	for n := -300; n <= 300; n += 7 {
+		e := NewEncoder(Domain{}, Signature{})
+		v := constBV(n)
+		e.S.Assert(e.equal(v, v))
+		if !e.Solve() {
+			t.Fatalf("constBV(%d) self-compare failed", n)
+		}
+		if got := e.valueOf(v); got != n {
+			t.Fatalf("constBV(%d) decodes to %d", n, got)
+		}
+	}
+}
+
+func TestSymbolicConstantsShared(t *testing.T) {
+	// The same named constant must be one vector across states: asserting
+	// Capacity = 3 in one formula pins it everywhere.
+	e := NewEncoder(Domain{"S": {"a"}}, Signature{})
+	st := e.NewState("s")
+	if err := e.Assert(logic.MustParse("Capacity = 3"), st); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Assert(logic.MustParse("Capacity >= 3"), st); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Solve() {
+		t.Fatal("consistent constraints should be satisfiable")
+	}
+	if v, ok := e.ConstValue("Capacity"); !ok || v != 3 {
+		t.Fatalf("Capacity = %d, %v", v, ok)
+	}
+	if err := e.Assert(logic.MustParse("Capacity = 4"), st); err != nil {
+		t.Fatal(err)
+	}
+	if e.Solve() {
+		t.Fatal("contradictory constant pinning must be unsatisfiable")
+	}
+}

@@ -1,0 +1,219 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ipa/internal/logic"
+	"ipa/internal/sat"
+)
+
+// randFormula builds a random quantified boolean formula over the
+// tournament signature.
+func randFormula(rng *rand.Rand, depth int, vars []logic.Var) logic.Formula {
+	preds := []struct {
+		name  string
+		sorts []logic.Sort
+	}{
+		{"player", []logic.Sort{"Player"}},
+		{"tournament", []logic.Sort{"Tournament"}},
+		{"enrolled", []logic.Sort{"Player", "Tournament"}},
+		{"active", []logic.Sort{"Tournament"}},
+	}
+	if depth == 0 || rng.Intn(3) == 0 {
+		p := preds[rng.Intn(len(preds))]
+		args := make([]logic.Term, len(p.sorts))
+		for i, srt := range p.sorts {
+			// Pick a variable of the right sort.
+			var pool []logic.Var
+			for _, v := range vars {
+				if v.Sort == srt {
+					pool = append(pool, v)
+				}
+			}
+			args[i] = logic.V(pool[rng.Intn(len(pool))].Name)
+		}
+		return &logic.Atom{Pred: p.name, Args: args}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return &logic.Not{F: randFormula(rng, depth-1, vars)}
+	case 1:
+		return &logic.And{L: []logic.Formula{randFormula(rng, depth-1, vars), randFormula(rng, depth-1, vars)}}
+	case 2:
+		return &logic.Or{L: []logic.Formula{randFormula(rng, depth-1, vars), randFormula(rng, depth-1, vars)}}
+	default:
+		return &logic.Implies{A: randFormula(rng, depth-1, vars), B: randFormula(rng, depth-1, vars)}
+	}
+}
+
+// evalGround evaluates a quantified formula by explicit enumeration over
+// the domain given a truth assignment for ground atoms — an independent
+// reference semantics for the encoder.
+func evalGround(f logic.Formula, dom Domain, env map[string]string, truth map[string]bool) bool {
+	switch g := f.(type) {
+	case *logic.BoolLit:
+		return g.Val
+	case *logic.Atom:
+		key := g.Pred
+		if len(g.Args) > 0 {
+			key += "("
+			for i, a := range g.Args {
+				if i > 0 {
+					key += ","
+				}
+				key += env[a.Name]
+			}
+			key += ")"
+		}
+		return truth[key]
+	case *logic.Not:
+		return !evalGround(g.F, dom, env, truth)
+	case *logic.And:
+		for _, c := range g.L {
+			if !evalGround(c, dom, env, truth) {
+				return false
+			}
+		}
+		return true
+	case *logic.Or:
+		for _, c := range g.L {
+			if evalGround(c, dom, env, truth) {
+				return true
+			}
+		}
+		return false
+	case *logic.Implies:
+		return !evalGround(g.A, dom, env, truth) || evalGround(g.B, dom, env, truth)
+	case *logic.Forall:
+		var rec func(i int, env map[string]string) bool
+		rec = func(i int, env map[string]string) bool {
+			if i == len(g.Vars) {
+				return evalGround(g.Body, dom, env, truth)
+			}
+			for _, el := range dom[g.Vars[i].Sort] {
+				inner := map[string]string{}
+				for k, v := range env {
+					inner[k] = v
+				}
+				inner[g.Vars[i].Name] = el
+				if !rec(i+1, inner) {
+					return false
+				}
+			}
+			return true
+		}
+		return rec(0, env)
+	}
+	panic("unhandled")
+}
+
+// Property: the encoder agrees with the reference enumeration semantics —
+// a random quantified formula is satisfiable under the encoder iff some
+// truth assignment over the ground atoms satisfies it by enumeration.
+func TestEncoderAgreesWithEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dom := Domain{"Player": {"P1", "P2"}, "Tournament": {"T1"}}
+	sig := Signature{
+		"player": {"Player"}, "tournament": {"Tournament"},
+		"enrolled": {"Player", "Tournament"}, "active": {"Tournament"},
+	}
+	vars := []logic.Var{{Name: "p", Sort: "Player"}, {Name: "t", Sort: "Tournament"}}
+
+	// All ground atoms of the signature over the domain.
+	var atoms []string
+	for _, p := range dom["Player"] {
+		atoms = append(atoms, "player("+p+")")
+		for _, tt := range dom["Tournament"] {
+			atoms = append(atoms, "enrolled("+p+","+tt+")")
+		}
+	}
+	for _, tt := range dom["Tournament"] {
+		atoms = append(atoms, "tournament("+tt+")", "active("+tt+")")
+	}
+
+	for trial := 0; trial < 150; trial++ {
+		body := randFormula(rng, 3, vars)
+		f := &logic.Forall{Vars: vars, Body: body}
+
+		enc := NewEncoder(dom, sig)
+		st := enc.NewState("s")
+		if err := enc.Assert(f, st); err != nil {
+			t.Fatal(err)
+		}
+		got := enc.Solve()
+
+		// Reference: enumerate all 2^|atoms| assignments.
+		want := false
+		for m := 0; m < 1<<len(atoms); m++ {
+			truth := map[string]bool{}
+			for i, a := range atoms {
+				truth[a] = m&(1<<i) != 0
+			}
+			if evalGround(f, dom, map[string]string{}, truth) {
+				want = true
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: encoder=%v enumeration=%v formula=%s", trial, got, want, f)
+		}
+	}
+}
+
+// Property: merging an operation's effects with themselves is equivalent
+// to applying the operation once — boolean effect integration is
+// idempotent, the property compensations rely on (§3.4).
+func TestMergeSelfIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	dom := Domain{"Player": {"P1", "P2"}, "Tournament": {"T1"}}
+	sig := Signature{"player": {"Player"}, "enrolled": {"Player", "Tournament"}}
+	for trial := 0; trial < 100; trial++ {
+		var eff GroundEffects
+		assigned := map[string]bool{} // avoid self-opposing effect sets
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			if rng.Intn(2) == 0 {
+				args := []string{dom["Player"][rng.Intn(2)]}
+				key := "player:" + args[0]
+				if assigned[key] {
+					continue
+				}
+				assigned[key] = true
+				eff.Bools = append(eff.Bools, BoolEffect{Pred: "player", Args: args, Val: rng.Intn(2) == 0})
+			} else {
+				args := []string{dom["Player"][rng.Intn(2)], "T1"}
+				key := "enrolled:" + args[0]
+				if assigned[key] {
+					continue
+				}
+				assigned[key] = true
+				eff.Bools = append(eff.Bools, BoolEffect{Pred: "enrolled", Args: args, Val: rng.Intn(2) == 0})
+			}
+		}
+		enc := NewEncoder(dom, sig)
+		pre := enc.NewState("pre")
+		post := enc.Apply(pre, eff, "post")
+		merged := enc.Merge(pre, eff, eff, nil, "merged")
+
+		// Assert that SOME ground atom differs between post and merged;
+		// UNSAT means the states are equivalent.
+		var anyDiff []*sat.Formula
+		for _, p := range dom["Player"] {
+			for _, check := range [][2]string{{"player", p}, {"enrolled", p}} {
+				var a, b *sat.Formula
+				if check[0] == "player" {
+					a = post.Atom("player", []string{p})
+					b = merged.Atom("player", []string{p})
+				} else {
+					a = post.Atom("enrolled", []string{p, "T1"})
+					b = merged.Atom("enrolled", []string{p, "T1"})
+				}
+				anyDiff = append(anyDiff, sat.Or(sat.And(a, sat.Not(b)), sat.And(sat.Not(a), b)))
+			}
+		}
+		enc.S.Assert(sat.Or(anyDiff...))
+		if enc.Solve() {
+			t.Fatalf("trial %d: self-merge differs from apply for %v", trial, eff.Bools)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The shipped .spec files (what cmd/ipa -spec consumes) must parse and
+// round-trip. They are the same sources the apps embed; this test keeps
+// the two in sync at the format level.
+func TestShippedSpecFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "specs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("specs directory not present: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".spec" {
+			continue
+		}
+		found++
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(s.Operations) == 0 || len(s.Invariants) == 0 {
+			t.Fatalf("%s: empty spec", e.Name())
+		}
+		if _, err := Parse(s.String()); err != nil {
+			t.Fatalf("%s: printout does not re-parse: %v", e.Name(), err)
+		}
+	}
+	if found < 4 {
+		t.Fatalf("expected the 4 application specs, found %d", found)
+	}
+}

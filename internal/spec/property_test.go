@@ -1,0 +1,139 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ipa/internal/logic"
+)
+
+// randSpec generates a random well-formed specification.
+func randSpec(rng *rand.Rand) *Spec {
+	s := New(fmt.Sprintf("gen%d", rng.Intn(1000)))
+	sorts := []logic.Sort{"A", "B"}
+	preds := []struct {
+		name  string
+		sorts []logic.Sort
+	}{
+		{"p", []logic.Sort{"A"}},
+		{"q", []logic.Sort{"B"}},
+		{"r", []logic.Sort{"A", "B"}},
+	}
+
+	// Invariant: referential-integrity-shaped clause over the predicates.
+	s.Invariants = append(s.Invariants, logic.MustParse(
+		"forall (A: x, B: y) :- r(x, y) => p(x) and q(y)"))
+	if rng.Intn(2) == 0 {
+		s.Invariants = append(s.Invariants, logic.MustParse(
+			"forall (B: y) :- #r(*, y) <= Cap"))
+		s.Consts["Cap"] = 1 + rng.Intn(30)
+	}
+
+	// Random rules.
+	for _, p := range preds {
+		switch rng.Intn(3) {
+		case 0:
+			s.Rules[p.name] = AddWins
+		case 1:
+			s.Rules[p.name] = RemWins
+		}
+	}
+
+	// Random operations (1..4), each with 1..3 effects over its params.
+	nOps := 1 + rng.Intn(4)
+	for i := 0; i < nOps; i++ {
+		op := &Operation{Name: fmt.Sprintf("op%d", i)}
+		op.Params = []logic.Var{{Name: "x", Sort: sorts[0]}, {Name: "y", Sort: sorts[1]}}
+		nEff := 1 + rng.Intn(3)
+		for j := 0; j < nEff; j++ {
+			p := preds[rng.Intn(len(preds))]
+			args := make([]logic.Term, len(p.sorts))
+			for k, srt := range p.sorts {
+				if rng.Intn(5) == 0 {
+					args[k] = logic.Wild()
+				} else if srt == "A" {
+					args[k] = logic.V("x")
+				} else {
+					args[k] = logic.V("y")
+				}
+			}
+			op.Effects = append(op.Effects, Effect{
+				Kind: BoolAssign, Pred: p.name, Args: args, Val: rng.Intn(2) == 0,
+			})
+		}
+		s.Operations = append(s.Operations, op)
+	}
+	return s
+}
+
+// Property: String -> Parse is the identity on well-formed specs.
+func TestRandomSpecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		s := randSpec(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid spec: %v", trial, err)
+		}
+		printed := s.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("trial %d: reparse failed: %v\n%s", trial, err, printed)
+		}
+		if back.String() != printed {
+			t.Fatalf("trial %d: round trip unstable:\n%s\n---\n%s", trial, printed, back.String())
+		}
+	}
+}
+
+// Property: Clone is observationally identical and fully independent.
+func TestRandomSpecCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 50; trial++ {
+		s := randSpec(rng)
+		c := s.Clone()
+		if c.String() != s.String() {
+			t.Fatalf("trial %d: clone differs", trial)
+		}
+		// Mutate the clone thoroughly.
+		for _, op := range c.Operations {
+			op.Name = op.Name + "_mut"
+			op.Effects[0].Val = !op.Effects[0].Val
+		}
+		c.Rules["p"] = RemWins
+		c.Consts["Cap"] = 999
+		c.Invariants = nil
+		if s.String() == c.String() {
+			t.Fatalf("trial %d: mutation visible through clone", trial)
+		}
+		// Original still valid.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: original corrupted: %v", trial, err)
+		}
+	}
+}
+
+// Property: grounding respects the binding for every generated operation.
+func TestRandomSpecGrounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		s := randSpec(rng)
+		for _, op := range s.Operations {
+			binding := map[string]string{"x": "A1", "y": "B1"}
+			ge, err := op.Ground(binding)
+			if err != nil {
+				t.Fatalf("trial %d: ground: %v", trial, err)
+			}
+			if len(ge.Bools) != len(op.Effects) {
+				t.Fatalf("trial %d: effect count mismatch", trial)
+			}
+			for _, be := range ge.Bools {
+				for _, a := range be.Args {
+					if a != "A1" && a != "B1" && a != "" {
+						t.Fatalf("trial %d: unexpected ground arg %q", trial, a)
+					}
+				}
+			}
+		}
+	}
+}

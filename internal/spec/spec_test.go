@@ -1,0 +1,297 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"ipa/internal/logic"
+)
+
+const tournamentSrc = `
+spec tournament
+
+const Capacity = 16
+
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
+invariant forall (Tournament: t) :- #enrolled(*, t) <= Capacity
+invariant forall (Tournament: t) :- not (active(t) and finished(t))
+
+rule player add-wins
+rule tournament add-wins
+
+tag unique-ids
+
+operation add_player(Player: p) {
+    player(p) := true
+}
+
+operation rem_player(Player: p) {
+    player(p) := false
+}
+
+operation add_tourn(Tournament: t) {
+    tournament(t) := true
+}
+
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+}
+
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+
+operation disenroll(Player: p, Tournament: t) {
+    enrolled(p, t) := false
+}
+`
+
+func TestParseTournament(t *testing.T) {
+	s, err := Parse(tournamentSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "tournament" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	if len(s.Invariants) != 3 {
+		t.Fatalf("invariants = %d", len(s.Invariants))
+	}
+	if len(s.Operations) != 6 {
+		t.Fatalf("operations = %d", len(s.Operations))
+	}
+	if s.Consts["Capacity"] != 16 {
+		t.Fatalf("Capacity = %d", s.Consts["Capacity"])
+	}
+	if s.Rules["player"] != AddWins || s.Rules["tournament"] != AddWins {
+		t.Fatalf("rules = %v", s.Rules)
+	}
+	if len(s.Tags) != 1 || s.Tags[0] != "unique-ids" {
+		t.Fatalf("tags = %v", s.Tags)
+	}
+	enroll, ok := s.Operation("enroll")
+	if !ok {
+		t.Fatal("enroll missing")
+	}
+	if len(enroll.Params) != 2 || enroll.Params[0].Sort != "Player" {
+		t.Fatalf("enroll params = %v", enroll.Params)
+	}
+	if len(enroll.Effects) != 1 || enroll.Effects[0].Kind != BoolAssign || !enroll.Effects[0].Val {
+		t.Fatalf("enroll effects = %v", enroll.Effects)
+	}
+}
+
+func TestParseNumericEffects(t *testing.T) {
+	src := `
+spec shop
+invariant forall (Item: i) :- stock(i) >= 0
+operation buy(Item: i) {
+    stock(i) -= 1
+}
+operation restock(Item: i) {
+    stock(i) += 10
+}
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buy, _ := s.Operation("buy")
+	if buy.Effects[0].Kind != NumDelta || buy.Effects[0].Delta != -1 {
+		t.Fatalf("buy effect = %v", buy.Effects[0])
+	}
+	restock, _ := s.Operation("restock")
+	if restock.Effects[0].Delta != 10 {
+		t.Fatalf("restock effect = %v", restock.Effects[0])
+	}
+}
+
+func TestParseWildcardEffect(t *testing.T) {
+	src := `
+spec t
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => tournament(t)
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+    enrolled(*, t) := false
+}
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := s.Operation("rem_tourn")
+	if len(rt.Effects) != 2 {
+		t.Fatalf("effects = %v", rt.Effects)
+	}
+	if rt.Effects[1].Args[0].Kind != logic.TermWildcard {
+		t.Fatalf("wildcard not parsed: %v", rt.Effects[1])
+	}
+}
+
+func TestParseSharedSortParams(t *testing.T) {
+	src := `
+spec t
+invariant forall (Player: p) :- player(p) => player(p)
+operation match(Player: p, q, Tournament: t) {
+    inMatch(p, q, t) := true
+}
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Operation("match")
+	if len(m.Params) != 3 || m.Params[1].Sort != "Player" || m.Params[2].Sort != "Tournament" {
+		t.Fatalf("params = %v", m.Params)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", // no header
+		"operation f(Player: p) {\n x() := true\n}", // no spec header
+		"spec s\nbogus directive",
+		"spec s\nconst X 3",
+		"spec s\nrule p sometimes",
+		"spec s\ninvariant forall Player p :- x(p)",
+		"spec s\noperation f(Player: p) {\n player(p) := maybe\n}",
+		"spec s\noperation f(Player: p) {\n stock(p) += 0\n}",
+		"spec s\noperation f(Player: p) {\n stock(p) -= -2\n}",
+		"spec s\noperation f(Player: p) {\n player(p) := true",                         // unclosed
+		"spec s\noperation f(Player: p) {\n player(q) := true\n}",                      // undeclared param
+		"spec s\noperation f() {\n}",                                                   // no effects
+		"spec s\noperation f(p) {\n player(p) := true\n}",                              // param without sort
+		"spec s\nrule ghost add-wins\noperation f(Player: p) {\n player(p) := true\n}", // rule on unknown pred
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse should fail for %q", src)
+		}
+	}
+}
+
+func TestArityMismatchDetected(t *testing.T) {
+	src := `
+spec s
+invariant forall (Player: p) :- player(p)
+operation f(Player: p, Tournament: t) {
+    player(p, t) := true
+}
+`
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "arities") {
+		t.Fatalf("expected arity error, got %v", err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	s := MustParse(tournamentSrc)
+	printed := s.String()
+	s2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	if s2.String() != printed {
+		t.Fatalf("round trip not stable:\n%s\n---\n%s", printed, s2.String())
+	}
+}
+
+func TestSignature(t *testing.T) {
+	s := MustParse(tournamentSrc)
+	sig, err := s.Signature()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sig["enrolled"]; len(got) != 2 || got[0] != "Player" || got[1] != "Tournament" {
+		t.Fatalf("enrolled signature = %v", got)
+	}
+}
+
+func TestSorts(t *testing.T) {
+	s := MustParse(tournamentSrc)
+	sorts := s.Sorts()
+	if len(sorts) != 2 || sorts[0] != "Player" || sorts[1] != "Tournament" {
+		t.Fatalf("sorts = %v", sorts)
+	}
+}
+
+func TestGround(t *testing.T) {
+	s := MustParse(tournamentSrc)
+	enroll, _ := s.Operation("enroll")
+	ge, err := enroll.Ground(map[string]string{"p": "P1", "t": "T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ge.Bools) != 1 || ge.Bools[0].Args[0] != "P1" || ge.Bools[0].Args[1] != "T1" {
+		t.Fatalf("ground effects = %v", ge)
+	}
+	if _, err := enroll.Ground(map[string]string{"p": "P1"}); err == nil {
+		t.Fatal("missing binding must error")
+	}
+	// Wildcards survive grounding as "".
+	rt := &Operation{Name: "rem", Params: []logic.Var{{Name: "t", Sort: "Tournament"}},
+		Effects: []Effect{{Kind: BoolAssign, Pred: "enrolled", Args: []logic.Term{logic.Wild(), logic.V("t")}, Val: false}}}
+	g2, err := rt.Ground(map[string]string{"t": "T1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Bools[0].Args[0] != "" {
+		t.Fatalf("wildcard should ground to empty string: %v", g2.Bools[0])
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := MustParse(tournamentSrc)
+	c := s.Clone()
+	op, _ := c.Operation("enroll")
+	op.Effects = append(op.Effects, Effect{Kind: BoolAssign, Pred: "player", Args: []logic.Term{logic.V("p")}, Val: true})
+	orig, _ := s.Operation("enroll")
+	if len(orig.Effects) != 1 {
+		t.Fatal("clone mutated original")
+	}
+	c.Rules["enrolled"] = RemWins
+	if s.Rules["enrolled"] == RemWins {
+		t.Fatal("clone shares rules map")
+	}
+}
+
+func TestResolver(t *testing.T) {
+	s := New("x")
+	s.Rules["a"] = AddWins
+	s.Rules["r"] = RemWins
+	res := s.Resolver()
+	if v, ok := res("a"); !ok || !v {
+		t.Fatal("add-wins should resolve true")
+	}
+	if v, ok := res("r"); !ok || v {
+		t.Fatal("rem-wins should resolve false")
+	}
+	if _, ok := res("unknown"); ok {
+		t.Fatal("unknown predicate should have no rule")
+	}
+}
+
+func TestEffectHelpers(t *testing.T) {
+	e1 := Effect{Kind: BoolAssign, Pred: "p", Args: []logic.Term{logic.V("x")}, Val: true}
+	e2 := Effect{Kind: BoolAssign, Pred: "p", Args: []logic.Term{logic.V("x")}, Val: true}
+	e3 := Effect{Kind: BoolAssign, Pred: "p", Args: []logic.Term{logic.V("y")}, Val: true}
+	if !e1.Equal(e2) || e1.Equal(e3) {
+		t.Fatal("Effect.Equal broken")
+	}
+	op := &Operation{Name: "o", Params: []logic.Var{{Name: "x", Sort: "S"}}, Effects: []Effect{e1}}
+	if !op.HasEffect(e2) || op.HasEffect(e3) {
+		t.Fatal("HasEffect broken")
+	}
+	if p, ok := op.Param("S"); !ok || p.Name != "x" {
+		t.Fatal("Param lookup broken")
+	}
+	if _, ok := op.Param("T"); ok {
+		t.Fatal("Param should miss unknown sort")
+	}
+	if e1.String() != "p(x) := true" {
+		t.Fatalf("Effect.String = %q", e1.String())
+	}
+	n := Effect{Kind: NumDelta, Pred: "stock", Args: []logic.Term{logic.V("i")}, Delta: -3}
+	if n.String() != "stock(i) -= 3" {
+		t.Fatalf("NumDelta String = %q", n.String())
+	}
+}

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"fmt"
+
+	"ipa/internal/clock"
+)
+
+// Session provides causal session guarantees for a client that may attach
+// to different replicas over its lifetime — SwiftCloud's client-side
+// causal consistency ("write fast, read in the past" [48]). The session
+// tracks the causal cut it has observed; attaching to a replica that has
+// not yet delivered that cut fails with ErrStale instead of showing the
+// client older state, which preserves:
+//
+//   - read your writes: the cut includes the client's own commits;
+//   - monotonic reads: the cut only grows;
+//   - writes follow reads / monotonic writes: transactions started
+//     through the session depend on everything the session has seen.
+type Session struct {
+	deps clock.Vector
+}
+
+// NewSession starts a session with an empty causal past.
+func NewSession() *Session { return &Session{deps: clock.New()} }
+
+// ErrStale reports that a replica has not yet delivered the session's
+// causal past; the client should retry, wait, or attach elsewhere.
+type ErrStale struct {
+	Replica clock.ReplicaID
+	Need    clock.Vector
+	Have    clock.Vector
+}
+
+func (e *ErrStale) Error() string {
+	return fmt.Sprintf("store: replica %s is stale for this session: needs %s, has %s",
+		e.Replica, e.Need, e.Have)
+}
+
+// CanUse reports whether the replica covers the session's causal past.
+func (s *Session) CanUse(r *Replica) bool { return s.deps.LEq(r.vc) }
+
+// Begin starts a transaction at the replica, provided it covers the
+// session's past. On success the session advances to the replica's cut
+// (monotonic reads: everything read now is remembered).
+func (s *Session) Begin(r *Replica) (*Txn, error) {
+	if !s.CanUse(r) {
+		return nil, &ErrStale{Replica: r.id, Need: s.deps.Clone(), Have: r.Clock()}
+	}
+	tx := r.Begin()
+	s.deps.Merge(r.vc)
+	return tx, nil
+}
+
+// Observe folds a committed transaction's effects into the session (read
+// your writes across replicas). Call it after Commit.
+func (s *Session) Observe(tx *Txn) {
+	s.deps.Merge(tx.r.vc)
+}
+
+// Cut returns a copy of the session's causal past.
+func (s *Session) Cut() clock.Vector { return s.deps.Clone() }

@@ -1,0 +1,124 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"ipa/internal/wan"
+)
+
+func TestSessionReadYourWrites(t *testing.T) {
+	sim, c := newTestCluster(20)
+	east := c.Replica(wan.USEast)
+	west := c.Replica(wan.USWest)
+
+	s := NewSession()
+	tx, err := s.Begin(east)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AWSetAt(tx, "k").Add("mine", "")
+	tx.Commit()
+	s.Observe(tx)
+
+	// Immediately attaching to a replica that has not seen the write must
+	// fail rather than hide it.
+	if _, err := s.Begin(west); err == nil {
+		t.Fatal("stale replica accepted")
+	} else {
+		var stale *ErrStale
+		if !errors.As(err, &stale) {
+			t.Fatalf("error type = %T", err)
+		}
+		if stale.Replica != wan.USWest {
+			t.Fatalf("stale replica = %s", stale.Replica)
+		}
+		if stale.Error() == "" {
+			t.Fatal("empty error text")
+		}
+	}
+
+	// After replication the attach succeeds and the write is visible.
+	sim.Run()
+	tx2, err := s.Begin(west)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AWSetAt(tx2, "k").Contains("mine") {
+		t.Fatal("read-your-writes violated")
+	}
+	tx2.Commit()
+}
+
+func TestSessionMonotonicReads(t *testing.T) {
+	sim, c := newTestCluster(21)
+	east := c.Replica(wan.USEast)
+	west := c.Replica(wan.USWest)
+
+	// Someone else writes at east; replicate everywhere.
+	tx := east.Begin()
+	AWSetAt(tx, "k").Add("v1", "")
+	tx.Commit()
+	sim.Run()
+
+	s := NewSession()
+	tx1, err := s.Begin(west)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = AWSetAt(tx1, "k").Elems()
+	tx1.Commit()
+
+	// More writes land at east but have not reached eu-west yet; reading
+	// at west advanced the session to west's cut, and eu-west (which has
+	// the same data) is still acceptable; but a replica artificially
+	// behind the session's cut is not.
+	behind := c.Replica(wan.EUWest)
+	if !s.CanUse(behind) {
+		t.Fatal("eu-west should cover the fully replicated cut")
+	}
+	// Partition eu-west first so it cannot see the next write.
+	c.SetPartitioned(wan.USEast, wan.EUWest, true)
+	tx2 := east.Begin()
+	AWSetAt(tx2, "k").Add("v2", "")
+	tx2.Commit()
+	sim.RunUntil(sim.Now() + wan.Ms(200))
+
+	// Session reads v2 at east.
+	tx3, err := s.Begin(east)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx3.Commit()
+	// eu-west never saw v2: attaching there would be a non-monotonic read.
+	if s.CanUse(behind) {
+		t.Fatal("monotonic reads violated: stale replica accepted after newer read")
+	}
+	c.SetPartitioned(wan.USEast, wan.EUWest, false)
+	sim.Run()
+	if !s.CanUse(behind) {
+		t.Fatal("caught-up replica should be usable again")
+	}
+}
+
+func TestSessionCut(t *testing.T) {
+	_, c := newTestCluster(22)
+	east := c.Replica(wan.USEast)
+	s := NewSession()
+	if s.Cut().Sum() != 0 {
+		t.Fatal("fresh session should have an empty cut")
+	}
+	tx, _ := s.Begin(east)
+	AWSetAt(tx, "k").Add("x", "")
+	tx.Commit()
+	s.Observe(tx)
+	if s.Cut().Get(wan.USEast) == 0 {
+		t.Fatal("cut should include the session's write")
+	}
+	// Mutating the returned cut must not affect the session.
+	cut := s.Cut()
+	cut.Set(wan.USEast, 999)
+	if s.Cut().Get(wan.USEast) == 999 {
+		t.Fatal("Cut must return a copy")
+	}
+}

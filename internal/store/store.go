@@ -1,0 +1,260 @@
+// Package store implements the replicated database the IPA runtime needs
+// (the paper uses SwiftCloud [48]): a key-value store geo-replicated
+// across data centers, with
+//
+//   - causal consistency — transactions commit locally and replicate
+//     asynchronously, delivered remotely only after their causal
+//     dependencies;
+//   - highly available transactions — a transaction's updates apply
+//     atomically at every replica;
+//   - per-object type-specific conflict resolution — values are the
+//     operation-based CRDTs of package crdt;
+//   - stability tracking — a causal cut delivered at every replica, used
+//     to garbage-collect CRDT metadata (tombstones, touch graveyards).
+//
+// Replicas live inside a wan.Sim discrete-event simulation, which injects
+// the inter-datacenter latencies; all execution is deterministic.
+package store
+
+import (
+	"fmt"
+
+	"ipa/internal/clock"
+	"ipa/internal/crdt"
+	"ipa/internal/wan"
+)
+
+// Cluster is a set of replicas of one logical database.
+type Cluster struct {
+	sim      *wan.Sim
+	latency  *wan.Latency
+	replicas map[clock.ReplicaID]*Replica
+	order    []clock.ReplicaID
+	stab     *clock.Stability
+
+	// partitioned links: messages are buffered and flushed on heal.
+	partitioned map[[2]clock.ReplicaID]bool
+	blocked     map[[2]clock.ReplicaID][]txnMsg
+
+	// onCommit, when set, receives the wire form of every committed
+	// update transaction (see SetOnCommit).
+	onCommit func(WireTxn)
+
+	// Stats
+	MessagesSent  uint64
+	TxnsCommitted uint64
+	StabilityRuns uint64
+}
+
+// NewCluster creates one replica per id, connected by the latency model.
+func NewCluster(sim *wan.Sim, latency *wan.Latency, ids []clock.ReplicaID) *Cluster {
+	c := &Cluster{
+		sim:         sim,
+		latency:     latency,
+		replicas:    make(map[clock.ReplicaID]*Replica, len(ids)),
+		order:       append([]clock.ReplicaID(nil), ids...),
+		stab:        clock.NewStability(ids),
+		partitioned: map[[2]clock.ReplicaID]bool{},
+		blocked:     map[[2]clock.ReplicaID][]txnMsg{},
+	}
+	for _, id := range ids {
+		c.replicas[id] = &Replica{
+			id:      id,
+			cluster: c,
+			objects: map[string]crdt.CRDT{},
+			vc:      clock.New(),
+		}
+	}
+	return c
+}
+
+// Sim returns the simulation driving this cluster.
+func (c *Cluster) Sim() *wan.Sim { return c.sim }
+
+// Replica returns the replica with the given id.
+func (c *Cluster) Replica(id clock.ReplicaID) *Replica {
+	r, ok := c.replicas[id]
+	if !ok {
+		panic(fmt.Sprintf("store: unknown replica %q", id))
+	}
+	return r
+}
+
+// Replicas returns the replica ids in creation order.
+func (c *Cluster) Replicas() []clock.ReplicaID { return c.order }
+
+// SetPartitioned blocks (or unblocks) the link between two replicas in
+// both directions. Messages sent while partitioned are buffered and
+// flushed when the partition heals — replication resumes, no update is
+// lost (the availability model of weak consistency).
+func (c *Cluster) SetPartitioned(a, b clock.ReplicaID, partitioned bool) {
+	c.partitioned[[2]clock.ReplicaID{a, b}] = partitioned
+	c.partitioned[[2]clock.ReplicaID{b, a}] = partitioned
+	if !partitioned {
+		for _, key := range [][2]clock.ReplicaID{{a, b}, {b, a}} {
+			msgs := c.blocked[key]
+			delete(c.blocked, key)
+			for _, m := range msgs {
+				c.send(key[0], key[1], m)
+			}
+		}
+	}
+}
+
+// txnMsg is a committed transaction in flight between replicas.
+type txnMsg struct {
+	origin  clock.ReplicaID
+	deps    clock.Vector // causal dependencies (origin's cut before commit)
+	firstSq uint64       // origin sequence before this txn's updates
+	lastSeq uint64       // origin sequence after this txn's updates
+	updates []Update
+}
+
+func (c *Cluster) send(from, to clock.ReplicaID, m txnMsg) {
+	if c.partitioned[[2]clock.ReplicaID{from, to}] {
+		c.blocked[[2]clock.ReplicaID{from, to}] = append(c.blocked[[2]clock.ReplicaID{from, to}], m)
+		return
+	}
+	c.MessagesSent++
+	d := c.latency.OneWay(string(from), string(to), c.sim.Rand())
+	dst := c.replicas[to]
+	c.sim.After(d, func() { dst.receive(m) })
+}
+
+// Stabilize computes the stability horizon (the causal cut every replica
+// has delivered) and lets every CRDT compact metadata below it. Call it
+// periodically from the harness, or once after a run.
+func (c *Cluster) Stabilize() clock.Vector {
+	c.StabilityRuns++
+	for _, id := range c.order {
+		c.stab.Ack(id, c.replicas[id].vc.Clone())
+	}
+	h := c.stab.Horizon()
+	for _, id := range c.order {
+		for _, obj := range c.replicas[id].objects {
+			obj.Compact(h)
+		}
+	}
+	return h
+}
+
+// Update is one CRDT operation against a key.
+type Update struct {
+	Key string
+	Op  crdt.Op
+}
+
+// Replica is one data center's copy of the database. Within the
+// simulation a replica processes transactions serially (the sim is
+// single-threaded), which gives per-replica serializable local execution —
+// the same assumption the paper's application servers make.
+type Replica struct {
+	id      clock.ReplicaID
+	cluster *Cluster
+	objects map[string]crdt.CRDT
+	vc      clock.Vector // delivered cut; vc[id] == local commit sequence
+	seq     uint64       // local event counter (tags)
+	pending []txnMsg     // causal delivery queue
+
+	// Stats
+	TxnsExecuted  uint64
+	TxnsDelivered uint64
+	QueuedMax     int
+}
+
+// ID returns the replica identifier.
+func (r *Replica) ID() clock.ReplicaID { return r.id }
+
+// Clock returns a copy of the replica's delivered causal cut.
+func (r *Replica) Clock() clock.Vector { return r.vc.Clone() }
+
+// Object returns the CRDT stored at key, creating it with mk when absent.
+// Reads outside transactions observe the replica's current causal state.
+func (r *Replica) Object(key string, mk func() crdt.CRDT) crdt.CRDT {
+	obj, ok := r.objects[key]
+	if !ok {
+		obj = mk()
+		r.objects[key] = obj
+	}
+	return obj
+}
+
+// Lookup returns the CRDT stored at key if it exists.
+func (r *Replica) Lookup(key string) (crdt.CRDT, bool) {
+	obj, ok := r.objects[key]
+	return obj, ok
+}
+
+// Begin starts a highly available transaction at this replica.
+func (r *Replica) Begin() *Txn {
+	return &Txn{r: r, deps: r.vc.Clone(), firstSeq: r.seq}
+}
+
+// receive integrates a remote transaction, enforcing causal delivery:
+// the transaction applies only when its dependencies are satisfied and
+// the origin's updates are contiguous (per-origin FIFO).
+func (r *Replica) receive(m txnMsg) {
+	r.pending = append(r.pending, m)
+	if len(r.pending) > r.QueuedMax {
+		r.QueuedMax = len(r.pending)
+	}
+	r.drain()
+}
+
+func (r *Replica) drain() {
+	progress := true
+	for progress {
+		progress = false
+		for i, m := range r.pending {
+			if r.deliverable(m) {
+				r.apply(m)
+				r.pending = append(r.pending[:i], r.pending[i+1:]...)
+				progress = true
+				break
+			}
+		}
+	}
+}
+
+func (r *Replica) deliverable(m txnMsg) bool {
+	if r.vc.Get(m.origin) != m.firstSq {
+		return false // FIFO gap from the origin
+	}
+	return m.deps.LEq(r.vc)
+}
+
+func (r *Replica) apply(m txnMsg) {
+	for _, u := range m.updates {
+		obj, ok := r.objects[u.Key]
+		if !ok {
+			// Object type is implied by the op; instantiate lazily.
+			obj = newForOp(u.Op)
+			r.objects[u.Key] = obj
+		}
+		obj.Apply(u.Op)
+	}
+	r.vc.Set(m.origin, m.lastSeq)
+	r.TxnsDelivered++
+}
+
+// newForOp creates the right CRDT for a remotely created object.
+func newForOp(op crdt.Op) crdt.CRDT {
+	switch op.(type) {
+	case crdt.AWAddOp, crdt.AWRemoveOp:
+		return crdt.NewAWSet()
+	case crdt.RWAddOp, crdt.RWRemoveOp, crdt.RWRemoveWhereOp:
+		return crdt.NewRWSet()
+	case crdt.CounterOp:
+		return crdt.NewPNCounter()
+	case crdt.BCConsumeOp, crdt.BCGrantOp, crdt.BCTransferOp:
+		return crdt.NewBoundedCounter(nil)
+	case crdt.LWWSetOp:
+		return crdt.NewLWWRegister()
+	case crdt.MVSetOp:
+		return crdt.NewMVRegister()
+	}
+	panic(fmt.Sprintf("store: no constructor for op %T", op))
+}
+
+// PendingCount reports the size of the causal delivery queue.
+func (r *Replica) PendingCount() int { return len(r.pending) }

@@ -1,0 +1,335 @@
+package store
+
+import (
+	"fmt"
+
+	"ipa/internal/clock"
+	"ipa/internal/crdt"
+)
+
+// Txn is a highly available transaction: updates apply immediately at the
+// origin replica (read-your-writes) and are buffered for atomic causal
+// replication on Commit. Transactions never abort — updates are CRDT
+// operations, so concurrent transactions merge instead of conflicting.
+type Txn struct {
+	r        *Replica
+	deps     clock.Vector
+	firstSeq uint64
+	updates  []Update
+	done     bool
+}
+
+// Replica returns the origin replica.
+func (t *Txn) Replica() *Replica { return t.r }
+
+// NewTag allocates a globally unique event ID for an operation of this
+// transaction.
+func (t *Txn) NewTag() clock.EventID {
+	t.r.seq++
+	return clock.EventID{Replica: t.r.id, Seq: t.r.seq}
+}
+
+// Apply records a prepared CRDT operation against key: it executes on the
+// local object immediately and replicates with the transaction. The object
+// must already exist at this replica (the typed *At helpers create it);
+// mk, when non-nil, creates it on first use.
+func (t *Txn) Apply(key string, op crdt.Op, mk func() crdt.CRDT) {
+	if t.done {
+		panic("store: transaction already committed")
+	}
+	obj, ok := t.r.Lookup(key)
+	if !ok {
+		if mk == nil {
+			panic(fmt.Sprintf("store: update to unknown object %q", key))
+		}
+		obj = t.r.Object(key, mk)
+	}
+	obj.Apply(op)
+	t.updates = append(t.updates, Update{Key: key, Op: op})
+}
+
+// Commit finalises the transaction and replicates its updates atomically
+// to the other replicas. An empty (read-only) transaction sends nothing.
+func (t *Txn) Commit() {
+	if t.done {
+		panic("store: transaction already committed")
+	}
+	t.done = true
+	t.r.TxnsExecuted++
+	if len(t.updates) == 0 {
+		return
+	}
+	c := t.r.cluster
+	c.TxnsCommitted++
+	// The origin has already applied the updates; advance its cut.
+	t.r.vc.Set(t.r.id, t.r.seq)
+	m := txnMsg{
+		origin:  t.r.id,
+		deps:    t.deps,
+		firstSq: t.firstSeq,
+		lastSeq: t.r.seq,
+		updates: t.updates,
+	}
+	for _, id := range c.order {
+		if id != t.r.id {
+			c.send(t.r.id, id, m)
+		}
+	}
+	if c.onCommit != nil {
+		c.onCommit(WireTxn{
+			Origin:   m.origin,
+			Deps:     m.deps.Clone(),
+			FirstSeq: m.firstSq,
+			LastSeq:  m.lastSeq,
+			Updates:  m.updates,
+		})
+	}
+}
+
+// Updates returns the number of updates buffered so far.
+func (t *Txn) Updates() int { return len(t.updates) }
+
+// KeysTouched returns the number of distinct keys updated so far.
+func (t *Txn) KeysTouched() int {
+	seen := map[string]bool{}
+	for _, u := range t.updates {
+		seen[u.Key] = true
+	}
+	return len(seen)
+}
+
+// --- Typed object references -----------------------------------------
+//
+// The helpers below bind a transaction to a CRDT instance of a given type
+// and wrap the prepare/apply cycle, so application code reads naturally:
+//
+//	enrolled := store.AWSetAt(tx, "enrolled")
+//	enrolled.Add("p1|t1", "")
+
+// AWSetRef is a transaction-scoped view of an add-wins set.
+type AWSetRef struct {
+	tx  *Txn
+	key string
+	set *crdt.AWSet
+}
+
+// AWSetAt binds the add-wins set stored at key.
+func AWSetAt(tx *Txn, key string) AWSetRef {
+	obj := tx.r.Object(key, func() crdt.CRDT { return crdt.NewAWSet() })
+	set, ok := obj.(*crdt.AWSet)
+	if !ok {
+		panic(fmt.Sprintf("store: %s holds %s, not aw-set", key, obj.Type()))
+	}
+	return AWSetRef{tx: tx, key: key, set: set}
+}
+
+// Add inserts elem with a payload.
+func (r AWSetRef) Add(elem, payload string) {
+	op := r.set.PrepareAdd(elem, payload, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Touch re-asserts membership preserving the payload (paper §4.2.1).
+func (r AWSetRef) Touch(elem string) {
+	op := r.set.PrepareTouch(elem, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Remove deletes elem (observed adds only: add-wins).
+func (r AWSetRef) Remove(elem string) {
+	op := r.set.PrepareRemove(elem, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// RemoveWhere deletes every element matching pred.
+func (r AWSetRef) RemoveWhere(pred crdt.Predicate) {
+	op := r.set.PrepareRemoveWhere(pred, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Contains reports membership in the transaction's view.
+func (r AWSetRef) Contains(elem string) bool { return r.set.Contains(elem) }
+
+// Elems lists the members.
+func (r AWSetRef) Elems() []string { return r.set.Elems() }
+
+// ElemsWhere lists the members matching pred.
+func (r AWSetRef) ElemsWhere(pred crdt.Predicate) []string { return r.set.ElemsWhere(pred) }
+
+// Size returns the member count.
+func (r AWSetRef) Size() int { return r.set.Size() }
+
+// Payload returns elem's payload.
+func (r AWSetRef) Payload(elem string) (string, bool) { return r.set.Payload(elem) }
+
+// RWSetRef is a transaction-scoped view of a remove-wins set.
+type RWSetRef struct {
+	tx  *Txn
+	key string
+	set *crdt.RWSet
+}
+
+// RWSetAt binds the remove-wins set stored at key.
+func RWSetAt(tx *Txn, key string) RWSetRef {
+	obj := tx.r.Object(key, func() crdt.CRDT { return crdt.NewRWSet() })
+	set, ok := obj.(*crdt.RWSet)
+	if !ok {
+		panic(fmt.Sprintf("store: %s holds %s, not rw-set", key, obj.Type()))
+	}
+	return RWSetRef{tx: tx, key: key, set: set}
+}
+
+// Add inserts elem with a payload.
+func (r RWSetRef) Add(elem, payload string) {
+	op := r.set.PrepareAdd(elem, payload, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Touch re-asserts membership preserving the payload.
+func (r RWSetRef) Touch(elem string) {
+	op := r.set.PrepareTouch(elem, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Remove deletes elem (remove-wins: also defeats concurrent adds).
+func (r RWSetRef) Remove(elem string) {
+	op := r.set.PrepareRemove(elem, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// RemoveWhere deletes every matching element, defeating concurrent adds
+// (the paper's enrolled(*, t) = false wildcard).
+func (r RWSetRef) RemoveWhere(pred crdt.Predicate) {
+	op := r.set.PrepareRemoveWhere(pred, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Contains reports membership.
+func (r RWSetRef) Contains(elem string) bool { return r.set.Contains(elem) }
+
+// Elems lists the members.
+func (r RWSetRef) Elems() []string { return r.set.Elems() }
+
+// ElemsWhere lists the members matching pred.
+func (r RWSetRef) ElemsWhere(pred crdt.Predicate) []string { return r.set.ElemsWhere(pred) }
+
+// Size returns the member count.
+func (r RWSetRef) Size() int { return r.set.Size() }
+
+// CounterRef is a transaction-scoped view of a PN-counter.
+type CounterRef struct {
+	tx  *Txn
+	key string
+	c   *crdt.PNCounter
+}
+
+// CounterAt binds the counter stored at key.
+func CounterAt(tx *Txn, key string) CounterRef {
+	obj := tx.r.Object(key, func() crdt.CRDT { return crdt.NewPNCounter() })
+	c, ok := obj.(*crdt.PNCounter)
+	if !ok {
+		panic(fmt.Sprintf("store: %s holds %s, not pn-counter", key, obj.Type()))
+	}
+	return CounterRef{tx: tx, key: key, c: c}
+}
+
+// Add adjusts the counter by delta.
+func (r CounterRef) Add(delta int64) {
+	op := r.c.PrepareAdd(delta, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Value returns the current count.
+func (r CounterRef) Value() int64 { return r.c.Value() }
+
+// RegisterRef is a transaction-scoped view of an LWW register.
+type RegisterRef struct {
+	tx  *Txn
+	key string
+	reg *crdt.LWWRegister
+}
+
+// RegisterAt binds the LWW register stored at key.
+func RegisterAt(tx *Txn, key string) RegisterRef {
+	obj := tx.r.Object(key, func() crdt.CRDT { return crdt.NewLWWRegister() })
+	reg, ok := obj.(*crdt.LWWRegister)
+	if !ok {
+		panic(fmt.Sprintf("store: %s holds %s, not lww-register", key, obj.Type()))
+	}
+	return RegisterRef{tx: tx, key: key, reg: reg}
+}
+
+// Set writes value; the logical timestamp is the op's sequence number, so
+// later local writes always supersede earlier ones.
+func (r RegisterRef) Set(value string) {
+	tag := r.tx.NewTag()
+	op := r.reg.PrepareSet(value, tag.Seq, tag)
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Value returns the register content.
+func (r RegisterRef) Value() (string, bool) { return r.reg.Value() }
+
+// CompSetRef is a transaction-scoped view of a Compensation Set. The set
+// must have been seeded at every replica (see SeedCompSet) so each copy
+// knows the bound.
+type CompSetRef struct {
+	tx  *Txn
+	key string
+	set *crdt.CompSet
+}
+
+// SeedCompSet creates the compensation set with the given bound at one
+// replica; call it for every replica during setup so the constraint is
+// known cluster-wide before any update replicates.
+func SeedCompSet(r *Replica, key string, maxSize int) {
+	r.Object(key, func() crdt.CRDT { return crdt.NewCompSet(maxSize) })
+}
+
+// CompSetAt binds the compensation set stored at key.
+func CompSetAt(tx *Txn, key string) CompSetRef {
+	obj, ok := tx.r.Lookup(key)
+	if !ok {
+		panic(fmt.Sprintf("store: comp-set %s not seeded at %s", key, tx.r.id))
+	}
+	set, ok := obj.(*crdt.CompSet)
+	if !ok {
+		panic(fmt.Sprintf("store: %s holds %s, not comp-set", key, obj.Type()))
+	}
+	return CompSetRef{tx: tx, key: key, set: set}
+}
+
+// Add inserts elem.
+func (r CompSetRef) Add(elem, payload string) {
+	op := r.set.PrepareAdd(elem, payload, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Remove deletes elem.
+func (r CompSetRef) Remove(elem string) {
+	op := r.set.PrepareRemove(elem, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Read returns the constraint-respecting view; if the observed state
+// violates the bound, the compensating removals execute and commit with
+// this transaction (paper §4.2.2).
+func (r CompSetRef) Read() []string {
+	elems, comps := r.set.Read(r.tx.NewTag)
+	// Read only prepares the compensating removals; applying them through
+	// the transaction executes them locally and replicates them.
+	for _, op := range comps {
+		r.tx.Apply(r.key, op, nil)
+	}
+	return elems
+}
+
+// SizeObserved returns the raw (possibly violating) size.
+func (r CompSetRef) SizeObserved() int { return r.set.Size() }
+
+// Violating reports whether the raw state violates the bound.
+func (r CompSetRef) Violating() bool { return r.set.Violating() }
+
+// Compensated returns how many elements this replica's compensations
+// removed so far.
+func (r CompSetRef) Compensated() int64 { return r.set.CompensationsApplied }

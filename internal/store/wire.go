@@ -1,0 +1,75 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"ipa/internal/clock"
+	"ipa/internal/crdt"
+)
+
+// WireTxn is the serialisable form of a committed transaction — the
+// replication unit exchanged between replicas. Inside the simulator the
+// equivalent message is passed by value; a networked transport (package
+// netrepl) encodes WireTxn with encoding/gob.
+type WireTxn struct {
+	Origin   clock.ReplicaID
+	Deps     clock.Vector
+	FirstSeq uint64
+	LastSeq  uint64
+	Updates  []Update
+}
+
+func init() {
+	// Register every concrete operation (and predicate) type carried
+	// inside the crdt.Op interface.
+	gob.Register(crdt.AWAddOp{})
+	gob.Register(crdt.AWRemoveOp{})
+	gob.Register(crdt.RWAddOp{})
+	gob.Register(crdt.RWRemoveOp{})
+	gob.Register(crdt.RWRemoveWhereOp{})
+	gob.Register(crdt.CounterOp{})
+	gob.Register(crdt.BCConsumeOp{})
+	gob.Register(crdt.BCGrantOp{})
+	gob.Register(crdt.BCTransferOp{})
+	gob.Register(crdt.LWWSetOp{})
+	gob.Register(crdt.MVSetOp{})
+	gob.Register(crdt.Match{})
+	gob.Register(crdt.MatchAll{})
+}
+
+// EncodeTxn serialises a transaction for the wire.
+func EncodeTxn(w WireTxn) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTxn deserialises a transaction from the wire.
+func DecodeTxn(data []byte) (WireTxn, error) {
+	var w WireTxn
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w)
+	return w, err
+}
+
+// OnCommit, when set, is invoked for every committed update transaction
+// with its wire form — the hook external transports use to ship
+// transactions to remote nodes.
+func (c *Cluster) SetOnCommit(fn func(WireTxn)) { c.onCommit = fn }
+
+// Deliver injects a transaction received from an external transport into
+// the replica with the given id, going through the same causal delivery
+// queue as simulator-internal messages. Unknown origins are fine: the
+// vector clocks accommodate any replica identifier.
+func (c *Cluster) Deliver(to clock.ReplicaID, w WireTxn) {
+	r := c.Replica(to)
+	r.receive(txnMsg{
+		origin:  w.Origin,
+		deps:    w.Deps,
+		firstSq: w.FirstSeq,
+		lastSeq: w.LastSeq,
+		updates: w.Updates,
+	})
+}

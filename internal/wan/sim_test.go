@@ -1,0 +1,132 @@
+package wan
+
+import (
+	"testing"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	s.After(Ms(10), func() { got = append(got, 2) })
+	s.After(Ms(5), func() { got = append(got, 1) })
+	s.After(Ms(10), func() { got = append(got, 3) }) // same instant: FIFO
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != Ms(10) {
+		t.Fatalf("now = %v", s.Now())
+	}
+	if s.Executed != 3 {
+		t.Fatalf("executed = %d", s.Executed)
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim(1)
+	var fired []Time
+	s.After(Ms(1), func() {
+		s.After(Ms(2), func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 1 || fired[0] != Ms(3) {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim(1)
+	ran := 0
+	s.After(Ms(5), func() { ran++ })
+	s.After(Ms(15), func() { ran++ })
+	s.RunUntil(Ms(10))
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if s.Now() != Ms(10) {
+		t.Fatalf("now = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if ran != 2 {
+		t.Fatal("remaining event lost")
+	}
+}
+
+func TestSimPastEventsClamp(t *testing.T) {
+	s := NewSim(1)
+	s.After(Ms(10), func() {
+		// Scheduling in the past must clamp to now, not travel back.
+		s.At(Ms(1), func() {
+			if s.Now() < Ms(10) {
+				t.Fatal("time went backwards")
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := NewSim(42)
+		l := PaperTopology()
+		var out []Time
+		for i := 0; i < 20; i++ {
+			d := l.OneWay(USEast, EUWest, s.Rand())
+			s.After(d, func() { out = append(out, s.Now()) })
+		}
+		s.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	l := PaperTopology()
+	if rtt := l.RTT(USEast, USWest); rtt != Ms(80) {
+		t.Fatalf("us-east<->us-west RTT = %v, want 80ms", rtt.Millis())
+	}
+	if rtt := l.RTT(USWest, EUWest); rtt != Ms(160) {
+		t.Fatalf("us-west<->eu-west RTT = %v, want 160ms", rtt.Millis())
+	}
+	if rtt := l.RTT(USEast, EUWest); rtt != Ms(80) {
+		t.Fatalf("us-east<->eu-west RTT = %v, want 80ms", rtt.Millis())
+	}
+	// Jitter bounded.
+	s := NewSim(7)
+	for i := 0; i < 100; i++ {
+		d := l.OneWay(USEast, USWest, s.Rand())
+		if d < Ms(38) || d > Ms(42) {
+			t.Fatalf("jittered delay out of 5%% band: %v", d.Millis())
+		}
+	}
+	// Unknown pair gets the default.
+	if d := l.OneWay("mars", "venus", nil); d != Ms(40) {
+		t.Fatalf("default = %v", d)
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Ms(1.5) != 1500*Microsecond {
+		t.Fatal("Ms conversion")
+	}
+	if (250 * Millisecond).Millis() != 250 {
+		t.Fatal("Millis conversion")
+	}
+	if Second != 1000*Millisecond {
+		t.Fatal("Second")
+	}
+	if len(Sites()) != 3 {
+		t.Fatal("Sites")
+	}
+}

@@ -1,0 +1,162 @@
+// Package ipa is a from-scratch Go reproduction of
+//
+//	IPA: Invariant-preserving Applications for Weakly-consistent
+//	Replicated Databases (Balegas, Preguiça, Duarte, Ferreira, Rodrigues;
+//	2018, arXiv:1802.08474).
+//
+// IPA makes applications correct under weak consistency at development
+// time: a static analysis finds pairs of operations whose concurrent
+// execution can violate an application invariant and proposes minimal
+// modifications — extra CRDT effects plus add-wins/rem-wins convergence
+// rules — so that the merged state always restores the operations'
+// preconditions, with no runtime coordination. Invariants that cannot
+// reasonably be prevented up front (numeric bounds) are handled by lazy
+// compensations.
+//
+// This package is the public façade. It re-exports:
+//
+//   - the specification language (ParseSpec, Spec) — invariants in
+//     first-order logic plus operation effects;
+//   - the analysis (Analyze, FindConflicts, ProposeRepairs, Classify) —
+//     conflict detection and repair synthesis, decided by a built-in
+//     small-scope SAT/bit-vector solver standing in for Z3;
+//   - the runtime substrate (NewCluster, NewSim, PaperTopology) — a
+//     causally consistent geo-replicated key-value store with highly
+//     available transactions and the paper's CRDT toolkit (add-wins and
+//     rem-wins sets with touch and wildcard updates, counters, registers,
+//     and the Compensation Set).
+//
+// The example applications (Tournament, Twitter, Ticket, TPC-W) live in
+// internal/apps; the evaluation harness that regenerates every table and
+// figure of the paper lives in internal/bench and is driven by
+// cmd/ipabench and the benchmarks in bench_test.go. See DESIGN.md for the
+// full inventory and EXPERIMENTS.md for the paper-vs-measured record.
+package ipa
+
+import (
+	"ipa/internal/analysis"
+	"ipa/internal/clock"
+	"ipa/internal/spec"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+// Specification language.
+type (
+	// Spec is an application specification: operations with effects over
+	// logical predicates, invariants, and convergence rules.
+	Spec = spec.Spec
+	// Operation is one specified operation.
+	Operation = spec.Operation
+	// Effect is one predicate update of an operation.
+	Effect = spec.Effect
+	// Policy is a per-predicate convergence rule.
+	Policy = spec.Policy
+)
+
+// Convergence policies.
+const (
+	AddWins = spec.AddWins
+	RemWins = spec.RemWins
+)
+
+// ParseSpec parses a specification in the textual format (see package
+// internal/spec for the grammar).
+func ParseSpec(src string) (*Spec, error) { return spec.Parse(src) }
+
+// MustParseSpec is ParseSpec that panics on error.
+func MustParseSpec(src string) *Spec { return spec.MustParse(src) }
+
+// Analysis.
+type (
+	// AnalysisOptions tunes scope and repair search.
+	AnalysisOptions = analysis.Options
+	// AnalysisResult is the outcome of the IPA loop: the patched spec,
+	// applied repairs, synthesised compensations, flagged conflicts.
+	AnalysisResult = analysis.Result
+	// Conflict is a detected non-I-confluent operation pair with its
+	// counterexample.
+	Conflict = analysis.Conflict
+	// Repair is one proposed resolution for a conflict.
+	Repair = analysis.Repair
+	// Compensation is a synthesised lazy repair for a numeric invariant.
+	Compensation = analysis.Compensation
+)
+
+// Analyze runs the full IPA loop (paper Alg. 1) on the specification and
+// returns the patched, invariant-preserving spec plus the applied repairs
+// and compensations. The input is not modified.
+func Analyze(s *Spec, opts AnalysisOptions) (*AnalysisResult, error) {
+	return analysis.Run(s, opts)
+}
+
+// FindConflicts reports every conflicting operation pair of the spec.
+func FindConflicts(s *Spec, opts AnalysisOptions) ([]*Conflict, error) {
+	return analysis.FindConflicts(s, opts)
+}
+
+// ProposeRepairs lists the minimal repairs for one conflict, smallest
+// first (paper repairConflicts).
+func ProposeRepairs(s *Spec, c *Conflict, opts AnalysisOptions) ([]Repair, error) {
+	return analysis.RepairConflict(s, c, opts)
+}
+
+// Runtime substrate.
+type (
+	// Sim is the deterministic discrete-event simulation driving a
+	// cluster.
+	Sim = wan.Sim
+	// Latency models inter-datacenter delays.
+	Latency = wan.Latency
+	// Cluster is a geo-replicated database deployment.
+	Cluster = store.Cluster
+	// Replica is one data center's copy of the database.
+	Replica = store.Replica
+	// Txn is a highly available transaction.
+	Txn = store.Txn
+	// ReplicaID identifies a replica.
+	ReplicaID = clock.ReplicaID
+)
+
+// NewSim creates a deterministic simulation with the given seed.
+func NewSim(seed int64) *Sim { return wan.NewSim(seed) }
+
+// PaperTopology returns the paper's three-region latency model
+// (us-east/us-west/eu-west, 80/80/160 ms RTTs).
+func PaperTopology() *Latency { return wan.PaperTopology() }
+
+// PaperSites returns the three replica identifiers of the paper's
+// deployment.
+func PaperSites() []ReplicaID {
+	return []ReplicaID{wan.USEast, wan.USWest, wan.EUWest}
+}
+
+// NewCluster creates a replicated database over the given sites.
+func NewCluster(sim *Sim, lat *Latency, sites []ReplicaID) *Cluster {
+	return store.NewCluster(sim, lat, sites)
+}
+
+// NewPaperCluster is the common setup: the paper's three sites and
+// topology under one seeded simulation.
+func NewPaperCluster(seed int64) (*Sim, *Cluster) {
+	sim := wan.NewSim(seed)
+	return sim, store.NewCluster(sim, wan.PaperTopology(), PaperSites())
+}
+
+// Typed transaction views over the stored CRDTs.
+var (
+	// AWSetAt binds the add-wins set at key within a transaction.
+	AWSetAt = store.AWSetAt
+	// RWSetAt binds the remove-wins set at key.
+	RWSetAt = store.RWSetAt
+	// CounterAt binds the PN-counter at key.
+	CounterAt = store.CounterAt
+	// RegisterAt binds the LWW register at key.
+	RegisterAt = store.RegisterAt
+	// CompSetAt binds the Compensation Set at key (seed it first with
+	// SeedCompSet at every replica).
+	CompSetAt = store.CompSetAt
+	// SeedCompSet creates a Compensation Set with a size bound at one
+	// replica.
+	SeedCompSet = store.SeedCompSet
+)

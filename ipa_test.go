@@ -1,0 +1,107 @@
+package ipa
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoSpec = `
+spec demo
+
+invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
+
+operation add_player(Player: p) {
+    player(p) := true
+}
+operation add_tourn(Tournament: t) {
+    tournament(t) := true
+}
+operation rem_tourn(Tournament: t) {
+    tournament(t) := false
+}
+operation enroll(Player: p, Tournament: t) {
+    enrolled(p, t) := true
+}
+`
+
+func TestPublicAnalysisPipeline(t *testing.T) {
+	s, err := ParseSpec(demoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicts, err := FindConflicts(s, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %d", len(conflicts))
+	}
+	repairs, err := ProposeRepairs(s, conflicts[0], AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) == 0 {
+		t.Fatal("no repairs")
+	}
+	res, err := Analyze(s, AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unsolved) != 0 {
+		t.Fatalf("unsolved: %v", res.Unsolved)
+	}
+	if !strings.Contains(res.Spec.String(), "tournament(t) := true") &&
+		!strings.Contains(res.Spec.String(), "enrolled(*, t) := false") {
+		t.Fatalf("patched spec missing repair:\n%s", res.Spec)
+	}
+}
+
+func TestPublicRuntime(t *testing.T) {
+	sim, cluster := NewPaperCluster(7)
+	sites := PaperSites()
+	east := cluster.Replica(sites[0])
+	west := cluster.Replica(sites[1])
+
+	tx := east.Begin()
+	AWSetAt(tx, "tournaments").Add("cup", "")
+	tx.Commit()
+	sim.Run()
+
+	// Concurrent remove vs touch: add-wins keeps the tournament.
+	tx1 := east.Begin()
+	AWSetAt(tx1, "tournaments").Remove("cup")
+	tx1.Commit()
+	tx2 := west.Begin()
+	AWSetAt(tx2, "tournaments").Touch("cup")
+	tx2.Commit()
+	sim.Run()
+
+	for _, id := range sites {
+		tx := cluster.Replica(id).Begin()
+		if !AWSetAt(tx, "tournaments").Contains("cup") {
+			t.Fatalf("replica %s lost the tournament", id)
+		}
+		tx.Commit()
+	}
+}
+
+func TestPublicCompSet(t *testing.T) {
+	sim, cluster := NewPaperCluster(8)
+	for _, id := range PaperSites() {
+		SeedCompSet(cluster.Replica(id), "event", 1)
+	}
+	tx := cluster.Replica(PaperSites()[0]).Begin()
+	CompSetAt(tx, "event").Add("t1", "")
+	tx.Commit()
+	tx2 := cluster.Replica(PaperSites()[1]).Begin()
+	CompSetAt(tx2, "event").Add("t2", "")
+	tx2.Commit()
+	sim.Run()
+
+	rtx := cluster.Replica(PaperSites()[2]).Begin()
+	got := CompSetAt(rtx, "event").Read()
+	rtx.Commit()
+	if len(got) != 1 {
+		t.Fatalf("compensated read = %v", got)
+	}
+}
