@@ -12,6 +12,8 @@
 //	ipa -app tournament -interactive    # choose repairs by hand
 //	ipa -app ticket -classify           # Table-1 style classification
 //	ipa -list                           # list bundled applications
+//	ipa -netrepl 3                      # TCP replication smoke ring + metrics
+//	ipa -netrepl 5 -netrepl-legacy      # same over the legacy transport
 package main
 
 import (
@@ -48,8 +50,19 @@ func main() {
 		interactive = flag.Bool("interactive", false, "choose repairs interactively")
 		scope       = flag.Int("scope", 0, "domain elements per sort (default 2)")
 		maxPreds    = flag.Int("max-preds", 0, "max extra effects per repair (default 2)")
+
+		netreplN      = flag.Int("netrepl", 0, "run a TCP replication smoke ring with this many nodes and print transport metrics")
+		netreplTxns   = flag.Int("netrepl-txns", 1000, "transactions per node in the smoke ring")
+		netreplLegacy = flag.Bool("netrepl-legacy", false, "use the legacy per-txn-connection transport in the smoke ring")
 	)
 	flag.Parse()
+
+	if *netreplN > 0 {
+		if err := runNetrepl(*netreplN, *netreplTxns, *netreplLegacy); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		names := make([]string, 0, len(bundled))

@@ -8,9 +8,11 @@
 //	ipabench -experiment table1
 //	ipabench -experiment fig7 -quick    # reduced parameters
 //
-// Experiments: table1, fig4, fig5, fig6, fig7, fig8a, fig8b, fig9, and
-// the ablations beyond the paper: ablation-numeric, ablation-touch,
-// ablation-stability, ablation-scope.
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8a, fig8b, fig9, the
+// ablations beyond the paper: ablation-numeric, ablation-touch,
+// ablation-stability, ablation-scope, and `transport` — the real-socket
+// netrepl throughput comparison (streaming vs legacy), which runs on
+// wall-clock time rather than the simulator.
 package main
 
 import (
@@ -38,7 +40,8 @@ func main() {
 	opts.Seed = *seed
 
 	all := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
-		"ablation-numeric", "ablation-touch", "ablation-stability", "ablation-scope"}
+		"ablation-numeric", "ablation-touch", "ablation-stability", "ablation-scope",
+		"transport"}
 	var wanted []string
 	if *experiment == "all" {
 		wanted = all
@@ -76,6 +79,8 @@ func main() {
 			e = bench.AblationStability(opts)
 		case "ablation-scope":
 			e = bench.AblationScope(opts)
+		case "transport":
+			e, err = bench.Transport(opts)
 		default:
 			fmt.Fprintf(os.Stderr, "ipabench: unknown experiment %q (want one of %s)\n",
 				name, strings.Join(all, ", "))

@@ -1,6 +1,7 @@
 // Netrepl example: the same replicated store running over real TCP
 // sockets instead of the simulator — three nodes on localhost, concurrent
-// conflicting writes, CRDT convergence over the wire.
+// conflicting writes, CRDT convergence over the wire, and the streaming
+// transport's per-node metrics.
 //
 //	go run ./examples/netrepl
 package main
@@ -85,6 +86,11 @@ func main() {
 		})
 	}
 	fmt.Println("\nthe add-wins touch won over the wire, exactly as in the simulation")
+
+	fmt.Println("\ntransport metrics:")
+	for _, n := range nodes {
+		fmt.Printf("  %-7s %s\n", n.ID(), n.Stats())
+	}
 }
 
 type view struct {

@@ -170,7 +170,7 @@ func TestWireRoundTrip(t *testing.T) {
 		}
 		tx.Commit()
 	})
-	if nodes[2].Delivered == 0 {
+	if nodes[2].Stats().TxnsRecv == 0 {
 		t.Fatal("no frames delivered")
 	}
 }

@@ -1,0 +1,214 @@
+package netrepl
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"ipa/internal/clock"
+	"ipa/internal/store"
+)
+
+// peerConn is one peer's outbound replication stream: a bounded queue of
+// committed transactions drained by a dedicated sender goroutine that
+// owns the (single, persistent) connection to the peer.
+type peerConn struct {
+	n    *Node
+	id   clock.ReplicaID
+	addr string
+
+	// ch is the bounded outbound queue. Commits enqueue (blocking when
+	// full — backpressure), the sender goroutine coalesces into batches.
+	ch chan store.WireTxn
+
+	// Sender-goroutine state; no lock needed.
+	conn      net.Conn
+	connected bool // a dial has succeeded at least once
+}
+
+func newPeerConn(n *Node, id clock.ReplicaID, addr string) *peerConn {
+	return &peerConn{n: n, id: id, addr: addr, ch: make(chan store.WireTxn, n.cfg.QueueCap)}
+}
+
+// enqueue hands one committed transaction to the sender. When the queue
+// is full it blocks until the sender frees space (counted as a
+// backpressure wait) or the node is closed.
+func (p *peerConn) enqueue(w store.WireTxn) {
+	// Once the node is closing the sender may already have exited;
+	// anything enqueued now would vanish uncounted, so drop it visibly.
+	select {
+	case <-p.n.closed:
+		atomic.AddUint64(&p.n.m.txnsDropped, 1)
+		return
+	default:
+	}
+	select {
+	case p.ch <- w:
+		return
+	default:
+	}
+	atomic.AddUint64(&p.n.m.backpressureWaits, 1)
+	select {
+	case p.ch <- w:
+	case <-p.n.closed:
+		atomic.AddUint64(&p.n.m.txnsDropped, 1)
+	}
+}
+
+// run is the sender loop: collect a batch, deliver it (with reconnects),
+// repeat. On node close it flushes what it can before the drain deadline
+// and exits.
+func (p *peerConn) run() {
+	defer p.n.wg.Done()
+	defer func() {
+		if p.conn != nil {
+			p.conn.Close()
+		}
+	}()
+	for {
+		batch := p.collect()
+		if batch == nil {
+			return
+		}
+		if !p.deliver(batch) {
+			// Drain deadline expired with the peer unreachable: account
+			// for everything we are abandoning and stop.
+			dropped := uint64(len(batch) + len(p.ch))
+			atomic.AddUint64(&p.n.m.txnsDropped, dropped)
+			return
+		}
+	}
+}
+
+// collect blocks for the next transaction, then keeps the batch open for
+// FlushInterval (or until MaxBatchTxns) so a commit burst coalesces into
+// one frame. After Close it returns whatever is queued without waiting,
+// and nil once the queue is empty.
+func (p *peerConn) collect() []store.WireTxn {
+	var first store.WireTxn
+	select {
+	case first = <-p.ch:
+	case <-p.n.closed:
+		select {
+		case first = <-p.ch:
+		default:
+			return nil
+		}
+	}
+	batch := append(make([]store.WireTxn, 0, p.n.cfg.MaxBatchTxns), first)
+	timer := time.NewTimer(p.n.cfg.FlushInterval)
+	defer timer.Stop()
+	for len(batch) < p.n.cfg.MaxBatchTxns {
+		select {
+		case w := <-p.ch:
+			batch = append(batch, w)
+		case <-timer.C:
+			return batch
+		case <-p.n.closed:
+			for len(batch) < p.n.cfg.MaxBatchTxns {
+				select {
+				case w := <-p.ch:
+					batch = append(batch, w)
+				default:
+					return batch
+				}
+			}
+			return batch
+		}
+	}
+	return batch
+}
+
+// deliver writes the batch as one frame, dialing or re-dialing as needed
+// with exponential backoff + jitter. It retries until the frame is on the
+// wire; it gives up (returning false) only after Close once the drain
+// deadline has passed. Retrying a partially written frame can duplicate
+// transactions — the receiver deduplicates by origin sequence.
+func (p *peerConn) deliver(batch []store.WireTxn) bool {
+	frame, err := store.EncodeBatch(batch)
+	if err != nil {
+		// Encoding is deterministic, so this is a programming error
+		// (an unregistered op type). Skipping the batch would open a
+		// permanent causal gap at every receiver; fail loudly instead.
+		panic(fmt.Sprintf("netrepl: encode batch: %v (op type not gob-registered?)", err))
+	}
+	if len(frame) > maxFrame {
+		// The receiver refuses frames this large; retrying the same
+		// frame would wedge replication forever. Split and retry.
+		if len(batch) > 1 {
+			half := len(batch) / 2
+			return p.deliver(batch[:half]) && p.deliver(batch[half:])
+		}
+		// A single transaction too large for any frame can never be
+		// delivered (the legacy transport lost these silently — here it
+		// is at least counted). Receivers will stall on the gap.
+		atomic.AddUint64(&p.n.m.sendErrors, 1)
+		atomic.AddUint64(&p.n.m.txnsDropped, 1)
+		return true
+	}
+	backoff := p.n.cfg.BackoffMin
+	for {
+		if p.conn == nil && !p.dial() {
+			atomic.AddUint64(&p.n.m.sendErrors, 1)
+			if !p.pause(&backoff) {
+				return false
+			}
+			continue
+		}
+		p.conn.SetWriteDeadline(time.Now().Add(p.n.cfg.WriteTimeout))
+		if err := writeFrame(p.conn, frame); err != nil {
+			atomic.AddUint64(&p.n.m.sendErrors, 1)
+			p.conn.Close()
+			p.conn = nil
+			if !p.pause(&backoff) {
+				return false
+			}
+			continue
+		}
+		atomic.AddUint64(&p.n.m.framesSent, 1)
+		atomic.AddUint64(&p.n.m.txnsSent, uint64(len(batch)))
+		atomic.AddUint64(&p.n.m.bytesSent, uint64(len(frame)+4))
+		return true
+	}
+}
+
+// dial attempts one connection to the peer.
+func (p *peerConn) dial() bool {
+	conn, err := net.DialTimeout("tcp", p.addr, p.n.cfg.DialTimeout)
+	if err != nil {
+		return false
+	}
+	p.conn = conn
+	atomic.AddUint64(&p.n.m.dials, 1)
+	if p.connected {
+		atomic.AddUint64(&p.n.m.reconnects, 1)
+	}
+	p.connected = true
+	return true
+}
+
+// pause sleeps the current backoff (with jitter) and doubles it up to
+// BackoffMax. It returns false when the node is closed and the drain
+// deadline has passed — the signal to abandon the queue.
+func (p *peerConn) pause(backoff *time.Duration) bool {
+	d := *backoff/2 + time.Duration(rand.Int63n(int64(*backoff/2)+1))
+	if *backoff *= 2; *backoff > p.n.cfg.BackoffMax {
+		*backoff = p.n.cfg.BackoffMax
+	}
+	select {
+	case <-p.n.closed:
+		remaining := time.Until(p.n.drainDeadline())
+		if remaining <= 0 {
+			return false
+		}
+		if d > remaining {
+			d = remaining
+		}
+		time.Sleep(d)
+		return time.Now().Before(p.n.drainDeadline())
+	case <-time.After(d):
+		return true
+	}
+}

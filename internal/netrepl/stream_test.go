@@ -1,0 +1,458 @@
+package netrepl
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ipa/internal/clock"
+	"ipa/internal/store"
+)
+
+// waitUntil polls cond every millisecond until it holds or the deadline
+// expires.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// commitN commits n one-update transactions on the node.
+func commitN(n *Node, key string, count int) {
+	n.Do(func(r *store.Replica) {
+		for i := 0; i < count; i++ {
+			tx := r.Begin()
+			store.CounterAt(tx, key).Add(1)
+			tx.Commit()
+		}
+	})
+}
+
+// counterValue reads the counter at key on the node.
+func counterValue(n *Node, key string) int64 {
+	var v int64
+	n.Do(func(r *store.Replica) {
+		tx := r.Begin()
+		v = store.CounterAt(tx, key).Value()
+		tx.Commit()
+	})
+	return v
+}
+
+// TestPeerDownAtSend commits while the peer's address has no listener:
+// the sender must queue, retry with backoff, and deliver everything once
+// the peer finally comes up.
+func TestPeerDownAtSend(t *testing.T) {
+	// Reserve an address, then free it so the peer is down.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := ln.Addr().String()
+	ln.Close()
+
+	cfg := Config{BackoffMin: time.Millisecond, BackoffMax: 20 * time.Millisecond}
+	a, err := NewNodeWithConfig("a", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.AddPeer("b", peerAddr)
+
+	commitN(a, "c", 25)
+	// The peer is down: errors accumulate, nothing is sent.
+	waitUntil(t, "send errors while peer down", func() bool {
+		return a.Stats().SendErrors > 0
+	})
+	if s := a.Stats(); s.FramesSent != 0 {
+		t.Fatalf("sent %d frames to a dead peer", s.FramesSent)
+	}
+
+	// Bring the peer up on the reserved address (retry: the port was
+	// released above but another process could race us for it).
+	var b *Node
+	for i := 0; i < 20; i++ {
+		b, err = NewNode("b", peerAddr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", peerAddr, err)
+	}
+	defer b.Close()
+
+	waitUntil(t, "delivery after peer came up", func() bool {
+		return counterValue(b, "c") == 25
+	})
+	if s := a.Stats(); s.TxnsSent < 25 || s.Dials == 0 {
+		t.Fatalf("stats after recovery: %+v", s)
+	}
+}
+
+// proxy is a TCP relay whose live connections the test can kill to force
+// the sender into a mid-stream reconnect.
+type proxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	conns []net.Conn
+	done  bool
+}
+
+func newProxy(t *testing.T, target string) *proxy {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &proxy{ln: ln, target: target}
+	go p.accept()
+	t.Cleanup(p.Close)
+	return p
+}
+
+func (p *proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *proxy) accept() {
+	for {
+		in, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		out, err := net.Dial("tcp", p.target)
+		if err != nil {
+			in.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.done {
+			p.mu.Unlock()
+			in.Close()
+			out.Close()
+			return
+		}
+		p.conns = append(p.conns, in, out)
+		p.mu.Unlock()
+		go func() { io.Copy(out, in); out.Close() }()
+		go func() { io.Copy(in, out); in.Close() }()
+	}
+}
+
+// KillActive severs every live relayed connection.
+func (p *proxy) KillActive() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+func (p *proxy) Close() {
+	p.mu.Lock()
+	p.done = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.KillActive()
+}
+
+// TestReconnectMidStream kills the sender's connection between batches:
+// the sender must reconnect with backoff and resume, and the receiver's
+// dedup must absorb any retried batch.
+func TestReconnectMidStream(t *testing.T) {
+	cfg := Config{BackoffMin: time.Millisecond, BackoffMax: 20 * time.Millisecond}
+	b, err := NewNodeWithConfig("b", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	px := newProxy(t, b.Addr())
+
+	a, err := NewNodeWithConfig("a", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.AddPeer("b", px.Addr())
+
+	commitN(a, "c", 10)
+	waitUntil(t, "first batch", func() bool { return counterValue(b, "c") == 10 })
+
+	px.KillActive() // the sender discovers the break on its next write
+
+	commitN(a, "c", 15)
+	waitUntil(t, "delivery after reconnect", func() bool {
+		return counterValue(b, "c") == 25
+	})
+	if s := a.Stats(); s.Reconnects == 0 {
+		t.Fatalf("expected a reconnect, stats: %+v", s)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("pending = %d after convergence", b.Pending())
+	}
+}
+
+// captureTxns commits count transactions on a scratch single-member
+// cluster and returns their wire forms (with correct seqs and deps).
+func captureTxns(origin clock.ReplicaID, key string, count int) []store.WireTxn {
+	c := store.NewSocketCluster(origin)
+	var out []store.WireTxn
+	c.SetOnCommit(func(w store.WireTxn) { out = append(out, w) })
+	r := c.Replica(origin)
+	for i := 0; i < count; i++ {
+		tx := r.Begin()
+		store.CounterAt(tx, key).Add(1)
+		tx.Commit()
+	}
+	return out
+}
+
+// rawSend dials the node and writes pre-encoded frames on one connection.
+func rawSend(t *testing.T, addr string, frames ...[]byte) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, f := range frames {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep the connection open briefly so the receiver reads everything
+	// before EOF tears the handler down.
+	time.Sleep(10 * time.Millisecond)
+}
+
+func encodeBatch(t *testing.T, txns ...store.WireTxn) []byte {
+	t.Helper()
+	data, err := store.EncodeBatch(txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestBatchesOutOfCausalOrder hand-delivers batch frames in reverse
+// order across separate connections: nothing may apply until the causal
+// prefix arrives, and a withheld ("dropped") batch must block its
+// dependents without corrupting state.
+func TestBatchesOutOfCausalOrder(t *testing.T) {
+	n, err := NewNode("n", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	txns := captureTxns("x", "c", 3)
+	if len(txns) != 3 {
+		t.Fatalf("captured %d txns", len(txns))
+	}
+
+	// Deliver txn3, then txn2 — txn1 is withheld (a dropped batch).
+	rawSend(t, n.Addr(), encodeBatch(t, txns[2]))
+	rawSend(t, n.Addr(), encodeBatch(t, txns[1]))
+	waitUntil(t, "out-of-order batches queued", func() bool { return n.Pending() == 2 })
+	if got := n.Clock().Get("x"); got != 0 {
+		t.Fatalf("applied ahead of causal order: clock[x] = %d", got)
+	}
+	if v := counterValue(n, "c"); v != 0 {
+		t.Fatalf("counter = %d before causal prefix arrived", v)
+	}
+
+	// A duplicate of txn2 while still undeliverable must not wedge the
+	// queue once the prefix arrives.
+	rawSend(t, n.Addr(), encodeBatch(t, txns[1]))
+	waitUntil(t, "duplicate queued", func() bool { return n.Pending() == 3 })
+
+	// The missing batch arrives last: everything drains in causal order.
+	rawSend(t, n.Addr(), encodeBatch(t, txns[0]))
+	waitUntil(t, "drain after prefix", func() bool {
+		return n.Clock().Get("x") == 3 && n.Pending() == 0
+	})
+	if v := counterValue(n, "c"); v != 3 {
+		t.Fatalf("counter = %d after drain, want 3 (duplicate applied?)", v)
+	}
+	var dups uint64
+	n.Do(func(r *store.Replica) { dups = r.TxnsDuplicate })
+	if dups != 1 {
+		t.Fatalf("TxnsDuplicate = %d, want 1", dups)
+	}
+}
+
+// TestCorruptFrameDropsConnectionOnly sends garbage then valid frames on
+// a fresh connection: the receiver must drop the bad stream and keep
+// serving new ones.
+func TestCorruptFrameDropsConnectionOnly(t *testing.T) {
+	n, err := NewNode("n", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	rawSend(t, n.Addr(), []byte("this is not a frame"))
+	txns := captureTxns("x", "c", 1)
+	rawSend(t, n.Addr(), encodeBatch(t, txns[0]))
+	waitUntil(t, "valid frame after corrupt stream", func() bool {
+		return n.Clock().Get("x") == 1
+	})
+}
+
+// TestCleanShutdownFlushesQueue closes a node while its outbound queue
+// is still full: Close must drain everything to the live peer before
+// returning, dropping nothing.
+func TestCleanShutdownFlushesQueue(t *testing.T) {
+	// A huge flush interval guarantees the queue is non-empty at Close:
+	// the sender is still sitting in its coalescing window.
+	cfg := Config{FlushInterval: time.Minute, MaxBatchTxns: 4096}
+	a, err := NewNodeWithConfig("a", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode("b", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("b", b.Addr())
+
+	commitN(a, "c", 200)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.TxnsDropped != 0 {
+		t.Fatalf("clean shutdown dropped %d txns", s.TxnsDropped)
+	}
+	if s.TxnsSent != 200 || s.QueueDepth != 0 {
+		t.Fatalf("after drain: %+v", s)
+	}
+	waitUntil(t, "all txns delivered", func() bool { return counterValue(b, "c") == 200 })
+}
+
+// TestShutdownAbandonsUnreachablePeer bounds Close when a peer never
+// comes up: the drain deadline must expire, the queue is dropped and
+// accounted, and Close returns promptly.
+func TestShutdownAbandonsUnreachablePeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	cfg := Config{
+		BackoffMin:   time.Millisecond,
+		BackoffMax:   10 * time.Millisecond,
+		DrainTimeout: 50 * time.Millisecond,
+	}
+	a, err := NewNodeWithConfig("a", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer("dead", deadAddr)
+	commitN(a, "c", 5)
+
+	start := time.Now()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v with an unreachable peer", elapsed)
+	}
+	if s := a.Stats(); s.TxnsDropped != 5 {
+		t.Fatalf("TxnsDropped = %d, want 5 (stats: %+v)", s.TxnsDropped, s)
+	}
+}
+
+// TestBackpressureBlocksThenCloseReleases fills a tiny queue against a
+// dead peer: the committing goroutine must block (counted), and Close
+// must release it.
+func TestBackpressureBlocksThenCloseReleases(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	cfg := Config{
+		QueueCap:     2,
+		MaxBatchTxns: 1, // keep at most one txn in flight: the queue must fill
+		BackoffMin:   time.Millisecond,
+		BackoffMax:   10 * time.Millisecond,
+		DrainTimeout: 20 * time.Millisecond,
+	}
+	a, err := NewNodeWithConfig("a", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer("dead", deadAddr)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		commitN(a, "c", 20) // queue cap 2: must block long before 20
+	}()
+	waitUntil(t, "backpressure engages", func() bool {
+		return a.Stats().BackpressureWaits > 0
+	})
+	select {
+	case <-done:
+		t.Fatal("commits finished despite a full queue to a dead peer")
+	default:
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the blocked committer")
+	}
+}
+
+// TestLegacyTransportStillConverges runs the original per-connection
+// transport end to end: a mixed cluster (one legacy sender, streaming
+// receivers) must converge, proving v0 frames decode through the
+// versioned entry point.
+func TestLegacyTransportStillConverges(t *testing.T) {
+	legacy, err := NewNodeWithConfig("old", "127.0.0.1:0", Config{Legacy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	modern, err := NewNode("new", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer modern.Close()
+	legacy.AddPeer("new", modern.Addr())
+	modern.AddPeer("old", legacy.Addr())
+
+	commitN(legacy, "c", 10)
+	commitN(modern, "c", 10)
+	waitUntil(t, "mixed-transport convergence", func() bool {
+		return counterValue(legacy, "c") == 20 && counterValue(modern, "c") == 20
+	})
+	if s := legacy.Stats(); s.FramesSent != 10 || s.Dials != 10 {
+		t.Fatalf("legacy transport stats: %+v", s)
+	}
+}

@@ -159,6 +159,7 @@ type Replica struct {
 	// Stats
 	TxnsExecuted  uint64
 	TxnsDelivered uint64
+	TxnsDuplicate uint64
 	QueuedMax     int
 }
 
@@ -206,6 +207,15 @@ func (r *Replica) drain() {
 	for progress {
 		progress = false
 		for i, m := range r.pending {
+			if m.lastSeq <= r.vc.Get(m.origin) {
+				// A duplicate whose first copy has since been applied
+				// (at-least-once transports retry batches); it can never
+				// become deliverable, so discard it.
+				r.TxnsDuplicate++
+				r.pending = append(r.pending[:i], r.pending[i+1:]...)
+				progress = true
+				break
+			}
 			if r.deliverable(m) {
 				r.apply(m)
 				r.pending = append(r.pending[:i], r.pending[i+1:]...)

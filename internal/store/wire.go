@@ -3,9 +3,11 @@ package store
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 
 	"ipa/internal/clock"
 	"ipa/internal/crdt"
+	"ipa/internal/wan"
 )
 
 // WireTxn is the serialisable form of a committed transaction — the
@@ -38,7 +40,8 @@ func init() {
 	gob.Register(crdt.MatchAll{})
 }
 
-// EncodeTxn serialises a transaction for the wire.
+// EncodeTxn serialises a transaction for the wire (the legacy v0 frame:
+// a bare gob-encoded WireTxn with no header).
 func EncodeTxn(w WireTxn) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
@@ -47,11 +50,75 @@ func EncodeTxn(w WireTxn) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeTxn deserialises a transaction from the wire.
+// DecodeTxn deserialises a single transaction from a legacy v0 frame.
 func DecodeTxn(data []byte) (WireTxn, error) {
 	var w WireTxn
 	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w)
 	return w, err
+}
+
+// Batch frame format (v1). A batch frame carries any number of
+// transactions under a versioned header so future encodings can evolve
+// without breaking old receivers:
+//
+//	offset 0..3  magic "IPAB"
+//	offset 4     version byte (currently batchVersion)
+//	offset 5..   gob-encoded wireBatch
+//
+// The magic cannot collide with a legacy v0 frame: a gob stream always
+// begins with a type-definition record whose first byte is a small
+// unsigned length, never 'I' (0x49), so DecodeFrame can distinguish the
+// two formats from the first byte alone.
+const (
+	batchMagic   = "IPAB"
+	batchVersion = 1
+)
+
+type wireBatch struct {
+	Txns []WireTxn
+}
+
+// EncodeBatch serialises a group of transactions as one v1 batch frame.
+// Transactions must appear in the order the origin committed them; the
+// receiver's causal delivery queue tolerates any inter-batch reordering
+// but per-origin order inside a frame keeps delivery single-pass.
+func EncodeBatch(txns []WireTxn) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(batchMagic)
+	buf.WriteByte(batchVersion)
+	if err := gob.NewEncoder(&buf).Encode(wireBatch{Txns: txns}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame deserialises either frame format: a v1 batch frame (magic
+// header) or a legacy v0 single-transaction frame (bare gob). Receivers
+// use this so old senders interoperate with new ones.
+func DecodeFrame(data []byte) ([]WireTxn, error) {
+	if len(data) >= len(batchMagic)+1 && string(data[:len(batchMagic)]) == batchMagic {
+		if v := data[len(batchMagic)]; v != batchVersion {
+			return nil, fmt.Errorf("store: unsupported batch frame version %d", v)
+		}
+		var b wireBatch
+		if err := gob.NewDecoder(bytes.NewReader(data[len(batchMagic)+1:])).Decode(&b); err != nil {
+			return nil, err
+		}
+		return b.Txns, nil
+	}
+	w, err := DecodeTxn(data)
+	if err != nil {
+		return nil, err
+	}
+	return []WireTxn{w}, nil
+}
+
+// NewSocketCluster creates the single-member cluster an external
+// transport (package netrepl) wraps around one replica: the simulator
+// inside never carries messages, it only provides the clock the store API
+// needs; all replication flows through SetOnCommit and Deliver.
+func NewSocketCluster(id clock.ReplicaID) *Cluster {
+	return NewCluster(wan.NewSim(0), wan.NewLatency(0), []clock.ReplicaID{id})
 }
 
 // OnCommit, when set, is invoked for every committed update transaction
@@ -62,9 +129,15 @@ func (c *Cluster) SetOnCommit(fn func(WireTxn)) { c.onCommit = fn }
 // Deliver injects a transaction received from an external transport into
 // the replica with the given id, going through the same causal delivery
 // queue as simulator-internal messages. Unknown origins are fine: the
-// vector clocks accommodate any replica identifier.
+// vector clocks accommodate any replica identifier. Duplicates — which
+// at-least-once transports produce when they retry a batch after a
+// partial failure — are detected by the origin sequence and dropped.
 func (c *Cluster) Deliver(to clock.ReplicaID, w WireTxn) {
 	r := c.Replica(to)
+	if w.LastSeq <= r.vc.Get(w.Origin) {
+		r.TxnsDuplicate++
+		return
+	}
 	r.receive(txnMsg{
 		origin:  w.Origin,
 		deps:    w.Deps,
