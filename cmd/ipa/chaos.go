@@ -1,0 +1,189 @@
+package main
+
+// The chaos subcommand: drive the deterministic chaos harness from the
+// command line — seeded campaigns, schedule replay, and the real-socket
+// netrepl soak.
+//
+//	ipa chaos -app tournament -schedules 1000       # seeded campaign
+//	ipa chaos -app tournament -variant causal       # watch the unrepaired app fail
+//	ipa chaos -app tournament -break enroll         # disable one repair, catch it
+//	ipa chaos -app tournament -seed 0xdeadbeef      # replay one schedule exactly
+//	ipa chaos -replay chaos-repro.json              # replay a shrunk repro file
+//	ipa chaos -soak -nodes 3 -txns 500              # netrepl kill/reconnect soak
+//
+// On violation the harness shrinks the failing schedule to a minimal
+// repro, writes it as JSON, and prints both replay commands (full seed
+// and shrunk file). Exit status 1 signals a violation.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipa/internal/harness"
+	"ipa/internal/wan"
+)
+
+func runChaos(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	var (
+		app       = fs.String("app", "tournament", "application to drive: "+strings.Join(harness.Apps(), ", "))
+		variant   = fs.String("variant", "ipa", "application variant: ipa (repairs on) or causal (repairs off)")
+		breakOp   = fs.String("break", "", "run exactly this op kind without its repair (self-test the harness)")
+		replicas  = fs.Int("replicas", 3, "simulated replica sites")
+		seedStr   = fs.String("seed", "", "replay exactly one schedule seed (hex or decimal) instead of a campaign")
+		campaign  = fs.Uint64("campaign", 42, "campaign seed the per-schedule seeds derive from")
+		schedules = fs.Int("schedules", 1000, "schedules to run before declaring the app clean")
+		ops       = fs.Int("ops", 0, "ops per schedule (default 60)")
+		faults    = fs.Int("faults", 0, "fault windows per schedule (default 6)")
+		horizonMs = fs.Float64("horizon", 0, "workload horizon in virtual milliseconds (default 3000)")
+		replay    = fs.String("replay", "", "replay a schedule JSON file (from a previous shrink)")
+		out       = fs.String("out", "", "path for the shrunk repro JSON (default chaos-repro-<seed>.json)")
+		noShrink  = fs.Bool("no-shrink", false, "skip shrinking on violation")
+		verbose   = fs.Bool("v", false, "print progress every 100 schedules")
+
+		soak     = fs.Bool("soak", false, "run the real-socket netrepl soak instead of simulated chaos")
+		nodes    = fs.Int("nodes", 3, "soak: ring size")
+		txns     = fs.Int("txns", 500, "soak: transactions per node")
+		killMs   = fs.Int("kill-every", 20, "soak: milliseconds between connection kills")
+		soakSeed = fs.Int64("soak-seed", 1, "soak: seed for the kill sequence")
+	)
+	fs.Parse(args)
+
+	switch {
+	case *soak:
+		res, err := harness.Soak(harness.SoakOptions{
+			Nodes:       *nodes,
+			TxnsPerNode: *txns,
+			KillEvery:   time.Duration(*killMs) * time.Millisecond,
+			Seed:        *soakSeed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		if !res.Converged {
+			os.Exit(1)
+		}
+
+	case *replay != "":
+		s, err := harness.ReadScheduleFile(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		v, err := harness.Execute(s)
+		if err != nil {
+			fatal(err)
+		}
+		if v == nil {
+			fmt.Printf("schedule %s: no violation (%d ops, %d faults)\n", *replay, len(s.Ops), len(s.Faults))
+			return
+		}
+		fmt.Printf("schedule %s reproduces:\n  %s\n", *replay, v)
+		os.Exit(1)
+
+	default:
+		cfg, err := harness.Config{
+			App:      *app,
+			Variant:  *variant,
+			BreakOp:  *breakOp,
+			Replicas: *replicas,
+			Ops:      *ops,
+			Faults:   *faults,
+			Horizon:  wan.Ms(*horizonMs),
+		}.Norm()
+		if err != nil {
+			fatal(err)
+		}
+
+		if *seedStr != "" {
+			seed, err := parseSeed(*seedStr)
+			if err != nil {
+				fatal(err)
+			}
+			s, v, err := harness.Replay(cfg, seed)
+			if err != nil {
+				fatal(err)
+			}
+			if v == nil {
+				fmt.Printf("seed %#x: no violation (%d ops, %d faults)\n", seed, len(s.Ops), len(s.Faults))
+				return
+			}
+			fmt.Printf("seed %#x reproduces:\n  %s\n", seed, v)
+			os.Exit(1)
+		}
+
+		var progress func(int, *harness.Schedule, *harness.Violation)
+		if *verbose {
+			progress = func(i int, _ *harness.Schedule, _ *harness.Violation) {
+				if (i+1)%100 == 0 {
+					fmt.Fprintf(os.Stderr, "  ... %d/%d schedules clean\n", i+1, *schedules)
+				}
+			}
+		}
+		res, err := harness.RunWithShrink(cfg, *campaign, *schedules, !*noShrink, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if res.Violation == nil {
+			fmt.Printf("%s/%s: %s\n", cfg.App, cfg.Variant, res.Summary())
+			return
+		}
+		fmt.Print(res.Summary())
+		fmt.Printf("\nreplay (full schedule):\n  ipa chaos %s -seed %#x\n", cfgFlags(cfg), res.Seed)
+		if res.Shrunk != nil {
+			path := *out
+			if path == "" {
+				path = fmt.Sprintf("chaos-repro-%#x.json", res.Seed)
+			}
+			if err := res.Shrunk.WriteFile(path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("replay (shrunk, exact violation):\n  ipa chaos -replay %s\n", path)
+		}
+		os.Exit(1)
+	}
+}
+
+// cfgFlags renders the non-default flags that reproduce cfg.
+func cfgFlags(cfg harness.Config) string {
+	parts := []string{"-app " + cfg.App}
+	if cfg.Variant != "ipa" {
+		parts = append(parts, "-variant "+cfg.Variant)
+	}
+	if cfg.BreakOp != "" {
+		parts = append(parts, "-break "+cfg.BreakOp)
+	}
+	d := harness.Defaults(cfg.App)
+	if cfg.Replicas != d.Replicas {
+		parts = append(parts, fmt.Sprintf("-replicas %d", cfg.Replicas))
+	}
+	if cfg.Ops != d.Ops {
+		parts = append(parts, fmt.Sprintf("-ops %d", cfg.Ops))
+	}
+	if cfg.Faults != d.Faults {
+		parts = append(parts, fmt.Sprintf("-faults %d", cfg.Faults))
+	}
+	if cfg.Horizon != d.Horizon {
+		parts = append(parts, fmt.Sprintf("-horizon %g", cfg.Horizon.Millis()))
+	}
+	return strings.Join(parts, " ")
+}
+
+func parseSeed(s string) (uint64, error) {
+	ls := strings.ToLower(s)
+	var v uint64
+	var err error
+	if strings.HasPrefix(ls, "0x") {
+		v, err = strconv.ParseUint(ls[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad seed %q (want decimal or 0x-hex)", s)
+	}
+	return v, nil
+}

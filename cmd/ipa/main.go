@@ -14,6 +14,8 @@
 //	ipa -list                           # list bundled applications
 //	ipa -netrepl 3                      # TCP replication smoke ring + metrics
 //	ipa -netrepl 5 -netrepl-legacy      # same over the legacy transport
+//	ipa chaos -app tournament           # deterministic chaos campaign (see chaos.go)
+//	ipa chaos -replay repro.json        # replay a shrunk failure exactly
 package main
 
 import (
@@ -41,6 +43,13 @@ var bundled = map[string]func() *spec.Spec{
 }
 
 func main() {
+	// Subcommand dispatch precedes flag parsing: `ipa chaos ...` owns its
+	// own flag set.
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		runChaos(os.Args[2:])
+		return
+	}
+
 	var (
 		specPath    = flag.String("spec", "", "path to a specification file")
 		appName     = flag.String("app", "", "bundled application to analyse")

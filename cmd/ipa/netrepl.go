@@ -63,7 +63,9 @@ func runNetrepl(nodes, txns int, legacy bool) error {
 	for range ring {
 		<-done
 	}
-	want := uint64(txns)
+	// The causal clock counts update sequence numbers; each smoke
+	// transaction carries two updates (counter + set add).
+	want := uint64(2 * txns)
 	for deadline := time.Now().Add(time.Minute); ; {
 		converged := true
 		for _, n := range ring {

@@ -10,9 +10,10 @@
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8a, fig8b, fig9, the
 // ablations beyond the paper: ablation-numeric, ablation-touch,
-// ablation-stability, ablation-scope, and `transport` — the real-socket
-// netrepl throughput comparison (streaming vs legacy), which runs on
-// wall-clock time rather than the simulator.
+// ablation-stability, ablation-scope, and two wall-clock benchmarks of
+// the repository's own infrastructure: `transport` — the real-socket
+// netrepl throughput comparison (streaming vs legacy) — and `chaos` —
+// the chaos harness's schedules-per-second rate on 3- and 5-replica sims.
 package main
 
 import (
@@ -41,7 +42,7 @@ func main() {
 
 	all := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
 		"ablation-numeric", "ablation-touch", "ablation-stability", "ablation-scope",
-		"transport"}
+		"transport", "chaos"}
 	var wanted []string
 	if *experiment == "all" {
 		wanted = all
@@ -81,6 +82,8 @@ func main() {
 			e = bench.AblationScope(opts)
 		case "transport":
 			e, err = bench.Transport(opts)
+		case "chaos":
+			e, err = bench.Chaos(opts)
 		default:
 			fmt.Fprintf(os.Stderr, "ipabench: unknown experiment %q (want one of %s)\n",
 				name, strings.Join(all, ", "))

@@ -1,0 +1,66 @@
+// Package examples holds no library code — only the smoke tests that
+// build and run every example program to completion. The examples are the
+// project's executable documentation; a refactor that breaks one should
+// fail `go test ./...`, not wait for a reader to notice.
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// exampleDirs lists every example program.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) < 5 {
+		t.Fatalf("expected at least 5 example programs, found %v", dirs)
+	}
+	return dirs
+}
+
+// TestExamplesRunToCompletion builds and runs each example with a
+// generous timeout. The examples use small fixed parameters already; a
+// run that errors, hangs, or panics fails here.
+func TestExamplesRunToCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run per example")
+	}
+	root, err := filepath.Abs("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+dir)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s timed out\n%s", dir, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", dir)
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+func TestRunChaosRate(t *testing.T) {
+	rate, err := RunChaosRate("tournament", 3, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("rate = %v", rate)
+	}
+}
+
+func TestChaosExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs hundreds of chaos schedules")
+	}
+	e, err := Chaos(QuickExpOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Series) != 5 {
+		t.Fatalf("series = %d, want one per app", len(e.Series))
+	}
+	for _, s := range e.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: points = %d, want 3- and 5-replica", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("%s: nonpositive rate at %v replicas", s.Name, p.X)
+			}
+		}
+	}
+}
+
+// BenchmarkChaosSchedule times one generate+execute cycle of the default
+// tournament schedule (the unit the harness throughput is made of).
+func BenchmarkChaosSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunChaosRate("tournament", 3, 1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

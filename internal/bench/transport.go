@@ -105,6 +105,24 @@ func RunTransport(opts TransportOptions) (*TransportResult, error) {
 	}
 	elapsed := time.Since(start)
 
+	// Counter settle: delivery counts on the receiver's acknowledgement,
+	// so the sender of the final frame may bump its counters an ack
+	// round-trip after the state converges. Wait for the books to
+	// balance before snapshotting (retries can legitimately exceed the
+	// minimum).
+	// (Legacy sends are synchronous and unacked — nothing to settle.)
+	wantSent := uint64(opts.Nodes * (opts.Nodes - 1) * opts.Txns)
+	for settle := time.Now().Add(2 * time.Second); !opts.Legacy && time.Now().Before(settle); {
+		var sent uint64
+		for _, n := range nodes {
+			sent += n.Stats().TxnsSent
+		}
+		if sent >= wantSent {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	res := &TransportResult{Opts: opts, Elapsed: elapsed}
 	for _, n := range nodes {
 		s := n.Stats()

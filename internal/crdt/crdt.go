@@ -35,6 +35,18 @@ type CRDT interface {
 	Compact(horizon clock.Vector)
 }
 
+// FrontierCompacter is implemented by CRDTs whose tombstones must survive
+// their own stability: for remove-wins semantics a tombstone below the
+// horizon can still defeat a concurrent add that is in flight, so it may
+// only be discarded once everything concurrent with it is also stable.
+// The frontier is the per-origin commit counts at the stability round —
+// an upper bound on every event concurrent with a newly stable one.
+// Replication layers that compact while traffic is live must prefer this
+// over Compact, whose single-argument form assumes quiescence.
+type FrontierCompacter interface {
+	CompactWithFrontier(horizon, frontier clock.Vector)
+}
+
 // Op is one replicated update. Concrete op types are defined next to their
 // CRDTs. Every op carries the unique event ID the store assigned to it.
 type Op interface {

@@ -15,8 +15,8 @@ import (
 // user's timeline entries.
 type RWSet struct {
 	adds    map[string]map[clock.EventID]addRecord // element -> add event -> observations
-	removes map[string]eventSet                    // element -> exact remove events
-	wild    map[clock.EventID]wildRemove           // wildcard tombstones
+	removes map[string]map[clock.EventID]*rwTomb   // element -> exact remove tombstones
+	wild    map[clock.EventID]*wildRemove          // wildcard tombstones
 	payload map[string]string
 }
 
@@ -25,16 +25,31 @@ type addRecord struct {
 	observedWild    eventSet // wildcard tombstones seen at origin
 }
 
+// rwTomb is one remove tombstone with its discard fence. A remove-wins
+// tombstone below the stability horizon cannot be discarded immediately:
+// an add *concurrent* with it may still be in flight (stability only says
+// the tombstone itself reached every replica), and a replica that forgot
+// the tombstone would resurrect the element the moment that add arrives
+// while everyone else keeps it dead. When a tombstone first turns stable
+// it is fenced with the compaction frontier — an upper bound, per origin,
+// on every event that can be concurrent with it; once a later horizon
+// dominates the fence, all such adds are delivered everywhere (and were
+// judged against the tombstone), so it is finally redundant.
+type rwTomb struct {
+	fence clock.Vector // nil until first seen below the horizon
+}
+
 type wildRemove struct {
-	pred Predicate
+	pred  Predicate
+	fence clock.Vector // as rwTomb.fence
 }
 
 // NewRWSet returns an empty remove-wins set.
 func NewRWSet() *RWSet {
 	return &RWSet{
 		adds:    map[string]map[clock.EventID]addRecord{},
-		removes: map[string]eventSet{},
-		wild:    map[clock.EventID]wildRemove{},
+		removes: map[string]map[clock.EventID]*rwTomb{},
+		wild:    map[clock.EventID]*wildRemove{},
 		payload: map[string]string{},
 	}
 }
@@ -78,8 +93,8 @@ func (o RWRemoveWhereOp) ID() clock.EventID { return o.Tag }
 // PrepareAdd builds an add observing the current removes of elem.
 func (s *RWSet) PrepareAdd(elem, payload string, tag clock.EventID) RWAddOp {
 	op := RWAddOp{Elem: elem, Pay: payload, Tag: tag}
-	if rs, ok := s.removes[elem]; ok {
-		op.ObservedRemoves = rs.list()
+	for r := range s.removes[elem] {
+		op.ObservedRemoves = append(op.ObservedRemoves, r)
 	}
 	for wid := range s.wild {
 		op.ObservedWild = append(op.ObservedWild, wid)
@@ -127,12 +142,12 @@ func (s *RWSet) Apply(op Op) {
 	case RWRemoveOp:
 		rs, ok := s.removes[o.Elem]
 		if !ok {
-			rs = eventSet{}
+			rs = map[clock.EventID]*rwTomb{}
 			s.removes[o.Elem] = rs
 		}
-		rs.add(o.Tag)
+		rs[o.Tag] = &rwTomb{}
 	case RWRemoveWhereOp:
-		s.wild[o.Tag] = wildRemove{pred: o.Pred}
+		s.wild[o.Tag] = &wildRemove{pred: o.Pred}
 	}
 }
 
@@ -227,19 +242,39 @@ func (s *RWSet) MetadataSize() int {
 	return n
 }
 
-// Compact implements CRDT. A remove at or below the stability horizon has
-// been delivered everywhere, so no concurrent add can still arrive: the
-// presence decision it participates in is final. Dead adds are dropped,
-// surviving adds no longer need to track the stable remove, and fully
-// resolved tombstones disappear.
+// Compact implements CRDT. It is CompactWithFrontier with the horizon as
+// its own frontier, which discards stable tombstones immediately — only
+// sound when the caller knows nothing concurrent with the horizon is
+// still in flight (a fully quiesced system, or a unit test). Replication
+// layers that compact while traffic is live must use CompactWithFrontier.
 func (s *RWSet) Compact(horizon clock.Vector) {
+	s.CompactWithFrontier(horizon, horizon)
+}
+
+// CompactWithFrontier discards metadata made redundant by stability.
+//
+// A remove tombstone at or below the horizon has been delivered
+// everywhere, so every presence decision *against the adds seen so far*
+// is final: dead adds (those that did not observe it) are dropped. The
+// tombstone itself must outlive that moment — an add concurrent with it
+// can still be in flight behind a slow link, and it too must be defeated
+// on arrival. Such an add was committed at its origin before the origin
+// delivered the tombstone, hence at a sequence number at or below the
+// frontier (the per-origin commit counts at the stability round, an upper
+// bound on everything concurrent with any newly stable event). The
+// tombstone is therefore fenced with the frontier when it first turns
+// stable and discarded once a later horizon dominates the fence; at that
+// point every add it could ever defeat has been delivered and judged, and
+// surviving adds can also forget they observed it.
+func (s *RWSet) CompactWithFrontier(horizon, frontier clock.Vector) {
 	// Identify stable wildcard tombstones.
-	stableWild := map[clock.EventID]wildRemove{}
+	stableWild := map[clock.EventID]*wildRemove{}
 	for wid, w := range s.wild {
 		if horizon.Contains(wid) {
 			stableWild[wid] = w
 		}
 	}
+	// Drop adds defeated by a stable tombstone: their death is final.
 	for elem, recs := range s.adds {
 		removes := s.removes[elem]
 		for tag, rec := range recs {
@@ -260,16 +295,6 @@ func (s *RWSet) Compact(horizon clock.Vector) {
 			}
 			if dead {
 				delete(recs, tag)
-				continue
-			}
-			// Surviving add: forget stable observations.
-			for r := range removes {
-				if horizon.Contains(r) {
-					delete(rec.observedRemoves, r)
-				}
-			}
-			for wid := range stableWild {
-				delete(rec.observedWild, wid)
 			}
 		}
 		if len(recs) == 0 {
@@ -277,11 +302,25 @@ func (s *RWSet) Compact(horizon clock.Vector) {
 			delete(s.payload, elem)
 		}
 	}
-	// Stable exact removes: every surviving add has observed them (the
-	// unobserving adds were just dropped) — the tombstone is redundant.
+	// Fence newly stable tombstones; discard the ones whose fence the
+	// horizon has passed (no concurrent add can still arrive anywhere).
+	for wid, w := range stableWild {
+		if w.fence == nil {
+			w.fence = frontier.Clone()
+		}
+		if w.fence.LEq(horizon) {
+			delete(s.wild, wid)
+		}
+	}
 	for elem, rs := range s.removes {
-		for r := range rs {
-			if horizon.Contains(r) {
+		for r, tomb := range rs {
+			if !horizon.Contains(r) {
+				continue
+			}
+			if tomb.fence == nil {
+				tomb.fence = frontier.Clone()
+			}
+			if tomb.fence.LEq(horizon) {
 				delete(rs, r)
 			}
 		}
@@ -289,7 +328,28 @@ func (s *RWSet) Compact(horizon clock.Vector) {
 			delete(s.removes, elem)
 		}
 	}
-	for wid := range stableWild {
-		delete(s.wild, wid)
+	// Surviving adds can forget observations of tombstones that are
+	// stable and gone (discarded above or in an earlier round — a stable
+	// tombstone that were merely still in flight would be present, since
+	// the horizon says it reached every replica). Late causally-after
+	// adds may also arrive carrying references to discarded tombstones.
+	for elem, recs := range s.adds {
+		for _, rec := range recs {
+			for r := range rec.observedRemoves {
+				if horizon.Contains(r) && !s.hasRemove(elem, r) {
+					delete(rec.observedRemoves, r)
+				}
+			}
+			for wid := range rec.observedWild {
+				if _, live := s.wild[wid]; horizon.Contains(wid) && !live {
+					delete(rec.observedWild, wid)
+				}
+			}
+		}
 	}
+}
+
+func (s *RWSet) hasRemove(elem string, r clock.EventID) bool {
+	_, ok := s.removes[elem][r]
+	return ok
 }

@@ -221,3 +221,76 @@ func TestRWSetConcurrentOpsCommute(t *testing.T) {
 		}
 	}
 }
+
+// TestRWSetCompactionHoldsTombstoneForInFlightAdd is the regression test
+// for a convergence bug the chaos harness found: a remove-wins tombstone
+// was discarded as soon as it fell below the stability horizon, but an
+// add *concurrent* with the tombstone can still be in flight behind a
+// slow link — stability of the tombstone only proves the tombstone itself
+// reached every replica. A replica that forgot the tombstone resurrected
+// the element on the late add's arrival while the others kept it dead.
+// With fencing, the tombstone survives until the horizon also dominates
+// everything that can be concurrent with it.
+func TestRWSetCompactionHoldsTombstoneForInFlightAdd(t *testing.T) {
+	elem := JoinTuple("p1", "t1")
+	wild := NewRWSet().PrepareRemoveWhere(Match{Index: 1, Value: "t1"}, clock.EventID{Replica: "b", Seq: 1})
+	// The concurrent add: prepared against a state that has not seen the
+	// wildcard remove (so it observes nothing).
+	add := NewRWSet().PrepareAdd(elem, "", clock.EventID{Replica: "x", Seq: 1})
+
+	// Replica P sees both ops before compacting.
+	p := NewRWSet()
+	p.Apply(add)
+	p.Apply(wild)
+
+	// Replica Q sees only the remove, then compacts while the add is in
+	// flight. The horizon covers the remove (it is everywhere); the
+	// frontier records that origin x had already committed seq 1 — the
+	// add exists and can be concurrent, so the tombstone must survive.
+	q := NewRWSet()
+	q.Apply(wild)
+	horizon := clock.Vector{"b": 1}
+	frontier := clock.Vector{"b": 1, "x": 1}
+	q.CompactWithFrontier(horizon, frontier)
+
+	// The late add arrives: remove-wins must still defeat it.
+	q.Apply(add)
+	if q.Contains(elem) {
+		t.Fatal("tombstone was discarded while a concurrent add was in flight; element resurrected")
+	}
+	if p.Contains(elem) {
+		t.Fatal("remove-wins lost against a concurrent add")
+	}
+
+	// Once the horizon dominates the fence, the tombstone (and the dead
+	// add) compact away for good — and presence stays identical.
+	final := clock.Vector{"b": 1, "x": 1}
+	p.CompactWithFrontier(final, final)
+	q.CompactWithFrontier(final, final)
+	if p.Contains(elem) || q.Contains(elem) {
+		t.Fatal("compaction changed the presence decision")
+	}
+	if p.MetadataSize() != 0 || q.MetadataSize() != 0 {
+		t.Fatalf("metadata not fully compacted: p=%d q=%d", p.MetadataSize(), q.MetadataSize())
+	}
+}
+
+// TestRWSetExactRemoveFencing covers the same scenario for exact (non-
+// wildcard) removes.
+func TestRWSetExactRemoveFencing(t *testing.T) {
+	rm := NewRWSet().PrepareRemove("x", clock.EventID{Replica: "b", Seq: 1})
+	add := NewRWSet().PrepareAdd("x", "", clock.EventID{Replica: "a", Seq: 1})
+
+	q := NewRWSet()
+	q.Apply(rm)
+	q.CompactWithFrontier(clock.Vector{"b": 1}, clock.Vector{"b": 1, "a": 1})
+	q.Apply(add)
+	if q.Contains("x") {
+		t.Fatal("exact tombstone discarded while a concurrent add was in flight")
+	}
+	final := clock.Vector{"a": 1, "b": 1}
+	q.CompactWithFrontier(final, final)
+	if q.Contains("x") || q.MetadataSize() != 0 {
+		t.Fatalf("final compaction wrong: contains=%v meta=%d", q.Contains("x"), q.MetadataSize())
+	}
+}

@@ -1,0 +1,252 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ipa/internal/clock"
+	"ipa/internal/indigo"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+// App adapts one application to the chaos engine. An App instance is
+// created fresh per schedule — once for generation (Gen may keep
+// workload-side state such as circulating tweet ids) and once for
+// execution (Apply may keep execution-side state such as placed orders).
+//
+// The check split mirrors the two repair mechanisms of the paper:
+// MidCheck asserts only the invariants IPA restores at merge time
+// (conflict-resolution repairs — they must hold in every causally
+// consistent local state, at any instant); FinalCheck, which runs after
+// Repair's compensating reads have executed and replicated, additionally
+// asserts the invariants IPA restores at read time (compensations).
+type App interface {
+	// Gen materializes one random operation (Kind and Args; the engine
+	// assigns At and Site).
+	Gen(rng *rand.Rand) Op
+	// Setup seeds the initial state; the engine drains replication after.
+	Setup(ctx *Ctx)
+	// Apply executes one materialized operation at a site.
+	Apply(ctx *Ctx, op Op)
+	// MidCheck reports violations of the continuously held invariants in
+	// site's current local state.
+	MidCheck(ctx *Ctx, site int) []string
+	// Repair performs the application's compensating reads at site (the
+	// read-triggered repairs of §4.2.2); a no-op for merge-repaired apps.
+	Repair(ctx *Ctx, site int)
+	// FinalCheck reports any invariant violation in site's state at
+	// quiescence (after heal, drain, and Repair everywhere).
+	FinalCheck(ctx *Ctx, site int) []string
+	// Digest summarizes site's visible state; at quiescence all replicas
+	// must digest identically (CRDT convergence).
+	Digest(ctx *Ctx, site int) string
+}
+
+// newApp builds the adapter for cfg.App.
+func newApp(cfg Config) (App, error) {
+	switch cfg.App {
+	case "tournament":
+		return newTournamentChaos(cfg), nil
+	case "ticket":
+		return newTicketChaos(cfg), nil
+	case "twitter":
+		if cfg.BreakOp != "" {
+			return nil, fmt.Errorf("harness: -break unsupported for twitter (causal and rem-wins variants use different CRDT layouts)")
+		}
+		return newTwitterChaos(cfg), nil
+	case "tpcw":
+		return newTPCWChaos(cfg), nil
+	case "escrow":
+		if cfg.BreakOp != "" {
+			return nil, fmt.Errorf("harness: -break unsupported for escrow")
+		}
+		return newEscrowChaos(cfg), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown app %q (want tournament, ticket, twitter, tpcw, or escrow)", cfg.App)
+	}
+}
+
+// Apps lists the chaos-drivable application names.
+func Apps() []string { return []string{"tournament", "ticket", "twitter", "tpcw", "escrow"} }
+
+// Ctx is the execution context of one schedule: the simulation, the
+// cluster, and the live fault state.
+type Ctx struct {
+	Cfg     Config
+	Sim     *wan.Sim
+	Lat     *wan.Latency
+	Cluster *store.Cluster
+	Sites   []clock.ReplicaID
+	// Esc is the escrow manager (escrow scenario only).
+	Esc *indigo.Escrow
+
+	paused []int              // pause depth per site (faults may overlap)
+	stalls int                // active stability-stall windows
+	part   map[[2]int]int     // partition depth per link
+	delay  map[[2]int]float64 // delay factor product per link
+}
+
+// newCtx builds the simulated deployment for a schedule. The first three
+// sites use the paper's topology; larger clusters add sites on the
+// default inter-DC latency.
+func newCtx(s *Schedule) *Ctx {
+	rng := rand.New(rand.NewSource(int64(s.Seed) ^ 0x5DEECE66D))
+	sim := wan.NewSimFromRand(rng)
+	lat := wan.PaperTopology()
+	sites := make([]clock.ReplicaID, s.Cfg.Replicas)
+	for i := range sites {
+		if i < 3 {
+			sites[i] = clock.ReplicaID(wan.Sites()[i])
+		} else {
+			sites[i] = clock.ReplicaID(fmt.Sprintf("site-%d", i))
+		}
+	}
+	ctx := &Ctx{
+		Cfg:     s.Cfg,
+		Sim:     sim,
+		Lat:     lat,
+		Cluster: store.NewCluster(sim, lat, sites),
+		Sites:   sites,
+		paused:  make([]int, s.Cfg.Replicas),
+		part:    map[[2]int]int{},
+		delay:   map[[2]int]float64{},
+	}
+	if s.Cfg.App == "escrow" {
+		ctx.Esc = indigo.NewEscrow(lat, sites)
+		ctx.Esc.Partitioned = func(a, b clock.ReplicaID) bool {
+			return ctx.partitionedIDs(a, b)
+		}
+	}
+	return ctx
+}
+
+// Replica returns the store replica of a site index.
+func (c *Ctx) Replica(site int) *store.Replica { return c.Cluster.Replica(c.Sites[site]) }
+
+// Paused reports whether a site is currently paused.
+func (c *Ctx) Paused(site int) bool { return c.paused[site] > 0 }
+
+func link(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+func (c *Ctx) partitionedIDs(a, b clock.ReplicaID) bool {
+	ai, bi := -1, -1
+	for i, s := range c.Sites {
+		if s == a {
+			ai = i
+		}
+		if s == b {
+			bi = i
+		}
+	}
+	if ai < 0 || bi < 0 {
+		return false
+	}
+	return c.part[link(ai, bi)] > 0
+}
+
+// inject applies one fault window's start.
+func (c *Ctx) inject(f Fault) {
+	switch f.Kind {
+	case FaultPartition:
+		k := link(f.A, f.B)
+		c.part[k]++
+		if c.part[k] == 1 {
+			c.Cluster.SetPartitioned(c.Sites[f.A], c.Sites[f.B], true)
+		}
+	case FaultDelay:
+		k := link(f.A, f.B)
+		if c.delay[k] == 0 {
+			c.delay[k] = 1
+		}
+		c.delay[k] *= f.Factor
+		c.Lat.SetScale(string(c.Sites[f.A]), string(c.Sites[f.B]), c.delay[k])
+	case FaultPause:
+		c.paused[f.A]++
+		if c.paused[f.A] == 1 {
+			c.Cluster.SetPaused(c.Sites[f.A], true)
+		}
+	case FaultStall:
+		c.stalls++
+	}
+}
+
+// heal undoes one fault window's start.
+func (c *Ctx) heal(f Fault) {
+	switch f.Kind {
+	case FaultPartition:
+		k := link(f.A, f.B)
+		c.part[k]--
+		if c.part[k] == 0 {
+			c.Cluster.SetPartitioned(c.Sites[f.A], c.Sites[f.B], false)
+		}
+	case FaultDelay:
+		k := link(f.A, f.B)
+		c.delay[k] /= f.Factor
+		factor := c.delay[k]
+		if factor < 1.000001 { // float round-off: treat ~1 as healed
+			factor = 1
+			delete(c.delay, k)
+		}
+		c.Lat.SetScale(string(c.Sites[f.A]), string(c.Sites[f.B]), factor)
+	case FaultPause:
+		c.paused[f.A]--
+		if c.paused[f.A] == 0 {
+			c.Cluster.SetPaused(c.Sites[f.A], false)
+		}
+	case FaultStall:
+		c.stalls--
+	}
+}
+
+// healAll force-clears every live fault (quiescence). Links heal in
+// sorted order — healing flushes buffered messages, and a map-ordered
+// flush would make replays nondeterministic.
+func (c *Ctx) healAll() {
+	for _, k := range sortedLinks(c.part) {
+		if c.part[k] > 0 {
+			c.Cluster.SetPartitioned(c.Sites[k[0]], c.Sites[k[1]], false)
+		}
+		delete(c.part, k)
+	}
+	for _, k := range sortedLinks(c.delay) {
+		c.Lat.ClearScale(string(c.Sites[k[0]]), string(c.Sites[k[1]]))
+		delete(c.delay, k)
+	}
+	for i := range c.paused {
+		if c.paused[i] > 0 {
+			c.Cluster.SetPaused(c.Sites[i], false)
+		}
+		c.paused[i] = 0
+	}
+	c.stalls = 0
+}
+
+// sortedLinks returns a map's link keys in deterministic order.
+func sortedLinks[V any](m map[[2]int]V) [][2]int {
+	keys := make([][2]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// digestList renders a sorted string list compactly for state digests.
+func digestList(name string, elems []string) string {
+	s := append([]string(nil), elems...)
+	sort.Strings(s)
+	return name + "{" + strings.Join(s, ",") + "}"
+}

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// escrowChaos drives the Indigo escrow manager (the paper's coordination
+// baseline) to exhaustion: a handful of units split across the replicas,
+// a consume-heavy op mix far beyond the total, and partitions that make
+// rights transfers fail. The safety property is absolute — no schedule
+// may ever drive a resource's remaining units negative, and units are
+// conserved: remaining always equals total minus net successful consumes
+// (denied consumes take nothing). Exhaustion and unreachability must show
+// up as denials, never as oversell.
+type escrowChaos struct {
+	cfg       Config
+	resources []string
+	total     int64
+	// execution-side accounting per resource and site
+	consumed map[string][]int64
+}
+
+const escrowTotal = 9
+
+func newEscrowChaos(cfg Config) *escrowChaos {
+	a := &escrowChaos{cfg: cfg, total: escrowTotal}
+	for i := 0; i < 2; i++ {
+		a.resources = append(a.resources, fmt.Sprintf("res%d", i))
+	}
+	return a
+}
+
+func (a *escrowChaos) Setup(ctx *Ctx) {
+	a.consumed = map[string][]int64{}
+	for _, res := range a.resources {
+		ctx.Esc.Create(res, a.total)
+		a.consumed[res] = make([]int64, len(ctx.Sites))
+	}
+}
+
+func (a *escrowChaos) Gen(rng *rand.Rand) Op {
+	res := a.resources[rng.Intn(len(a.resources))]
+	if rng.Float64() < 0.8 {
+		n := 1 + rng.Intn(3)
+		return Op{Kind: "consume", Args: []string{res, strconv.Itoa(n)}}
+	}
+	return Op{Kind: "refund", Args: []string{res}}
+}
+
+func (a *escrowChaos) Apply(ctx *Ctx, op Op) {
+	res := op.Args[0]
+	switch op.Kind {
+	case "consume":
+		n, _ := strconv.ParseInt(op.Args[1], 10, 64)
+		if _, ok := ctx.Esc.Consume(res, ctx.Sites[op.Site], n); ok {
+			a.consumed[res][op.Site] += n
+		}
+	case "refund":
+		// Refund only units this site actually holds consumed — refunding
+		// more would mint rights out of thin air.
+		if a.consumed[res][op.Site] > 0 {
+			ctx.Esc.Refund(res, ctx.Sites[op.Site], 1)
+			a.consumed[res][op.Site]--
+		}
+	default:
+		panic("harness: unknown escrow op " + op.Kind)
+	}
+}
+
+// check asserts the escrow safety invariants; they hold continuously.
+func (a *escrowChaos) check(ctx *Ctx) []string {
+	var out []string
+	for _, res := range a.resources {
+		rem := ctx.Esc.Remaining(res)
+		if rem < 0 {
+			out = append(out, fmt.Sprintf("escrow %s over-consumed: remaining %d < 0", res, rem))
+		}
+		var net int64
+		for _, c := range a.consumed[res] {
+			net += c
+		}
+		if want := a.total - net; rem != want {
+			out = append(out, fmt.Sprintf("escrow %s units not conserved: remaining %d, want %d (total %d - net consumed %d)",
+				res, rem, want, a.total, net))
+		}
+		var rights int64
+		for _, site := range ctx.Sites {
+			r := ctx.Esc.LocalRights(res, site)
+			if r < 0 {
+				out = append(out, fmt.Sprintf("escrow %s: negative local rights %d at %s", res, r, site))
+			}
+			rights += r
+		}
+		if rights != rem {
+			out = append(out, fmt.Sprintf("escrow %s: local rights sum %d != remaining %d", res, rights, rem))
+		}
+	}
+	return out
+}
+
+func (a *escrowChaos) MidCheck(ctx *Ctx, site int) []string {
+	if site != 0 {
+		return nil // the escrow state is global; check it once per sweep
+	}
+	return a.check(ctx)
+}
+
+func (a *escrowChaos) Repair(ctx *Ctx, site int) {}
+
+func (a *escrowChaos) FinalCheck(ctx *Ctx, site int) []string {
+	if site != 0 {
+		return nil
+	}
+	return a.check(ctx)
+}
+
+func (a *escrowChaos) Digest(ctx *Ctx, site int) string {
+	var parts []string
+	for _, res := range a.resources {
+		parts = append(parts, fmt.Sprintf("%s=%d", res, ctx.Esc.Remaining(res)))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ipa/internal/apps/ticket"
+)
+
+// ticketChaos drives the FusionTicket application. The capacity is tiny
+// (5 tickets per event) against a buy-heavy op mix, so concurrent
+// purchases oversell constantly; the IPA variant must repair every
+// oversell through the Compensation Set's read-time cancellations.
+//
+// Overselling is a read-repaired (compensation) invariant, so there is no
+// mid-flight check — a replica may legitimately observe an oversold event
+// until a read compensates it. The final check runs after quiescence
+// repair reads (View at every replica) and asserts zero visible oversell.
+type ticketChaos struct {
+	cfg      Config
+	app      *ticket.App
+	events   []string
+	capacity int
+}
+
+func newTicketChaos(cfg Config) *ticketChaos {
+	variant := ticket.IPA
+	if cfg.Variant == "causal" {
+		variant = ticket.Causal
+	}
+	a := &ticketChaos{cfg: cfg, capacity: 5}
+	for i := 0; i < 2; i++ {
+		a.events = append(a.events, fmt.Sprintf("ev%d", i))
+	}
+	a.app = ticket.New(variant, a.capacity)
+	return a
+}
+
+func (a *ticketChaos) Setup(ctx *Ctx) { a.app.Setup(ctx.Cluster, a.events) }
+
+func (a *ticketChaos) Gen(rng *rand.Rand) Op {
+	e := a.events[rng.Intn(len(a.events))]
+	if rng.Float64() < 0.65 {
+		buyer := fmt.Sprintf("b%d", rng.Intn(4))
+		return Op{Kind: "buy", Args: []string{buyer, e}}
+	}
+	return Op{Kind: "view", Args: []string{e}}
+}
+
+func (a *ticketChaos) Apply(ctx *Ctx, op Op) {
+	r := ctx.Replica(op.Site)
+	switch op.Kind {
+	case "buy":
+		a.app.Buy(r, op.Args[0], op.Args[1])
+	case "view":
+		a.app.View(r, op.Args[0])
+	default:
+		panic("harness: unknown ticket op " + op.Kind)
+	}
+}
+
+func (a *ticketChaos) MidCheck(ctx *Ctx, site int) []string { return nil }
+
+func (a *ticketChaos) Repair(ctx *Ctx, site int) {
+	for _, e := range a.events {
+		a.app.View(ctx.Replica(site), e)
+	}
+}
+
+func (a *ticketChaos) FinalCheck(ctx *Ctx, site int) []string {
+	return a.app.Violations(ctx.Replica(site), a.events)
+}
+
+func (a *ticketChaos) Digest(ctx *Ctx, site int) string {
+	r := ctx.Replica(site)
+	var parts []string
+	for _, e := range a.events {
+		parts = append(parts, fmt.Sprintf("%s=%d", e, a.app.Sold(r, e)))
+	}
+	parts = append(parts, fmt.Sprintf("refunds=%d", a.app.Refunds(r)))
+	return strings.Join(parts, " ")
+}

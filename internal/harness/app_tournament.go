@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ipa/internal/apps/tournament"
+	"ipa/internal/crdt"
+	"ipa/internal/store"
+)
+
+// tournamentChaos drives the paper's running example. The pools are tiny
+// (3 players, 2 tournaments) so randomly chosen operations collide
+// constantly — exactly the concurrency the IPA patches must survive.
+//
+// Checks cover the invariants the implementation's IPA variant repairs at
+// merge time, so they must hold in every causally consistent local state:
+// referential integrity (enrolled/active/finished imply their entities,
+// matches imply enrolments) and the active/finished disjunction. Two
+// clauses of the spec are deliberately out of scope: the capacity bound
+// (an aggregation constraint — escrow territory, covered by the escrow
+// scenario) and the (active or finished) requirement on matches (the
+// repo's chosen resolution lets rem_tourn clear the state flags, so a
+// concurrent do_match can reference a flagless tournament).
+type tournamentChaos struct {
+	cfg     Config
+	ipa     *tournament.App
+	causal  *tournament.App
+	players []string
+	tourns  []string
+}
+
+func newTournamentChaos(cfg Config) *tournamentChaos {
+	a := &tournamentChaos{cfg: cfg, ipa: tournament.New(tournament.IPA), causal: tournament.New(tournament.Causal)}
+	for i := 0; i < 3; i++ {
+		a.players = append(a.players, fmt.Sprintf("p%d", i))
+	}
+	for i := 0; i < 2; i++ {
+		a.tourns = append(a.tourns, fmt.Sprintf("t%d", i))
+	}
+	return a
+}
+
+// pick returns the implementation an op kind runs on: the causal app when
+// repairs are globally off, or when this specific kind's repair is
+// deliberately broken.
+func (a *tournamentChaos) pick(kind string) *tournament.App {
+	if a.cfg.Variant == "causal" || a.cfg.BreakOp == kind {
+		return a.causal
+	}
+	return a.ipa
+}
+
+func (a *tournamentChaos) Setup(ctx *Ctx) {
+	first := ctx.Replica(0)
+	for _, p := range a.players {
+		a.ipa.AddPlayer(first, p)
+	}
+	for _, t := range a.tourns {
+		a.ipa.AddTournament(first, t)
+	}
+	// Tournaments start without enrolments: rem_tourn's origin
+	// precondition (no visible enrolments) then passes often, which is
+	// what makes the enroll/rem_tourn race reachable.
+	a.ipa.Begin(first, a.tourns[0])
+}
+
+func (a *tournamentChaos) Gen(rng *rand.Rand) Op {
+	p := a.players[rng.Intn(len(a.players))]
+	t := a.tourns[rng.Intn(len(a.tourns))]
+	x := rng.Float64()
+	switch {
+	case x < 0.30:
+		return Op{Kind: "enroll", Args: []string{p, t}}
+	case x < 0.40:
+		return Op{Kind: "disenroll", Args: []string{p, t}}
+	case x < 0.50:
+		q := a.players[rng.Intn(len(a.players)-1)]
+		if q == p {
+			q = a.players[len(a.players)-1]
+		}
+		return Op{Kind: "do_match", Args: []string{p, q, t}}
+	case x < 0.60:
+		return Op{Kind: "begin", Args: []string{t}}
+	case x < 0.70:
+		return Op{Kind: "finish", Args: []string{t}}
+	case x < 0.90:
+		return Op{Kind: "rem_tourn", Args: []string{t}}
+	case x < 0.95:
+		return Op{Kind: "add_tourn", Args: []string{t}}
+	default:
+		return Op{Kind: "add_player", Args: []string{p}}
+	}
+}
+
+func (a *tournamentChaos) Apply(ctx *Ctx, op Op) {
+	r := ctx.Replica(op.Site)
+	app := a.pick(op.Kind)
+	switch op.Kind {
+	case "enroll":
+		app.Enroll(r, op.Args[0], op.Args[1])
+	case "disenroll":
+		app.Disenroll(r, op.Args[0], op.Args[1])
+	case "do_match":
+		app.DoMatch(r, op.Args[0], op.Args[1], op.Args[2])
+	case "begin":
+		app.Begin(r, op.Args[0])
+	case "finish":
+		app.Finish(r, op.Args[0])
+	case "rem_tourn":
+		app.RemTournament(r, op.Args[0])
+	case "add_tourn":
+		app.AddTournament(r, op.Args[0])
+	case "add_player":
+		app.AddPlayer(r, op.Args[0])
+	default:
+		panic("harness: unknown tournament op " + op.Kind)
+	}
+}
+
+// check evaluates the merge-repaired invariant clauses on one replica's
+// current state.
+func (a *tournamentChaos) check(ctx *Ctx, site int) []string {
+	tx := ctx.Replica(site).Begin()
+	defer tx.Commit()
+	players := store.AWSetAt(tx, tournament.KeyPlayers)
+	tourns := store.AWSetAt(tx, tournament.KeyTournaments)
+	enrolled := store.AWSetAt(tx, tournament.KeyEnrolled)
+	active := store.RWSetAt(tx, tournament.KeyActive)
+	finished := store.AWSetAt(tx, tournament.KeyFinished)
+	matches := store.RWSetAt(tx, tournament.KeyMatches)
+
+	var out []string
+	for _, e := range enrolled.Elems() {
+		parts := crdt.SplitTuple(e)
+		if !players.Contains(parts[0]) {
+			out = append(out, fmt.Sprintf("enrolled(%s,%s) but player missing", parts[0], parts[1]))
+		}
+		if !tourns.Contains(parts[1]) {
+			out = append(out, fmt.Sprintf("enrolled(%s,%s) but tournament missing", parts[0], parts[1]))
+		}
+	}
+	for _, m := range matches.Elems() {
+		parts := crdt.SplitTuple(m)
+		p, q, t := parts[0], parts[1], parts[2]
+		if !enrolled.Contains(crdt.JoinTuple(p, t)) || !enrolled.Contains(crdt.JoinTuple(q, t)) {
+			out = append(out, fmt.Sprintf("match(%s,%s,%s) with unenrolled player", p, q, t))
+		}
+	}
+	for _, t := range active.Elems() {
+		if !tourns.Contains(t) {
+			out = append(out, fmt.Sprintf("active(%s) but tournament missing", t))
+		}
+		if finished.Contains(t) {
+			out = append(out, fmt.Sprintf("tournament %s both active and finished", t))
+		}
+	}
+	for _, t := range finished.Elems() {
+		if !tourns.Contains(t) {
+			out = append(out, fmt.Sprintf("finished(%s) but tournament missing", t))
+		}
+	}
+	return out
+}
+
+func (a *tournamentChaos) MidCheck(ctx *Ctx, site int) []string   { return a.check(ctx, site) }
+func (a *tournamentChaos) Repair(ctx *Ctx, site int)              {}
+func (a *tournamentChaos) FinalCheck(ctx *Ctx, site int) []string { return a.check(ctx, site) }
+
+func (a *tournamentChaos) Digest(ctx *Ctx, site int) string {
+	tx := ctx.Replica(site).Begin()
+	defer tx.Commit()
+	return strings.Join([]string{
+		digestList("players", store.AWSetAt(tx, tournament.KeyPlayers).Elems()),
+		digestList("tournaments", store.AWSetAt(tx, tournament.KeyTournaments).Elems()),
+		digestList("enrolled", store.AWSetAt(tx, tournament.KeyEnrolled).Elems()),
+		digestList("active", store.RWSetAt(tx, tournament.KeyActive).Elems()),
+		digestList("finished", store.AWSetAt(tx, tournament.KeyFinished).Elems()),
+		digestList("matches", store.RWSetAt(tx, tournament.KeyMatches).Elems()),
+	}, " ")
+}

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ipa/internal/apps/twitter"
+	"ipa/internal/store"
+)
+
+// twitterChaos drives the Twitter clone under the rem-wins strategy (the
+// flavour that promises full referential integrity for both tweets and
+// authors) or, for the causal variant, the unmodified application.
+//
+// Rem-wins repairs lazily at read time — dangling timeline entries are
+// compensated away by ReadTimeline — so, like ticket, there is no
+// mid-flight invariant check; the final check runs after quiescence
+// repair reads over every user's timeline at every replica, where the raw
+// state must be free of dangling references.
+type twitterChaos struct {
+	cfg   Config
+	app   *twitter.App
+	users []string
+	// generation-side tweet pool so retweets and deletes target real ids
+	nextID  int
+	tweeted [][2]string // (id, author)
+}
+
+func newTwitterChaos(cfg Config) *twitterChaos {
+	strategy := twitter.RemWins
+	if cfg.Variant == "causal" {
+		strategy = twitter.Causal
+	}
+	a := &twitterChaos{cfg: cfg, app: twitter.New(strategy)}
+	for i := 0; i < 4; i++ {
+		a.users = append(a.users, fmt.Sprintf("u%d", i))
+	}
+	return a
+}
+
+func (a *twitterChaos) Setup(ctx *Ctx) {
+	first := ctx.Replica(0)
+	for _, u := range a.users {
+		a.app.AddUser(first, u)
+	}
+	// A small follower graph so tweets fan out.
+	for i, u := range a.users {
+		a.app.Follow(first, u, a.users[(i+1)%len(a.users)])
+		a.app.Follow(first, u, a.users[(i+2)%len(a.users)])
+	}
+}
+
+func (a *twitterChaos) newTweet(rng *rand.Rand) [2]string {
+	a.nextID++
+	ref := [2]string{fmt.Sprintf("tw%04d", a.nextID), a.users[rng.Intn(len(a.users))]}
+	a.tweeted = append(a.tweeted, ref)
+	return ref
+}
+
+func (a *twitterChaos) randTweet(rng *rand.Rand) ([2]string, bool) {
+	if len(a.tweeted) == 0 {
+		return [2]string{}, false
+	}
+	return a.tweeted[rng.Intn(len(a.tweeted))], true
+}
+
+func (a *twitterChaos) Gen(rng *rand.Rand) Op {
+	u := a.users[rng.Intn(len(a.users))]
+	v := a.users[rng.Intn(len(a.users))]
+	x := rng.Float64()
+	switch {
+	case x < 0.20:
+		ref := a.newTweet(rng)
+		return Op{Kind: "tweet", Args: []string{ref[1], ref[0]}}
+	case x < 0.32:
+		if ref, ok := a.randTweet(rng); ok {
+			return Op{Kind: "retweet", Args: []string{u, ref[0], ref[1]}}
+		}
+	case x < 0.47:
+		if ref, ok := a.randTweet(rng); ok {
+			return Op{Kind: "del_tweet", Args: []string{ref[0], ref[1]}}
+		}
+	case x < 0.55:
+		return Op{Kind: "follow", Args: []string{u, v}}
+	case x < 0.60:
+		return Op{Kind: "unfollow", Args: []string{u, v}}
+	case x < 0.75:
+		return Op{Kind: "rem_user", Args: []string{u}}
+	case x < 0.80:
+		return Op{Kind: "add_user", Args: []string{u}}
+	}
+	return Op{Kind: "timeline", Args: []string{u}}
+}
+
+func (a *twitterChaos) Apply(ctx *Ctx, op Op) {
+	r := ctx.Replica(op.Site)
+	switch op.Kind {
+	case "tweet":
+		a.app.Tweet(r, op.Args[0], op.Args[1], "chaos")
+	case "retweet":
+		a.app.Retweet(r, op.Args[0], op.Args[1], op.Args[2])
+	case "del_tweet":
+		a.app.DelTweet(r, op.Args[0], op.Args[1])
+	case "follow":
+		a.app.Follow(r, op.Args[0], op.Args[1])
+	case "unfollow":
+		a.app.Unfollow(r, op.Args[0], op.Args[1])
+	case "rem_user":
+		a.app.RemUser(r, op.Args[0])
+	case "add_user":
+		a.app.AddUser(r, op.Args[0])
+	case "timeline":
+		a.app.ReadTimeline(r, op.Args[0])
+	default:
+		panic("harness: unknown twitter op " + op.Kind)
+	}
+}
+
+func (a *twitterChaos) MidCheck(ctx *Ctx, site int) []string { return nil }
+
+func (a *twitterChaos) Repair(ctx *Ctx, site int) {
+	for _, u := range a.users {
+		a.app.ReadTimeline(ctx.Replica(site), u)
+	}
+}
+
+func (a *twitterChaos) FinalCheck(ctx *Ctx, site int) []string {
+	return a.app.Violations(ctx.Replica(site), true)
+}
+
+func (a *twitterChaos) Digest(ctx *Ctx, site int) string {
+	tx := ctx.Replica(site).Begin()
+	defer tx.Commit()
+	parts := []string{
+		digestList("tweets", store.AWSetAt(tx, twitter.KeyTweets).Elems()),
+		digestList("follows", store.AWSetAt(tx, twitter.KeyFollows).Elems()),
+	}
+	if a.app.Strategy() == twitter.RemWins {
+		parts = append(parts, digestList("users", store.RWSetAt(tx, twitter.KeyUsers).Elems()))
+		for _, u := range a.users {
+			parts = append(parts, digestList("tl:"+u, store.RWSetAt(tx, twitter.TimelineKey(u)).Elems()))
+		}
+	} else {
+		parts = append(parts, digestList("users", store.AWSetAt(tx, twitter.KeyUsers).Elems()))
+		for _, u := range a.users {
+			parts = append(parts, digestList("tl:"+u, store.AWSetAt(tx, twitter.TimelineKey(u)).Elems()))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ipa/internal/wan"
+)
+
+// Violation is one detected invariant (or convergence) failure.
+type Violation struct {
+	// At is the virtual time of detection.
+	At wan.Time `json:"at"`
+	// Phase is "mid-flight" or "quiescence".
+	Phase string `json:"phase"`
+	// Site names the replica whose state failed the check ("*" for
+	// cross-replica convergence failures).
+	Site string `json:"site"`
+	// Check is the failed checker: "invariant" or "convergence".
+	Check string `json:"check"`
+	// Msgs are the individual violation descriptions.
+	Msgs []string `json:"msgs"`
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("[%s @%.1fms site=%s %s] %s",
+		v.Phase, v.At.Millis(), v.Site, v.Check, strings.Join(v.Msgs, "; "))
+}
+
+// Equal reports whether two violations are the same failure.
+func (v *Violation) Equal(o *Violation) bool {
+	if v == nil || o == nil {
+		return v == o
+	}
+	if v.At != o.At || v.Phase != o.Phase || v.Site != o.Site || v.Check != o.Check || len(v.Msgs) != len(o.Msgs) {
+		return false
+	}
+	for i := range v.Msgs {
+		if v.Msgs[i] != o.Msgs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// midChecks is how many evenly spaced mid-flight check points (and
+// stability runs) one schedule gets.
+const midChecks = 16
+
+// Execute runs one schedule to completion and returns the first detected
+// violation, or nil for a clean pass. Execution is deterministic in the
+// schedule alone: the simulation's PRNG is seeded from Schedule.Seed, so
+// the same schedule value always yields the same result — this is what
+// makes seed replay and shrinking sound.
+func Execute(s *Schedule) (*Violation, error) {
+	app, err := newApp(s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx := newCtx(s)
+
+	// Seed state and let it replicate everywhere before chaos starts.
+	app.Setup(ctx)
+	ctx.Sim.Run()
+
+	var found *Violation
+	report := func(v *Violation) {
+		if found == nil {
+			found = v
+		}
+	}
+
+	// Workload: ops at paused sites are dropped (the site's clients are
+	// frozen with it) — deterministically, since pause windows are data.
+	for _, op := range s.Ops {
+		op := op
+		ctx.Sim.At(op.At, func() {
+			if found != nil || ctx.Paused(op.Site) {
+				return
+			}
+			app.Apply(ctx, op)
+		})
+	}
+
+	// Faults: inject at At, heal at At+Dur (quiescence force-heals any
+	// window still open at the horizon).
+	for _, f := range s.Faults {
+		f := f
+		ctx.Sim.At(f.At, func() { ctx.inject(f) })
+		ctx.Sim.At(f.At+f.Dur, func() { ctx.heal(f) })
+	}
+
+	// Periodic stability runs and mid-flight invariant checks. Stability
+	// stalls suppress the Stabilize call (metadata compaction falls
+	// behind) but never the checks.
+	step := s.Cfg.Horizon / midChecks
+	if step <= 0 {
+		step = 1
+	}
+	for t := step; t <= s.Cfg.Horizon; t += step {
+		ctx.Sim.At(t, func() {
+			if found != nil {
+				return
+			}
+			if ctx.stalls == 0 {
+				ctx.Cluster.Stabilize()
+			}
+			for site := range ctx.Sites {
+				if msgs := app.MidCheck(ctx, site); len(msgs) > 0 {
+					report(&Violation{At: ctx.Sim.Now(), Phase: "mid-flight",
+						Site: string(ctx.Sites[site]), Check: "invariant", Msgs: msgs})
+					return
+				}
+			}
+		})
+	}
+
+	ctx.Sim.RunUntil(s.Cfg.Horizon)
+	if found != nil {
+		return found, nil
+	}
+
+	// Quiescence: heal every fault, drain all replication, run the
+	// compensating reads everywhere (twice — the first round's repairs
+	// replicate and may feed the second), then a final stability pass.
+	ctx.healAll()
+	ctx.Sim.Run()
+	for round := 0; round < 2; round++ {
+		for site := range ctx.Sites {
+			app.Repair(ctx, site)
+		}
+		ctx.Sim.Run()
+	}
+	ctx.Cluster.Stabilize()
+
+	for site := range ctx.Sites {
+		if msgs := app.FinalCheck(ctx, site); len(msgs) > 0 {
+			return &Violation{At: ctx.Sim.Now(), Phase: "quiescence",
+				Site: string(ctx.Sites[site]), Check: "invariant", Msgs: msgs}, nil
+		}
+	}
+
+	// Convergence: every replica must digest the same visible state.
+	base := app.Digest(ctx, 0)
+	for site := 1; site < len(ctx.Sites); site++ {
+		if d := app.Digest(ctx, site); d != base {
+			return &Violation{At: ctx.Sim.Now(), Phase: "quiescence",
+				Site: "*", Check: "convergence",
+				Msgs: []string{fmt.Sprintf("replica %s diverged from %s:\n  %s\n  vs\n  %s",
+					ctx.Sites[site], ctx.Sites[0], d, base)}}, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,113 @@
+package harness
+
+import "fmt"
+
+// Result summarizes one chaos campaign.
+type Result struct {
+	// Schedules is how many schedules executed (including the failing one).
+	Schedules int
+	// FoundAt is the zero-based index of the failing schedule (-1 if none).
+	FoundAt int
+	// Seed is the per-schedule seed that produced the violation.
+	Seed uint64
+	// Violation is the failure found by the full schedule, nil if clean.
+	Violation *Violation
+	// Schedule is the failing schedule as generated.
+	Schedule *Schedule
+	// Shrunk is the minimized schedule (when shrinking ran) and
+	// ShrunkViolation its — deterministically reproducible — failure.
+	Shrunk          *Schedule
+	ShrunkViolation *Violation
+}
+
+// splitmix64 is the per-schedule seed derivation: independent,
+// well-mixed streams from one campaign seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ScheduleSeed returns the seed of the i-th schedule of a campaign.
+func ScheduleSeed(campaign uint64, i int) uint64 {
+	return splitmix64(campaign + uint64(i))
+}
+
+// Run executes up to schedules randomized schedules derived from one
+// campaign seed and stops at the first violation, which it shrinks to a
+// minimal reproduction. progress, when non-nil, is called after every
+// schedule (for CLI feedback); it must not mutate the schedule.
+func Run(cfg Config, campaignSeed uint64, schedules int, progress func(i int, s *Schedule, v *Violation)) (*Result, error) {
+	return RunWithShrink(cfg, campaignSeed, schedules, true, progress)
+}
+
+// RunWithShrink is Run with shrinking optional: on large schedules the
+// ddmin pass re-executes the failure O(n log n) times, which a caller
+// that only wants the fast fail signal can skip.
+func RunWithShrink(cfg Config, campaignSeed uint64, schedules int, shrink bool, progress func(i int, s *Schedule, v *Violation)) (*Result, error) {
+	cfg, err := cfg.Norm()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{FoundAt: -1}
+	for i := 0; i < schedules; i++ {
+		seed := ScheduleSeed(campaignSeed, i)
+		s, err := Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		v, err := Execute(s)
+		if err != nil {
+			return nil, err
+		}
+		res.Schedules++
+		if progress != nil {
+			progress(i, s, v)
+		}
+		if v != nil {
+			res.FoundAt, res.Seed = i, seed
+			res.Violation, res.Schedule = v, s
+			if shrink {
+				res.Shrunk, res.ShrunkViolation, err = Shrink(s)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// Replay re-executes one seed exactly as a campaign would have run it.
+func Replay(cfg Config, seed uint64) (*Schedule, *Violation, error) {
+	s, err := Generate(cfg, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := Execute(s)
+	return s, v, err
+}
+
+// Summary renders a short human-readable account of the result.
+func (r *Result) Summary() string {
+	if r.Violation == nil {
+		return fmt.Sprintf("%d schedules, no violation", r.Schedules)
+	}
+	out := fmt.Sprintf("violation at schedule %d (seed %#x):\n  %s\n", r.FoundAt, r.Seed, r.Violation)
+	if r.Shrunk != nil {
+		out += fmt.Sprintf("shrunk %d ops -> %d, %d faults -> %d, horizon %.0fms -> %.0fms:\n  %s\n",
+			len(r.Schedule.Ops), len(r.Shrunk.Ops),
+			len(r.Schedule.Faults), len(r.Shrunk.Faults),
+			r.Schedule.Cfg.Horizon.Millis(), r.Shrunk.Cfg.Horizon.Millis(),
+			r.ShrunkViolation)
+		for _, op := range r.Shrunk.Ops {
+			out += fmt.Sprintf("    %s\n", op)
+		}
+		for _, f := range r.Shrunk.Faults {
+			out += fmt.Sprintf("    %s\n", f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package harness
+
+import "ipa/internal/wan"
+
+// Shrink minimizes a failing schedule while it keeps failing: greedy
+// delta-debugging over the op list (drop chunks, halving the chunk size
+// down to single ops), then over the fault list, then a horizon cut to
+// just past the last event. Execution is deterministic in the schedule,
+// so every accepted reduction is a real, replayable failure; the returned
+// violation is the shrunk schedule's own (it may differ from the original
+// — a smaller schedule often fails earlier).
+//
+// Shrinking re-executes the schedule O(n log n) times in the worst case;
+// with the default schedule sizes that is a few hundred sim runs, well
+// under a second.
+func Shrink(s *Schedule) (*Schedule, *Violation, error) {
+	cur := cloneSchedule(s)
+	v, err := Execute(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v == nil {
+		return cur, nil, nil // not failing: nothing to shrink
+	}
+
+	fails := func(c *Schedule) bool {
+		cv, cerr := Execute(c)
+		if cerr != nil {
+			return false
+		}
+		if cv != nil {
+			v = cv
+		}
+		return cv != nil
+	}
+
+	cur.Ops = shrinkList(cur, cur.Ops, func(c *Schedule, l []Op) { c.Ops = l }, fails)
+	cur.Faults = shrinkList(cur, cur.Faults, func(c *Schedule, l []Fault) { c.Faults = l }, fails)
+
+	// Horizon cut: end the run just after the last scheduled event.
+	last := wan.Time(0)
+	for _, op := range cur.Ops {
+		if op.At > last {
+			last = op.At
+		}
+	}
+	for _, f := range cur.Faults {
+		if f.At > last {
+			last = f.At
+		}
+	}
+	if cut := last + wan.Millisecond; cut < cur.Cfg.Horizon {
+		trial := cloneSchedule(cur)
+		trial.Cfg.Horizon = cut
+		if fails(trial) {
+			cur = trial
+		}
+	}
+
+	// Re-execute the final schedule so the returned violation is exactly
+	// what a replay of the returned schedule will print.
+	final, err := Execute(cur)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cur, final, nil
+}
+
+// shrinkList is one ddmin pass over a slice of schedule events.
+func shrinkList[T any](s *Schedule, list []T, set func(*Schedule, []T), fails func(*Schedule) bool) []T {
+	chunk := len(list) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for chunk >= 1 {
+		removed := false
+		for i := 0; i+chunk <= len(list); {
+			trial := cloneSchedule(s)
+			candidate := append(append([]T(nil), list[:i]...), list[i+chunk:]...)
+			set(trial, candidate)
+			if fails(trial) {
+				list = candidate
+				set(s, list)
+				removed = true
+				// i stays: the next chunk slid into place.
+			} else {
+				i += chunk
+			}
+		}
+		if chunk == 1 && !removed {
+			break
+		}
+		if chunk > 1 {
+			chunk /= 2
+		} else if !removed {
+			break
+		}
+	}
+	set(s, list)
+	return list
+}
+
+// cloneSchedule deep-copies a schedule (the slices; ops/faults are value
+// types).
+func cloneSchedule(s *Schedule) *Schedule {
+	c := *s
+	c.Ops = append([]Op(nil), s.Ops...)
+	c.Faults = append([]Fault(nil), s.Faults...)
+	return &c
+}

@@ -20,17 +20,22 @@
 //     full the committing transaction blocks until the sender drains
 //     (counted in Metrics.BackpressureWaits), never dropping a frame —
 //     a causal gap would stall the receiver's dependency queue forever;
+//   - acknowledged delivery: the receiver confirms each batch frame after
+//     applying it, and the sender counts a frame sent only on ack. A
+//     write that succeeds into a socket the peer kills before reading
+//     would otherwise be silent loss — the chaos soak (internal/harness)
+//     surfaces exactly this under connection churn;
 //   - graceful shutdown: Close stops accepting work and gives every
 //     sender Config.DrainTimeout to flush its queue before abandoning
 //     the remainder (counted in Metrics.TxnsDropped).
 //
-// Delivery is at-least-once — a sender that loses its connection
-// mid-frame retries the whole batch — and the receive path deduplicates
-// by origin sequence number, so effects apply exactly once. Causal order
-// across connections is enforced by the receiver's dependency queue,
-// exactly as in the simulator; batches may arrive reordered, duplicated,
-// or interleaved with legacy single-transaction frames and the replica
-// state still converges.
+// Delivery is at-least-once — a sender that loses its connection (or an
+// ack) mid-frame retries the whole batch — and the receive path
+// deduplicates by origin sequence number, so effects apply exactly once.
+// Causal order across connections is enforced by the receiver's
+// dependency queue, exactly as in the simulator; batches may arrive
+// reordered, duplicated, or interleaved with legacy single-transaction
+// frames and the replica state still converges.
 //
 // The original connection-per-transaction demo transport is kept behind
 // Config.Legacy for benchmarking (internal/bench measures streaming vs
@@ -53,6 +58,12 @@ import (
 
 // maxFrame caps the size of one accepted frame.
 const maxFrame = 64 << 20
+
+// ackMagic is the fixed acknowledgement word the receiver writes back
+// after applying one frame. The protocol is synchronous per connection —
+// one frame in flight, one ack — so the word needs no sequence number;
+// any mismatch means a corrupt stream and drops the connection.
+const ackMagic = 0x41434B31 // "ACK1"
 
 // Config tunes the streaming transport. The zero value selects the
 // defaults noted on each field; see DefaultConfig.
@@ -137,8 +148,9 @@ type Metrics struct {
 	// SendErrors counts failed dial attempts and failed frame writes
 	// (each followed by a backoff + retry, so errors are not losses).
 	SendErrors uint64
-	// FramesSent/TxnsSent/BytesSent cover the outbound path; the
-	// TxnsSent/FramesSent ratio is the achieved batching factor.
+	// FramesSent/TxnsSent/BytesSent cover the outbound path; frames and
+	// transactions count only once the peer acknowledged applying them.
+	// The TxnsSent/FramesSent ratio is the achieved batching factor.
 	FramesSent, TxnsSent, BytesSent uint64
 	// FramesRecv/TxnsRecv/BytesRecv cover the inbound path.
 	FramesRecv, TxnsRecv, BytesRecv uint64
@@ -382,7 +394,52 @@ func (n *Node) handle(conn net.Conn) {
 		}
 		n.mu.Unlock()
 		atomic.AddUint64(&n.m.txnsRecv, uint64(len(txns)))
+		// Acknowledge only after the batch is applied (or queued for its
+		// causal dependencies): the sender may now forget it. Legacy
+		// senders never read acks; the write then fails or lands in a
+		// buffer nobody drains, both harmless.
+		if err := writeAck(conn); err != nil {
+			return
+		}
 	}
+}
+
+// writeAck confirms one applied frame.
+func writeAck(conn net.Conn) error {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], ackMagic)
+	_, err := conn.Write(buf[:])
+	return err
+}
+
+// readAck consumes one acknowledgement within the deadline.
+func readAck(conn net.Conn, deadline time.Time) error {
+	if err := conn.SetReadDeadline(deadline); err != nil {
+		return err
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return err
+	}
+	if binary.BigEndian.Uint32(buf[:]) != ackMagic {
+		return fmt.Errorf("netrepl: bad ack word %x", buf)
+	}
+	return nil
+}
+
+// DropConnections abruptly closes every accepted inbound connection — the
+// chaos hook for connection churn. Peers streaming to this node see their
+// next write fail and re-dial with backoff; delivery is at-least-once, so
+// retried batches deduplicate and no transaction is lost. The listener
+// stays up, so reconnects succeed immediately. It returns the number of
+// connections killed.
+func (n *Node) DropConnections() int {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	for c := range n.conns {
+		c.Close()
+	}
+	return len(n.conns)
 }
 
 // Pending reports the size of the causal delivery queue (transactions

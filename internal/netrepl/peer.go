@@ -2,6 +2,7 @@ package netrepl
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net"
 	"sync/atomic"
@@ -25,11 +26,23 @@ type peerConn struct {
 
 	// Sender-goroutine state; no lock needed.
 	conn      net.Conn
-	connected bool // a dial has succeeded at least once
+	connected bool       // a dial has succeeded at least once
+	rng       *rand.Rand // backoff jitter; private so no global rand state
 }
 
 func newPeerConn(n *Node, id clock.ReplicaID, addr string) *peerConn {
-	return &peerConn{n: n, id: id, addr: addr, ch: make(chan store.WireTxn, n.cfg.QueueCap)}
+	// A deterministic per-peer seed keeps backoff jitter off the global
+	// math/rand state (replays of the deterministic harness must not
+	// consume shared randomness) while still decorrelating peers.
+	h := fnv.New64a()
+	h.Write([]byte(n.id))
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	return &peerConn{
+		n: n, id: id, addr: addr,
+		ch:  make(chan store.WireTxn, n.cfg.QueueCap),
+		rng: rand.New(rand.NewSource(int64(h.Sum64()))),
+	}
 }
 
 // enqueue hands one committed transaction to the sender. When the queue
@@ -167,6 +180,21 @@ func (p *peerConn) deliver(batch []store.WireTxn) bool {
 			}
 			continue
 		}
+		// A successful write only proves the bytes reached a kernel
+		// buffer; if the peer dies before reading them the frame is
+		// gone and the causal gap would wedge the ring forever. Delivery
+		// counts only when the peer acknowledges the applied frame;
+		// anything else retries the batch on a fresh connection (the
+		// receiver deduplicates by origin sequence).
+		if err := readAck(p.conn, time.Now().Add(p.n.cfg.WriteTimeout)); err != nil {
+			atomic.AddUint64(&p.n.m.sendErrors, 1)
+			p.conn.Close()
+			p.conn = nil
+			if !p.pause(&backoff) {
+				return false
+			}
+			continue
+		}
 		atomic.AddUint64(&p.n.m.framesSent, 1)
 		atomic.AddUint64(&p.n.m.txnsSent, uint64(len(batch)))
 		atomic.AddUint64(&p.n.m.bytesSent, uint64(len(frame)+4))
@@ -193,7 +221,7 @@ func (p *peerConn) dial() bool {
 // BackoffMax. It returns false when the node is closed and the drain
 // deadline has passed — the signal to abandon the queue.
 func (p *peerConn) pause(backoff *time.Duration) bool {
-	d := *backoff/2 + time.Duration(rand.Int63n(int64(*backoff/2)+1))
+	d := *backoff/2 + time.Duration(p.rng.Int63n(int64(*backoff/2)+1))
 	if *backoff *= 2; *backoff > p.n.cfg.BackoffMax {
 		*backoff = p.n.cfg.BackoffMax
 	}

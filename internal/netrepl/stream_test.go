@@ -456,3 +456,88 @@ func TestLegacyTransportStillConverges(t *testing.T) {
 		t.Fatalf("legacy transport stats: %+v", s)
 	}
 }
+
+// TestUnackedFrameRetries pins the acknowledged-delivery contract: a
+// frame written successfully to a peer that dies before confirming it is
+// NOT counted sent — the sender must treat the missing ack as a failure
+// and retry the batch on a fresh connection. (A write reaching a kernel
+// buffer proves nothing; the chaos soak hits this constantly under
+// connection churn.)
+func TestUnackedFrameRetries(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var mu sync.Mutex
+	framesSwallowed, framesAcked := 0, 0
+	go func() {
+		first := true
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if first {
+				// Swallow the frame and die without acking: the bytes
+				// were "successfully written" by the sender and are gone.
+				first = false
+				go func(c net.Conn) {
+					defer c.Close()
+					if _, err := readFrame(c); err == nil {
+						mu.Lock()
+						framesSwallowed++
+						mu.Unlock()
+					}
+				}(conn)
+				continue
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					if _, err := readFrame(c); err != nil {
+						return
+					}
+					mu.Lock()
+					framesAcked++
+					mu.Unlock()
+					if err := writeAck(c); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	cfg := Config{
+		BackoffMin:   time.Millisecond,
+		BackoffMax:   10 * time.Millisecond,
+		WriteTimeout: 100 * time.Millisecond, // ack wait bound
+	}
+	a, err := NewNodeWithConfig("a", "127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.AddPeer("b", ln.Addr().String())
+
+	commitN(a, "k", 7)
+	// The commits may split across several batch frames; wait for every
+	// transaction to be acknowledged, not just the first frame.
+	waitUntil(t, "acked delivery after a swallowed frame", func() bool {
+		return a.Stats().TxnsSent >= 7
+	})
+	s := a.Stats()
+	if s.TxnsSent != 7 {
+		t.Fatalf("TxnsSent = %d, want 7 (every txn acked exactly once)", s.TxnsSent)
+	}
+	if s.SendErrors == 0 {
+		t.Fatal("the swallowed (unacked) frame was not counted as a send error")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if framesSwallowed != 1 || framesAcked < 1 {
+		t.Fatalf("swallowed=%d acked=%d, want exactly 1 swallowed and >=1 acked", framesSwallowed, framesAcked)
+	}
+}

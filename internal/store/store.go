@@ -101,6 +101,20 @@ func (c *Cluster) SetPartitioned(a, b clock.ReplicaID, partitioned bool) {
 	}
 }
 
+// SetPaused freezes (or thaws) a replica's delivery pipeline — the
+// crash/recovery fault hook. While paused, remote transactions still
+// arrive but queue in the delivery buffer without applying, exactly as if
+// the replica's application process had stalled; local commits are
+// unaffected (they do not pass through the delivery queue). Unpausing
+// drains the buffer in causal order, so no update is lost.
+func (c *Cluster) SetPaused(id clock.ReplicaID, paused bool) {
+	r := c.Replica(id)
+	r.paused = paused
+	if !paused {
+		r.drain()
+	}
+}
+
 // txnMsg is a committed transaction in flight between replicas.
 type txnMsg struct {
 	origin  clock.ReplicaID
@@ -124,15 +138,27 @@ func (c *Cluster) send(from, to clock.ReplicaID, m txnMsg) {
 // Stabilize computes the stability horizon (the causal cut every replica
 // has delivered) and lets every CRDT compact metadata below it. Call it
 // periodically from the harness, or once after a run.
+//
+// Alongside the horizon it hands compaction the frontier — each origin's
+// current commit count, which upper-bounds every event concurrent with a
+// newly stable one. Remove-wins tombstones need it to decide when they
+// can finally be discarded (crdt.FrontierCompacter): stability of the
+// tombstone alone does not rule out a concurrent add still in flight.
 func (c *Cluster) Stabilize() clock.Vector {
 	c.StabilityRuns++
+	frontier := clock.New()
 	for _, id := range c.order {
 		c.stab.Ack(id, c.replicas[id].vc.Clone())
+		frontier.Set(id, c.replicas[id].vc.Get(id))
 	}
 	h := c.stab.Horizon()
 	for _, id := range c.order {
 		for _, obj := range c.replicas[id].objects {
-			obj.Compact(h)
+			if fc, ok := obj.(crdt.FrontierCompacter); ok {
+				fc.CompactWithFrontier(h, frontier)
+			} else {
+				obj.Compact(h)
+			}
 		}
 	}
 	return h
@@ -155,6 +181,7 @@ type Replica struct {
 	vc      clock.Vector // delivered cut; vc[id] == local commit sequence
 	seq     uint64       // local event counter (tags)
 	pending []txnMsg     // causal delivery queue
+	paused  bool         // fault injection: buffer deliveries, apply nothing
 
 	// Stats
 	TxnsExecuted  uint64
@@ -203,6 +230,9 @@ func (r *Replica) receive(m txnMsg) {
 }
 
 func (r *Replica) drain() {
+	if r.paused {
+		return
+	}
 	progress := true
 	for progress {
 		progress = false

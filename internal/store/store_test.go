@@ -350,3 +350,46 @@ func TestReadOnlyTxnSendsNothing(t *testing.T) {
 		t.Fatal("read-only txn must not replicate")
 	}
 }
+
+func TestPausedReplicaBuffersDeliveries(t *testing.T) {
+	sim, c := newTestCluster(5)
+	east, west := c.Replica(wan.USEast), c.Replica(wan.USWest)
+
+	c.SetPaused(wan.USWest, true)
+	tx := east.Begin()
+	AWSetAt(tx, "k").Add("x", "")
+	tx.Commit()
+	sim.Run()
+
+	// The paused replica received but did not apply; the third replica did.
+	wtx := west.Begin()
+	if AWSetAt(wtx, "k").Contains("x") {
+		t.Fatal("paused replica applied a delivery")
+	}
+	wtx.Commit()
+	if west.PendingCount() == 0 {
+		t.Fatal("paused replica did not buffer the delivery")
+	}
+	etx := c.Replica(wan.EUWest).Begin()
+	if !AWSetAt(etx, "k").Contains("x") {
+		t.Fatal("unpaused replica missing the delivery")
+	}
+	etx.Commit()
+
+	// A paused replica can still commit locally.
+	wtx2 := west.Begin()
+	AWSetAt(wtx2, "k").Add("y", "")
+	wtx2.Commit()
+	sim.Run()
+
+	// Unpausing drains the buffer in causal order.
+	c.SetPaused(wan.USWest, false)
+	wtx3 := west.Begin()
+	if !AWSetAt(wtx3, "k").Contains("x") {
+		t.Fatal("unpause did not drain buffered deliveries")
+	}
+	wtx3.Commit()
+	if west.PendingCount() != 0 {
+		t.Fatalf("pending = %d after unpause", west.PendingCount())
+	}
+}

@@ -67,7 +67,15 @@ type Sim struct {
 
 // NewSim creates a simulator with a seeded deterministic PRNG.
 func NewSim(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	return NewSimFromRand(rand.New(rand.NewSource(seed)))
+}
+
+// NewSimFromRand creates a simulator that draws all its randomness from
+// the given PRNG. Injecting the generator lets a harness share one seeded
+// source across the simulator and its own decisions, so an entire run is
+// reproducible from a single seed.
+func NewSimFromRand(rng *rand.Rand) *Sim {
+	return &Sim{rng: rng}
 }
 
 // Now returns the current virtual time.
@@ -124,6 +132,7 @@ func (s *Sim) Pending() int { return len(s.pq) }
 // uniform jitter expressed as a fraction of the base delay.
 type Latency struct {
 	base   map[[2]string]Time
+	scale  map[[2]string]float64 // fault-injected delay multipliers
 	def    Time
 	Jitter float64
 	// Partitioned links drop into the blocked set managed by the store;
@@ -132,7 +141,7 @@ type Latency struct {
 
 // NewLatency creates a latency model with the given default one-way delay.
 func NewLatency(def Time) *Latency {
-	return &Latency{base: map[[2]string]Time{}, def: def}
+	return &Latency{base: map[[2]string]Time{}, scale: map[[2]string]float64{}, def: def}
 }
 
 // SetOneWay sets the one-way delay in both directions between two sites.
@@ -141,11 +150,36 @@ func (l *Latency) SetOneWay(a, b string, d Time) {
 	l.base[[2]string{b, a}] = d
 }
 
-// OneWay returns the one-way delay from a to b, with jitter applied.
+// SetScale installs a delay multiplier on the link between two sites (both
+// directions) — the fault-injection hook for congestion and delay spikes.
+// A factor of 1 (or less than or equal to zero) clears the spike. Scales
+// affect OneWay only; RTT keeps reporting the base topology, so
+// coordination cost models are not silently distorted by injected faults.
+func (l *Latency) SetScale(a, b string, factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	for _, key := range [][2]string{{a, b}, {b, a}} {
+		if factor == 1 {
+			delete(l.scale, key)
+		} else {
+			l.scale[key] = factor
+		}
+	}
+}
+
+// ClearScale removes the delay multiplier between two sites.
+func (l *Latency) ClearScale(a, b string) { l.SetScale(a, b, 1) }
+
+// OneWay returns the one-way delay from a to b, with any injected delay
+// scale and jitter applied.
 func (l *Latency) OneWay(a, b string, rng *rand.Rand) Time {
 	d, ok := l.base[[2]string{a, b}]
 	if !ok {
 		d = l.def
+	}
+	if f, ok := l.scale[[2]string{a, b}]; ok {
+		d = Time(float64(d) * f)
 	}
 	if l.Jitter > 0 && rng != nil {
 		span := float64(d) * l.Jitter

@@ -1,6 +1,7 @@
 package wan
 
 import (
+	"math/rand"
 	"testing"
 )
 
@@ -128,5 +129,53 @@ func TestTimeUnits(t *testing.T) {
 	}
 	if len(Sites()) != 3 {
 		t.Fatal("Sites")
+	}
+}
+
+func TestLatencyScale(t *testing.T) {
+	l := NewLatency(Ms(40))
+	l.SetOneWay("a", "b", Ms(10))
+	if d := l.OneWay("a", "b", nil); d != Ms(10) {
+		t.Fatalf("base delay = %v, want 10ms", d.Millis())
+	}
+	l.SetScale("a", "b", 5)
+	if d := l.OneWay("a", "b", nil); d != Ms(50) {
+		t.Fatalf("scaled delay = %v, want 50ms", d.Millis())
+	}
+	if d := l.OneWay("b", "a", nil); d != Ms(50) {
+		t.Fatalf("scale not symmetric: %v", d.Millis())
+	}
+	// RTT ignores the injected spike: it reports the base topology.
+	if rtt := l.RTT("a", "b"); rtt != Ms(20) {
+		t.Fatalf("RTT = %v, want 20ms", rtt.Millis())
+	}
+	l.ClearScale("a", "b")
+	if d := l.OneWay("a", "b", nil); d != Ms(10) {
+		t.Fatalf("cleared delay = %v, want 10ms", d.Millis())
+	}
+	// Factor <= 0 clears rather than zeroing delays.
+	l.SetScale("a", "b", 3)
+	l.SetScale("a", "b", 0)
+	if d := l.OneWay("a", "b", nil); d != Ms(10) {
+		t.Fatalf("factor 0 should clear, got %v", d.Millis())
+	}
+}
+
+func TestNewSimFromRand(t *testing.T) {
+	run := func() []Time {
+		sim := NewSimFromRand(rand.New(rand.NewSource(99)))
+		var out []Time
+		l := NewLatency(Ms(40))
+		l.Jitter = 0.5
+		for i := 0; i < 10; i++ {
+			out = append(out, l.OneWay("x", "y", sim.Rand()))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("injected rand not deterministic: %v vs %v", a, b)
+		}
 	}
 }
