@@ -8,6 +8,7 @@ package main
 //	ipa chaos -app tournament -variant causal       # watch the unrepaired app fail
 //	ipa chaos -app tournament -break enroll         # disable one repair, catch it
 //	ipa chaos -app tournament -seed 0xdeadbeef      # replay one schedule exactly
+//	ipa chaos -app ticket -backend netrepl          # same campaign on real TCP sockets
 //	ipa chaos -replay chaos-repro.json              # replay a shrunk repro file
 //	ipa chaos -soak -nodes 3 -txns 500              # netrepl kill/reconnect soak
 //
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"ipa/internal/harness"
+	"ipa/internal/runtime"
 	"ipa/internal/wan"
 )
 
@@ -31,6 +33,7 @@ func runChaos(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	var (
 		app       = fs.String("app", "tournament", "application to drive: "+strings.Join(harness.Apps(), ", "))
+		backend   = fs.String("backend", "sim", "replication backend: sim (deterministic, replayable) or netrepl (real TCP sockets)")
 		variant   = fs.String("variant", "ipa", "application variant: ipa (repairs on) or causal (repairs off)")
 		breakOp   = fs.String("break", "", "run exactly this op kind without its repair (self-test the harness)")
 		replicas  = fs.Int("replicas", 3, "simulated replica sites")
@@ -88,6 +91,7 @@ func runChaos(args []string) {
 	default:
 		cfg, err := harness.Config{
 			App:      *app,
+			Backend:  *backend,
 			Variant:  *variant,
 			BreakOp:  *breakOp,
 			Replicas: *replicas,
@@ -124,6 +128,12 @@ func runChaos(args []string) {
 				}
 			}
 		}
+		// harness.RunWithShrink itself disables shrinking on the netrepl
+		// backend (ddmin needs deterministic reproduction); this only
+		// tells the user up front.
+		if cfg.Backend == runtime.BackendNet && !*noShrink {
+			fmt.Fprintln(os.Stderr, "chaos: shrinking disabled on the netrepl backend (runs are not bit-deterministic)")
+		}
 		res, err := harness.RunWithShrink(cfg, *campaign, *schedules, !*noShrink, progress)
 		if err != nil {
 			fatal(err)
@@ -151,6 +161,9 @@ func runChaos(args []string) {
 // cfgFlags renders the non-default flags that reproduce cfg.
 func cfgFlags(cfg harness.Config) string {
 	parts := []string{"-app " + cfg.App}
+	if cfg.Backend != "" && cfg.Backend != "sim" {
+		parts = append(parts, "-backend "+cfg.Backend)
+	}
 	if cfg.Variant != "ipa" {
 		parts = append(parts, "-variant "+cfg.Variant)
 	}

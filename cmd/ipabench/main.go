@@ -1,5 +1,7 @@
 // Command ipabench regenerates the tables and figures of the paper's
-// evaluation (§5) on the simulated geo-replicated deployment.
+// evaluation (§5) on the simulated geo-replicated deployment, and runs
+// the repository's own wall-clock benchmarks on either replication
+// backend.
 //
 // Usage:
 //
@@ -7,13 +9,23 @@
 //	ipabench -experiment fig4           # one figure
 //	ipabench -experiment table1
 //	ipabench -experiment fig7 -quick    # reduced parameters
+//	ipabench -experiment serve          # serving benchmark (all four apps)
+//	ipabench -backend netrepl           # the same apps on real TCP sockets
+//	ipabench -experiment serve -json artifacts   # write BENCH_serve.json
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8a, fig8b, fig9, the
 // ablations beyond the paper: ablation-numeric, ablation-touch,
-// ablation-stability, ablation-scope, and two wall-clock benchmarks of
+// ablation-stability, ablation-scope, and three wall-clock benchmarks of
 // the repository's own infrastructure: `transport` — the real-socket
-// netrepl throughput comparison (streaming vs legacy) — and `chaos` —
-// the chaos harness's schedules-per-second rate on 3- and 5-replica sims.
+// netrepl throughput comparison (streaming vs legacy) — `chaos` — the
+// chaos harness's schedules-per-second rate on 3- and 5-replica sims —
+// and `serve` — closed-loop serving of all four applications over the
+// backend-agnostic runtime (sim or netrepl), with invariant checks.
+//
+// The paper figures model latency inside the simulation, so they are
+// sim-only; with -backend netrepl the default experiment set is `serve`.
+// -json writes each experiment as BENCH_<name>.json (ops/sec, p50/p99
+// where measured) for CI to upload.
 package main
 
 import (
@@ -24,13 +36,16 @@ import (
 
 	"ipa/internal/analysis"
 	"ipa/internal/bench"
+	"ipa/internal/runtime"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run (comma separated)")
+		experiment = flag.String("experiment", "", "which experiment to run (comma separated; default all on sim, serve on netrepl)")
+		backend    = flag.String("backend", runtime.BackendSim, "replication backend for the serve benchmark: sim or netrepl")
 		quick      = flag.Bool("quick", false, "reduced parameters (faster, noisier)")
 		seed       = flag.Int64("seed", 42, "simulation seed")
+		jsonDir    = flag.String("json", "", "also write each experiment as BENCH_<name>.json into this directory")
 	)
 	flag.Parse()
 
@@ -40,22 +55,56 @@ func main() {
 	}
 	opts.Seed = *seed
 
-	all := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
-		"ablation-numeric", "ablation-touch", "ablation-stability", "ablation-scope",
-		"transport", "chaos"}
+	// The paper figures model latency inside the simulation; transport and
+	// chaos are fixed benchmarks of their own substrates. Only serve takes
+	// -backend.
+	simFigures := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
+		"ablation-numeric", "ablation-touch", "ablation-stability", "ablation-scope"}
+	fixed := []string{"transport", "chaos"}
+	all := append(append(append([]string(nil), simFigures...), fixed...), "serve")
+
 	var wanted []string
-	if *experiment == "all" {
-		wanted = all
-	} else {
+	switch {
+	case *experiment != "" && *experiment != "all":
 		wanted = strings.Split(*experiment, ",")
+	case *backend == runtime.BackendNet:
+		if *experiment == "all" {
+			fmt.Fprintln(os.Stderr, "ipabench: -experiment all is sim-only (the figures model latency in the simulation); with -backend netrepl name the experiments, e.g. -experiment serve")
+			os.Exit(1)
+		}
+		// No experiment named: the meaningful default on the real-socket
+		// backend is the serving benchmark over all four applications.
+		wanted = []string{"serve"}
+	default:
+		wanted = all
+	}
+
+	serveOps := 0
+	if *quick {
+		serveOps = 300
 	}
 
 	for _, name := range wanted {
+		name = strings.TrimSpace(name)
+		if *backend != runtime.BackendSim {
+			for _, s := range simFigures {
+				if name == s {
+					fmt.Fprintf(os.Stderr, "ipabench: experiment %q models latency in the simulation and is sim-only (drop -backend, or run -experiment serve)\n", name)
+					os.Exit(1)
+				}
+			}
+			for _, s := range fixed {
+				if name == s {
+					fmt.Fprintf(os.Stderr, "ipabench: experiment %q already benchmarks a fixed substrate and does not take -backend (drop -backend, or run -experiment serve)\n", name)
+					os.Exit(1)
+				}
+			}
+		}
 		var (
 			e   *bench.Experiment
 			err error
 		)
-		switch strings.TrimSpace(name) {
+		switch name {
 		case "table1":
 			e, err = bench.Table1(analysis.Options{})
 		case "fig4":
@@ -84,6 +133,8 @@ func main() {
 			e, err = bench.Transport(opts)
 		case "chaos":
 			e, err = bench.Chaos(opts)
+		case "serve":
+			e, err = bench.Serve(bench.ServeOptions{Backend: *backend, Ops: serveOps, Seed: *seed})
 		default:
 			fmt.Fprintf(os.Stderr, "ipabench: unknown experiment %q (want one of %s)\n",
 				name, strings.Join(all, ", "))
@@ -94,5 +145,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(e.Render())
+		if *jsonDir != "" {
+			path, err := e.WriteJSON(*jsonDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipabench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 }

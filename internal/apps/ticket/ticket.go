@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"ipa/internal/crdt"
+	"ipa/internal/runtime"
 	"ipa/internal/spec"
 	"ipa/internal/store"
 )
@@ -90,14 +91,14 @@ func (a *App) Capacity() int { return a.capacity }
 // Setup creates an event at every replica. Compensation sets carry their
 // bound in the object, so they are seeded cluster-wide before the
 // workload starts (they cannot be created lazily from a remote op).
-func (a *App) Setup(c *store.Cluster, events []string) {
+func (a *App) Setup(c runtime.Cluster, events []string) {
 	for _, id := range c.Replicas() {
 		r := c.Replica(id)
 		for _, e := range events {
 			if a.variant == IPA {
 				store.SeedCompSet(r, EventKey(e), a.capacity)
 			} else {
-				r.Object(EventKey(e), func() crdt.CRDT { return crdt.NewAWSet() })
+				r.Object(EventKey(e), crdt.Ctor(crdt.KindAWSet))
 			}
 		}
 	}
@@ -112,7 +113,7 @@ func (a *App) Setup(c *store.Cluster, events []string) {
 
 // Buy purchases one ticket for the event on behalf of buyer. The returned
 // ticket ID is unique.
-func (a *App) Buy(r *store.Replica, buyer, event string) (string, *store.Txn) {
+func (a *App) Buy(r runtime.Replica, buyer, event string) (string, *store.Txn) {
 	tx := r.Begin()
 	tag := tx.NewTag()
 	ticket := crdt.JoinTuple(buyer, tag.String())
@@ -128,7 +129,7 @@ func (a *App) Buy(r *store.Replica, buyer, event string) (string, *store.Txn) {
 // View reads the sold tickets of an event. Under IPA this is where
 // compensations trigger: observing an oversold event cancels the excess
 // and records refunds in the same transaction.
-func (a *App) View(r *store.Replica, event string) ([]string, *store.Txn) {
+func (a *App) View(r runtime.Replica, event string) ([]string, *store.Txn) {
 	tx := r.Begin()
 	if a.variant == IPA {
 		ref := store.CompSetAt(tx, EventKey(event))
@@ -151,7 +152,7 @@ func (a *App) View(r *store.Replica, event string) ([]string, *store.Txn) {
 }
 
 // Sold returns the raw number of tickets currently recorded for event.
-func (a *App) Sold(r *store.Replica, event string) int {
+func (a *App) Sold(r runtime.Replica, event string) int {
 	tx := r.Begin()
 	defer tx.Commit()
 	if a.variant == IPA {
@@ -162,7 +163,7 @@ func (a *App) Sold(r *store.Replica, event string) int {
 
 // Oversold returns how many tickets beyond capacity are visible at r for
 // the event — the invariant-violation measure of the paper's Fig. 7.
-func (a *App) Oversold(r *store.Replica, event string) int {
+func (a *App) Oversold(r runtime.Replica, event string) int {
 	n := a.Sold(r, event) - a.capacity
 	if n < 0 {
 		return 0
@@ -171,14 +172,14 @@ func (a *App) Oversold(r *store.Replica, event string) int {
 }
 
 // Refunds returns the number of refund records visible at r.
-func (a *App) Refunds(r *store.Replica) int {
+func (a *App) Refunds(r runtime.Replica) int {
 	tx := r.Begin()
 	defer tx.Commit()
 	return store.AWSetAt(tx, KeyRefunds).Size()
 }
 
 // Violations reports per-event overselling at replica r.
-func (a *App) Violations(r *store.Replica, events []string) []string {
+func (a *App) Violations(r runtime.Replica, events []string) []string {
 	var out []string
 	for _, e := range events {
 		if n := a.Oversold(r, e); n > 0 {

@@ -5,6 +5,7 @@ import (
 
 	"ipa/internal/analysis"
 	"ipa/internal/clock"
+	"ipa/internal/runtime"
 	"ipa/internal/store"
 	"ipa/internal/wan"
 )
@@ -18,7 +19,7 @@ func newCluster(seed int64) (*wan.Sim, *store.Cluster) {
 func TestBuyWithinCapacity(t *testing.T) {
 	sim, c := newCluster(1)
 	app := New(IPA, 10)
-	app.Setup(c, []string{"concert"})
+	app.Setup(runtime.NewSimCluster(c), []string{"concert"})
 	sim.Run()
 	for i := 0; i < 5; i++ {
 		app.Buy(c.Replica(wan.USEast), "buyer", "concert")
@@ -39,7 +40,7 @@ func TestConcurrentOversell(t *testing.T) {
 	for _, variant := range []Variant{Causal, IPA} {
 		sim, c := newCluster(2)
 		app := New(variant, 2)
-		app.Setup(c, []string{"gig"})
+		app.Setup(runtime.NewSimCluster(c), []string{"gig"})
 		sim.Run()
 
 		// One ticket sold and replicated.
@@ -90,7 +91,7 @@ func TestConcurrentOversell(t *testing.T) {
 func TestIndependentCompensationsConverge(t *testing.T) {
 	sim, c := newCluster(3)
 	app := New(IPA, 1)
-	app.Setup(c, []string{"e"})
+	app.Setup(runtime.NewSimCluster(c), []string{"e"})
 	sim.Run()
 	app.Buy(c.Replica(wan.USEast), "a", "e")
 	app.Buy(c.Replica(wan.USWest), "b", "e")
@@ -116,7 +117,7 @@ func TestIndependentCompensationsConverge(t *testing.T) {
 func TestTicketIDsUnique(t *testing.T) {
 	sim, c := newCluster(4)
 	app := New(IPA, 100)
-	app.Setup(c, []string{"e"})
+	app.Setup(runtime.NewSimCluster(c), []string{"e"})
 	sim.Run()
 	seen := map[string]bool{}
 	for i := 0; i < 20; i++ {

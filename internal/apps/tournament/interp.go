@@ -3,6 +3,7 @@ package tournament
 import (
 	"ipa/internal/crdt"
 	"ipa/internal/logic"
+	"ipa/internal/runtime"
 	"ipa/internal/store"
 )
 
@@ -12,7 +13,7 @@ import (
 // system with logic.Interp.Eval. The analysis reasons about exactly this
 // abstraction; extracting it at runtime lets tests cross-check the
 // handwritten violation oracle against the specification itself.
-func Interp(r *store.Replica, capacity int) logic.Interp {
+func Interp(r runtime.Replica, capacity int) logic.Interp {
 	tx := r.Begin()
 	defer tx.Commit()
 
@@ -72,7 +73,7 @@ func Interp(r *store.Replica, capacity int) logic.Interp {
 
 // CheckInvariants evaluates every specification invariant against the
 // replica's current state and returns the violated clauses.
-func CheckInvariants(r *store.Replica, capacity int) ([]logic.Formula, error) {
+func CheckInvariants(r runtime.Replica, capacity int) ([]logic.Formula, error) {
 	in := Interp(r, capacity)
 	var violated []logic.Formula
 	for _, cl := range logic.Clauses(Spec().Invariant()) {

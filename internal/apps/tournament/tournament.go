@@ -18,9 +18,11 @@
 package tournament
 
 import (
+	"encoding/gob"
 	"fmt"
 
 	"ipa/internal/crdt"
+	"ipa/internal/runtime"
 	"ipa/internal/spec"
 	"ipa/internal/store"
 )
@@ -112,7 +114,7 @@ func New(variant Variant) *App { return &App{variant: variant} }
 func (a *App) Variant() Variant { return a.variant }
 
 // AddPlayer registers a player.
-func (a *App) AddPlayer(r *store.Replica, p string) *store.Txn {
+func (a *App) AddPlayer(r runtime.Replica, p string) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyPlayers).Add(p, "profile:"+p)
 	tx.Commit()
@@ -120,7 +122,7 @@ func (a *App) AddPlayer(r *store.Replica, p string) *store.Txn {
 }
 
 // AddTournament creates a tournament.
-func (a *App) AddTournament(r *store.Replica, t string) *store.Txn {
+func (a *App) AddTournament(r runtime.Replica, t string) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyTournaments).Add(t, "info:"+t)
 	tx.Commit()
@@ -136,7 +138,7 @@ func (a *App) AddTournament(r *store.Replica, t string) *store.Txn {
 // exactly what the IPA patches address. (The IPA resolution chosen for
 // this application lets the restoring operations win, so rem_tourn itself
 // gains no extra effects — paper Fig. 3.)
-func (a *App) RemTournament(r *store.Replica, t string) *store.Txn {
+func (a *App) RemTournament(r runtime.Replica, t string) *store.Txn {
 	tx := r.Begin()
 	enrolled := store.AWSetAt(tx, KeyEnrolled)
 	if len(enrolled.ElemsWhere(crdt.Match{Index: 1, Value: t})) == 0 {
@@ -155,7 +157,7 @@ func (a *App) RemTournament(r *store.Replica, t string) *store.Txn {
 }
 
 // RemPlayer deletes a player, provided the player has no enrolments.
-func (a *App) RemPlayer(r *store.Replica, p string) *store.Txn {
+func (a *App) RemPlayer(r runtime.Replica, p string) *store.Txn {
 	tx := r.Begin()
 	if len(store.AWSetAt(tx, KeyEnrolled).ElemsWhere(crdt.Match{Index: 0, Value: p})) == 0 {
 		store.AWSetAt(tx, KeyPlayers).Remove(p)
@@ -172,7 +174,7 @@ func ensureEnroll(tx *store.Txn, p, t string) {
 }
 
 // Enroll enrolls player p in tournament t; both must exist at the origin.
-func (a *App) Enroll(r *store.Replica, p, t string) *store.Txn {
+func (a *App) Enroll(r runtime.Replica, p, t string) *store.Txn {
 	tx := r.Begin()
 	if store.AWSetAt(tx, KeyPlayers).Contains(p) && store.AWSetAt(tx, KeyTournaments).Contains(t) {
 		store.AWSetAt(tx, KeyEnrolled).Add(crdt.JoinTuple(p, t), "")
@@ -185,7 +187,7 @@ func (a *App) Enroll(r *store.Replica, p, t string) *store.Txn {
 }
 
 // Disenroll removes player p from tournament t.
-func (a *App) Disenroll(r *store.Replica, p, t string) *store.Txn {
+func (a *App) Disenroll(r runtime.Replica, p, t string) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyEnrolled).Remove(crdt.JoinTuple(p, t))
 	if a.variant == IPA {
@@ -197,22 +199,27 @@ func (a *App) Disenroll(r *store.Replica, p, t string) *store.Txn {
 	return tx
 }
 
-// matchOf matches inMatch triples that involve player p in tournament t.
-type matchPred struct{ p, t string }
+// matchPred matches inMatch triples that involve player P in tournament
+// T. It travels inside wildcard remove ops, so its fields are exported
+// and the type is gob-registered — wire transports must be able to encode
+// every predicate an application ships.
+type matchPred struct{ P, T string }
 
-func matchOf(p, t string) crdt.Predicate { return matchPred{p: p, t: t} }
+func matchOf(p, t string) crdt.Predicate { return matchPred{P: p, T: t} }
+
+func init() { gob.Register(matchPred{}) }
 
 func (m matchPred) Matches(elem string) bool {
 	parts := crdt.SplitTuple(elem)
-	if len(parts) != 3 || parts[2] != m.t {
+	if len(parts) != 3 || parts[2] != m.T {
 		return false
 	}
-	return parts[0] == m.p || parts[1] == m.p
+	return parts[0] == m.P || parts[1] == m.P
 }
 
 // Begin starts a tournament (paper Fig. 3 ensureBegin). Preconditions:
 // the tournament exists and is not finished.
-func (a *App) Begin(r *store.Replica, t string) *store.Txn {
+func (a *App) Begin(r runtime.Replica, t string) *store.Txn {
 	tx := r.Begin()
 	if store.AWSetAt(tx, KeyTournaments).Contains(t) && !store.AWSetAt(tx, KeyFinished).Contains(t) {
 		store.RWSetAt(tx, KeyActive).Add(t, "")
@@ -227,7 +234,7 @@ func (a *App) Begin(r *store.Replica, t string) *store.Txn {
 // Finish ends a tournament (paper Fig. 3 ensureEnd): the rem-wins removal
 // from the active set makes finish win over a concurrent begin.
 // Precondition: the tournament exists and is active.
-func (a *App) Finish(r *store.Replica, t string) *store.Txn {
+func (a *App) Finish(r runtime.Replica, t string) *store.Txn {
 	tx := r.Begin()
 	if store.AWSetAt(tx, KeyTournaments).Contains(t) && store.RWSetAt(tx, KeyActive).Contains(t) {
 		store.AWSetAt(tx, KeyFinished).Add(t, "")
@@ -242,7 +249,7 @@ func (a *App) Finish(r *store.Replica, t string) *store.Txn {
 
 // DoMatch records a match between players p and q in tournament t.
 // Preconditions: both players enrolled, tournament active or finished.
-func (a *App) DoMatch(r *store.Replica, p, q, t string) *store.Txn {
+func (a *App) DoMatch(r runtime.Replica, p, q, t string) *store.Txn {
 	tx := r.Begin()
 	enrolled := store.AWSetAt(tx, KeyEnrolled)
 	stateOK := store.RWSetAt(tx, KeyActive).Contains(t) || store.AWSetAt(tx, KeyFinished).Contains(t)
@@ -261,7 +268,7 @@ func (a *App) DoMatch(r *store.Replica, p, q, t string) *store.Txn {
 
 // Roster returns the players currently enrolled in tournament t at
 // replica r.
-func (a *App) Roster(r *store.Replica, t string) []string {
+func (a *App) Roster(r runtime.Replica, t string) []string {
 	tx := r.Begin()
 	defer tx.Commit()
 	pairs := store.AWSetAt(tx, KeyEnrolled).ElemsWhere(crdt.Match{Index: 1, Value: t})
@@ -281,7 +288,7 @@ type Status struct {
 }
 
 // ReadStatus returns the tournament's current state at replica r.
-func (a *App) ReadStatus(r *store.Replica, t string) (Status, *store.Txn) {
+func (a *App) ReadStatus(r runtime.Replica, t string) (Status, *store.Txn) {
 	tx := r.Begin()
 	st := Status{
 		Exists:   store.AWSetAt(tx, KeyTournaments).Contains(t),
@@ -296,7 +303,7 @@ func (a *App) ReadStatus(r *store.Replica, t string) (Status, *store.Txn) {
 // Violations counts invariant violations in replica r's current state —
 // the oracle the evaluation uses to show Causal breaking invariants while
 // IPA preserves them.
-func (a *App) Violations(r *store.Replica, capacity int) []string {
+func (a *App) Violations(r runtime.Replica, capacity int) []string {
 	tx := r.Begin()
 	defer tx.Commit()
 	players := store.AWSetAt(tx, KeyPlayers)

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"ipa/internal/crdt"
+	"ipa/internal/runtime"
 	"ipa/internal/store"
 )
 
@@ -36,7 +37,7 @@ type OrderLine struct {
 }
 
 // AddCustomer registers a customer with an initial balance.
-func (a *App) AddCustomer(r *store.Replica, customer string, balance int64) *store.Txn {
+func (a *App) AddCustomer(r runtime.Replica, customer string, balance int64) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyCustomers).Add(customer, "")
 	store.CounterAt(tx, balanceKey(customer)).Add(balance)
@@ -47,7 +48,7 @@ func (a *App) AddCustomer(r *store.Replica, customer string, balance int64) *sto
 // NewOrder places a multi-line order atomically: order lines, per-item
 // stock decrements, and (IPA) product touches all commit in one
 // transaction and integrate atomically at every replica.
-func (a *App) NewOrder(r *store.Replica, customer, order string, lines []OrderLine) *store.Txn {
+func (a *App) NewOrder(r runtime.Replica, customer, order string, lines []OrderLine) *store.Txn {
 	tx := r.Begin()
 	olSet := store.AWSetAt(tx, orderKey(order))
 	for _, l := range lines {
@@ -64,7 +65,7 @@ func (a *App) NewOrder(r *store.Replica, customer, order string, lines []OrderLi
 }
 
 // OrderLines reads back an order's lines at replica r.
-func (a *App) OrderLines(r *store.Replica, order string) []OrderLine {
+func (a *App) OrderLines(r runtime.Replica, order string) []OrderLine {
 	tx := r.Begin()
 	defer tx.Commit()
 	var out []OrderLine
@@ -78,7 +79,7 @@ func (a *App) OrderLines(r *store.Replica, order string) []OrderLine {
 }
 
 // Payment debits the customer's balance.
-func (a *App) Payment(r *store.Replica, customer string, amount int64) *store.Txn {
+func (a *App) Payment(r runtime.Replica, customer string, amount int64) *store.Txn {
 	tx := r.Begin()
 	store.CounterAt(tx, balanceKey(customer)).Add(-amount)
 	tx.Commit()
@@ -86,7 +87,7 @@ func (a *App) Payment(r *store.Replica, customer string, amount int64) *store.Tx
 }
 
 // Balance reads the customer's balance at replica r.
-func (a *App) Balance(r *store.Replica, customer string) int64 {
+func (a *App) Balance(r runtime.Replica, customer string) int64 {
 	tx := r.Begin()
 	defer tx.Commit()
 	return store.CounterAt(tx, balanceKey(customer)).Value()
@@ -94,7 +95,7 @@ func (a *App) Balance(r *store.Replica, customer string) int64 {
 
 // Deliver marks the order delivered. Status is a last-writer-wins
 // register: concurrent deliveries converge to one value everywhere.
-func (a *App) Deliver(r *store.Replica, order string) *store.Txn {
+func (a *App) Deliver(r runtime.Replica, order string) *store.Txn {
 	tx := r.Begin()
 	store.RegisterAt(tx, statusKey(order)).Set("delivered")
 	tx.Commit()
@@ -102,7 +103,7 @@ func (a *App) Deliver(r *store.Replica, order string) *store.Txn {
 }
 
 // OrderStatus reads an order's status at replica r.
-func (a *App) OrderStatus(r *store.Replica, order string) string {
+func (a *App) OrderStatus(r runtime.Replica, order string) string {
 	tx := r.Begin()
 	defer tx.Commit()
 	v, _ := store.RegisterAt(tx, statusKey(order)).Value()
@@ -112,7 +113,7 @@ func (a *App) OrderStatus(r *store.Replica, order string) string {
 // OrderConsistent checks the atomicity guarantee at one replica: either
 // the order is entirely visible (entry, lines, status) or entirely
 // absent. Returns an error description when a partial order is visible.
-func (a *App) OrderConsistent(r *store.Replica, order string, wantLines int) (bool, string) {
+func (a *App) OrderConsistent(r runtime.Replica, order string, wantLines int) (bool, string) {
 	tx := r.Begin()
 	defer tx.Commit()
 	entries := len(store.AWSetAt(tx, KeyOrders).ElemsWhere(crdt.Match{Index: 0, Value: order}))

@@ -20,6 +20,7 @@ import (
 	"strconv"
 
 	"ipa/internal/crdt"
+	"ipa/internal/runtime"
 	"ipa/internal/spec"
 	"ipa/internal/store"
 )
@@ -96,7 +97,7 @@ func New(variant Variant) *App { return &App{variant: variant} }
 func (a *App) Variant() Variant { return a.variant }
 
 // AddProduct lists an item with initial stock.
-func (a *App) AddProduct(r *store.Replica, item string, stock int64) *store.Txn {
+func (a *App) AddProduct(r runtime.Replica, item string, stock int64) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyProducts).Add(item, "")
 	store.CounterAt(tx, stockKey(item)).Add(stock)
@@ -105,7 +106,7 @@ func (a *App) AddProduct(r *store.Replica, item string, stock int64) *store.Txn 
 }
 
 // RemProduct delists an item.
-func (a *App) RemProduct(r *store.Replica, item string) *store.Txn {
+func (a *App) RemProduct(r runtime.Replica, item string) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyProducts).Remove(item)
 	tx.Commit()
@@ -114,7 +115,7 @@ func (a *App) RemProduct(r *store.Replica, item string) *store.Txn {
 
 // Purchase records an order for one unit of item. The IPA variant touches
 // the product so a concurrent delisting cannot strand the order.
-func (a *App) Purchase(r *store.Replica, order, item string) *store.Txn {
+func (a *App) Purchase(r runtime.Replica, order, item string) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyOrders).Add(crdt.JoinTuple(order, item), "")
 	store.CounterAt(tx, stockKey(item)).Add(-1)
@@ -127,7 +128,7 @@ func (a *App) Purchase(r *store.Replica, order, item string) *store.Txn {
 
 // Stock returns the effective stock of item at replica r: the raw counter
 // plus the replicated restock ledger.
-func (a *App) Stock(r *store.Replica, item string) int64 {
+func (a *App) Stock(r runtime.Replica, item string) int64 {
 	tx := r.Begin()
 	defer tx.Commit()
 	return a.stockIn(tx, item)
@@ -143,7 +144,7 @@ func (a *App) stockIn(tx *store.Txn, item string) int64 {
 // stock >= 0 triggers the restock compensation: an idempotent ledger
 // entry keyed by the restock epoch, so replicas that observe the same
 // deficit add the same entry and the stock is replenished exactly once.
-func (a *App) ReadStock(r *store.Replica, item string) (int64, *store.Txn) {
+func (a *App) ReadStock(r runtime.Replica, item string) (int64, *store.Txn) {
 	tx := r.Begin()
 	stock := a.stockIn(tx, item)
 	if a.variant == IPA && stock < 0 {
@@ -161,7 +162,7 @@ func (a *App) ReadStock(r *store.Replica, item string) (int64, *store.Txn) {
 
 // Violations reports invariant violations at replica r: negative stock
 // and orders referencing delisted products.
-func (a *App) Violations(r *store.Replica, items []string) []string {
+func (a *App) Violations(r runtime.Replica, items []string) []string {
 	tx := r.Begin()
 	defer tx.Commit()
 	var out []string

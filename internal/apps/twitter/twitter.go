@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"ipa/internal/crdt"
+	"ipa/internal/runtime"
 	"ipa/internal/spec"
 	"ipa/internal/store"
 )
@@ -146,7 +147,7 @@ func (x rwAdapter) Contains(e string) bool { return x.RWSetRef.Contains(e) }
 func (x rwAdapter) Elems() []string        { return x.RWSetRef.Elems() }
 
 // AddUser registers a user.
-func (a *App) AddUser(r *store.Replica, u string) *store.Txn {
+func (a *App) AddUser(r runtime.Replica, u string) *store.Txn {
 	tx := r.Begin()
 	a.usersRef(tx).Add(u, "profile:"+u)
 	tx.Commit()
@@ -164,7 +165,7 @@ func (a *App) AddUser(r *store.Replica, u string) *store.Txn {
 //     it (the add-wins answer: content referenced by timelines is kept,
 //     and a concurrent tweet even revives the account). rem_user stays
 //     cheap; timelines never dangle on TWEETS, only the author link ages.
-func (a *App) RemUser(r *store.Replica, u string) *store.Txn {
+func (a *App) RemUser(r runtime.Replica, u string) *store.Txn {
 	tx := r.Begin()
 	users := a.usersRef(tx)
 	if a.strategy == RemWins {
@@ -202,7 +203,7 @@ func (a *App) timelineAdd(tx *store.Txn, user, id, author string) {
 // Tweet posts a new tweet and fans it out to the author's followers (and
 // the author's own timeline). Precondition: the author exists at the
 // origin.
-func (a *App) Tweet(r *store.Replica, author, id, text string) *store.Txn {
+func (a *App) Tweet(r runtime.Replica, author, id, text string) *store.Txn {
 	tx := r.Begin()
 	if a.usersRef(tx).Contains(author) {
 		store.AWSetAt(tx, KeyTweets).Add(tweetElem(id, author), text)
@@ -222,7 +223,7 @@ func (a *App) Tweet(r *store.Replica, author, id, text string) *store.Txn {
 // Preconditions: the retweeter and the tweet exist at the origin. Under
 // AddWins the original tweet and its author are restored if removed
 // concurrently (paper: "recover the deleted tweet").
-func (a *App) Retweet(r *store.Replica, user, id, origAuthor string) *store.Txn {
+func (a *App) Retweet(r runtime.Replica, user, id, origAuthor string) *store.Txn {
 	tx := r.Begin()
 	if a.usersRef(tx).Contains(user) && store.AWSetAt(tx, KeyTweets).Contains(tweetElem(id, origAuthor)) {
 		a.timelineAdd(tx, user, id, origAuthor)
@@ -241,7 +242,7 @@ func (a *App) Retweet(r *store.Replica, user, id, origAuthor string) *store.Txn 
 
 // DelTweet deletes a tweet. Under RemWins the dangling timeline entries
 // are hidden lazily by ReadTimeline's compensation.
-func (a *App) DelTweet(r *store.Replica, id, author string) *store.Txn {
+func (a *App) DelTweet(r runtime.Replica, id, author string) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyTweets).Remove(tweetElem(id, author))
 	tx.Commit()
@@ -249,7 +250,7 @@ func (a *App) DelTweet(r *store.Replica, id, author string) *store.Txn {
 }
 
 // Follow subscribes follower to followee's tweets.
-func (a *App) Follow(r *store.Replica, follower, followee string) *store.Txn {
+func (a *App) Follow(r runtime.Replica, follower, followee string) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyFollows).Add(crdt.JoinTuple(follower, followee), "")
 	if a.strategy == AddWins {
@@ -261,7 +262,7 @@ func (a *App) Follow(r *store.Replica, follower, followee string) *store.Txn {
 }
 
 // Unfollow removes the subscription.
-func (a *App) Unfollow(r *store.Replica, follower, followee string) *store.Txn {
+func (a *App) Unfollow(r runtime.Replica, follower, followee string) *store.Txn {
 	tx := r.Begin()
 	store.AWSetAt(tx, KeyFollows).Remove(crdt.JoinTuple(follower, followee))
 	tx.Commit()
@@ -273,7 +274,7 @@ func (a *App) Unfollow(r *store.Replica, follower, followee string) *store.Txn {
 // are compensated away: hidden from the result and removed from the
 // timeline in the same transaction (paper §5.2.3 — the read-side cost of
 // the rem-wins strategy).
-func (a *App) ReadTimeline(r *store.Replica, user string) ([]string, *store.Txn) {
+func (a *App) ReadTimeline(r runtime.Replica, user string) ([]string, *store.Txn) {
 	tx := r.Begin()
 	var visible []string
 	tweets := store.AWSetAt(tx, KeyTweets)
@@ -305,7 +306,7 @@ func (a *App) ReadTimeline(r *store.Replica, user string) ([]string, *store.Txn)
 // Under RemWins, entries that a timeline read would compensate away are
 // not counted as violations for the *visible* state; the raw flag selects
 // the uncompensated view.
-func (a *App) Violations(r *store.Replica, raw bool) []string {
+func (a *App) Violations(r runtime.Replica, raw bool) []string {
 	tx := r.Begin()
 	defer tx.Commit()
 	tweets := store.AWSetAt(tx, KeyTweets)

@@ -10,6 +10,7 @@ import (
 	"ipa/internal/clock"
 	"ipa/internal/crdt"
 	"ipa/internal/indigo"
+	"ipa/internal/runtime"
 	"ipa/internal/spec"
 	"ipa/internal/store"
 	"ipa/internal/wan"
@@ -50,7 +51,7 @@ func AblationNumeric(opts ExpOptions) *Experiment {
 		}
 		app := ticket.New(variant, capacity)
 		w := NewTicketWorkload(app, events)
-		w.Seed(cluster)
+		w.Seed(runtime.NewSimCluster(cluster))
 		sim.Run()
 
 		var esc *indigo.Escrow
@@ -77,16 +78,16 @@ func AblationNumeric(opts ExpOptions) *Experiment {
 						// The refusal is still an operation the client
 						// observes: a cheap local round.
 						return OpSpec{Label: "Buy", ExtraDelay: delay,
-							Exec: func(r *store.Replica) *store.Txn { return nil }}
+							Exec: func(r runtime.Replica) *store.Txn { return nil }}
 					}
 					return OpSpec{Label: "Buy", IsWrite: true, ExtraDelay: delay,
-						Exec: func(r *store.Replica) *store.Txn {
+						Exec: func(r runtime.Replica) *store.Txn {
 							_, tx := app.Buy(r, buyer, ev)
 							return tx
 						}}
 				}
 				return OpSpec{Label: "View", Reads: 1,
-					Exec: func(r *store.Replica) *store.Txn {
+					Exec: func(r runtime.Replica) *store.Txn {
 						_, tx := app.View(r, ev)
 						return tx
 					}}

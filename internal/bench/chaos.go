@@ -61,6 +61,12 @@ func Chaos(opts ExpOptions) (*Experiment, error) {
 			s.Points = append(s.Points, Point{X: float64(replicas), Y: rate})
 		}
 		e.Series = append(e.Series, s)
+		if e.Perf == nil {
+			e.Perf = map[string]Perf{}
+		}
+		if len(s.Points) > 0 {
+			e.Perf[app] = Perf{OpsPerSec: s.Points[0].Y}
+		}
 	}
 	e.Notes = append(e.Notes,
 		fmt.Sprintf("%d schedules per point (default shape: 60 ops + 6 faults over a 3s virtual horizon,", count),

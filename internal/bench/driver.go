@@ -5,6 +5,7 @@ import (
 
 	"ipa/internal/clock"
 	"ipa/internal/indigo"
+	"ipa/internal/runtime"
 	"ipa/internal/store"
 	"ipa/internal/wan"
 )
@@ -22,7 +23,7 @@ type OpSpec struct {
 	// Exec applies the operation at the executing replica and returns the
 	// transaction (for written-keys/updates accounting). It may be nil
 	// for no-ops.
-	Exec func(r *store.Replica) *store.Txn
+	Exec func(r runtime.Replica) *store.Txn
 	// Reservation is the Indigo reservation the op requires, if NeedsRes.
 	Reservation string
 	ResMode     indigo.Mode

@@ -7,6 +7,7 @@ import (
 	"ipa/internal/apps/twitter"
 	"ipa/internal/clock"
 	"ipa/internal/indigo"
+	"ipa/internal/runtime"
 	"ipa/internal/store"
 	"ipa/internal/wan"
 )
@@ -15,7 +16,7 @@ import (
 func constWorkload(label string) Workload {
 	return func(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 		return OpSpec{Label: label, IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn {
+			Exec: func(r runtime.Replica) *store.Txn {
 				tx := r.Begin()
 				store.AWSetAt(tx, "k").Add("x", "")
 				tx.Commit()
@@ -88,7 +89,7 @@ func TestDriverStrongReadStaysLocal(t *testing.T) {
 	d := NewDriver(sim, cluster, lat, Strong)
 	read := func(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 		return OpSpec{Label: "r", Reads: 1,
-			Exec: func(r *store.Replica) *store.Txn {
+			Exec: func(r runtime.Replica) *store.Txn {
 				tx := r.Begin()
 				tx.Commit()
 				return tx
@@ -123,7 +124,7 @@ func TestFig6WorkloadPreservesInvariants(t *testing.T) {
 	sim, cluster, lat := NewPaperCluster(QuickExpOptions().Seed + 77)
 	appRW := twitter.New(twitter.RemWins)
 	w := NewTwitterWorkload(appRW)
-	w.Seed(cluster, rand.New(rand.NewSource(1)))
+	w.Seed(runtime.NewSimCluster(cluster), rand.New(rand.NewSource(1)))
 	sim.Run()
 	d := NewDriver(sim, cluster, lat, Causal)
 	d.Run(w.Next, 4, 3*wan.Second)

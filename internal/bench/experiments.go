@@ -10,6 +10,7 @@ import (
 	"ipa/internal/apps/tournament"
 	"ipa/internal/apps/tpcw"
 	"ipa/internal/apps/twitter"
+	"ipa/internal/runtime"
 	"ipa/internal/spec"
 	"ipa/internal/wan"
 )
@@ -62,7 +63,7 @@ func runTournament(cfg Config, clients int, opts ExpOptions) *Driver {
 	sim, cluster, lat := NewPaperCluster(opts.Seed + int64(cfg)*1000 + int64(clients))
 	app := tournament.New(tournamentVariant(cfg))
 	w := NewTournamentWorkload(app)
-	w.Seed(cluster)
+	w.Seed(runtime.NewSimCluster(cluster))
 	sim.Run() // replicate the seed data before measuring
 
 	d := NewDriver(sim, cluster, lat, cfg)
@@ -147,7 +148,7 @@ func Fig6(opts ExpOptions) *Experiment {
 		sim, cluster, lat := NewPaperCluster(opts.Seed + int64(strat)*77)
 		app := twitter.New(strat)
 		w := NewTwitterWorkload(app)
-		w.Seed(cluster, rand.New(rand.NewSource(opts.Seed)))
+		w.Seed(runtime.NewSimCluster(cluster), rand.New(rand.NewSource(opts.Seed)))
 		sim.Run()
 
 		d := NewDriver(sim, cluster, lat, Causal) // strategies all run on causal
@@ -197,7 +198,7 @@ func Fig7(opts ExpOptions) *Experiment {
 			sim, cluster, lat := NewPaperCluster(opts.Seed + int64(cfg)*333 + int64(clients))
 			app := ticket.New(variant, capacity)
 			w := NewTicketWorkload(app, events)
-			w.Seed(cluster)
+			w.Seed(runtime.NewSimCluster(cluster))
 			sim.Run()
 
 			d := NewDriver(sim, cluster, lat, Causal) // both run on causal consistency

@@ -192,6 +192,12 @@ func Transport(opts ExpOptions) (*Experiment, error) {
 			})
 		}
 		e.Series = append(e.Series, s)
+		if e.Perf == nil {
+			e.Perf = map[string]Perf{}
+		}
+		if len(s.Points) > 0 {
+			e.Perf[name] = Perf{OpsPerSec: s.Points[0].Y}
+		}
 	}
 	for i, ring := range rings {
 		leg := e.Series[0].Points[i].Y

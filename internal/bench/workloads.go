@@ -9,6 +9,7 @@ import (
 	"ipa/internal/apps/twitter"
 	"ipa/internal/clock"
 	"ipa/internal/indigo"
+	"ipa/internal/runtime"
 	"ipa/internal/store"
 	"ipa/internal/wan"
 )
@@ -40,7 +41,7 @@ func NewTournamentWorkload(app *tournament.App) *TournamentWorkload {
 // Seed populates the pool at the first replica (replicates to the rest):
 // players, tournaments, two seed enrolments per tournament, and an active
 // state, so matches are playable from the start.
-func (w *TournamentWorkload) Seed(c *store.Cluster) {
+func (w *TournamentWorkload) Seed(c runtime.Cluster) {
 	first := c.Replica(c.Replicas()[0])
 	for i := 0; i < w.Players; i++ {
 		w.App.AddPlayer(first, w.player(i))
@@ -76,7 +77,7 @@ func (w *TournamentWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 	case x < 0.15:
 		w.rosters[t] = append(w.rosters[t], p)
 		return OpSpec{Label: "Enroll", IsWrite: true,
-			Exec:        func(r *store.Replica) *store.Txn { return app.Enroll(r, p, t) },
+			Exec:        func(r runtime.Replica) *store.Txn { return app.Enroll(r, p, t) },
 			Reservation: "tourn/" + t, ResMode: indigo.Shared, NeedsRes: true}
 	case x < 0.22:
 		roster := w.rosters[t]
@@ -85,7 +86,7 @@ func (w *TournamentWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 			w.rosters[t] = removeOne(roster, p)
 		}
 		return OpSpec{Label: "Disenroll", IsWrite: true,
-			Exec:        func(r *store.Replica) *store.Txn { return app.Disenroll(r, p, t) },
+			Exec:        func(r runtime.Replica) *store.Txn { return app.Disenroll(r, p, t) },
 			Reservation: "tourn/" + t, ResMode: indigo.Shared, NeedsRes: true}
 	case x < 0.31:
 		// Pick two distinct enrolled players of an active tournament.
@@ -94,7 +95,7 @@ func (w *TournamentWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 			// Fall back to enrolling, keeping the write ratio.
 			w.rosters[t] = append(w.rosters[t], p)
 			return OpSpec{Label: "Enroll", IsWrite: true,
-				Exec:        func(r *store.Replica) *store.Txn { return app.Enroll(r, p, t) },
+				Exec:        func(r runtime.Replica) *store.Txn { return app.Enroll(r, p, t) },
 				Reservation: "tourn/" + t, ResMode: indigo.Shared, NeedsRes: true}
 		}
 		i := rng.Intn(len(roster))
@@ -104,16 +105,16 @@ func (w *TournamentWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 		}
 		pa, pb := roster[i], roster[j]
 		return OpSpec{Label: "DoMatch", IsWrite: true,
-			Exec:        func(r *store.Replica) *store.Txn { return app.DoMatch(r, pa, pb, t) },
+			Exec:        func(r runtime.Replica) *store.Txn { return app.DoMatch(r, pa, pb, t) },
 			Reservation: "tourn/" + t, ResMode: indigo.Shared, NeedsRes: true}
 	case x < 0.325:
 		w.began[t] = true
 		return OpSpec{Label: "Begin", IsWrite: true,
-			Exec:        func(r *store.Replica) *store.Txn { return app.Begin(r, t) },
+			Exec:        func(r runtime.Replica) *store.Txn { return app.Begin(r, t) },
 			Reservation: "state/" + t, ResMode: indigo.Exclusive, NeedsRes: true}
 	case x < 0.34:
 		return OpSpec{Label: "Finish", IsWrite: true,
-			Exec:        func(r *store.Replica) *store.Txn { return app.Finish(r, t) },
+			Exec:        func(r runtime.Replica) *store.Txn { return app.Finish(r, t) },
 			Reservation: "state/" + t, ResMode: indigo.Exclusive, NeedsRes: true}
 	case x < 0.35:
 		// Removal targets an emptied tournament; the slot is immediately
@@ -122,7 +123,7 @@ func (w *TournamentWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 		w.rosters[victim] = nil
 		w.began[victim] = false
 		return OpSpec{Label: "Remove", IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn {
+			Exec: func(r runtime.Replica) *store.Txn {
 				for _, enrolled := range app.Roster(r, victim) {
 					app.Disenroll(r, enrolled, victim)
 				}
@@ -133,7 +134,7 @@ func (w *TournamentWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 			Reservation: "tourn/" + t, ResMode: indigo.Exclusive, NeedsRes: true}
 	default:
 		return OpSpec{Label: "Status", Reads: 4,
-			Exec: func(r *store.Replica) *store.Txn {
+			Exec: func(r runtime.Replica) *store.Txn {
 				_, tx := app.ReadStatus(r, t)
 				return tx
 			}}
@@ -176,7 +177,7 @@ func NewTwitterWorkload(app *twitter.App) *TwitterWorkload {
 func (w *TwitterWorkload) user(i int) string { return fmt.Sprintf("user-%03d", i) }
 
 // Seed creates users and a follower graph (each user follows ~5 others).
-func (w *TwitterWorkload) Seed(c *store.Cluster, rng *rand.Rand) {
+func (w *TwitterWorkload) Seed(c runtime.Cluster, rng *rand.Rand) {
 	first := c.Replica(c.Replicas()[0])
 	for i := 0; i < w.Users; i++ {
 		w.App.AddUser(first, w.user(i))
@@ -225,37 +226,37 @@ func (w *TwitterWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 		id := w.newTweetID()
 		w.tweeted = append(w.tweeted, id+"\x00"+u)
 		return OpSpec{Label: "Tweet", Reads: 1, IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn { return app.Tweet(r, u, id, "hello world") }}
+			Exec: func(r runtime.Replica) *store.Txn { return app.Tweet(r, u, id, "hello world") }}
 	case x < 0.25:
 		id, author, ok := w.randTweet(rng)
 		if !ok {
 			break
 		}
 		return OpSpec{Label: "Retweet", Reads: 1, IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn { return app.Retweet(r, u, id, author) }}
+			Exec: func(r runtime.Replica) *store.Txn { return app.Retweet(r, u, id, author) }}
 	case x < 0.30:
 		id, author, ok := w.randTweet(rng)
 		if !ok {
 			break
 		}
 		return OpSpec{Label: "Del. Tweet", IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn { return app.DelTweet(r, id, author) }}
+			Exec: func(r runtime.Replica) *store.Txn { return app.DelTweet(r, id, author) }}
 	case x < 0.35:
 		return OpSpec{Label: "Follow", IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn { return app.Follow(r, u, v) }}
+			Exec: func(r runtime.Replica) *store.Txn { return app.Follow(r, u, v) }}
 	case x < 0.40:
 		return OpSpec{Label: "Unfollow", IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn { return app.Unfollow(r, u, v) }}
+			Exec: func(r runtime.Replica) *store.Txn { return app.Unfollow(r, u, v) }}
 	case x < 0.42:
 		fresh := fmt.Sprintf("user-new-%06d", rng.Int63n(1e6))
 		return OpSpec{Label: "Add user", IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn { return app.AddUser(r, fresh) }}
+			Exec: func(r runtime.Replica) *store.Txn { return app.AddUser(r, fresh) }}
 	case x < 0.45:
 		return OpSpec{Label: "Rem user", Reads: 1, IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn { return app.RemUser(r, u) }}
+			Exec: func(r runtime.Replica) *store.Txn { return app.RemUser(r, u) }}
 	}
 	return OpSpec{Label: "Timeline", Reads: 3,
-		Exec: func(r *store.Replica) *store.Txn {
+		Exec: func(r runtime.Replica) *store.Txn {
 			_, tx := app.ReadTimeline(r, u)
 			return tx
 		}}
@@ -288,7 +289,7 @@ func (w *TicketWorkload) EventNames() []string {
 }
 
 // Seed creates the events at every replica.
-func (w *TicketWorkload) Seed(c *store.Cluster) {
+func (w *TicketWorkload) Seed(c runtime.Cluster) {
 	w.App.Setup(c, w.EventNames())
 }
 
@@ -299,13 +300,13 @@ func (w *TicketWorkload) Next(rng *rand.Rand, site clock.ReplicaID) OpSpec {
 	buyer := fmt.Sprintf("buyer-%s", site)
 	if rng.Float64() < w.BuyFraction {
 		return OpSpec{Label: "Buy", IsWrite: true,
-			Exec: func(r *store.Replica) *store.Txn {
+			Exec: func(r runtime.Replica) *store.Txn {
 				_, tx := app.Buy(r, buyer, e)
 				return tx
 			}}
 	}
 	return OpSpec{Label: "View", Reads: 1,
-		Exec: func(r *store.Replica) *store.Txn {
+		Exec: func(r runtime.Replica) *store.Txn {
 			_, tx := app.View(r, e)
 			return tx
 		}}

@@ -8,6 +8,7 @@ import (
 
 	"ipa/internal/clock"
 	"ipa/internal/indigo"
+	"ipa/internal/runtime"
 	"ipa/internal/store"
 	"ipa/internal/wan"
 )
@@ -72,15 +73,27 @@ func newApp(cfg Config) (App, error) {
 // Apps lists the chaos-drivable application names.
 func Apps() []string { return []string{"tournament", "ticket", "twitter", "tpcw", "escrow"} }
 
-// Ctx is the execution context of one schedule: the simulation, the
-// cluster, and the live fault state.
+// PortableApps lists the applications that run on every backend (escrow
+// is coupled to the simulated latency model and stays sim-only).
+func PortableApps() []string { return []string{"tournament", "ticket", "twitter", "tpcw"} }
+
+// NewChaosApp builds the chaos adapter for cfg. Exported for callers that
+// drive App adapters outside the engine, such as the bench serving
+// benchmark.
+func NewChaosApp(cfg Config) (App, error) { return newApp(cfg) }
+
+// Ctx is the execution context of one schedule: the backend cluster and
+// the live fault state. On the sim backend Sim and Lat expose the
+// discrete-event machinery; on the netrepl backend both are nil and the
+// cluster runs on real sockets and wall-clock time.
 type Ctx struct {
-	Cfg     Config
+	Cfg Config
+	// Sim and Lat are set on the sim backend only.
 	Sim     *wan.Sim
 	Lat     *wan.Latency
-	Cluster *store.Cluster
+	Cluster runtime.Cluster
 	Sites   []clock.ReplicaID
-	// Esc is the escrow manager (escrow scenario only).
+	// Esc is the escrow manager (escrow scenario, sim backend only).
 	Esc *indigo.Escrow
 
 	paused []int              // pause depth per site (faults may overlap)
@@ -89,14 +102,24 @@ type Ctx struct {
 	delay  map[[2]int]float64 // delay factor product per link
 }
 
-// newCtx builds the simulated deployment for a schedule. The first three
-// sites use the paper's topology; larger clusters add sites on the
-// default inter-DC latency.
-func newCtx(s *Schedule) *Ctx {
-	rng := rand.New(rand.NewSource(int64(s.Seed) ^ 0x5DEECE66D))
-	sim := wan.NewSimFromRand(rng)
-	lat := wan.PaperTopology()
-	sites := make([]clock.ReplicaID, s.Cfg.Replicas)
+// NewCtx builds an execution context over an existing backend cluster,
+// with no live faults. Exported for callers outside the engine (the bench
+// serving benchmark) that drive App adapters directly.
+func NewCtx(cfg Config, cluster runtime.Cluster, sites []clock.ReplicaID) *Ctx {
+	return &Ctx{
+		Cfg:     cfg,
+		Cluster: cluster,
+		Sites:   sites,
+		paused:  make([]int, len(sites)),
+		part:    map[[2]int]int{},
+		delay:   map[[2]int]float64{},
+	}
+}
+
+// siteIDs names the replica sites: the first three use the paper's
+// topology; larger clusters add generic names.
+func siteIDs(replicas int) []clock.ReplicaID {
+	sites := make([]clock.ReplicaID, replicas)
 	for i := range sites {
 		if i < 3 {
 			sites[i] = clock.ReplicaID(wan.Sites()[i])
@@ -104,16 +127,18 @@ func newCtx(s *Schedule) *Ctx {
 			sites[i] = clock.ReplicaID(fmt.Sprintf("site-%d", i))
 		}
 	}
-	ctx := &Ctx{
-		Cfg:     s.Cfg,
-		Sim:     sim,
-		Lat:     lat,
-		Cluster: store.NewCluster(sim, lat, sites),
-		Sites:   sites,
-		paused:  make([]int, s.Cfg.Replicas),
-		part:    map[[2]int]int{},
-		delay:   map[[2]int]float64{},
-	}
+	return sites
+}
+
+// newCtx builds the simulated deployment for a schedule.
+func newCtx(s *Schedule) *Ctx {
+	rng := rand.New(rand.NewSource(int64(s.Seed) ^ 0x5DEECE66D))
+	sim := wan.NewSimFromRand(rng)
+	lat := wan.PaperTopology()
+	sites := siteIDs(s.Cfg.Replicas)
+	ctx := NewCtx(s.Cfg, runtime.NewSimCluster(store.NewCluster(sim, lat, sites)), sites)
+	ctx.Sim = sim
+	ctx.Lat = lat
 	if s.Cfg.App == "escrow" {
 		ctx.Esc = indigo.NewEscrow(lat, sites)
 		ctx.Esc.Partitioned = func(a, b clock.ReplicaID) bool {
@@ -123,8 +148,15 @@ func newCtx(s *Schedule) *Ctx {
 	return ctx
 }
 
-// Replica returns the store replica of a site index.
-func (c *Ctx) Replica(site int) *store.Replica { return c.Cluster.Replica(c.Sites[site]) }
+// Replica returns the backend replica of a site index.
+func (c *Ctx) Replica(site int) runtime.Replica { return c.Cluster.Replica(c.Sites[site]) }
+
+// faults returns the cluster's fault-injection surface, nil when the
+// backend does not support one.
+func (c *Ctx) faults() runtime.Faults {
+	f, _ := c.Cluster.(runtime.Faults)
+	return f
+}
 
 // Paused reports whether a site is currently paused.
 func (c *Ctx) Paused(site int) bool { return c.paused[site] > 0 }
@@ -152,16 +184,24 @@ func (c *Ctx) partitionedIDs(a, b clock.ReplicaID) bool {
 	return c.part[link(ai, bi)] > 0
 }
 
-// inject applies one fault window's start.
+// inject applies one fault window's start. Delay faults are a latency
+// model property and exist on the sim backend only; other backends treat
+// them as no-ops (the schedule stays valid, the spike just has no dial to
+// turn on real sockets).
 func (c *Ctx) inject(f Fault) {
 	switch f.Kind {
 	case FaultPartition:
 		k := link(f.A, f.B)
 		c.part[k]++
 		if c.part[k] == 1 {
-			c.Cluster.SetPartitioned(c.Sites[f.A], c.Sites[f.B], true)
+			if fl := c.faults(); fl != nil {
+				fl.SetPartitioned(c.Sites[f.A], c.Sites[f.B], true)
+			}
 		}
 	case FaultDelay:
+		if c.Lat == nil {
+			return
+		}
 		k := link(f.A, f.B)
 		if c.delay[k] == 0 {
 			c.delay[k] = 1
@@ -171,7 +211,9 @@ func (c *Ctx) inject(f Fault) {
 	case FaultPause:
 		c.paused[f.A]++
 		if c.paused[f.A] == 1 {
-			c.Cluster.SetPaused(c.Sites[f.A], true)
+			if fl := c.faults(); fl != nil {
+				fl.SetPaused(c.Sites[f.A], true)
+			}
 		}
 	case FaultStall:
 		c.stalls++
@@ -185,9 +227,14 @@ func (c *Ctx) heal(f Fault) {
 		k := link(f.A, f.B)
 		c.part[k]--
 		if c.part[k] == 0 {
-			c.Cluster.SetPartitioned(c.Sites[f.A], c.Sites[f.B], false)
+			if fl := c.faults(); fl != nil {
+				fl.SetPartitioned(c.Sites[f.A], c.Sites[f.B], false)
+			}
 		}
 	case FaultDelay:
+		if c.Lat == nil {
+			return
+		}
 		k := link(f.A, f.B)
 		c.delay[k] /= f.Factor
 		factor := c.delay[k]
@@ -199,7 +246,9 @@ func (c *Ctx) heal(f Fault) {
 	case FaultPause:
 		c.paused[f.A]--
 		if c.paused[f.A] == 0 {
-			c.Cluster.SetPaused(c.Sites[f.A], false)
+			if fl := c.faults(); fl != nil {
+				fl.SetPaused(c.Sites[f.A], false)
+			}
 		}
 	case FaultStall:
 		c.stalls--
@@ -210,19 +259,22 @@ func (c *Ctx) heal(f Fault) {
 // sorted order — healing flushes buffered messages, and a map-ordered
 // flush would make replays nondeterministic.
 func (c *Ctx) healAll() {
+	fl := c.faults()
 	for _, k := range sortedLinks(c.part) {
-		if c.part[k] > 0 {
-			c.Cluster.SetPartitioned(c.Sites[k[0]], c.Sites[k[1]], false)
+		if c.part[k] > 0 && fl != nil {
+			fl.SetPartitioned(c.Sites[k[0]], c.Sites[k[1]], false)
 		}
 		delete(c.part, k)
 	}
 	for _, k := range sortedLinks(c.delay) {
-		c.Lat.ClearScale(string(c.Sites[k[0]]), string(c.Sites[k[1]]))
+		if c.Lat != nil {
+			c.Lat.ClearScale(string(c.Sites[k[0]]), string(c.Sites[k[1]]))
+		}
 		delete(c.delay, k)
 	}
 	for i := range c.paused {
-		if c.paused[i] > 0 {
-			c.Cluster.SetPaused(c.Sites[i], false)
+		if c.paused[i] > 0 && fl != nil {
+			fl.SetPaused(c.Sites[i], false)
 		}
 		c.paused[i] = 0
 	}

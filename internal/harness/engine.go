@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"ipa/internal/runtime"
 	"ipa/internal/wan"
 )
 
@@ -48,11 +49,23 @@ func (v *Violation) Equal(o *Violation) bool {
 const midChecks = 16
 
 // Execute runs one schedule to completion and returns the first detected
-// violation, or nil for a clean pass. Execution is deterministic in the
+// violation, or nil for a clean pass.
+//
+// On the sim backend (the default) execution is deterministic in the
 // schedule alone: the simulation's PRNG is seeded from Schedule.Seed, so
 // the same schedule value always yields the same result — this is what
-// makes seed replay and shrinking sound.
+// makes seed replay and shrinking sound. On the netrepl backend the same
+// schedule drives real sockets and goroutines (see executeNet): workload
+// and fault windows replay exactly, thread interleavings do not.
 func Execute(s *Schedule) (*Violation, error) {
+	if s.Cfg.Backend == runtime.BackendNet {
+		return executeNet(s)
+	}
+	return executeSim(s)
+}
+
+// executeSim runs one schedule inside the discrete-event simulation.
+func executeSim(s *Schedule) (*Violation, error) {
 	app, err := newApp(s.Cfg)
 	if err != nil {
 		return nil, err
@@ -119,23 +132,42 @@ func Execute(s *Schedule) (*Violation, error) {
 	if found != nil {
 		return found, nil
 	}
+	return Quiesce(ctx, app)
+}
 
-	// Quiescence: heal every fault, drain all replication, run the
-	// compensating reads everywhere (twice — the first round's repairs
-	// replicate and may feed the second), then a final stability pass.
+// Quiesce drives a run's end-of-schedule protocol, shared by both
+// backend executors, the cross-backend equivalence runner, and the bench
+// serving benchmark: heal every live fault, drain replication (the sim
+// runs its event loop dry, netrepl waits for convergence), run the
+// applications' compensating reads everywhere (twice — the first round's
+// repairs replicate and may feed the second), take a stability pass,
+// then assert the application's invariants and cross-replica digest
+// convergence at every site. It returns the first violation, or nil for
+// a clean quiescent state.
+func Quiesce(ctx *Ctx, app App) (*Violation, error) {
 	ctx.healAll()
-	ctx.Sim.Run()
+	if err := ctx.Cluster.Settle(); err != nil {
+		return nil, err
+	}
 	for round := 0; round < 2; round++ {
 		for site := range ctx.Sites {
 			app.Repair(ctx, site)
 		}
-		ctx.Sim.Run()
+		if err := ctx.Cluster.Settle(); err != nil {
+			return nil, err
+		}
 	}
 	ctx.Cluster.Stabilize()
 
+	// Violations report virtual time on the sim backend; on netrepl the
+	// run's horizon is the only meaningful schedule-relative timestamp.
+	at := ctx.Cfg.Horizon
+	if ctx.Sim != nil {
+		at = ctx.Sim.Now()
+	}
 	for site := range ctx.Sites {
 		if msgs := app.FinalCheck(ctx, site); len(msgs) > 0 {
-			return &Violation{At: ctx.Sim.Now(), Phase: "quiescence",
+			return &Violation{At: at, Phase: "quiescence",
 				Site: string(ctx.Sites[site]), Check: "invariant", Msgs: msgs}, nil
 		}
 	}
@@ -144,7 +176,7 @@ func Execute(s *Schedule) (*Violation, error) {
 	base := app.Digest(ctx, 0)
 	for site := 1; site < len(ctx.Sites); site++ {
 		if d := app.Digest(ctx, site); d != base {
-			return &Violation{At: ctx.Sim.Now(), Phase: "quiescence",
+			return &Violation{At: at, Phase: "quiescence",
 				Site: "*", Check: "convergence",
 				Msgs: []string{fmt.Sprintf("replica %s diverged from %s:\n  %s\n  vs\n  %s",
 					ctx.Sites[site], ctx.Sites[0], d, base)}}, nil

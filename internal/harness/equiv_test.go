@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"testing"
+
+	"ipa/internal/runtime"
+)
+
+// TestCrossBackendEquivalence runs the same seeded, fault-free workload on
+// the sim and netrepl backends and requires bit-identical per-app digests
+// at quiescence: the sequential-settled discipline (see BackendDigest)
+// makes the digest a pure function of the op sequence, so any difference
+// is a divergence between the two substrates — wire encoding, delivery,
+// or CRDT application.
+func TestCrossBackendEquivalence(t *testing.T) {
+	ops := 40
+	if testing.Short() {
+		ops = 16
+	}
+	for _, app := range PortableApps() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			cfg := Defaults(app)
+			cfg.Ops = ops
+			const seed = 0xE9017A1E
+			simDigest, err := BackendDigest(cfg, seed, runtime.BackendSim)
+			if err != nil {
+				t.Fatalf("sim backend: %v", err)
+			}
+			netDigest, err := BackendDigest(cfg, seed, runtime.BackendNet)
+			if err != nil {
+				t.Fatalf("netrepl backend: %v", err)
+			}
+			if simDigest != netDigest {
+				t.Fatalf("backends diverge for %s:\n  sim:     %s\n  netrepl: %s", app, simDigest, netDigest)
+			}
+			if simDigest == "" {
+				t.Fatalf("empty digest for %s", app)
+			}
+		})
+	}
+}
+
+// TestNetBackendChaos runs full chaos schedules — faults included — on the
+// netrepl backend: partitions and pauses on real sockets, invariant checks
+// mid-flight, repair + convergence at quiescence. Runs are not
+// bit-deterministic, but every checked property must hold under any
+// interleaving.
+func TestNetBackendChaos(t *testing.T) {
+	schedules := 4
+	if testing.Short() {
+		schedules = 1
+	}
+	for _, app := range PortableApps() {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			cfg := Defaults(app)
+			cfg.Backend = runtime.BackendNet
+			cfg.Ops = 40
+			for i := 0; i < schedules; i++ {
+				s, err := Generate(cfg, ScheduleSeed(0xC4A05, i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				v, err := Execute(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != nil {
+					t.Fatalf("netrepl chaos schedule %d violates: %s", i, v)
+				}
+			}
+		})
+	}
+}
+
+// TestNetBackendRejectsEscrow pins the sim-only scenario's error.
+func TestNetBackendRejectsEscrow(t *testing.T) {
+	cfg := Defaults("escrow")
+	cfg.Backend = runtime.BackendNet
+	if _, err := cfg.Norm(); err == nil {
+		t.Fatal("escrow on netrepl backend should be rejected")
+	}
+}

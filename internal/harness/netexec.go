@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"sort"
+	"time"
+
+	"ipa/internal/netrepl"
+	"ipa/internal/runtime"
+	"ipa/internal/wan"
+)
+
+// netPace converts the schedule's virtual time into real time on the
+// netrepl backend: one virtual millisecond sleeps netPace of a real one.
+// The schedule's 3-second default horizon becomes ~60ms of wall clock —
+// long enough for replication, partitions, and retries to genuinely
+// interleave with the workload on real sockets, short enough to run
+// campaigns. Pacing shapes the run, it does not gate correctness: every
+// check below is valid in any causally consistent state.
+const netPace = 0.02
+
+// chaosNetConfig tunes the socket cluster for chaos runs: a low backoff
+// ceiling so partitioned senders re-probe quickly after heal, and a tight
+// flush interval so replication lands inside the compressed horizon.
+//
+// The outbound queue is sized to hold the whole schedule: the executor is
+// a single thread, so a commit that hit the backpressure wait during a
+// live partition would block the very loop that runs the heal event — the
+// queue must never fill. A schedule of N ops commits at most a few
+// transactions per op; 4N + slack bounds it with room to spare, and
+// memory stays proportional to the ops actually committed.
+func chaosNetConfig(ops int) runtime.NetConfig {
+	return runtime.NetConfig{
+		Transport: netrepl.Config{
+			FlushInterval: 200 * time.Microsecond,
+			BackoffMin:    time.Millisecond,
+			BackoffMax:    25 * time.Millisecond,
+			QueueCap:      4*ops + 1024,
+			// A violation returns with faults still live; keep the
+			// senders' post-Close flush window short so teardown does not
+			// stall against a still-blocked receiver.
+			DrainTimeout: 200 * time.Millisecond,
+		},
+	}
+}
+
+// netEvent is one timeline entry of a netrepl schedule execution.
+type netEvent struct {
+	at wan.Time
+	fn func()
+}
+
+// executeNet runs one schedule on the netrepl backend: the same workload
+// ops, fault windows, and check points as the simulator, executed in
+// virtual-time order against real TCP nodes with the gaps compressed by
+// netPace. Replication runs concurrently on the transport's goroutines,
+// so runs are not bit-reproducible — but every assertion the engine makes
+// (mid-flight invariants in causally consistent local states, quiescence
+// invariants after repair, cross-replica digest convergence) must hold
+// under any interleaving; that is exactly the paper's claim, now checked
+// against real sockets.
+func executeNet(s *Schedule) (*Violation, error) {
+	app, err := newApp(s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	sites := siteIDs(s.Cfg.Replicas)
+	cluster, err := runtime.NewNetCluster(sites, chaosNetConfig(s.Cfg.Ops))
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	ctx := NewCtx(s.Cfg, cluster, sites)
+
+	// Seed state and let it replicate everywhere before chaos starts.
+	app.Setup(ctx)
+	if err := cluster.Settle(); err != nil {
+		return nil, err
+	}
+
+	var found *Violation
+	report := func(v *Violation) {
+		if found == nil {
+			found = v
+		}
+	}
+
+	// Build the timeline: ops, fault injections and heals, and the
+	// periodic stability-run/mid-check points, exactly as the simulator
+	// schedules them. The stable sort preserves insertion order at equal
+	// instants, mirroring the sim's event heap.
+	var events []netEvent
+	for _, op := range s.Ops {
+		op := op
+		events = append(events, netEvent{at: op.At, fn: func() {
+			if found != nil || ctx.Paused(op.Site) {
+				return
+			}
+			app.Apply(ctx, op)
+		}})
+	}
+	for _, f := range s.Faults {
+		f := f
+		events = append(events, netEvent{at: f.At, fn: func() { ctx.inject(f) }})
+		events = append(events, netEvent{at: f.At + f.Dur, fn: func() { ctx.heal(f) }})
+	}
+	step := s.Cfg.Horizon / midChecks
+	if step <= 0 {
+		step = 1
+	}
+	for t := step; t <= s.Cfg.Horizon; t += step {
+		t := t
+		events = append(events, netEvent{at: t, fn: func() {
+			if found != nil {
+				return
+			}
+			if ctx.stalls == 0 {
+				cluster.Stabilize()
+			}
+			for site := range ctx.Sites {
+				if msgs := app.MidCheck(ctx, site); len(msgs) > 0 {
+					report(&Violation{At: t, Phase: "mid-flight",
+						Site: string(ctx.Sites[site]), Check: "invariant", Msgs: msgs})
+					return
+				}
+			}
+		}})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	// Heals scheduled past the horizon still run (the simulator's
+	// quiescence force-heals them; here they sort after the horizon's
+	// events and execute before healAll — same net effect).
+	prev := wan.Time(0)
+	for _, ev := range events {
+		if found != nil {
+			break
+		}
+		if dt := ev.at - prev; dt > 0 {
+			// wan.Time is microseconds; convert before scaling.
+			time.Sleep(time.Duration(float64(dt) * netPace * float64(time.Microsecond)))
+		}
+		prev = ev.at
+		ev.fn()
+	}
+	if found != nil {
+		return found, nil
+	}
+	return Quiesce(ctx, app)
+}

@@ -1,6 +1,10 @@
 package harness
 
-import "fmt"
+import (
+	"fmt"
+
+	"ipa/internal/runtime"
+)
 
 // Result summarizes one chaos campaign.
 type Result struct {
@@ -44,11 +48,17 @@ func Run(cfg Config, campaignSeed uint64, schedules int, progress func(i int, s 
 
 // RunWithShrink is Run with shrinking optional: on large schedules the
 // ddmin pass re-executes the failure O(n log n) times, which a caller
-// that only wants the fast fail signal can skip.
+// that only wants the fast fail signal can skip. On the netrepl backend
+// shrinking is disabled regardless: ddmin is only sound when a
+// schedule's outcome is a pure function of the schedule, and netrepl
+// runs are not bit-deterministic — Result.Shrunk stays nil there.
 func RunWithShrink(cfg Config, campaignSeed uint64, schedules int, shrink bool, progress func(i int, s *Schedule, v *Violation)) (*Result, error) {
 	cfg, err := cfg.Norm()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Backend == runtime.BackendNet {
+		shrink = false
 	}
 	res := &Result{FoundAt: -1}
 	for i := 0; i < schedules; i++ {

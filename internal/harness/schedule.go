@@ -27,7 +27,9 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 
+	"ipa/internal/runtime"
 	"ipa/internal/wan"
 )
 
@@ -56,11 +58,20 @@ type Config struct {
 	Faults int `json:"faults"`
 	// Horizon is the virtual-time window the workload and faults land in.
 	Horizon wan.Time `json:"horizon"`
+	// Backend selects the replication substrate: "sim" (the default — the
+	// deterministic discrete-event simulation, bit-identical replay) or
+	// "netrepl" (real TCP sockets and goroutines; the schedule is still
+	// data, but thread and network interleavings make runs
+	// non-deterministic, so replay reproduces the workload, not the race).
+	// Delay faults are sim-only and no-ops on netrepl; the escrow scenario
+	// is coupled to the latency model and rejects netrepl.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Defaults returns the standard chaos configuration for an app.
 func Defaults(app string) Config {
-	return Config{App: app, Variant: "ipa", Replicas: 3, Ops: 60, Faults: 6, Horizon: 3 * wan.Second}
+	return Config{App: app, Variant: "ipa", Replicas: 3, Ops: 60, Faults: 6,
+		Horizon: 3 * wan.Second, Backend: runtime.BackendSim}
 }
 
 // Norm fills zero fields with defaults and validates the config.
@@ -68,6 +79,18 @@ func (c Config) Norm() (Config, error) {
 	d := Defaults(c.App)
 	if c.Variant == "" {
 		c.Variant = d.Variant
+	}
+	if c.Backend == "" {
+		c.Backend = d.Backend
+	}
+	switch c.Backend {
+	case runtime.BackendSim:
+	case runtime.BackendNet:
+		if c.App == "escrow" {
+			return c, fmt.Errorf("harness: escrow runs on the sim backend only (it drives the simulated latency model)")
+		}
+	default:
+		return c, fmt.Errorf("harness: unknown backend %q (want %s)", c.Backend, strings.Join(runtime.Backends(), " or "))
 	}
 	if c.Replicas == 0 {
 		c.Replicas = d.Replicas

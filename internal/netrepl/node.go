@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"ipa/internal/clock"
+	"ipa/internal/crdt"
 	"ipa/internal/store"
 )
 
@@ -209,6 +210,11 @@ type Node struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{} // accepted (inbound) connections
 
+	// blockMu guards blocked: origins whose frames the receive path
+	// refuses (the partition fault hook — see BlockOrigin).
+	blockMu sync.Mutex
+	blocked map[clock.ReplicaID]bool
+
 	m counters
 }
 
@@ -234,6 +240,7 @@ func NewNodeWithConfig(id clock.ReplicaID, addr string, cfg Config) (*Node, erro
 		ln:      ln,
 		closed:  make(chan struct{}),
 		conns:   map[net.Conn]struct{}{},
+		blocked: map[clock.ReplicaID]bool{},
 	}
 	n.cluster.SetOnCommit(n.broadcast)
 	n.wg.Add(1)
@@ -270,6 +277,71 @@ func (n *Node) Do(fn func(r *store.Replica)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	fn(n.cluster.Replica(n.id))
+}
+
+// Begin starts a highly available transaction at the node's replica,
+// holding the node lock until the transaction commits — the runtime
+// backend surface (runtime.Replica). The lock serialises the transaction
+// against the TCP receive path, so reads inside it observe a causally
+// consistent, transaction-atomic state exactly as on the simulator. Never
+// hold two uncommitted transactions on one node, and always commit.
+// Commit broadcasts under this lock, so a committer can block on
+// backpressure while holding it (same as Do); see runtime.Replica for
+// the multi-node discipline that follows.
+func (n *Node) Begin() *store.Txn {
+	n.mu.Lock()
+	tx := n.cluster.Replica(n.id).Begin()
+	tx.OnFinish(n.mu.Unlock)
+	return tx
+}
+
+// Object returns the CRDT stored at key, creating it with mk when absent.
+// It takes the node lock; do not call it between Begin and Commit.
+func (n *Node) Object(key string, mk func() crdt.CRDT) crdt.CRDT {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cluster.Replica(n.id).Object(key, mk)
+}
+
+// Lookup returns the CRDT stored at key if it exists, under the node
+// lock; do not call it between Begin and Commit.
+func (n *Node) Lookup(key string) (crdt.CRDT, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cluster.Replica(n.id).Lookup(key)
+}
+
+// SetPaused freezes (or thaws) the replica's delivery pipeline — the
+// crash/recovery fault hook, identical to the simulator's: remote frames
+// are still received and acknowledged, but queue in the causal delivery
+// buffer without applying. Unpausing drains the buffer in causal order.
+func (n *Node) SetPaused(paused bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cluster.SetPaused(n.id, paused)
+}
+
+// BlockOrigin makes the receive path refuse frames whose transactions
+// originate from the given replica — the partition fault hook. A refused
+// frame's connection drops without an acknowledgement, so the sender
+// retries with backoff until the block lifts: delivery stays at-least-once
+// and no transaction is lost, exactly the buffered-partition semantics of
+// the simulator. Blocking is receive-side because every node streams only
+// its own commits, so "frames originating at a" ≡ "the a→n link".
+func (n *Node) BlockOrigin(origin clock.ReplicaID, blocked bool) {
+	n.blockMu.Lock()
+	defer n.blockMu.Unlock()
+	if blocked {
+		n.blocked[origin] = true
+	} else {
+		delete(n.blocked, origin)
+	}
+}
+
+func (n *Node) originBlocked(origin clock.ReplicaID) bool {
+	n.blockMu.Lock()
+	defer n.blockMu.Unlock()
+	return n.blocked[origin]
 }
 
 // Stats returns a snapshot of the node's transport metrics.
@@ -353,7 +425,13 @@ func (n *Node) acceptLoop() {
 		// Register under connMu, re-checking closed: Close sweeps the
 		// map after closing n.closed, so a connection accepted in that
 		// window must be closed here or nothing ever closes it (and
-		// Close would wait on its handler forever).
+		// Close would wait on its handler forever). The wg.Add must also
+		// happen inside the critical section: Close holds connMu for its
+		// sweep before it waits, so either this handler is registered (and
+		// counted) before the sweep, or the closed re-check above fires —
+		// an Add racing a started Wait could otherwise let Close return
+		// while the handler still runs (and lets DropConnections during
+		// Close observe a connection that was never registered).
 		n.connMu.Lock()
 		select {
 		case <-n.closed:
@@ -363,8 +441,8 @@ func (n *Node) acceptLoop() {
 		default:
 		}
 		n.conns[conn] = struct{}{}
-		n.connMu.Unlock()
 		n.wg.Add(1)
+		n.connMu.Unlock()
 		go n.handle(conn)
 	}
 }
@@ -385,6 +463,13 @@ func (n *Node) handle(conn net.Conn) {
 		txns, err := store.DecodeFrame(data)
 		if err != nil {
 			return // corrupt stream: drop the connection, sender retries
+		}
+		// Partition fault: refuse the frame without acking — the sender
+		// keeps the batch and retries with backoff until the block lifts.
+		// (A frame carries one origin's transactions: nodes stream only
+		// their own commits.)
+		if len(txns) > 0 && n.originBlocked(txns[0].Origin) {
+			return
 		}
 		atomic.AddUint64(&n.m.framesRecv, 1)
 		atomic.AddUint64(&n.m.bytesRecv, uint64(len(data)+4))
@@ -433,9 +518,21 @@ func readAck(conn net.Conn, deadline time.Time) error {
 // retried batches deduplicate and no transaction is lost. The listener
 // stays up, so reconnects succeed immediately. It returns the number of
 // connections killed.
+//
+// Racing Close is allowed: once the node is closing, Close owns the
+// teardown — it sweeps the same map under connMu and then waits for the
+// handlers — so DropConnections backs off and reports zero rather than
+// re-closing connections mid-drain (peers in their ack/retry loop would
+// count the kill against the dying node and re-send into a closed
+// listener).
 func (n *Node) DropConnections() int {
 	n.connMu.Lock()
 	defer n.connMu.Unlock()
+	select {
+	case <-n.closed:
+		return 0
+	default:
+	}
 	for c := range n.conns {
 		c.Close()
 	}

@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ipa/internal/clock"
+	"ipa/internal/netrepl"
+	"ipa/internal/store"
+)
+
+// NetConfig tunes a NetCluster. The zero value selects the defaults noted
+// on each field.
+type NetConfig struct {
+	// Transport configures every node's streaming transport. The zero
+	// value takes netrepl's defaults; harness-style callers lower the
+	// backoff ceiling so healed partitions resume quickly.
+	Transport netrepl.Config
+	// SettleTimeout bounds one Settle call. Default 30s.
+	SettleTimeout time.Duration
+	// SettlePoll is the convergence polling interval. Default 500µs.
+	SettlePoll time.Duration
+}
+
+func (c NetConfig) withDefaults() NetConfig {
+	if c.SettleTimeout <= 0 {
+		c.SettleTimeout = 30 * time.Second
+	}
+	if c.SettlePoll <= 0 {
+		c.SettlePoll = 500 * time.Microsecond
+	}
+	return c
+}
+
+// NetCluster runs one netrepl.Node per replica on loopback TCP, fully
+// meshed — the real-socket implementation of Cluster. Replication is
+// asynchronous on real goroutines, so unlike the simulator there is no
+// instantaneous "drain": Settle polls the nodes' causal clocks until they
+// converge. Stabilize gathers a global view the way a stability service
+// would and runs the same compaction as the simulator's.
+type NetCluster struct {
+	cfg   NetConfig
+	order []clock.ReplicaID
+	nodes map[clock.ReplicaID]*netrepl.Node
+}
+
+// NewNetCluster creates one node per id on ephemeral loopback ports and
+// meshes them. On error, nodes created so far are closed.
+func NewNetCluster(ids []clock.ReplicaID, cfg NetConfig) (*NetCluster, error) {
+	c := &NetCluster{
+		cfg:   cfg.withDefaults(),
+		order: append([]clock.ReplicaID(nil), ids...),
+		nodes: make(map[clock.ReplicaID]*netrepl.Node, len(ids)),
+	}
+	for _, id := range c.order {
+		n, err := netrepl.NewNodeWithConfig(id, "127.0.0.1:0", c.cfg.Transport)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("runtime: net cluster: %w", err)
+		}
+		c.nodes[id] = n
+	}
+	for _, a := range c.order {
+		for _, b := range c.order {
+			if a != b {
+				c.nodes[a].AddPeer(b, c.nodes[b].Addr())
+			}
+		}
+	}
+	return c, nil
+}
+
+// Node returns the underlying netrepl node of a replica (for transport
+// metrics and chaos hooks like DropConnections).
+func (c *NetCluster) Node(id clock.ReplicaID) *netrepl.Node { return c.nodes[id] }
+
+// Backend implements Cluster.
+func (c *NetCluster) Backend() string { return BackendNet }
+
+// Replicas implements Cluster.
+func (c *NetCluster) Replicas() []clock.ReplicaID { return c.order }
+
+// Replica implements Cluster.
+func (c *NetCluster) Replica(id clock.ReplicaID) Replica {
+	n, ok := c.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("runtime: unknown replica %q", id))
+	}
+	return n
+}
+
+// Stabilize implements Cluster: it gathers every node's causal cut (each
+// snapshot atomic under that node's lock), computes the stability horizon
+// and the commit frontier, and lets every node's CRDTs compact below it —
+// the same pass store.Cluster.Stabilize runs inside the simulator.
+//
+// The non-atomic collection is safe: the horizon is the pointwise minimum
+// of delivered cuts, so every event at or below it had been delivered at
+// every node by that node's snapshot; any event created later causally
+// follows the horizon, hence each node's frontier entry still upper-bounds
+// everything concurrent with a newly stable event.
+func (c *NetCluster) Stabilize() clock.Vector {
+	stab := clock.NewStability(c.order)
+	frontier := clock.New()
+	for _, id := range c.order {
+		vc := c.nodes[id].Clock()
+		stab.Ack(id, vc)
+		frontier.Set(id, vc.Get(id))
+	}
+	h := stab.Horizon()
+	for _, id := range c.order {
+		c.nodes[id].Do(func(r *store.Replica) { r.CompactAll(h, frontier) })
+	}
+	return h
+}
+
+// Settle implements Cluster: it waits until every node has delivered every
+// commit issued so far — all causal clocks equal, no queued outbound
+// transactions, no pending causal deliveries — and the picture holds for a
+// few consecutive polls. It errors if the cluster does not converge within
+// SettleTimeout (which usually means a partition is still injected or a
+// replica is still paused).
+func (c *NetCluster) Settle() error {
+	deadline := time.Now().Add(c.cfg.SettleTimeout)
+	stable := 0
+	for {
+		if c.quiet() {
+			stable++
+			if stable >= 3 {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("runtime: net cluster did not settle within %v", c.cfg.SettleTimeout)
+		}
+		time.Sleep(c.cfg.SettlePoll)
+	}
+}
+
+// quiet reports one converged snapshot: identical clocks, empty queues.
+func (c *NetCluster) quiet() bool {
+	var base clock.Vector
+	for _, id := range c.order {
+		n := c.nodes[id]
+		if n.Stats().QueueDepth != 0 || n.Pending() != 0 {
+			return false
+		}
+		vc := n.Clock()
+		if base == nil {
+			base = vc
+		} else if !base.Equal(vc) {
+			return false
+		}
+	}
+	return true
+}
+
+// Close implements Cluster: it shuts every node down.
+func (c *NetCluster) Close() error {
+	var errs []error
+	for _, id := range c.order {
+		if n := c.nodes[id]; n != nil {
+			errs = append(errs, n.Close())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// SetPartitioned implements Faults: each side refuses frames originating
+// at the other until the partition heals; senders retry with backoff, so
+// no transaction is lost.
+func (c *NetCluster) SetPartitioned(a, b clock.ReplicaID, partitioned bool) {
+	c.nodes[a].BlockOrigin(b, partitioned)
+	c.nodes[b].BlockOrigin(a, partitioned)
+}
+
+// SetPaused implements Faults.
+func (c *NetCluster) SetPaused(id clock.ReplicaID, paused bool) {
+	c.nodes[id].SetPaused(paused)
+}
+
+// Compile-time checks: both backends implement the full surface, and both
+// replica types satisfy Replica.
+var (
+	_ Cluster = (*SimCluster)(nil)
+	_ Faults  = (*SimCluster)(nil)
+	_ Cluster = (*NetCluster)(nil)
+	_ Faults  = (*NetCluster)(nil)
+	_ Replica = (*store.Replica)(nil)
+	_ Replica = (*netrepl.Node)(nil)
+)

@@ -1,0 +1,104 @@
+// Package runtime defines the backend-agnostic surface the applications,
+// the chaos harness, and the benchmarks program against, decoupling them
+// from the replication substrate. Two backends implement it:
+//
+//   - SimCluster wraps the deterministic wan.Sim-backed store.Cluster —
+//     virtual time, single-threaded, bit-identical replay;
+//   - NetCluster wraps a mesh of netrepl.Nodes — real TCP sockets, real
+//     goroutines, wall-clock time, convergence-wait instead of an
+//     instantaneous event-loop drain.
+//
+// The split mirrors how Indigo/Antidote separate application logic from
+// the replication substrate: application code sees replicas that hand out
+// highly available transactions, and nothing else. Everything above this
+// package — internal/apps, internal/harness, internal/bench, the CLIs —
+// runs unchanged on either backend.
+package runtime
+
+import (
+	"ipa/internal/clock"
+	"ipa/internal/crdt"
+	"ipa/internal/store"
+)
+
+// Backend names.
+const (
+	// BackendSim is the deterministic discrete-event simulation.
+	BackendSim = "sim"
+	// BackendNet is the real-socket netrepl transport.
+	BackendNet = "netrepl"
+)
+
+// Backends lists the available backend names.
+func Backends() []string { return []string{BackendSim, BackendNet} }
+
+// Replica is one site of the replicated database. *store.Replica is the
+// sim-backed implementation; *netrepl.Node the socket-backed one.
+//
+// Begin starts a highly available transaction. On concurrent backends
+// Begin locks the replica until the transaction commits, serialising local
+// execution against the receive path — so never hold two uncommitted
+// transactions on one replica, and always commit exactly once. Object and
+// Lookup take the same lock per call; do not call them (or Clock) between
+// Begin and Commit.
+//
+// Commit hands the transaction to replication while still holding that
+// lock, and a full outbound queue blocks the committer (backpressure, by
+// design — see the netrepl locking discipline in DESIGN.md). Drivers that
+// commit concurrently on several replicas of one net-backed cluster must
+// therefore keep their outstanding load below the transport queue
+// capacity: two committers blocked on each other's full queues would
+// deadlock. Every driver in this repository issues from a single thread,
+// which rules the cycle out.
+type Replica interface {
+	// ID returns the replica identifier.
+	ID() clock.ReplicaID
+	// Begin starts a highly available transaction at this replica.
+	Begin() *store.Txn
+	// Object returns the CRDT stored at key, creating it with mk when
+	// absent (seeding outside a transaction).
+	Object(key string, mk func() crdt.CRDT) crdt.CRDT
+	// Lookup returns the CRDT stored at key if it exists.
+	Lookup(key string) (crdt.CRDT, bool)
+	// Clock returns a copy of the replica's delivered causal cut.
+	Clock() clock.Vector
+}
+
+// Cluster is a set of replicas of one logical database.
+type Cluster interface {
+	// Backend names the substrate: BackendSim or BackendNet.
+	Backend() string
+	// Replicas returns the replica ids in creation order.
+	Replicas() []clock.ReplicaID
+	// Replica returns the replica with the given id.
+	Replica(id clock.ReplicaID) Replica
+	// Stabilize computes the stability horizon (the causal cut every
+	// replica has delivered) and lets every CRDT compact metadata below
+	// it, exactly as store.Cluster.Stabilize does on the simulator.
+	Stabilize() clock.Vector
+	// Settle blocks until replication has quiesced: every commit issued so
+	// far is delivered everywhere. The sim backend drains its event loop
+	// (instantaneous, in virtual time); the net backend waits for the
+	// causal clocks to converge, and errors on timeout. Settle assumes no
+	// live faults — heal partitions and unpause replicas first.
+	Settle() error
+	// Close releases backend resources (listeners, sender goroutines).
+	// The sim backend has none; Close is then a no-op.
+	Close() error
+}
+
+// Faults is the optional fault-injection surface of a Cluster. Both
+// built-in backends support it; callers must type-assert and degrade
+// gracefully when a backend does not. (Latency scaling, the third sim
+// fault, stays sim-specific: real sockets have no latency dial.)
+type Faults interface {
+	// SetPartitioned blocks (or unblocks) the link between two replicas in
+	// both directions. No update is lost: the sim buffers messages and
+	// flushes on heal; netrepl senders retry with backoff until the
+	// receiver accepts their frames again.
+	SetPartitioned(a, b clock.ReplicaID, partitioned bool)
+	// SetPaused freezes (or thaws) a replica's delivery pipeline — remote
+	// transactions buffer without applying; local commits are unaffected.
+	// Unpausing drains the buffer in causal order.
+	SetPaused(id clock.ReplicaID, paused bool)
+}

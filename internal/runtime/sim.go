@@ -1,0 +1,53 @@
+package runtime
+
+import (
+	"ipa/internal/clock"
+	"ipa/internal/store"
+)
+
+// SimCluster adapts the deterministic simulator-backed store.Cluster to
+// the backend-agnostic Cluster interface. It adds no behaviour — replicas
+// are the store's own, faults delegate to the store's hooks — so code that
+// still needs the concrete cluster (the chaos engine's event scheduling,
+// the latency model) can reach it through Store.
+type SimCluster struct {
+	c *store.Cluster
+}
+
+// NewSimCluster wraps an existing simulator-backed cluster.
+func NewSimCluster(c *store.Cluster) *SimCluster { return &SimCluster{c: c} }
+
+// Store returns the underlying store cluster.
+func (s *SimCluster) Store() *store.Cluster { return s.c }
+
+// Backend implements Cluster.
+func (s *SimCluster) Backend() string { return BackendSim }
+
+// Replicas implements Cluster.
+func (s *SimCluster) Replicas() []clock.ReplicaID { return s.c.Replicas() }
+
+// Replica implements Cluster.
+func (s *SimCluster) Replica(id clock.ReplicaID) Replica { return s.c.Replica(id) }
+
+// Stabilize implements Cluster.
+func (s *SimCluster) Stabilize() clock.Vector { return s.c.Stabilize() }
+
+// Settle implements Cluster: it runs the simulation's event loop dry,
+// which delivers everything in flight (in virtual time).
+func (s *SimCluster) Settle() error {
+	s.c.Sim().Run()
+	return nil
+}
+
+// Close implements Cluster. The simulator holds no external resources.
+func (s *SimCluster) Close() error { return nil }
+
+// SetPartitioned implements Faults.
+func (s *SimCluster) SetPartitioned(a, b clock.ReplicaID, partitioned bool) {
+	s.c.SetPartitioned(a, b, partitioned)
+}
+
+// SetPaused implements Faults.
+func (s *SimCluster) SetPaused(id clock.ReplicaID, paused bool) {
+	s.c.SetPaused(id, paused)
+}

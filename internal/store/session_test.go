@@ -101,6 +101,126 @@ func TestSessionMonotonicReads(t *testing.T) {
 	}
 }
 
+// TestSessionMultiKeyTxnAtomicity covers session guarantees across a
+// transaction that updates several keys: the atomic effect group either
+// gates an attach entirely (none of the keys visible yet) or not at all —
+// the session can never observe a prefix of its own transaction.
+func TestSessionMultiKeyTxnAtomicity(t *testing.T) {
+	sim, c := newTestCluster(23)
+	east := c.Replica(wan.USEast)
+	west := c.Replica(wan.USWest)
+
+	s := NewSession()
+	tx, err := s.Begin(east)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One transaction, three keys (and four updates: the counter bumps
+	// the sequence too) — the session's cut after Observe must cover the
+	// whole group, not its first update.
+	AWSetAt(tx, "orders").Add("o1", "")
+	AWSetAt(tx, "lines/o1").Add("item-a", "")
+	CounterAt(tx, "stock/item-a").Add(-1)
+	tx.Commit()
+	s.Observe(tx)
+
+	if got, want := s.Cut().Get(wan.USEast), east.Clock().Get(wan.USEast); got != want {
+		t.Fatalf("session cut %d, origin committed %d — the cut must cover the whole transaction", got, want)
+	}
+
+	// Before replication, west has none of the keys; attaching must fail.
+	if _, err := s.Begin(west); err == nil {
+		t.Fatal("attach to a replica with no key of the transaction should fail")
+	}
+
+	// After replication the attach succeeds and every key of the group is
+	// visible — a replica can never satisfy the session with a partial
+	// transaction because delivery applies effect groups atomically.
+	sim.Run()
+	tx2, err := s.Begin(west)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AWSetAt(tx2, "orders").Contains("o1") {
+		t.Fatal("orders entry missing at west")
+	}
+	if !AWSetAt(tx2, "lines/o1").Contains("item-a") {
+		t.Fatal("order line missing at west")
+	}
+	if v := CounterAt(tx2, "stock/item-a").Value(); v != -1 {
+		t.Fatalf("stock = %d, want -1", v)
+	}
+	tx2.Commit()
+}
+
+// TestSessionWritesFollowReads pins the writes-follow-reads guarantee
+// across replicas with a multi-key read-modify-write: a transaction
+// started through the session depends on everything the session has seen,
+// so its updates can only apply where that past is already delivered.
+func TestSessionWritesFollowReads(t *testing.T) {
+	sim, c := newTestCluster(24)
+	east := c.Replica(wan.USEast)
+	west := c.Replica(wan.USWest)
+	euwest := c.Replica(wan.EUWest)
+
+	// Someone seeds two keys at east; only west receives them (eu-west is
+	// partitioned off).
+	c.SetPartitioned(wan.USEast, wan.EUWest, true)
+	c.SetPartitioned(wan.USWest, wan.EUWest, true)
+	seed := east.Begin()
+	AWSetAt(seed, "products").Add("p", "")
+	CounterAt(seed, "stock/p").Add(5)
+	seed.Commit()
+	sim.RunUntil(sim.Now() + wan.Ms(500))
+
+	// The session reads both keys at west, then writes a purchase there.
+	s := NewSession()
+	tx, err := s.Begin(west)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AWSetAt(tx, "products").Contains("p") {
+		t.Fatal("seed not replicated to west")
+	}
+	AWSetAt(tx, "orders").Add("o-p", "")
+	CounterAt(tx, "stock/p").Add(-1)
+	tx.Commit()
+	s.Observe(tx)
+
+	// eu-west has neither the seed nor the purchase: the session must
+	// refuse it (writes follow reads — attaching would show the purchase's
+	// context missing), and after heal the purchase arrives only after its
+	// causal dependency, never before.
+	if s.CanUse(euwest) {
+		t.Fatal("session accepted a replica missing its causal past")
+	}
+	c.SetPartitioned(wan.USEast, wan.EUWest, false)
+	c.SetPartitioned(wan.USWest, wan.EUWest, false)
+	sim.Run()
+	tx2, err := s.Begin(euwest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AWSetAt(tx2, "products").Contains("p") || !AWSetAt(tx2, "orders").Contains("o-p") {
+		t.Fatal("causal order violated at eu-west")
+	}
+	if v := CounterAt(tx2, "stock/p").Value(); v != 4 {
+		t.Fatalf("stock = %d, want 4", v)
+	}
+	tx2.Commit()
+
+	// Monotonic writes: a second session transaction at eu-west depends on
+	// the first one's effects even though it committed at west.
+	tx3, err := s.Begin(euwest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AWSetAt(tx3, "orders").Contains("o-p") {
+		t.Fatal("session's own write invisible on re-attach")
+	}
+	tx3.Commit()
+}
+
 func TestSessionCut(t *testing.T) {
 	_, c := newTestCluster(22)
 	east := c.Replica(wan.USEast)

@@ -153,13 +153,7 @@ func (c *Cluster) Stabilize() clock.Vector {
 	}
 	h := c.stab.Horizon()
 	for _, id := range c.order {
-		for _, obj := range c.replicas[id].objects {
-			if fc, ok := obj.(crdt.FrontierCompacter); ok {
-				fc.CompactWithFrontier(h, frontier)
-			} else {
-				obj.Compact(h)
-			}
-		}
+		c.replicas[id].CompactAll(h, frontier)
 	}
 	return h
 }
@@ -267,8 +261,9 @@ func (r *Replica) apply(m txnMsg) {
 	for _, u := range m.updates {
 		obj, ok := r.objects[u.Key]
 		if !ok {
-			// Object type is implied by the op; instantiate lazily.
-			obj = newForOp(u.Op)
+			// Object type is implied by the op; instantiate lazily through
+			// the shared constructor registry.
+			obj = crdt.NewForOp(u.Op)
 			r.objects[u.Key] = obj
 		}
 		obj.Apply(u.Op)
@@ -277,23 +272,19 @@ func (r *Replica) apply(m txnMsg) {
 	r.TxnsDelivered++
 }
 
-// newForOp creates the right CRDT for a remotely created object.
-func newForOp(op crdt.Op) crdt.CRDT {
-	switch op.(type) {
-	case crdt.AWAddOp, crdt.AWRemoveOp:
-		return crdt.NewAWSet()
-	case crdt.RWAddOp, crdt.RWRemoveOp, crdt.RWRemoveWhereOp:
-		return crdt.NewRWSet()
-	case crdt.CounterOp:
-		return crdt.NewPNCounter()
-	case crdt.BCConsumeOp, crdt.BCGrantOp, crdt.BCTransferOp:
-		return crdt.NewBoundedCounter(nil)
-	case crdt.LWWSetOp:
-		return crdt.NewLWWRegister()
-	case crdt.MVSetOp:
-		return crdt.NewMVRegister()
+// CompactAll lets every CRDT at this replica discard metadata made
+// redundant by the stability horizon; frontier carries the per-origin
+// commit counts of the stability round (see Cluster.Stabilize). Exposed so
+// replication backends without a shared Cluster — one store per node, as
+// in netrepl — can run the same compaction from a gathered global view.
+func (r *Replica) CompactAll(horizon, frontier clock.Vector) {
+	for _, obj := range r.objects {
+		if fc, ok := obj.(crdt.FrontierCompacter); ok {
+			fc.CompactWithFrontier(horizon, frontier)
+		} else {
+			obj.Compact(horizon)
+		}
 	}
-	panic(fmt.Sprintf("store: no constructor for op %T", op))
 }
 
 // PendingCount reports the size of the causal delivery queue.

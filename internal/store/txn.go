@@ -17,6 +17,7 @@ type Txn struct {
 	firstSeq uint64
 	updates  []Update
 	done     bool
+	finish   []func()
 }
 
 // Replica returns the origin replica.
@@ -48,6 +49,23 @@ func (t *Txn) Apply(key string, op crdt.Op, mk func() crdt.CRDT) {
 	t.updates = append(t.updates, Update{Key: key, Op: op})
 }
 
+// OnFinish registers fn to run when the transaction commits, after its
+// effects have applied locally and been handed to replication. Hooks run
+// in reverse registration order. Concurrent backends (netrepl) use it to
+// release the per-replica lock their Begin acquired.
+func (t *Txn) OnFinish(fn func()) {
+	if t.done {
+		panic("store: transaction already committed")
+	}
+	t.finish = append(t.finish, fn)
+}
+
+func (t *Txn) runFinish() {
+	for i := len(t.finish) - 1; i >= 0; i-- {
+		t.finish[i]()
+	}
+}
+
 // Commit finalises the transaction and replicates its updates atomically
 // to the other replicas. An empty (read-only) transaction sends nothing.
 func (t *Txn) Commit() {
@@ -55,6 +73,7 @@ func (t *Txn) Commit() {
 		panic("store: transaction already committed")
 	}
 	t.done = true
+	defer t.runFinish()
 	t.r.TxnsExecuted++
 	if len(t.updates) == 0 {
 		return
@@ -115,7 +134,7 @@ type AWSetRef struct {
 
 // AWSetAt binds the add-wins set stored at key.
 func AWSetAt(tx *Txn, key string) AWSetRef {
-	obj := tx.r.Object(key, func() crdt.CRDT { return crdt.NewAWSet() })
+	obj := tx.r.Object(key, crdt.Ctor(crdt.KindAWSet))
 	set, ok := obj.(*crdt.AWSet)
 	if !ok {
 		panic(fmt.Sprintf("store: %s holds %s, not aw-set", key, obj.Type()))
@@ -171,7 +190,7 @@ type RWSetRef struct {
 
 // RWSetAt binds the remove-wins set stored at key.
 func RWSetAt(tx *Txn, key string) RWSetRef {
-	obj := tx.r.Object(key, func() crdt.CRDT { return crdt.NewRWSet() })
+	obj := tx.r.Object(key, crdt.Ctor(crdt.KindRWSet))
 	set, ok := obj.(*crdt.RWSet)
 	if !ok {
 		panic(fmt.Sprintf("store: %s holds %s, not rw-set", key, obj.Type()))
@@ -225,7 +244,7 @@ type CounterRef struct {
 
 // CounterAt binds the counter stored at key.
 func CounterAt(tx *Txn, key string) CounterRef {
-	obj := tx.r.Object(key, func() crdt.CRDT { return crdt.NewPNCounter() })
+	obj := tx.r.Object(key, crdt.Ctor(crdt.KindPNCounter))
 	c, ok := obj.(*crdt.PNCounter)
 	if !ok {
 		panic(fmt.Sprintf("store: %s holds %s, not pn-counter", key, obj.Type()))
@@ -251,7 +270,7 @@ type RegisterRef struct {
 
 // RegisterAt binds the LWW register stored at key.
 func RegisterAt(tx *Txn, key string) RegisterRef {
-	obj := tx.r.Object(key, func() crdt.CRDT { return crdt.NewLWWRegister() })
+	obj := tx.r.Object(key, crdt.Ctor(crdt.KindLWWRegister))
 	reg, ok := obj.(*crdt.LWWRegister)
 	if !ok {
 		panic(fmt.Sprintf("store: %s holds %s, not lww-register", key, obj.Type()))
@@ -279,10 +298,18 @@ type CompSetRef struct {
 	set *crdt.CompSet
 }
 
+// ObjectSpace is the minimal object-creation surface seeding helpers
+// need; *Replica satisfies it, as does any runtime backend replica.
+type ObjectSpace interface {
+	Object(key string, mk func() crdt.CRDT) crdt.CRDT
+}
+
 // SeedCompSet creates the compensation set with the given bound at one
 // replica; call it for every replica during setup so the constraint is
-// known cluster-wide before any update replicates.
-func SeedCompSet(r *Replica, key string, maxSize int) {
+// known cluster-wide before any update replicates. (Compensation sets are
+// the one CRDT the constructor registry cannot build from a remote op:
+// the bound is object state.)
+func SeedCompSet(r ObjectSpace, key string, maxSize int) {
 	r.Object(key, func() crdt.CRDT { return crdt.NewCompSet(maxSize) })
 }
 

@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"ipa/internal/clock"
-	"ipa/internal/crdt"
 	"ipa/internal/wan"
 )
 
@@ -22,23 +21,9 @@ type WireTxn struct {
 	Updates  []Update
 }
 
-func init() {
-	// Register every concrete operation (and predicate) type carried
-	// inside the crdt.Op interface.
-	gob.Register(crdt.AWAddOp{})
-	gob.Register(crdt.AWRemoveOp{})
-	gob.Register(crdt.RWAddOp{})
-	gob.Register(crdt.RWRemoveOp{})
-	gob.Register(crdt.RWRemoveWhereOp{})
-	gob.Register(crdt.CounterOp{})
-	gob.Register(crdt.BCConsumeOp{})
-	gob.Register(crdt.BCGrantOp{})
-	gob.Register(crdt.BCTransferOp{})
-	gob.Register(crdt.LWWSetOp{})
-	gob.Register(crdt.MVSetOp{})
-	gob.Register(crdt.Match{})
-	gob.Register(crdt.MatchAll{})
-}
+// The concrete operation (and predicate) types carried inside the crdt.Op
+// interface are gob-registered by the crdt constructor registry — the one
+// place that enumerates them for every backend.
 
 // EncodeTxn serialises a transaction for the wire (the legacy v0 frame:
 // a bare gob-encoded WireTxn with no header).

@@ -36,6 +36,7 @@ package ipa
 import (
 	"ipa/internal/analysis"
 	"ipa/internal/clock"
+	"ipa/internal/runtime"
 	"ipa/internal/spec"
 	"ipa/internal/store"
 	"ipa/internal/wan"
@@ -141,6 +142,27 @@ func NewCluster(sim *Sim, lat *Latency, sites []ReplicaID) *Cluster {
 func NewPaperCluster(seed int64) (*Sim, *Cluster) {
 	sim := wan.NewSim(seed)
 	return sim, store.NewCluster(sim, wan.PaperTopology(), PaperSites())
+}
+
+// Backend-agnostic runtime: applications, the chaos harness, and the
+// benchmarks program against these interfaces and run unchanged on the
+// simulator or on real netrepl TCP sockets.
+type (
+	// BackendCluster is the substrate-agnostic cluster surface.
+	BackendCluster = runtime.Cluster
+	// BackendReplica is one site through the substrate-agnostic surface.
+	BackendReplica = runtime.Replica
+)
+
+// NewSimBackend wraps a simulator-backed cluster in the backend-agnostic
+// interface.
+func NewSimBackend(c *Cluster) BackendCluster { return runtime.NewSimCluster(c) }
+
+// NewNetBackend creates a real-socket replication cluster (one netrepl
+// node per site on loopback TCP, fully meshed) behind the same
+// interface. Close it when done.
+func NewNetBackend(sites []ReplicaID) (BackendCluster, error) {
+	return runtime.NewNetCluster(sites, runtime.NetConfig{})
 }
 
 // Typed transaction views over the stored CRDTs.
