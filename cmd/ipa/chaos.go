@@ -43,6 +43,7 @@ func runChaos(args []string) {
 		ops       = fs.Int("ops", 0, "ops per schedule (default 60)")
 		faults    = fs.Int("faults", 0, "fault windows per schedule (default 6)")
 		horizonMs = fs.Float64("horizon", 0, "workload horizon in virtual milliseconds (default 3000)")
+		conc      = fs.Int("concurrency", 1, "parallel client workers per schedule (netrepl backend only)")
 		replay    = fs.String("replay", "", "replay a schedule JSON file (from a previous shrink)")
 		out       = fs.String("out", "", "path for the shrunk repro JSON (default chaos-repro-<seed>.json)")
 		noShrink  = fs.Bool("no-shrink", false, "skip shrinking on violation")
@@ -98,6 +99,8 @@ func runChaos(args []string) {
 			Ops:      *ops,
 			Faults:   *faults,
 			Horizon:  wan.Ms(*horizonMs),
+
+			Concurrency: *conc,
 		}.Norm()
 		if err != nil {
 			fatal(err)

@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"ipa/internal/analysis"
@@ -46,8 +47,25 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced parameters (faster, noisier)")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		jsonDir    = flag.String("json", "", "also write each experiment as BENCH_<name>.json into this directory")
+		workersCSV = flag.String("workers", "", "serve: comma-separated client worker counts for a concurrency sweep, e.g. 1,2,4,8 (netrepl only)")
 	)
 	flag.Parse()
+
+	var workers []int
+	if *workersCSV != "" {
+		for _, s := range strings.Split(*workersCSV, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "ipabench: bad -workers entry %q (want positive integers, e.g. 1,2,4,8)\n", s)
+				os.Exit(1)
+			}
+			workers = append(workers, w)
+		}
+		if *backend != runtime.BackendNet {
+			fmt.Fprintln(os.Stderr, "ipabench: -workers needs -backend netrepl (the simulator is single-threaded)")
+			os.Exit(1)
+		}
+	}
 
 	opts := bench.DefaultExpOptions()
 	if *quick {
@@ -82,6 +100,9 @@ func main() {
 	serveOps := 0
 	if *quick {
 		serveOps = 300
+		if len(workers) > 0 {
+			serveOps = 1500 // the sweep needs steady state to dominate startup
+		}
 	}
 
 	for _, name := range wanted {
@@ -134,7 +155,7 @@ func main() {
 		case "chaos":
 			e, err = bench.Chaos(opts)
 		case "serve":
-			e, err = bench.Serve(bench.ServeOptions{Backend: *backend, Ops: serveOps, Seed: *seed})
+			e, err = bench.Serve(bench.ServeOptions{Backend: *backend, Ops: serveOps, Seed: *seed, Workers: workers})
 		default:
 			fmt.Fprintf(os.Stderr, "ipabench: unknown experiment %q (want one of %s)\n",
 				name, strings.Join(all, ", "))

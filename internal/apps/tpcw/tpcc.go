@@ -30,6 +30,12 @@ func balanceKey(customer string) string { return "tpcw/balance/" + customer }
 func orderKey(order string) string      { return "tpcw/order/" + order }
 func statusKey(order string) string     { return "tpcw/status/" + order }
 
+// OrderKey returns the order-lines set key of an order — exported so
+// checkers can read an order's index entries and its lines inside one
+// transaction (a transaction-consistent snapshot; two separate
+// transactions could straddle a remote NewOrder group).
+func OrderKey(order string) string { return orderKey(order) }
+
 // OrderLine is one item/quantity pair of a NewOrder.
 type OrderLine struct {
 	Item string

@@ -99,6 +99,18 @@ func (r *Recorder) Add(label string, d wan.Time) {
 // Labels returns the labels in first-seen order.
 func (r *Recorder) Labels() []string { return r.order }
 
+// Merge folds another recorder's samples into this one — used to combine
+// per-worker recorders after a concurrent benchmark loop (each worker
+// records into its own Recorder; Recorder itself is not goroutine-safe).
+func (r *Recorder) Merge(o *Recorder) {
+	for _, l := range o.order {
+		if _, ok := r.byLabel[l]; !ok {
+			r.order = append(r.order, l)
+		}
+		r.byLabel[l] = append(r.byLabel[l], o.byLabel[l]...)
+	}
+}
+
 // Count returns the number of samples for the label ("" for all).
 func (r *Recorder) Count(label string) int {
 	if label != "" {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"ipa/internal/clock"
@@ -26,6 +27,12 @@ type ServeOptions struct {
 	Ops int
 	// Seed drives the workload generators.
 	Seed int64
+	// Workers, when non-empty, switches the benchmark into a closed-loop
+	// concurrency sweep: for each entry the workload runs with that many
+	// parallel client workers sharing the cluster, and the experiment
+	// reports ops/sec per worker count instead of per app. Requires the
+	// netrepl backend — the simulator is single-threaded.
+	Workers []int
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -39,6 +46,13 @@ func (o ServeOptions) withDefaults() ServeOptions {
 		o.Ops = 2000
 		if o.Backend == runtime.BackendNet {
 			o.Ops = 1000
+		}
+		if len(o.Workers) > 0 {
+			// The sweep measures scaling, not startup: local commits are
+			// microseconds, so it needs enough ops per run for the
+			// steady state to dominate connection dials and goroutine
+			// spin-up.
+			o.Ops = 4000
 		}
 	}
 	return o
@@ -59,6 +73,9 @@ func serveNetConfig() runtime.NetConfig {
 // reporting numbers.
 func Serve(opts ServeOptions) (*Experiment, error) {
 	opts = opts.withDefaults()
+	if len(opts.Workers) > 0 {
+		return serveWorkersSweep(opts)
+	}
 	e := &Experiment{
 		ID:     "serve",
 		Title:  fmt.Sprintf("Serving throughput on the %s backend (all apps, invariants checked)", opts.Backend),
@@ -90,8 +107,63 @@ func Serve(opts ServeOptions) (*Experiment, error) {
 	return e, nil
 }
 
-// serveApp benchmarks one application and verifies its invariants.
-func serveApp(app string, opts ServeOptions) (*Recorder, float64, error) {
+// serveWorkersSweep runs the closed-loop concurrency sweep: for each
+// worker count, every app serves its workload from that many parallel
+// client goroutines round-robining the sites of one shared 3-node
+// cluster, with the usual quiescence verification afterwards. This is the
+// benchmark of the sharded replica core: local transactions two-phase-
+// lock their key shards, remote transactions apply through the per-origin
+// pipeline, and nothing serialises on a per-node lock — so ops/sec must
+// scale with workers.
+func serveWorkersSweep(opts ServeOptions) (*Experiment, error) {
+	if opts.Backend != runtime.BackendNet {
+		return nil, fmt.Errorf("bench: the -workers sweep needs the netrepl backend (the simulator is single-threaded)")
+	}
+	e := &Experiment{
+		ID:     "serve",
+		Title:  "Serving throughput vs client workers on the netrepl backend (3 nodes, invariants checked)",
+		XLabel: "workers",
+		YLabel: "ops/sec",
+		Perf:   map[string]Perf{},
+	}
+	for _, w := range opts.Workers {
+		e.XTicks = append(e.XTicks, fmt.Sprintf("%d", w))
+	}
+	for _, app := range opts.Apps {
+		s := Series{Name: app}
+		for i, w := range opts.Workers {
+			rec, opsPerSec, err := serveAppWorkers(app, opts, w)
+			if err != nil {
+				return nil, fmt.Errorf("bench: serve %s with %d workers: %w", app, w, err)
+			}
+			p := Perf{
+				OpsPerSec: opsPerSec,
+				P50Ms:     rec.Percentile("", 50),
+				P99Ms:     rec.Percentile("", 99),
+			}
+			e.Perf[fmt.Sprintf("%s/w%d", app, w)] = p
+			s.Points = append(s.Points, Point{X: float64(i), Y: p.OpsPerSec,
+				Aux: map[string]float64{"workers": float64(w), "p50 ms": p.P50Ms, "p99 ms": p.P99Ms}})
+		}
+		e.Series = append(e.Series, s)
+	}
+	e.Notes = append(e.Notes,
+		"closed loop per worker over one shared 3-node netrepl cluster, ops pre-generated and",
+		"strided across workers; quiescence ran repair reads, invariant checks, and digest",
+		"convergence on every replica after each run.")
+	return e, nil
+}
+
+// serveRun is the scaffolding shared by the per-app benchmark and the
+// workers sweep: build the adapter and cluster, seed and settle, hand the
+// measured loop to `measure`, then run the engine's quiescence protocol
+// (settle, repair rounds, stability pass, invariant checks, digest
+// convergence) — a benchmark run that corrupts state fails instead of
+// reporting numbers. extraQueue, when positive, sizes the transport
+// queues above the whole workload so committer backpressure (which would
+// hold shard locks) cannot engage under parallel clients.
+func serveRun(app string, opts ServeOptions, extraQueue int,
+	measure func(adapter harness.App, ctx *harness.Ctx, sites int) (*Recorder, float64)) (*Recorder, float64, error) {
 	cfg := harness.Defaults(app)
 	cfg.Backend = opts.Backend
 	cfg, err := cfg.Norm()
@@ -113,7 +185,11 @@ func serveApp(app string, opts ServeOptions) (*Recorder, float64, error) {
 		for _, s := range wan.Sites() {
 			ids = append(ids, clock.ReplicaID(s))
 		}
-		cluster, err = runtime.NewNetCluster(ids, serveNetConfig())
+		netCfg := serveNetConfig()
+		if extraQueue > 0 {
+			netCfg.Transport.QueueCap = extraQueue
+		}
+		cluster, err = runtime.NewNetCluster(ids, netCfg)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -129,40 +205,86 @@ func serveApp(app string, opts ServeOptions) (*Recorder, float64, error) {
 		return nil, 0, err
 	}
 
-	// One closed loop round-robins the sites on either backend — the
-	// workload generator and the adapters keep cross-op state, so issuing
-	// is inherently sequential. On the sim the loop drains the
-	// virtual-time event queue after each op so replication interleaves;
-	// on netrepl the transport's sender/receiver goroutines replicate,
-	// ack, and retry concurrently underneath the loop, so op latency is
-	// the real local-commit cost while the wire stays busy.
-	rec := NewRecorder()
-	rng := rand.New(rand.NewSource(opts.Seed))
-	var sim *wan.Sim
-	if sc, ok := cluster.(*runtime.SimCluster); ok {
-		sim = sc.Store().Sim()
-	}
-	start := time.Now()
-	for i := 0; i < opts.Ops; i++ {
-		op := adapter.Gen(rng)
-		op.Site = i % len(sites)
-		t0 := time.Now()
-		adapter.Apply(ctx, op)
-		rec.Add(op.Kind, wan.Time(time.Since(t0).Microseconds()))
-		if sim != nil {
-			sim.Run()
-		}
-	}
-	elapsed := time.Since(start)
-	opsPerSec := float64(opts.Ops) / elapsed.Seconds()
+	rec, opsPerSec := measure(adapter, ctx, len(sites))
 
-	// Quiescence: the engine's shared protocol — settle, two repair
-	// rounds, stability pass, invariant checks, and cross-replica digest
-	// convergence. A benchmark run that ends in a corrupt state fails.
 	if v, err := harness.Quiesce(ctx, adapter); err != nil {
 		return nil, 0, err
 	} else if v != nil {
 		return nil, 0, fmt.Errorf("not clean at quiescence: %v", v)
 	}
 	return rec, opsPerSec, nil
+}
+
+// serveAppWorkers benchmarks one application with a fixed worker count.
+func serveAppWorkers(app string, opts ServeOptions, workers int) (*Recorder, float64, error) {
+	return serveRun(app, opts, 8*opts.Ops+4096,
+		func(adapter harness.App, ctx *harness.Ctx, sites int) (*Recorder, float64) {
+			// Generation keeps cross-op state (order ids, circulating
+			// tweets), so ops pre-generate sequentially; workers then apply
+			// them striped, each recording into its own Recorder.
+			rng := rand.New(rand.NewSource(opts.Seed))
+			ops := make([]harness.Op, opts.Ops)
+			for i := range ops {
+				op := adapter.Gen(rng)
+				op.Site = i % sites
+				ops[i] = op
+			}
+			recs := make([]*Recorder, workers)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < workers; w++ {
+				rec := NewRecorder()
+				recs[w] = rec
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(ops); i += workers {
+						t0 := time.Now()
+						adapter.Apply(ctx, ops[i])
+						rec.Add(ops[i].Kind, wan.Time(time.Since(t0).Microseconds()))
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			rec := NewRecorder()
+			for _, r := range recs {
+				rec.Merge(r)
+			}
+			return rec, float64(opts.Ops) / elapsed.Seconds()
+		})
+}
+
+// serveApp benchmarks one application with the sequential closed loop.
+func serveApp(app string, opts ServeOptions) (*Recorder, float64, error) {
+	return serveRun(app, opts, 0,
+		func(adapter harness.App, ctx *harness.Ctx, sites int) (*Recorder, float64) {
+			// One closed loop round-robins the sites on either backend —
+			// the workload generator and the adapters keep cross-op state,
+			// so issuing is inherently sequential. On the sim the loop
+			// drains the virtual-time event queue after each op so
+			// replication interleaves; on netrepl the transport's
+			// sender/receiver goroutines replicate, ack, and retry
+			// concurrently underneath the loop, so op latency is the real
+			// local-commit cost while the wire stays busy.
+			rec := NewRecorder()
+			rng := rand.New(rand.NewSource(opts.Seed))
+			var sim *wan.Sim
+			if sc, ok := ctx.Cluster.(*runtime.SimCluster); ok {
+				sim = sc.Store().Sim()
+			}
+			start := time.Now()
+			for i := 0; i < opts.Ops; i++ {
+				op := adapter.Gen(rng)
+				op.Site = i % sites
+				t0 := time.Now()
+				adapter.Apply(ctx, op)
+				rec.Add(op.Kind, wan.Time(time.Since(t0).Microseconds()))
+				if sim != nil {
+					sim.Run()
+				}
+			}
+			elapsed := time.Since(start)
+			return rec, float64(opts.Ops) / elapsed.Seconds()
+		})
 }

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"testing"
+
+	"ipa/internal/runtime"
+)
+
+// TestServeWorkersSweepSmoke runs a tiny two-point workers sweep on a
+// real netrepl cluster: the sweep must produce one series per app with
+// one point per worker count, positive throughput everywhere, and pass
+// its built-in quiescence verification (invariants + digest convergence).
+func TestServeWorkersSweepSmoke(t *testing.T) {
+	e, err := Serve(ServeOptions{
+		Backend: runtime.BackendNet,
+		Apps:    []string{"ticket"},
+		Ops:     200,
+		Seed:    11,
+		Workers: []int{1, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Series) != 1 || len(e.Series[0].Points) != 2 {
+		t.Fatalf("series shape = %d series / %v", len(e.Series), e.Series)
+	}
+	for _, p := range e.Series[0].Points {
+		if p.Y <= 0 {
+			t.Fatalf("non-positive throughput: %+v", p)
+		}
+	}
+	for _, key := range []string{"ticket/w1", "ticket/w3"} {
+		if _, ok := e.Perf[key]; !ok {
+			t.Fatalf("missing perf entry %q", key)
+		}
+	}
+}
+
+// TestServeWorkersSweepNeedsNetrepl pins the sim rejection: the simulator
+// is single-threaded, so a workers sweep on it must error instead of
+// silently serialising.
+func TestServeWorkersSweepNeedsNetrepl(t *testing.T) {
+	if _, err := Serve(ServeOptions{Backend: runtime.BackendSim, Workers: []int{1, 2}}); err == nil {
+		t.Fatal("sim-backend workers sweep accepted")
+	}
+}

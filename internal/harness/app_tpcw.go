@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ipa/internal/apps/tpcw"
 	"ipa/internal/crdt"
@@ -32,8 +33,11 @@ type tpcwChaos struct {
 	nextOrder int
 	orders    []string
 	// execution-side: multi-line orders actually placed, for atomicity
-	// checks (single-item purchases are single-update, trivially atomic)
-	placed []placedOrder
+	// checks (single-item purchases are single-update, trivially atomic).
+	// placedMu guards placed: with Concurrency > 1 several workers Apply
+	// (and the checker reads) concurrently.
+	placedMu sync.Mutex
+	placed   []placedOrder
 }
 
 type placedOrder struct {
@@ -49,10 +53,16 @@ type placedOrder struct {
 // check.
 func (a *tpcwChaos) orderAtomic(ctx *Ctx, site int, po placedOrder) (bool, string) {
 	r := ctx.Replica(site)
+	// Bind both keys before reading either: the index entries and the
+	// line set must come from one transaction-consistent snapshot, or a
+	// remote NewOrder group applying between two separate read
+	// transactions would be misreported as a torn order.
 	tx := r.Begin()
-	entries := len(store.AWSetAt(tx, tpcw.KeyOrders).ElemsWhere(crdt.Match{Index: 0, Value: po.id}))
+	ordersRef := store.AWSetAt(tx, tpcw.KeyOrders)
+	linesRef := store.AWSetAt(tx, tpcw.OrderKey(po.id))
+	entries := len(ordersRef.ElemsWhere(crdt.Match{Index: 0, Value: po.id}))
+	lines := linesRef.Size()
 	tx.Commit()
-	lines := len(a.ipa.OrderLines(r, po.id))
 	if entries == 0 && lines == 0 {
 		return true, ""
 	}
@@ -144,7 +154,9 @@ func (a *tpcwChaos) Apply(ctx *Ctx, op Op) {
 			lines = append(lines, tpcw.OrderLine{Item: op.Args[i], Qty: qty})
 		}
 		app.NewOrder(r, op.Args[0], op.Args[1], lines)
+		a.placedMu.Lock()
 		a.placed = append(a.placed, placedOrder{id: op.Args[1], lines: len(lines)})
+		a.placedMu.Unlock()
 	case "payment":
 		amt, _ := strconv.ParseInt(op.Args[1], 10, 64)
 		app.Payment(r, op.Args[0], amt)
@@ -173,10 +185,17 @@ func (a *tpcwChaos) Apply(ctx *Ctx, op Op) {
 
 // MidCheck asserts the merge-repaired invariants: order atomicity and
 // referential integrity.
+// placedOrders snapshots the placed list under its lock.
+func (a *tpcwChaos) placedOrders() []placedOrder {
+	a.placedMu.Lock()
+	defer a.placedMu.Unlock()
+	return append([]placedOrder(nil), a.placed...)
+}
+
 func (a *tpcwChaos) MidCheck(ctx *Ctx, site int) []string {
 	r := ctx.Replica(site)
 	var out []string
-	for _, po := range a.placed {
+	for _, po := range a.placedOrders() {
 		if ok, msg := a.orderAtomic(ctx, site, po); !ok {
 			out = append(out, fmt.Sprintf("order %s not atomic: %s", po.id, msg))
 		}
@@ -210,7 +229,7 @@ func (a *tpcwChaos) FinalCheck(ctx *Ctx, site int) []string {
 		app = a.causal
 	}
 	out := app.Violations(ctx.Replica(site), a.items)
-	for _, po := range a.placed {
+	for _, po := range a.placedOrders() {
 		if ok, msg := a.orderAtomic(ctx, site, po); !ok {
 			out = append(out, fmt.Sprintf("order %s not atomic: %s", po.id, msg))
 		}
@@ -232,7 +251,7 @@ func (a *tpcwChaos) Digest(ctx *Ctx, site int) string {
 	for _, c := range a.customers {
 		parts = append(parts, fmt.Sprintf("bal(%s)=%d", c, a.ipa.Balance(r, c)))
 	}
-	for _, po := range a.placed {
+	for _, po := range a.placedOrders() {
 		parts = append(parts, fmt.Sprintf("status(%s)=%s", po.id, a.ipa.OrderStatus(r, po.id)))
 	}
 	return strings.Join(parts, " ")

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ipa/internal/runtime"
+)
+
+// TestConfigConcurrencyValidation pins the Concurrency knob's contract:
+// defaulting, rejection of non-positive values, and the netrepl-only
+// constraint (the simulator is single-threaded by construction).
+func TestConfigConcurrencyValidation(t *testing.T) {
+	cfg, err := Defaults("ticket").Norm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Concurrency != 1 {
+		t.Fatalf("default concurrency = %d, want 1", cfg.Concurrency)
+	}
+
+	bad := Defaults("ticket")
+	bad.Concurrency = 4 // backend defaults to sim
+	if _, err := bad.Norm(); err == nil || !strings.Contains(err.Error(), "netrepl") {
+		t.Fatalf("sim backend with concurrency 4: err = %v, want netrepl requirement", err)
+	}
+
+	neg := Defaults("ticket")
+	neg.Backend = runtime.BackendNet
+	neg.Concurrency = -2
+	if _, err := neg.Norm(); err == nil {
+		t.Fatal("negative concurrency accepted")
+	}
+
+	ok := Defaults("ticket")
+	ok.Backend = runtime.BackendNet
+	ok.Concurrency = 4
+	if _, err := ok.Norm(); err != nil {
+		t.Fatalf("netrepl with concurrency 4 rejected: %v", err)
+	}
+}
+
+// TestChaosConcurrentClients runs short netrepl chaos schedules with a
+// parallel client pool: randomized workloads and fault windows execute
+// while Concurrency workers race each other and the apply pipeline, and
+// the engine's unchanged mid-flight + quiescence checks must stay clean.
+func TestChaosConcurrentClients(t *testing.T) {
+	apps := []string{"ticket", "tournament"}
+	seeds := []uint64{7, 8}
+	if testing.Short() {
+		apps = apps[:1]
+		seeds = seeds[:1]
+	}
+	for _, app := range apps {
+		for _, seed := range seeds {
+			cfg := Defaults(app)
+			cfg.Backend = runtime.BackendNet
+			cfg.Concurrency = 4
+			cfg.Ops = 40
+			cfg.Faults = 4
+			s, err := Generate(cfg, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := Execute(s)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", app, seed, err)
+			}
+			if v != nil {
+				t.Fatalf("%s seed %d: violation with concurrent clients: %v", app, seed, v)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"ipa/internal/netrepl"
@@ -58,6 +59,14 @@ type netEvent struct {
 // invariants after repair, cross-replica digest convergence) must hold
 // under any interleaving; that is exactly the paper's claim, now checked
 // against real sockets.
+//
+// With Config.Concurrency > 1 the workload additionally fans out to a
+// pool of client workers: the timeline thread still paces dispatch in
+// schedule order, but Concurrency ops may be mid-Apply at once, racing
+// each other and the receive path on the sharded replica core. Mid-flight
+// checks briefly gate the pool (checkGate) so each check still reads a
+// site snapshot no local client is mutating mid-transaction group; the
+// quiescence protocol is unchanged — workers join before Quiesce runs.
 func executeNet(s *Schedule) (*Violation, error) {
 	app, err := newApp(s.Cfg)
 	if err != nil {
@@ -84,6 +93,45 @@ func executeNet(s *Schedule) (*Violation, error) {
 		}
 	}
 
+	// Client worker pool (Concurrency > 1). Workers hold checkGate.RLock
+	// around each op; mid-flight checks take the write lock to quiesce
+	// local mutators for the duration of one check round.
+	var (
+		checkGate sync.RWMutex
+		opCh      chan Op
+		workers   sync.WaitGroup
+	)
+	conc := s.Cfg.Concurrency
+	if conc > 1 {
+		opCh = make(chan Op)
+		for w := 0; w < conc; w++ {
+			workers.Add(1)
+			go func() {
+				defer workers.Done()
+				for op := range opCh {
+					checkGate.RLock()
+					app.Apply(ctx, op)
+					checkGate.RUnlock()
+				}
+			}()
+		}
+	}
+	dispatch := func(op Op) {
+		if conc > 1 {
+			opCh <- op
+			return
+		}
+		app.Apply(ctx, op)
+	}
+	join := func() {
+		if conc > 1 && opCh != nil {
+			close(opCh)
+			workers.Wait()
+			opCh = nil
+		}
+	}
+	defer join()
+
 	// Build the timeline: ops, fault injections and heals, and the
 	// periodic stability-run/mid-check points, exactly as the simulator
 	// schedules them. The stable sort preserves insertion order at equal
@@ -95,7 +143,7 @@ func executeNet(s *Schedule) (*Violation, error) {
 			if found != nil || ctx.Paused(op.Site) {
 				return
 			}
-			app.Apply(ctx, op)
+			dispatch(op)
 		}})
 	}
 	for _, f := range s.Faults {
@@ -113,6 +161,11 @@ func executeNet(s *Schedule) (*Violation, error) {
 			if found != nil {
 				return
 			}
+			// Quiesce the local client pool for the check round: each
+			// site's state then contains only whole local transaction
+			// groups (remote groups always attach whole).
+			checkGate.Lock()
+			defer checkGate.Unlock()
 			if ctx.stalls == 0 {
 				cluster.Stabilize()
 			}
@@ -142,6 +195,7 @@ func executeNet(s *Schedule) (*Violation, error) {
 		prev = ev.at
 		ev.fn()
 	}
+	join()
 	if found != nil {
 		return found, nil
 	}

@@ -66,6 +66,14 @@ type Config struct {
 	// Delay faults are sim-only and no-ops on netrepl; the escrow scenario
 	// is coupled to the latency model and rejects netrepl.
 	Backend string `json:"backend,omitempty"`
+	// Concurrency is the number of parallel client workers executing the
+	// workload (default 1). With more than one worker, operations still
+	// dispatch in schedule order but apply concurrently — exercising the
+	// sharded replica core's local-vs-local and local-vs-receive races.
+	// Requires the netrepl backend: the simulator is single-threaded by
+	// construction. Fault windows and invariant checks run unchanged (the
+	// executor briefly gates the workers around each mid-flight check).
+	Concurrency int `json:"concurrency,omitempty"`
 }
 
 // Defaults returns the standard chaos configuration for an app.
@@ -103,6 +111,15 @@ func (c Config) Norm() (Config, error) {
 	}
 	if c.Horizon == 0 {
 		c.Horizon = d.Horizon
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = 1
+	}
+	if c.Concurrency < 1 {
+		return c, fmt.Errorf("harness: concurrency must be positive, got %d", c.Concurrency)
+	}
+	if c.Concurrency > 1 && c.Backend != runtime.BackendNet {
+		return c, fmt.Errorf("harness: concurrency %d requires the netrepl backend (the simulator is single-threaded)", c.Concurrency)
 	}
 	if c.Replicas < 2 {
 		return c, fmt.Errorf("harness: need at least 2 replicas, got %d", c.Replicas)

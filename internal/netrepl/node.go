@@ -21,21 +21,29 @@
 //     (counted in Metrics.BackpressureWaits), never dropping a frame —
 //     a causal gap would stall the receiver's dependency queue forever;
 //   - acknowledged delivery: the receiver confirms each batch frame after
-//     applying it, and the sender counts a frame sent only on ack. A
-//     write that succeeds into a socket the peer kills before reading
-//     would otherwise be silent loss — the chaos soak (internal/harness)
-//     surfaces exactly this under connection churn;
+//     accepting it into its apply pipeline, and the sender counts a frame
+//     sent only on ack. A write that succeeds into a socket the peer
+//     kills before reading would otherwise be silent loss — the chaos
+//     soak (internal/harness) surfaces exactly this under churn;
 //   - graceful shutdown: Close stops accepting work and gives every
 //     sender Config.DrainTimeout to flush its queue before abandoning
 //     the remainder (counted in Metrics.TxnsDropped).
 //
+// The receive path is a pipelined applier over the sharded replica core.
+// There is no per-node lock: decoded transactions route into one bounded
+// apply queue per origin, each drained by its own applier goroutine. The
+// single applier per origin preserves the origin's commit (FIFO) order;
+// appliers for different origins run concurrently and serialise only on
+// the store's per-shard locks, with cross-origin causality enforced by
+// store.Replica.ApplyExternal's dependency wait. Local transactions (Do,
+// Begin) run concurrently with the appliers and with each other under the
+// store's own two-phase shard locking.
+//
 // Delivery is at-least-once — a sender that loses its connection (or an
-// ack) mid-frame retries the whole batch — and the receive path
+// ack) mid-frame retries the whole batch — and the apply path
 // deduplicates by origin sequence number, so effects apply exactly once.
-// Causal order across connections is enforced by the receiver's
-// dependency queue, exactly as in the simulator; batches may arrive
-// reordered, duplicated, or interleaved with legacy single-transaction
-// frames and the replica state still converges.
+// Batches may arrive reordered, duplicated, or interleaved with legacy
+// single-transaction frames and the replica state still converges.
 //
 // The original connection-per-transaction demo transport is kept behind
 // Config.Legacy for benchmarking (internal/bench measures streaming vs
@@ -61,7 +69,7 @@ import (
 const maxFrame = 64 << 20
 
 // ackMagic is the fixed acknowledgement word the receiver writes back
-// after applying one frame. The protocol is synchronous per connection —
+// after accepting one frame. The protocol is synchronous per connection —
 // one frame in flight, one ack — so the word needs no sequence number;
 // any mismatch means a corrupt stream and drops the connection.
 const ackMagic = 0x41434B31 // "ACK1"
@@ -76,8 +84,15 @@ type Config struct {
 	FlushInterval time.Duration
 	// MaxBatchTxns caps the transactions per batch frame. Default 256.
 	MaxBatchTxns int
-	// QueueCap bounds each peer's outbound queue in transactions.
-	// Default 8192. A full queue applies backpressure to committers.
+	// QueueCap bounds each peer's outbound queue and each origin's
+	// inbound apply queue, in transactions. Default 8192. A full
+	// outbound queue applies backpressure to committers; a full apply
+	// queue withholds the frame ack until it drains. One exemption: a
+	// transaction ahead of its origin's FIFO gap moves from the apply
+	// queue into the applier's reorder buffer, which — like the
+	// simulator's causal delivery queue — is unbounded (bounding it
+	// could wedge delivery, since the gap-filling transaction arrives
+	// on the same stream). Reordered backlogs still count in Pending.
 	QueueCap int
 	// DialTimeout bounds one connection attempt. Default 2s.
 	DialTimeout time.Duration
@@ -150,7 +165,7 @@ type Metrics struct {
 	// (each followed by a backoff + retry, so errors are not losses).
 	SendErrors uint64
 	// FramesSent/TxnsSent/BytesSent cover the outbound path; frames and
-	// transactions count only once the peer acknowledged applying them.
+	// transactions count only once the peer acknowledged accepting them.
 	// The TxnsSent/FramesSent ratio is the achieved batching factor.
 	FramesSent, TxnsSent, BytesSent uint64
 	// FramesRecv/TxnsRecv/BytesRecv cover the inbound path.
@@ -163,6 +178,9 @@ type Metrics struct {
 	// QueueDepth is the current total of queued outbound transactions
 	// across peers.
 	QueueDepth int
+	// ApplyDepth is the current total of received transactions queued in
+	// the per-origin apply pipeline (accepted but not yet applied).
+	ApplyDepth int
 }
 
 func (m Metrics) String() string {
@@ -172,9 +190,9 @@ func (m Metrics) String() string {
 	}
 	return fmt.Sprintf(
 		"sent %d txns in %d frames (%.1f txns/frame, %d bytes), recv %d txns in %d frames, "+
-			"dials %d (reconnects %d), send errors %d, backpressure waits %d, dropped %d, queue %d",
+			"dials %d (reconnects %d), send errors %d, backpressure waits %d, dropped %d, queue %d, apply queue %d",
 		m.TxnsSent, m.FramesSent, batch, m.BytesSent, m.TxnsRecv, m.FramesRecv,
-		m.Dials, m.Reconnects, m.SendErrors, m.BackpressureWaits, m.TxnsDropped, m.QueueDepth)
+		m.Dials, m.Reconnects, m.SendErrors, m.BackpressureWaits, m.TxnsDropped, m.QueueDepth, m.ApplyDepth)
 }
 
 // counters holds the atomically updated parts of Metrics.
@@ -186,16 +204,15 @@ type counters struct {
 	backpressureWaits, txnsDropped  uint64
 }
 
-// Node hosts one replica of the database and replicates over TCP.
+// Node hosts one replica of the database and replicates over TCP. It has
+// no global lock: local transactions synchronise through the store's
+// sharded two-phase locking, and the receive path applies through
+// per-origin applier goroutines (see the package comment).
 type Node struct {
 	id      clock.ReplicaID
 	cfg     Config
 	cluster *store.Cluster
-
-	// mu is the replica lock: local transactions (Do) and the receive
-	// path serialise on it. A committer blocked on backpressure holds it,
-	// so nothing else (Stats, AddPeer) may depend on it.
-	mu sync.Mutex
+	replica *store.Replica
 
 	peersMu sync.RWMutex
 	peers   map[clock.ReplicaID]*peerConn
@@ -209,6 +226,23 @@ type Node struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{} // accepted (inbound) connections
+
+	// applyMu guards appliers: one bounded queue + goroutine per origin,
+	// created on the first frame from that origin. applyPending counts
+	// transactions accepted into the pipeline and not yet applied (or
+	// dropped as duplicates) — the receive-side analogue of the
+	// simulator's causal delivery queue length.
+	applyMu      sync.Mutex
+	appliers     map[clock.ReplicaID]chan store.WireTxn
+	applyClosed  bool // set by Close under applyMu: no new appliers
+	applyPending atomic.Int64
+
+	// pauseMu/pauseCond gate the appliers — the crash/recovery fault
+	// hook. While paused, frames are still received, acknowledged, and
+	// queued; nothing applies.
+	pauseMu   sync.Mutex
+	pauseCond *sync.Cond
+	paused    bool
 
 	// blockMu guards blocked: origins whose frames the receive path
 	// refuses (the partition fault hook — see BlockOrigin).
@@ -233,15 +267,18 @@ func NewNodeWithConfig(id clock.ReplicaID, addr string, cfg Config) (*Node, erro
 		return nil, fmt.Errorf("netrepl: listen: %w", err)
 	}
 	n := &Node{
-		id:      id,
-		cfg:     cfg.withDefaults(),
-		cluster: store.NewSocketCluster(id),
-		peers:   map[clock.ReplicaID]*peerConn{},
-		ln:      ln,
-		closed:  make(chan struct{}),
-		conns:   map[net.Conn]struct{}{},
-		blocked: map[clock.ReplicaID]bool{},
+		id:       id,
+		cfg:      cfg.withDefaults(),
+		cluster:  store.NewSocketCluster(id),
+		peers:    map[clock.ReplicaID]*peerConn{},
+		ln:       ln,
+		closed:   make(chan struct{}),
+		conns:    map[net.Conn]struct{}{},
+		appliers: map[clock.ReplicaID]chan store.WireTxn{},
+		blocked:  map[clock.ReplicaID]bool{},
 	}
+	n.replica = n.cluster.Replica(id)
+	n.pauseCond = sync.NewCond(&n.pauseMu)
 	n.cluster.SetOnCommit(n.broadcast)
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -270,55 +307,88 @@ func (n *Node) AddPeer(id clock.ReplicaID, addr string) {
 	}
 }
 
-// Do runs fn against the node's replica under the node lock. All local
-// reads and transactions must go through Do: the TCP receive path applies
-// remote transactions concurrently.
+// Do runs fn against the node's replica. There is no node lock any more:
+// every replica method fn can call (Begin/Commit transactions, Object,
+// Lookup, Clock, CompactAll) is individually safe against the concurrent
+// receive path, and transactions two-phase-lock their shards. fn itself
+// gets no multi-call atomicity — read related keys inside one
+// transaction when a consistent view matters.
 func (n *Node) Do(fn func(r *store.Replica)) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	fn(n.cluster.Replica(n.id))
+	fn(n.replica)
 }
 
-// Begin starts a highly available transaction at the node's replica,
-// holding the node lock until the transaction commits — the runtime
-// backend surface (runtime.Replica). The lock serialises the transaction
-// against the TCP receive path, so reads inside it observe a causally
-// consistent, transaction-atomic state exactly as on the simulator. Never
-// hold two uncommitted transactions on one node, and always commit.
-// Commit broadcasts under this lock, so a committer can block on
-// backpressure while holding it (same as Do); see runtime.Replica for
-// the multi-node discipline that follows.
+// Begin starts a highly available transaction at the node's replica —
+// the runtime backend surface (runtime.Replica). Transactions from many
+// goroutines run concurrently with each other and with the receive path:
+// the store's shard locks give each transaction a per-key-group
+// serialised view, and remote effect groups attach atomically. Always
+// commit exactly once. Commit hands the transaction to replication while
+// holding its shard locks, and a full outbound queue blocks the
+// committer (backpressure, by design; size QueueCap above the driver's
+// outstanding load — see DESIGN.md).
 func (n *Node) Begin() *store.Txn {
-	n.mu.Lock()
-	tx := n.cluster.Replica(n.id).Begin()
-	tx.OnFinish(n.mu.Unlock)
-	return tx
+	return n.replica.Begin()
 }
 
 // Object returns the CRDT stored at key, creating it with mk when absent.
-// It takes the node lock; do not call it between Begin and Commit.
+// The lookup is shard-locked; read the returned object through a
+// transaction when the node is live.
 func (n *Node) Object(key string, mk func() crdt.CRDT) crdt.CRDT {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.cluster.Replica(n.id).Object(key, mk)
+	return n.replica.Object(key, mk)
 }
 
-// Lookup returns the CRDT stored at key if it exists, under the node
-// lock; do not call it between Begin and Commit.
+// Lookup returns the CRDT stored at key if it exists.
 func (n *Node) Lookup(key string) (crdt.CRDT, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.cluster.Replica(n.id).Lookup(key)
+	return n.replica.Lookup(key)
 }
 
-// SetPaused freezes (or thaws) the replica's delivery pipeline — the
-// crash/recovery fault hook, identical to the simulator's: remote frames
-// are still received and acknowledged, but queue in the causal delivery
-// buffer without applying. Unpausing drains the buffer in causal order.
+// CompactAll lets every CRDT at the node's replica compact metadata below
+// the stability horizon, shard by shard — safe while the node serves
+// traffic (see store.Replica.CompactAll).
+func (n *Node) CompactAll(horizon, frontier clock.Vector) {
+	n.replica.CompactAll(horizon, frontier)
+}
+
+// SetPaused freezes (or thaws) the node's apply pipeline — the
+// crash/recovery fault hook, matching the simulator's: remote frames are
+// still received, acknowledged, and queued per origin, but nothing
+// applies. Unpausing lets the appliers drain in causal order. Local
+// commits are unaffected.
 func (n *Node) SetPaused(paused bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.cluster.SetPaused(n.id, paused)
+	n.pauseMu.Lock()
+	n.paused = paused
+	n.pauseCond.Broadcast()
+	n.pauseMu.Unlock()
+	if paused {
+		// Kick appliers parked inside a dependency wait so they re-poll
+		// their gate, abandon the wait, and park on the pause gate —
+		// otherwise a dependency arriving mid-pause would let them apply
+		// while the node is "crashed".
+		n.replica.WakeExternal()
+	}
+}
+
+// isPaused reports the pause flag.
+func (n *Node) isPaused() bool {
+	n.pauseMu.Lock()
+	defer n.pauseMu.Unlock()
+	return n.paused
+}
+
+// pauseWait blocks while the node is paused. It returns false when the
+// node closed instead.
+func (n *Node) pauseWait() bool {
+	n.pauseMu.Lock()
+	defer n.pauseMu.Unlock()
+	for n.paused {
+		select {
+		case <-n.closed:
+			return false
+		default:
+		}
+		n.pauseCond.Wait()
+	}
+	return true
 }
 
 // BlockOrigin makes the receive path refuse frames whose transactions
@@ -358,6 +428,7 @@ func (n *Node) Stats() Metrics {
 		BytesRecv:         atomic.LoadUint64(&n.m.bytesRecv),
 		BackpressureWaits: atomic.LoadUint64(&n.m.backpressureWaits),
 		TxnsDropped:       atomic.LoadUint64(&n.m.txnsDropped),
+		ApplyDepth:        int(n.applyPending.Load()),
 	}
 	n.peersMu.RLock()
 	for _, p := range n.peers {
@@ -368,7 +439,8 @@ func (n *Node) Stats() Metrics {
 }
 
 // broadcast ships one committed transaction to every peer. Called from
-// Commit, which runs under the node lock via Do. In streaming mode it
+// Commit under the committing transaction's tag window, so per-peer
+// enqueue order matches the origin's sequence order. In streaming mode it
 // enqueues and returns; in legacy mode it dials and sends synchronously.
 func (n *Node) broadcast(w store.WireTxn) {
 	if n.cfg.Legacy {
@@ -473,23 +545,164 @@ func (n *Node) handle(conn net.Conn) {
 		}
 		atomic.AddUint64(&n.m.framesRecv, 1)
 		atomic.AddUint64(&n.m.bytesRecv, uint64(len(data)+4))
-		n.mu.Lock()
+		// Route each transaction into its origin's apply queue. A full
+		// queue blocks here — and thereby withholds the ack, pushing
+		// backpressure onto the sender, which will retry the batch (the
+		// apply path deduplicates).
 		for _, w := range txns {
-			n.cluster.Deliver(n.id, w)
+			n.applyPending.Add(1)
+			if !n.enqueueApply(w) {
+				n.applyPending.Add(-1)
+				return // node closing
+			}
 		}
-		n.mu.Unlock()
 		atomic.AddUint64(&n.m.txnsRecv, uint64(len(txns)))
-		// Acknowledge only after the batch is applied (or queued for its
-		// causal dependencies): the sender may now forget it. Legacy
-		// senders never read acks; the write then fails or lands in a
-		// buffer nobody drains, both harmless.
+		// Acknowledge once the batch is accepted into the apply pipeline:
+		// the sender may now forget it. Applying happens asynchronously —
+		// the pipeline is never torn down before the node itself, so
+		// acceptance is as durable as the old apply-then-ack (neither
+		// survives Close). Legacy senders never read acks; the write then
+		// fails or lands in a buffer nobody drains, both harmless.
 		if err := writeAck(conn); err != nil {
 			return
 		}
 	}
 }
 
-// writeAck confirms one applied frame.
+// enqueueApply hands one received transaction to its origin's applier,
+// creating queue and goroutine on first contact. It returns false when
+// the node is closing.
+func (n *Node) enqueueApply(w store.WireTxn) bool {
+	n.applyMu.Lock()
+	ch, ok := n.appliers[w.Origin]
+	if !ok {
+		// applyClosed is set by Close under this mutex before it waits on
+		// n.wg, so the Add below cannot race the Wait.
+		if n.applyClosed {
+			n.applyMu.Unlock()
+			return false
+		}
+		ch = make(chan store.WireTxn, n.cfg.QueueCap)
+		n.appliers[w.Origin] = ch
+		n.wg.Add(1)
+		go n.applyLoop(w.Origin, ch)
+	}
+	n.applyMu.Unlock()
+	select {
+	case ch <- w:
+		return true
+	case <-n.closed:
+		return false
+	}
+}
+
+// applyLoop drains one origin's apply queue — per-origin FIFO is what
+// store.Replica.ApplyExternal requires of its callers. The streaming
+// sender delivers in order, but separate connections (reconnect retries,
+// legacy senders, hand-crafted test frames) may interleave out of
+// sequence, so a local reorder buffer holds transactions ahead of the
+// origin's FIFO gap instead of blocking the queue on them.
+//
+// Cross-origin causal order is ApplyExternal's dependency wait; the
+// blocked applier holds no locks while waiting, and the dependencies it
+// waits for arrive on other origins' queues, so the happens-before order
+// (acyclic by construction) guarantees progress.
+func (n *Node) applyLoop(origin clock.ReplicaID, ch chan store.WireTxn) {
+	defer n.wg.Done()
+	giveUp := func() bool {
+		select {
+		case <-n.closed:
+			return true
+		default:
+			return false
+		}
+	}
+	// next is the origin's delivered high-water mark. This goroutine is
+	// the only writer of the replica's clock entry for origin, so the
+	// local copy stays authoritative.
+	next := n.replica.Clock().Get(origin)
+	buf := map[uint64]store.WireTxn{} // FIFO reorder buffer: FirstSeq → txn
+	// Transactions still held in the reorder buffer when the node closes
+	// die with it; they were acknowledged, so account for them (Close
+	// drains the dead channels the same way once the appliers exited).
+	defer func() {
+		if dropped := uint64(len(buf)); dropped > 0 {
+			atomic.AddUint64(&n.m.txnsDropped, dropped)
+			n.applyPending.Add(-int64(dropped))
+		}
+	}()
+	for {
+		select {
+		case w := <-ch:
+			if w.FirstSeq > next {
+				// FIFO gap: hold the transaction until the origin's prefix
+				// arrives on a later frame.
+				if _, dup := buf[w.FirstSeq]; dup {
+					n.replica.NoteDuplicate()
+					n.applyPending.Add(-1)
+				} else {
+					buf[w.FirstSeq] = w
+				}
+				continue
+			}
+			if !n.applyOne(w, giveUp) {
+				return // node closed before the transaction was processed
+			}
+			if w.LastSeq > next {
+				next = w.LastSeq
+			}
+			// The gap may have closed for buffered successors.
+			for {
+				w2, ok := buf[next]
+				if !ok {
+					break
+				}
+				delete(buf, next)
+				if !n.applyOne(w2, giveUp) {
+					return
+				}
+				next = w2.LastSeq
+			}
+		case <-n.closed:
+			return
+		}
+	}
+}
+
+// applyOne applies one in-FIFO-order transaction (or drops it as a
+// duplicate), honouring the pause gate, and settles its applyPending
+// slot. A pause engaging while the transaction waits for a causal
+// dependency aborts the wait and re-parks on the pause gate, so nothing
+// applies mid-pause even when the dependency arrives during it. It
+// returns false only when the node closed before the transaction was
+// processed — that transaction is then counted dropped.
+func (n *Node) applyOne(w store.WireTxn, giveUp func() bool) bool {
+	gate := func() bool { return giveUp() || n.isPaused() }
+	for {
+		if !n.pauseWait() {
+			break // closed while paused
+		}
+		if n.replica.ApplyExternal(w, gate) {
+			n.applyPending.Add(-1)
+			return true
+		}
+		if giveUp() {
+			break
+		}
+		// ApplyExternal declined without a close: either a duplicate
+		// (the delivered cut already covers it — processed) or a pause
+		// aborted the dependency wait (retry after the pause lifts).
+		if n.replica.Clock().Get(w.Origin) >= w.LastSeq {
+			n.applyPending.Add(-1)
+			return true
+		}
+	}
+	n.applyPending.Add(-1)
+	atomic.AddUint64(&n.m.txnsDropped, 1)
+	return false
+}
+
+// writeAck confirms one accepted frame.
 func writeAck(conn net.Conn) error {
 	var buf [4]byte
 	binary.BigEndian.PutUint32(buf[:], ackMagic)
@@ -539,24 +752,22 @@ func (n *Node) DropConnections() int {
 	return len(n.conns)
 }
 
-// Pending reports the size of the causal delivery queue (transactions
-// waiting for their dependencies).
+// Pending reports the number of received transactions waiting in the
+// apply pipeline (for their causal dependencies, a pause to lift, or an
+// applier slot).
 func (n *Node) Pending() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.cluster.Replica(n.id).PendingCount()
+	return int(n.applyPending.Load())
 }
 
 // Clock returns the replica's delivered causal cut.
 func (n *Node) Clock() clock.Vector {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.cluster.Replica(n.id).Clock()
+	return n.replica.Clock()
 }
 
 // Close drains the outbound queues (for up to Config.DrainTimeout), stops
-// the listener and senders, and waits for in-flight handlers. Safe to
-// call more than once.
+// the listener, senders, and appliers, and waits for in-flight handlers.
+// Transactions still queued in the apply pipeline are dropped with the
+// node. Safe to call more than once.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() {
 		n.drainDL.Store(time.Now().Add(n.cfg.DrainTimeout))
@@ -569,7 +780,34 @@ func (n *Node) Close() error {
 			c.Close()
 		}
 		n.connMu.Unlock()
+		// Stop applier creation (see enqueueApply), then wake appliers
+		// parked on the pause gate or on a causal dependency so they
+		// observe the close.
+		n.applyMu.Lock()
+		n.applyClosed = true
+		n.applyMu.Unlock()
+		n.pauseMu.Lock()
+		n.pauseCond.Broadcast()
+		n.pauseMu.Unlock()
+		n.replica.WakeExternal()
 		n.wg.Wait()
+		// Handlers and appliers are gone; transactions still sitting in
+		// the dead apply queues were acknowledged and are now lost with
+		// the node — account for them so the metrics settle.
+		n.applyMu.Lock()
+		for _, ch := range n.appliers {
+			for {
+				select {
+				case <-ch:
+					atomic.AddUint64(&n.m.txnsDropped, 1)
+					n.applyPending.Add(-1)
+					continue
+				default:
+				}
+				break
+			}
+		}
+		n.applyMu.Unlock()
 	})
 	return n.closeErr
 }

@@ -281,9 +281,14 @@ func TestBatchesOutOfCausalOrder(t *testing.T) {
 	}
 
 	// A duplicate of txn2 while still undeliverable must not wedge the
-	// queue once the prefix arrives.
+	// queue once the prefix arrives: the reorder buffer detects it on
+	// arrival and drops it without holding it pending.
 	rawSend(t, n.Addr(), encodeBatch(t, txns[1]))
-	waitUntil(t, "duplicate queued", func() bool { return n.Pending() == 3 })
+	waitUntil(t, "duplicate dropped", func() bool {
+		var dups uint64
+		n.Do(func(r *store.Replica) { _, dups = r.DeliveryStats() })
+		return dups == 1 && n.Pending() == 2
+	})
 
 	// The missing batch arrives last: everything drains in causal order.
 	rawSend(t, n.Addr(), encodeBatch(t, txns[0]))
@@ -294,7 +299,7 @@ func TestBatchesOutOfCausalOrder(t *testing.T) {
 		t.Fatalf("counter = %d after drain, want 3 (duplicate applied?)", v)
 	}
 	var dups uint64
-	n.Do(func(r *store.Replica) { dups = r.TxnsDuplicate })
+	n.Do(func(r *store.Replica) { _, dups = r.DeliveryStats() })
 	if dups != 1 {
 		t.Fatalf("TxnsDuplicate = %d, want 1", dups)
 	}

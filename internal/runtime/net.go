@@ -90,8 +90,8 @@ func (c *NetCluster) Replica(id clock.ReplicaID) Replica {
 	return n
 }
 
-// Stabilize implements Cluster: it gathers every node's causal cut (each
-// snapshot atomic under that node's lock), computes the stability horizon
+// Stabilize implements Cluster: it gathers every node's causal cut,
+// computes the stability horizon
 // and the commit frontier, and lets every node's CRDTs compact below it —
 // the same pass store.Cluster.Stabilize runs inside the simulator.
 //
@@ -110,7 +110,7 @@ func (c *NetCluster) Stabilize() clock.Vector {
 	}
 	h := stab.Horizon()
 	for _, id := range c.order {
-		c.nodes[id].Do(func(r *store.Replica) { r.CompactAll(h, frontier) })
+		c.nodes[id].CompactAll(h, frontier)
 	}
 	return h
 }

@@ -35,21 +35,25 @@ func Backends() []string { return []string{BackendSim, BackendNet} }
 // Replica is one site of the replicated database. *store.Replica is the
 // sim-backed implementation; *netrepl.Node the socket-backed one.
 //
-// Begin starts a highly available transaction. On concurrent backends
-// Begin locks the replica until the transaction commits, serialising local
-// execution against the receive path — so never hold two uncommitted
-// transactions on one replica, and always commit exactly once. Object and
-// Lookup take the same lock per call; do not call them (or Clock) between
-// Begin and Commit.
+// Begin starts a highly available transaction. Replicas are safe for
+// concurrent use: many goroutines may hold open transactions on one
+// replica at once, each two-phase-locking the key shards it touches, and
+// the replication receive path applies remote effect groups concurrently
+// (serialised per shard). Always commit every transaction exactly once.
+// Multi-key reads that need one consistent view must happen inside a
+// single transaction, binding every key before reading any (see
+// store.Txn's visibility contract — a writer's contended out-of-order
+// shard reacquisition is the one narrow, origin-local exception to group
+// atomicity). Object, Lookup, and Clock are individually safe at any
+// time but give no cross-call atomicity.
 //
-// Commit hands the transaction to replication while still holding that
-// lock, and a full outbound queue blocks the committer (backpressure, by
-// design — see the netrepl locking discipline in DESIGN.md). Drivers that
-// commit concurrently on several replicas of one net-backed cluster must
-// therefore keep their outstanding load below the transport queue
-// capacity: two committers blocked on each other's full queues would
-// deadlock. Every driver in this repository issues from a single thread,
-// which rules the cycle out.
+// Commit hands the transaction to replication while still holding its
+// shard locks, and a full outbound queue blocks the committer
+// (backpressure, by design — see the netrepl queue-sizing discipline in
+// DESIGN.md). Drivers that commit concurrently on several replicas of one
+// net-backed cluster must keep their outstanding load below the transport
+// queue capacity so backpressure cycles cannot form; every driver in this
+// repository sizes QueueCap above the whole workload.
 type Replica interface {
 	// ID returns the replica identifier.
 	ID() clock.ReplicaID

@@ -3,7 +3,9 @@ package store
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"ipa/internal/clock"
 	"ipa/internal/crdt"
@@ -202,5 +204,309 @@ func TestPartitionedWritesSurviveHeal(t *testing.T) {
 			t.Fatalf("replica %s has %d elements after heal, want 11", id, got)
 		}
 		tx.Commit()
+	}
+}
+
+// --- Concurrent sharded-core properties --------------------------------
+//
+// The tests below exercise the replica core the way a real transport
+// does: many client goroutines committing local transactions while
+// remote transactions stream in through ApplyExternal on concurrent
+// applier goroutines. Run them under -race; they are the property suite
+// for the sharded locking discipline (two-phase shard acquisition, tag
+// window, per-origin FIFO apply).
+
+// pipeReplicas wires two socket-cluster replicas together: every commit
+// at one side is applied at the other by a dedicated applier goroutine,
+// preserving per-origin FIFO exactly as netrepl's per-peer apply queues
+// do. Call the returned drain function after all writers joined to wait
+// for full delivery.
+func pipeReplicas(t *testing.T, a, b *Replica) (drain func()) {
+	t.Helper()
+	wire := func(src, dst *Replica) chan WireTxn {
+		ch := make(chan WireTxn, 1<<16)
+		src.cluster.SetOnCommit(func(w WireTxn) { ch <- w })
+		go func() {
+			for w := range ch {
+				dst.ApplyExternal(w, nil)
+			}
+		}()
+		return ch
+	}
+	ab := wire(a, b)
+	ba := wire(b, a)
+	return func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			ac, bc := a.Clock(), b.Clock()
+			if len(ab) == 0 && len(ba) == 0 && ac.Equal(bc) {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("replicas did not converge: %s vs %s", a.Clock(), b.Clock())
+	}
+}
+
+// TestConcurrentLocalVsExternalApply drives concurrent local transactions
+// (goroutine-private counters, a shared add-wins set) against the
+// concurrent remote apply path, asserting per-key linearizable
+// read-your-writes throughout and cross-replica convergence at the end.
+func TestConcurrentLocalVsExternalApply(t *testing.T) {
+	a := NewSocketCluster("a").Replica("a")
+	b := NewSocketCluster("b").Replica("b")
+	drain := pipeReplicas(t, a, b)
+
+	const (
+		workers = 4
+		txnsPer = 120
+	)
+	var wg sync.WaitGroup
+	for side, r := range map[string]*Replica{"a": a, "b": b} {
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(side string, r *Replica, g int) {
+				defer wg.Done()
+				// Keys are spread over many shards; the private counter is
+				// this goroutine's linearizability probe.
+				private := fmt.Sprintf("priv/%s/%d", side, g)
+				shared := "shared/set"
+				for i := 0; i < txnsPer; i++ {
+					tx := r.Begin()
+					CounterAt(tx, private).Add(1)
+					AWSetAt(tx, shared).Add(fmt.Sprintf("%s-%d-%d", side, g, i), "")
+					tx.Commit()
+
+					// Read-your-writes, per key: a fresh transaction at the
+					// same replica must see every increment this goroutine
+					// has committed (nobody else touches the private key).
+					check := r.Begin()
+					got := CounterAt(check, private).Value()
+					check.Commit()
+					if got != int64(i+1) {
+						t.Errorf("%s/%d: read-own-writes broken: counter=%d after %d commits", side, g, got, i+1)
+						return
+					}
+				}
+			}(side, r, g)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	drain()
+
+	// Convergence: identical shared-set contents and private counters.
+	digest := func(r *Replica) string {
+		tx := r.Begin()
+		defer tx.Commit()
+		out := fmt.Sprint(AWSetAt(tx, "shared/set").Size())
+		for _, side := range []string{"a", "b"} {
+			for g := 0; g < workers; g++ {
+				out += fmt.Sprintf(" %d", CounterAt(tx, fmt.Sprintf("priv/%s/%d", side, g)).Value())
+			}
+		}
+		return out
+	}
+	da, db := digest(a), digest(b)
+	if da != db {
+		t.Fatalf("replicas diverged:\n%s\nvs\n%s", da, db)
+	}
+	tx := a.Begin()
+	if got, want := AWSetAt(tx, "shared/set").Size(), 2*workers*txnsPer; got != want {
+		t.Fatalf("shared set has %d elements, want %d", got, want)
+	}
+	tx.Commit()
+}
+
+// TestCrossShardAtomicityConcurrent is the multi-key atomicity property
+// in the concurrent setting: every writer transaction increments all K
+// counters (keys chosen to span many shards), so in any transaction-
+// consistent snapshot all K values are equal. Reader transactions on
+// both the origin and the remote replica assert that continuously while
+// writers and the apply path run; a reader observing a half-attached
+// effect group fails the test.
+func TestCrossShardAtomicityConcurrent(t *testing.T) {
+	a := NewSocketCluster("a").Replica("a")
+	b := NewSocketCluster("b").Replica("b")
+	drain := pipeReplicas(t, a, b)
+
+	keys := make([]string, 6)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("atomic/k%02d", i*7) // spread across shards
+	}
+
+	const (
+		writersPer = 3
+		txnsPer    = 80
+	)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for _, r := range []*Replica{a, b} {
+		readers.Add(1)
+		go func(r *Replica) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Bind every key first (acquiring all shards), then read:
+				// the reads form one transaction-consistent snapshot.
+				tx := r.Begin()
+				refs := make([]CounterRef, len(keys))
+				for i, k := range keys {
+					refs[i] = CounterAt(tx, k)
+				}
+				base := refs[0].Value()
+				for i, ref := range refs {
+					if v := ref.Value(); v != base {
+						t.Errorf("%s: torn effect group: %s=%d but %s=%d",
+							r.ID(), keys[0], base, keys[i], v)
+						tx.Commit()
+						return
+					}
+				}
+				tx.Commit()
+			}
+		}(r)
+	}
+
+	var writers sync.WaitGroup
+	rng := rand.New(rand.NewSource(7))
+	order := make([][]string, writersPer*2)
+	for i := range order {
+		// Each writer binds the keys in its own random order, exercising
+		// the out-of-order acquisition (escalation) path.
+		perm := rng.Perm(len(keys))
+		ks := make([]string, len(keys))
+		for j, p := range perm {
+			ks[j] = keys[p]
+		}
+		order[i] = ks
+	}
+	for w := 0; w < writersPer*2; w++ {
+		writers.Add(1)
+		go func(w int, r *Replica) {
+			defer writers.Done()
+			for i := 0; i < txnsPer; i++ {
+				tx := r.Begin()
+				refs := make([]CounterRef, 0, len(keys))
+				for _, k := range order[w] {
+					refs = append(refs, CounterAt(tx, k))
+				}
+				for _, ref := range refs {
+					ref.Add(1)
+				}
+				tx.Commit()
+			}
+		}(w, []*Replica{a, b}[w%2])
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+	drain()
+
+	// Final state: all counters equal the total number of transactions on
+	// both replicas.
+	want := int64(writersPer * 2 * txnsPer)
+	for _, r := range []*Replica{a, b} {
+		tx := r.Begin()
+		for _, k := range keys {
+			if v := CounterAt(tx, k).Value(); v != want {
+				t.Fatalf("%s: %s = %d, want %d", r.ID(), k, v, want)
+			}
+		}
+		tx.Commit()
+	}
+}
+
+// TestConcurrentSessionsStayCausal runs sessions on concurrent goroutines
+// against one replica pair: session guarantees (read your writes,
+// monotonic reads) must hold even while the apply path races the client.
+func TestConcurrentSessionsStayCausal(t *testing.T) {
+	a := NewSocketCluster("a").Replica("a")
+	b := NewSocketCluster("b").Replica("b")
+	drain := pipeReplicas(t, a, b)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := NewSession()
+			key := fmt.Sprintf("sess/%d", g)
+			for i := 0; i < 100; i++ {
+				tx, err := s.Begin(a)
+				if err != nil {
+					t.Errorf("session stale at its own replica: %v", err)
+					return
+				}
+				CounterAt(tx, key).Add(1)
+				tx.Commit()
+				s.Observe(tx)
+				// The session's cut now includes the commit: attaching to
+				// the same replica can never fail, and reads must see it.
+				tx2, err := s.Begin(a)
+				if err != nil {
+					t.Errorf("session stale after observe: %v", err)
+					return
+				}
+				if v := CounterAt(tx2, key).Value(); v != int64(i+1) {
+					t.Errorf("session read %d after %d observed commits", v, i+1)
+					tx2.Commit()
+					return
+				}
+				tx2.Commit()
+			}
+		}(g)
+	}
+	wg.Wait()
+	drain()
+}
+
+// TestCommitDepsCoverMidTransactionReads pins the causal-coverage fix
+// deterministically: a remote transaction applied between a local
+// transaction's Begin and its reads must appear in the local
+// transaction's replicated dependency vector — otherwise a third replica
+// could apply the local transaction before what it read ("writes follow
+// reads" would break).
+func TestCommitDepsCoverMidTransactionReads(t *testing.T) {
+	// Produce a wire transaction from origin "b".
+	b := NewSocketCluster("b").Replica("b")
+	var fromB []WireTxn
+	b.cluster.SetOnCommit(func(w WireTxn) { fromB = append(fromB, w) })
+	btx := b.Begin()
+	CounterAt(btx, "k").Add(5)
+	btx.Commit()
+	if len(fromB) != 1 {
+		t.Fatalf("captured %d transactions from b", len(fromB))
+	}
+
+	a := NewSocketCluster("a").Replica("a")
+	var fromA []WireTxn
+	a.cluster.SetOnCommit(func(w WireTxn) { fromA = append(fromA, w) })
+
+	tx := a.Begin() // snapshot taken before b's transaction arrives
+	if !a.ApplyExternal(fromB[0], nil) {
+		t.Fatal("external apply refused")
+	}
+	// The open transaction reads b's effect (live objects), then writes.
+	if v := CounterAt(tx, "k").Value(); v != 5 {
+		t.Fatalf("read %d, want 5 (remote effect must be visible)", v)
+	}
+	CounterAt(tx, "k2").Add(1)
+	tx.Commit()
+
+	if len(fromA) != 1 {
+		t.Fatalf("captured %d transactions from a", len(fromA))
+	}
+	if got := fromA[0].Deps.Get("b"); got != fromB[0].LastSeq {
+		t.Fatalf("replicated deps[b] = %d, want %d: mid-transaction read not covered", got, fromB[0].LastSeq)
 	}
 }

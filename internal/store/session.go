@@ -38,24 +38,39 @@ func (e *ErrStale) Error() string {
 }
 
 // CanUse reports whether the replica covers the session's causal past.
-func (s *Session) CanUse(r *Replica) bool { return s.deps.LEq(r.vc) }
+func (s *Session) CanUse(r *Replica) bool { return r.Covers(s.deps) }
 
 // Begin starts a transaction at the replica, provided it covers the
-// session's past. On success the session advances to the replica's cut
-// (monotonic reads: everything read now is remembered).
+// session's past. The session advances in two steps: to the
+// transaction's snapshot immediately, and — because on a concurrent
+// backend reads inside the transaction can observe remote effects
+// applied after the snapshot — to the replica's delivered cut when the
+// transaction commits (an OnFinish hook; the post-commit cut is a
+// superset of everything the transaction read or wrote). Sessions are
+// single-client state: commit the transaction on the goroutine that owns
+// the session.
 func (s *Session) Begin(r *Replica) (*Txn, error) {
-	if !s.CanUse(r) {
-		return nil, &ErrStale{Replica: r.id, Need: s.deps.Clone(), Have: r.Clock()}
-	}
 	tx := r.Begin()
-	s.deps.Merge(r.vc)
+	if !s.deps.LEq(tx.deps) {
+		return nil, &ErrStale{Replica: r.id, Need: s.deps.Clone(), Have: tx.deps.Clone()}
+	}
+	s.deps.Merge(tx.deps)
+	tx.OnFinish(func() { s.deps.Merge(r.Clock()) })
 	return tx, nil
 }
 
 // Observe folds a committed transaction's effects into the session (read
-// your writes across replicas). Call it after Commit.
+// your writes across replicas). Call it after Commit. It merges the
+// replica's delivered cut, not the transaction's Begin snapshot: on a
+// concurrent backend the transaction's reads see everything applied
+// while it was open, and the session cut must cover all of it (monotonic
+// reads) — the post-commit cut is a superset of every such read and of
+// the transaction's own writes.
 func (s *Session) Observe(tx *Txn) {
-	s.deps.Merge(tx.r.vc)
+	s.deps.Merge(tx.r.Clock())
+	if tx.lastSeq > s.deps.Get(tx.r.id) {
+		s.deps.Set(tx.r.id, tx.lastSeq)
+	}
 }
 
 // Cut returns a copy of the session's causal past.

@@ -2,6 +2,8 @@ package store
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"ipa/internal/clock"
 	"ipa/internal/crdt"
@@ -11,21 +13,136 @@ import (
 // origin replica (read-your-writes) and are buffered for atomic causal
 // replication on Commit. Transactions never abort — updates are CRDT
 // operations, so concurrent transactions merge instead of conflicting.
+//
+// Concurrency: a transaction two-phase-locks the shards of every key it
+// touches — the first access to a key acquires its shard lock, and all
+// held locks release together at Commit — so transactions on one replica
+// serialise exactly where their keysets collide. Acquisition follows the
+// package's sorted-order discipline: a transaction that needs a
+// lower-indexed shard than one it holds first tries a non-blocking
+// TryLock and, if contended, releases only the held shards ranked above
+// the needed one before reacquiring ascending.
+//
+// Visibility contract: remote replicas always observe whole effect
+// groups (the apply path locks every shard of a group before its first
+// update), and single-key reads are always consistent. At the origin, a
+// concurrent multi-key reader can observe a partial group only inside a
+// writer's contended out-of-order reacquisition window above — rare (it
+// needs a TryLock failure) and bounded to the released shards; readers
+// that bind all their keys before a writer's first update are ordered
+// entirely before or after it.
+//
+// The first NewTag opens the replica's tag window (commitMu), held to
+// Commit, which keeps the transaction's event tags one contiguous block
+// of the origin's sequence space; read-only transactions never take it.
 type Txn struct {
 	r        *Replica
 	deps     clock.Vector
 	firstSeq uint64
+	lastSeq  uint64 // set at commit for update transactions
 	updates  []Update
 	done     bool
+	tagging  bool  // commitMu held (tag window open)
+	held     []int // ascending shard indexes whose locks this txn holds
 	finish   []func()
 }
 
 // Replica returns the origin replica.
 func (t *Txn) Replica() *Replica { return t.r }
 
+// ensureTagWindow opens the replica's tag window. commitMu ranks before
+// every shard lock, so the transaction's shards are released first and
+// reacquired (in order) once the window is open; writes cannot have
+// happened yet on the first tag, so nothing half-applied becomes visible.
+func (t *Txn) ensureTagWindow() {
+	if t.tagging {
+		return
+	}
+	for i := len(t.held) - 1; i >= 0; i-- {
+		t.r.shards[t.held[i]].mu.Unlock()
+	}
+	t.r.commitMu.Lock()
+	t.tagging = true
+	t.firstSeq = t.r.seq
+	for _, h := range t.held {
+		t.r.shards[h].mu.Lock()
+	}
+}
+
+// acquire takes the shard lock for key if the transaction does not hold
+// it yet, following the sorted-order discipline.
+func (t *Txn) acquire(key string) *shard {
+	idx := shardIndex(key)
+	sh := &t.r.shards[idx]
+	n := len(t.held)
+	pos := sort.SearchInts(t.held, idx)
+	if pos < n && t.held[pos] == idx {
+		return sh // already held
+	}
+	switch {
+	case n == 0 || idx > t.held[n-1]:
+		sh.mu.Lock()
+		t.held = append(t.held, idx)
+	case sh.mu.TryLock():
+		// Out of order but uncontended: taking it without blocking cannot
+		// deadlock.
+		t.held = append(t.held, 0)
+		copy(t.held[pos+1:], t.held[pos:])
+		t.held[pos] = idx
+	default:
+		// Contended out-of-order acquisition: release only the held
+		// shards ranked above idx (keeping everything below preserves
+		// the ascending blocking order), then acquire idx and reacquire
+		// the released suffix in order. Effects already applied to the
+		// released shards are briefly visible to concurrent local
+		// transactions — the one torn-visibility window of the design;
+		// see the type comment.
+		for i := n - 1; i >= pos; i-- {
+			t.r.shards[t.held[i]].mu.Unlock()
+		}
+		t.held = append(t.held, 0)
+		copy(t.held[pos+1:], t.held[pos:])
+		t.held[pos] = idx
+		for _, h := range t.held[pos:] {
+			t.r.shards[h].mu.Lock()
+		}
+	}
+	return sh
+}
+
+// object returns the CRDT at key under the transaction's shard lock,
+// creating it with mk when absent (and mk non-nil).
+func (t *Txn) object(key string, mk func() crdt.CRDT) (crdt.CRDT, bool) {
+	sh := t.acquire(key)
+	obj, ok := sh.objects[key]
+	if !ok && mk != nil {
+		obj = mk()
+		sh.objects[key] = obj
+		ok = true
+	}
+	return obj, ok
+}
+
+// release drops every lock the transaction holds (shards, then the tag
+// window).
+func (t *Txn) release() {
+	for i := len(t.held) - 1; i >= 0; i-- {
+		t.r.shards[t.held[i]].mu.Unlock()
+	}
+	t.held = nil
+	if t.tagging {
+		t.r.commitMu.Unlock()
+		t.tagging = false
+	}
+}
+
 // NewTag allocates a globally unique event ID for an operation of this
-// transaction.
+// transaction. The first tag opens the replica's tag window.
 func (t *Txn) NewTag() clock.EventID {
+	if t.done {
+		panic("store: transaction already committed")
+	}
+	t.ensureTagWindow()
 	t.r.seq++
 	return clock.EventID{Replica: t.r.id, Seq: t.r.seq}
 }
@@ -38,21 +155,18 @@ func (t *Txn) Apply(key string, op crdt.Op, mk func() crdt.CRDT) {
 	if t.done {
 		panic("store: transaction already committed")
 	}
-	obj, ok := t.r.Lookup(key)
+	t.ensureTagWindow()
+	obj, ok := t.object(key, mk)
 	if !ok {
-		if mk == nil {
-			panic(fmt.Sprintf("store: update to unknown object %q", key))
-		}
-		obj = t.r.Object(key, mk)
+		panic(fmt.Sprintf("store: update to unknown object %q", key))
 	}
 	obj.Apply(op)
 	t.updates = append(t.updates, Update{Key: key, Op: op})
 }
 
 // OnFinish registers fn to run when the transaction commits, after its
-// effects have applied locally and been handed to replication. Hooks run
-// in reverse registration order. Concurrent backends (netrepl) use it to
-// release the per-replica lock their Begin acquired.
+// effects have applied locally, been handed to replication, and every
+// shard lock has released. Hooks run in reverse registration order.
 func (t *Txn) OnFinish(fn func()) {
 	if t.done {
 		panic("store: transaction already committed")
@@ -66,27 +180,63 @@ func (t *Txn) runFinish() {
 	}
 }
 
-// Commit finalises the transaction and replicates its updates atomically
-// to the other replicas. An empty (read-only) transaction sends nothing.
+// Commit finalises the transaction, releases its shard locks (and tag
+// window), and replicates its updates atomically to the other replicas.
+// An empty (read-only) transaction sends nothing.
 func (t *Txn) Commit() {
 	if t.done {
 		panic("store: transaction already committed")
 	}
 	t.done = true
 	defer t.runFinish()
-	t.r.TxnsExecuted++
+	atomic.AddUint64(&t.r.TxnsExecuted, 1)
 	if len(t.updates) == 0 {
+		if t.tagging && t.r.seq > t.firstSeq {
+			// Tags were consumed without updates (e.g. a compensation read
+			// that found nothing to repair). The sequence hole must still
+			// replicate or every later transaction from this origin would
+			// stall remote FIFO delivery forever — commit an empty effect
+			// group to account for it.
+			t.commitUpdates()
+			return
+		}
+		t.release()
 		return
 	}
+	// Updates imply an open tag window (Apply opens it before appending).
+	if t.r.seq == t.firstSeq {
+		// Updates whose ops carried no tags (a caller bypassing the
+		// Prepare helpers): give the transaction one clock slot so the
+		// wire protocol can sequence it.
+		t.r.seq++
+	}
+	t.commitUpdates()
+}
+
+// commitUpdates runs the update-transaction commit path under the held
+// tag window: advance the local cut, fan out the wire message, release.
+func (t *Txn) commitUpdates() {
 	c := t.r.cluster
-	c.TxnsCommitted++
-	// The origin has already applied the updates; advance its cut.
-	t.r.vc.Set(t.r.id, t.r.seq)
+	atomic.AddUint64(&c.TxnsCommitted, 1)
+	last := t.r.seq
+	t.lastSeq = last
+	t.r.clockMu.Lock()
+	// The replicated dependency vector must cover everything this
+	// transaction could have read — including remote transactions the
+	// apply path installed after Begin took its snapshot (the replica is
+	// concurrent; reads see the live objects). Folding in the delivered
+	// cut at commit, before our own entry advances, restores the
+	// "origin's cut at commit" semantics the causal-delivery protocol
+	// assumes; on the single-threaded simulator it is a no-op.
+	t.deps.Merge(t.r.vc)
+	t.r.vc.Set(t.r.id, last)
+	t.r.clockCond.Broadcast()
+	t.r.clockMu.Unlock()
 	m := txnMsg{
 		origin:  t.r.id,
 		deps:    t.deps,
 		firstSq: t.firstSeq,
-		lastSeq: t.r.seq,
+		lastSeq: last,
 		updates: t.updates,
 	}
 	for _, id := range c.order {
@@ -94,6 +244,10 @@ func (t *Txn) Commit() {
 			c.send(t.r.id, id, m)
 		}
 	}
+	// The onCommit hook (an external transport's broadcast) runs under the
+	// tag window so per-origin enqueue order matches sequence order. A full
+	// transport queue blocks here — backpressure holds the window and the
+	// shard locks, by design (see DESIGN.md on queue sizing).
 	if c.onCommit != nil {
 		c.onCommit(WireTxn{
 			Origin:   m.origin,
@@ -103,6 +257,7 @@ func (t *Txn) Commit() {
 			Updates:  m.updates,
 		})
 	}
+	t.release()
 }
 
 // Updates returns the number of updates buffered so far.
@@ -124,6 +279,10 @@ func (t *Txn) KeysTouched() int {
 //
 //	enrolled := store.AWSetAt(tx, "enrolled")
 //	enrolled.Add("p1|t1", "")
+//
+// Binding acquires the key's shard lock through the transaction (held to
+// commit), so reads through a ref observe a state no concurrent writer is
+// mid-way through mutating.
 
 // AWSetRef is a transaction-scoped view of an add-wins set.
 type AWSetRef struct {
@@ -134,7 +293,7 @@ type AWSetRef struct {
 
 // AWSetAt binds the add-wins set stored at key.
 func AWSetAt(tx *Txn, key string) AWSetRef {
-	obj := tx.r.Object(key, crdt.Ctor(crdt.KindAWSet))
+	obj, _ := tx.object(key, crdt.Ctor(crdt.KindAWSet))
 	set, ok := obj.(*crdt.AWSet)
 	if !ok {
 		panic(fmt.Sprintf("store: %s holds %s, not aw-set", key, obj.Type()))
@@ -190,7 +349,7 @@ type RWSetRef struct {
 
 // RWSetAt binds the remove-wins set stored at key.
 func RWSetAt(tx *Txn, key string) RWSetRef {
-	obj := tx.r.Object(key, crdt.Ctor(crdt.KindRWSet))
+	obj, _ := tx.object(key, crdt.Ctor(crdt.KindRWSet))
 	set, ok := obj.(*crdt.RWSet)
 	if !ok {
 		panic(fmt.Sprintf("store: %s holds %s, not rw-set", key, obj.Type()))
@@ -244,7 +403,7 @@ type CounterRef struct {
 
 // CounterAt binds the counter stored at key.
 func CounterAt(tx *Txn, key string) CounterRef {
-	obj := tx.r.Object(key, crdt.Ctor(crdt.KindPNCounter))
+	obj, _ := tx.object(key, crdt.Ctor(crdt.KindPNCounter))
 	c, ok := obj.(*crdt.PNCounter)
 	if !ok {
 		panic(fmt.Sprintf("store: %s holds %s, not pn-counter", key, obj.Type()))
@@ -270,7 +429,7 @@ type RegisterRef struct {
 
 // RegisterAt binds the LWW register stored at key.
 func RegisterAt(tx *Txn, key string) RegisterRef {
-	obj := tx.r.Object(key, crdt.Ctor(crdt.KindLWWRegister))
+	obj, _ := tx.object(key, crdt.Ctor(crdt.KindLWWRegister))
 	reg, ok := obj.(*crdt.LWWRegister)
 	if !ok {
 		panic(fmt.Sprintf("store: %s holds %s, not lww-register", key, obj.Type()))
@@ -315,7 +474,7 @@ func SeedCompSet(r ObjectSpace, key string, maxSize int) {
 
 // CompSetAt binds the compensation set stored at key.
 func CompSetAt(tx *Txn, key string) CompSetRef {
-	obj, ok := tx.r.Lookup(key)
+	obj, ok := tx.object(key, nil)
 	if !ok {
 		panic(fmt.Sprintf("store: comp-set %s not seeded at %s", key, tx.r.id))
 	}
@@ -342,6 +501,10 @@ func (r CompSetRef) Remove(elem string) {
 // violates the bound, the compensating removals execute and commit with
 // this transaction (paper §4.2.2).
 func (r CompSetRef) Read() []string {
+	// Open the tag window up front: Read allocates tags mid-iteration
+	// over the set's state, and the window's shard release/reacquire must
+	// not happen under its feet.
+	r.tx.ensureTagWindow()
 	elems, comps := r.set.Read(r.tx.NewTag)
 	// Read only prepares the compensating removals; applying them through
 	// the transaction executes them locally and replicates them.

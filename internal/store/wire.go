@@ -117,10 +117,11 @@ func (c *Cluster) SetOnCommit(fn func(WireTxn)) { c.onCommit = fn }
 // vector clocks accommodate any replica identifier. Duplicates — which
 // at-least-once transports produce when they retry a batch after a
 // partial failure — are detected by the origin sequence and dropped.
+// Deliver buffers without bound and is meant for single-threaded
+// callers; concurrent transports use Replica.ApplyExternal instead.
 func (c *Cluster) Deliver(to clock.ReplicaID, w WireTxn) {
 	r := c.Replica(to)
-	if w.LastSeq <= r.vc.Get(w.Origin) {
-		r.TxnsDuplicate++
+	if r.dropIfDuplicate(w.Origin, w.LastSeq) {
 		return
 	}
 	r.receive(txnMsg{
