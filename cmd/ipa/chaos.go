@@ -7,6 +7,8 @@ package main
 //	ipa chaos -app tournament -schedules 1000       # seeded campaign
 //	ipa chaos -app tournament -variant causal       # watch the unrepaired app fail
 //	ipa chaos -app tournament -break enroll         # disable one repair, catch it
+//	ipa chaos -app tournament-spec                  # the engine-executed analyzed spec
+//	ipa chaos -app spec:path/to/app.spec            # fuzz ANY mounted specification
 //	ipa chaos -app tournament -seed 0xdeadbeef      # replay one schedule exactly
 //	ipa chaos -app ticket -backend netrepl          # same campaign on real TCP sockets
 //	ipa chaos -replay chaos-repro.json              # replay a shrunk repro file
@@ -32,7 +34,7 @@ import (
 func runChaos(args []string) {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	var (
-		app       = fs.String("app", "tournament", "application to drive: "+strings.Join(harness.Apps(), ", "))
+		app       = fs.String("app", "tournament", "application to drive: "+strings.Join(harness.Apps(), ", ")+", or spec:<file> to mount and fuzz any specification")
 		backend   = fs.String("backend", "sim", "replication backend: sim (deterministic, replayable) or netrepl (real TCP sockets)")
 		variant   = fs.String("variant", "ipa", "application variant: ipa (repairs on) or causal (repairs off)")
 		breakOp   = fs.String("break", "", "run exactly this op kind without its repair (self-test the harness)")
@@ -156,6 +158,18 @@ func runChaos(args []string) {
 				fatal(err)
 			}
 			fmt.Printf("replay (shrunk, exact violation):\n  ipa chaos -replay %s\n", path)
+		} else if res.Schedule != nil {
+			// No shrunk repro (netrepl runs are not bit-deterministic):
+			// ship the full failing schedule so CI can upload it and a
+			// human can replay the workload exactly.
+			path := *out
+			if path == "" {
+				path = fmt.Sprintf("chaos-repro-%#x.json", res.Seed)
+			}
+			if err := res.Schedule.WriteFile(path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("replay (full schedule, workload-exact):\n  ipa chaos -replay %s\n", path)
 		}
 		os.Exit(1)
 	}

@@ -15,6 +15,7 @@
 //	ipa -netrepl 3                      # TCP replication smoke ring + metrics
 //	ipa -netrepl 5 -netrepl-legacy      # same over the legacy transport
 //	ipa chaos -app tournament           # deterministic chaos campaign (see chaos.go)
+//	ipa chaos -app spec:app.spec        # mount and fuzz any specification file
 //	ipa chaos -replay repro.json        # replay a shrunk failure exactly
 package main
 

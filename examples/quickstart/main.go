@@ -1,94 +1,74 @@
-// Quickstart: analyse a small specification with IPA, then watch the
-// proposed repair preserve an invariant at runtime on the replicated
-// store.
+// Quickstart: one specification file in, an invariant-preserving
+// replicated application out.
+//
+// ipa.Open starts a replicated database (a deterministic three-site
+// simulation here; pass Backend: ipa.BackendNet for real TCP sockets —
+// same API). db.Mount runs the whole IPA loop on the spec — parse,
+// conflict detection, repair synthesis — and compiles the patched
+// result into a generic executor: every operation below runs as one
+// highly available transaction with the analysis' extra effects
+// attached, and the invariants are checked by evaluating the spec's own
+// logic against the live state.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	_ "embed"
+	"errors"
 	"fmt"
 	"log"
 
 	"ipa"
 )
 
-const appSpec = `
-spec quickstart
+//go:embed quickstart.spec
+var specSource string
 
-invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
-
-operation add_player(Player: p) {
-    player(p) := true
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
 }
-operation add_tourn(Tournament: t) {
-    tournament(t) := true
-}
-operation rem_tourn(Tournament: t) {
-    tournament(t) := false
-}
-operation enroll(Player: p, Tournament: t) {
-    enrolled(p, t) := true
-}
-`
 
 func main() {
-	// --- Static analysis -------------------------------------------------
-	s, err := ipa.ParseSpec(appSpec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	conflicts, err := ipa.FindConflicts(s, ipa.AnalysisOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("conflicts in the original application:")
-	for _, c := range conflicts {
-		fmt.Printf("  %s\n", c)
-	}
+	db, err := ipa.Open(ipa.ClusterOptions{Seed: 1})
+	must(err)
+	defer db.Close()
 
-	res, err := ipa.Analyze(s, ipa.AnalysisOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Mount: parse → analyze → executable application.
+	app, err := db.Mount(specSource)
+	must(err)
+	fmt.Print(app.Analysis().Summary())
 	fmt.Println()
-	fmt.Print(res.Summary())
 
-	// --- Runtime ----------------------------------------------------------
-	// The repair (enroll additionally touches the tournament, with an
-	// add-wins rule) in action: a tournament removal concurrent with an
-	// enrolment no longer leaves a dangling enrolment.
-	sim, cluster := ipa.NewPaperCluster(1)
-	sites := ipa.PaperSites()
-	east, west := cluster.Replica(sites[0]), cluster.Replica(sites[1])
+	sites := db.Replicas()
+	east, west := app.At(sites[0]), app.At(sites[1])
 
-	seed := east.Begin()
-	ipa.AWSetAt(seed, "players").Add("alice", "")
-	ipa.AWSetAt(seed, "tournaments").Add("cup", "prize: 100")
-	seed.Commit()
-	sim.Run()
+	must(east.Call("add_player", "alice"))
+	must(east.Call("add_tourn", "cup"))
+	must(db.Settle())
 
-	// Concurrently: east removes the tournament, west enrols alice —
-	// running the PATCHED enroll, which touches the tournament.
-	tx1 := east.Begin()
-	ipa.AWSetAt(tx1, "tournaments").Remove("cup")
-	tx1.Commit()
-
-	tx2 := west.Begin()
-	ipa.AWSetAt(tx2, "enrolled").Add("alice|cup", "")
-	ipa.AWSetAt(tx2, "tournaments").Touch("cup") // the IPA repair
-	tx2.Commit()
-
-	sim.Run() // replicate everything everywhere
-
-	fmt.Println("\nafter concurrent rem_tourn ∥ enroll (patched):")
-	for _, id := range sites {
-		tx := cluster.Replica(id).Begin()
-		tourns := ipa.AWSetAt(tx, "tournaments")
-		enrolled := ipa.AWSetAt(tx, "enrolled")
-		payload, _ := tourns.Payload("cup")
-		fmt.Printf("  %-8s tournament exists=%v (payload %q), enrolment=%v\n",
-			id, tourns.Contains("cup"), payload, enrolled.Contains("alice|cup"))
-		tx.Commit()
+	// Preconditions are enforced at the origin: enrolling an unknown
+	// player is a guarded no-op.
+	if err := west.Call("enroll", "zoe", "cup"); errors.Is(err, ipa.ErrPrecondition) {
+		fmt.Println("enroll(zoe, cup) refused:", err)
 	}
-	fmt.Println("\nthe add-wins touch restored the tournament: the invariant holds at every replica")
+
+	// The paper's headline race, executed straight from the spec: east
+	// removes the tournament while west concurrently enrols alice — the
+	// analysis-injected add-wins touch restores the tournament so the
+	// invariant holds at every replica.
+	must(east.Call("rem_tourn", "cup"))
+	must(west.Call("enroll", "alice", "cup"))
+	must(db.Settle())
+
+	fmt.Println("\nafter concurrent rem_tourn ∥ enroll (analyzed spec, executed generically):")
+	for _, id := range sites {
+		fmt.Printf("  %-8s %s\n", id, app.Digest(id))
+	}
+	if v := app.CheckInvariants(); len(v) > 0 {
+		log.Fatalf("invariant violations: %v", v)
+	}
+	fmt.Println("\ninvariants hold at every replica — the patched spec IS the application")
 }

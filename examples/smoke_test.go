@@ -6,11 +6,14 @@ package examples
 
 import (
 	"context"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"ipa"
 )
 
 // exampleDirs lists every example program.
@@ -30,6 +33,72 @@ func exampleDirs(t *testing.T) []string {
 		t.Fatalf("expected at least 5 example programs, found %v", dirs)
 	}
 	return dirs
+}
+
+// driveQuickstartAPI exercises the Open → Mount → Call client API on one
+// backend: mount the quickstart spec, run the headline race, and require
+// clean invariants plus identical digests at every replica.
+func driveQuickstartAPI(t *testing.T, backend string) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("quickstart", "quickstart.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := ipa.Open(ipa.ClusterOptions{Backend: backend, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	app, err := db.Mount(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := db.Replicas()
+	east, west := app.At(sites[0]), app.At(sites[1])
+
+	for _, call := range [][]string{
+		{"add_player", "alice"}, {"add_tourn", "cup"},
+	} {
+		if err := east.Call(call[0], call[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := west.Call("enroll", "zoe", "cup"); !errors.Is(err, ipa.ErrPrecondition) {
+		t.Fatalf("enroll of unknown player: err = %v, want ErrPrecondition", err)
+	}
+	if err := east.Call("rem_tourn", "cup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := west.Call("enroll", "alice", "cup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if v := app.CheckQuiescent(); len(v) > 0 {
+		t.Fatalf("invariant violations on %s: %v", backend, v)
+	}
+	base := app.Digest(sites[0])
+	for _, id := range sites {
+		if d := app.Digest(id); d != base || d == "" {
+			t.Fatalf("digest diverged on %s at %s:\n%s\nvs\n%s", backend, id, d, base)
+		}
+	}
+}
+
+// TestQuickstartAPISim runs the client API on the deterministic
+// simulator backend.
+func TestQuickstartAPISim(t *testing.T) { driveQuickstartAPI(t, ipa.BackendSim) }
+
+// TestQuickstartAPINet runs the identical flow on real netrepl sockets.
+func TestQuickstartAPINet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket cluster")
+	}
+	driveQuickstartAPI(t, ipa.BackendNet)
 }
 
 // TestExamplesRunToCompletion builds and runs each example with a

@@ -27,7 +27,7 @@ const (
 
 type app struct{ patched bool }
 
-func (a app) enroll(r *ipa.Replica, p, t string) {
+func (a app) enroll(r ipa.Replica, p, t string) {
 	tx := r.Begin()
 	ipa.AWSetAt(tx, keyEnrolled).Add(p+"|"+t, "")
 	if a.patched { // ensureEnroll (paper Fig. 3)
@@ -37,7 +37,7 @@ func (a app) enroll(r *ipa.Replica, p, t string) {
 	tx.Commit()
 }
 
-func (a app) remTournament(r *ipa.Replica, t string) {
+func (a app) remTournament(r ipa.Replica, t string) {
 	tx := r.Begin()
 	// Precondition (checked at the origin, as in the paper's model): the
 	// tournament is unused locally. Conflicts then only arise from
@@ -56,7 +56,7 @@ func (a app) remTournament(r *ipa.Replica, t string) {
 	tx.Commit()
 }
 
-func (a app) begin(r *ipa.Replica, t string) {
+func (a app) begin(r ipa.Replica, t string) {
 	tx := r.Begin()
 	ipa.RWSetAt(tx, keyActive).Add(t, "")
 	if a.patched {
@@ -65,7 +65,7 @@ func (a app) begin(r *ipa.Replica, t string) {
 	tx.Commit()
 }
 
-func (a app) finish(r *ipa.Replica, t string) {
+func (a app) finish(r ipa.Replica, t string) {
 	tx := r.Begin()
 	ipa.AWSetAt(tx, keyFinished).Add(t, "")
 	ipa.RWSetAt(tx, keyActive).Remove(t) // rem-wins: finish defeats begin
@@ -76,7 +76,7 @@ func (a app) finish(r *ipa.Replica, t string) {
 }
 
 // violations counts invariant violations visible at one replica.
-func violations(r *ipa.Replica) int {
+func violations(r ipa.Replica) int {
 	tx := r.Begin()
 	defer tx.Commit()
 	players := ipa.AWSetAt(tx, keyPlayers)
@@ -121,8 +121,8 @@ func run(patched bool) {
 	sim.Run()
 
 	// Partition eu-west away: it keeps serving its clients regardless.
-	cluster.SetPartitioned(sites[0], sites[2], true)
-	cluster.SetPartitioned(sites[1], sites[2], true)
+	cluster.(ipa.Faults).SetPartitioned(sites[0], sites[2], true)
+	cluster.(ipa.Faults).SetPartitioned(sites[1], sites[2], true)
 
 	// Conflict-heavy concurrent workload from all three sites.
 	rng := rand.New(rand.NewSource(7))
@@ -145,8 +145,8 @@ func run(patched bool) {
 	}
 
 	// Heal the partition and let everything converge.
-	cluster.SetPartitioned(sites[0], sites[2], false)
-	cluster.SetPartitioned(sites[1], sites[2], false)
+	cluster.(ipa.Faults).SetPartitioned(sites[0], sites[2], false)
+	cluster.(ipa.Faults).SetPartitioned(sites[1], sites[2], false)
 	sim.Run()
 
 	name := "causal (unmodified)"

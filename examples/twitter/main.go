@@ -20,7 +20,7 @@ const (
 	timelines = "timeline/"
 )
 
-func seed(sim *ipa.Sim, cluster *ipa.Cluster) {
+func seed(sim *ipa.Sim, cluster ipa.Cluster) {
 	tx := cluster.Replica(ipa.PaperSites()[0]).Begin()
 	ipa.AWSetAt(tx, keyTweets).Add("tw1", "hello world")
 	ipa.AWSetAt(tx, timelines+"bob").Add("tw1", "")

@@ -8,11 +8,14 @@ import (
 )
 
 // Interp extracts the logical interpretation of a replica's current state
-// — the mapping from CRDT contents back to the specification's predicates
-// — so the invariants of Spec() can be evaluated directly on the running
-// system with logic.Interp.Eval. The analysis reasons about exactly this
-// abstraction; extracting it at runtime lets tests cross-check the
-// handwritten violation oracle against the specification itself.
+// — the mapping from this package's hand-chosen CRDT layout back to the
+// specification's predicates — so the invariants of Spec() can be
+// evaluated directly on the running system (engine.EvalClauses), and so
+// the hand-coded executor's state can be digest-compared with the
+// spec-driven engine's, which extracts the same abstraction from its own
+// generic layout. The analysis reasons about exactly this abstraction;
+// extracting it at runtime lets tests cross-check the handwritten
+// violation oracle against the specification itself.
 func Interp(r runtime.Replica, capacity int) logic.Interp {
 	tx := r.Begin()
 	defer tx.Commit()
@@ -71,19 +74,3 @@ func Interp(r runtime.Replica, capacity int) logic.Interp {
 	}
 }
 
-// CheckInvariants evaluates every specification invariant against the
-// replica's current state and returns the violated clauses.
-func CheckInvariants(r runtime.Replica, capacity int) ([]logic.Formula, error) {
-	in := Interp(r, capacity)
-	var violated []logic.Formula
-	for _, cl := range logic.Clauses(Spec().Invariant()) {
-		ok, err := in.Eval(cl, nil)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			violated = append(violated, cl)
-		}
-	}
-	return violated, nil
-}

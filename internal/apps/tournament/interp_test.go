@@ -5,12 +5,17 @@ import (
 	"math/rand"
 	"testing"
 
+	"ipa/internal/engine"
+	"ipa/internal/logic"
 	"ipa/internal/wan"
 )
 
-// The spec-driven checker and the handwritten oracle must agree on every
-// state a random concurrent workload can produce, under both variants —
-// cross-validating the specification against the implementation.
+// The spec-driven checker (the engine's generic clause evaluation over
+// the extracted interpretation — the replacement for the old
+// hand-written CheckInvariants) and the handwritten oracle must agree on
+// every state a random concurrent workload can produce, under both
+// variants — cross-validating the specification against the
+// implementation.
 func TestSpecCheckerAgreesWithOracle(t *testing.T) {
 	for _, variant := range []Variant{Causal, IPA} {
 		for seed := int64(0); seed < 6; seed++ {
@@ -59,7 +64,7 @@ func TestSpecCheckerAgreesWithOracle(t *testing.T) {
 			for _, id := range c.Replicas() {
 				r := c.Replica(id)
 				oracle := app.Violations(r, 100) // capacity high: focus on boolean clauses
-				violated, err := CheckInvariants(r, 100)
+				violated, err := engine.EvalClauses(Interp(r, 100), logic.Clauses(Spec().Invariant()))
 				if err != nil {
 					t.Fatal(err)
 				}

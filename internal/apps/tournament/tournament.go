@@ -45,7 +45,8 @@ spec tournament
 const Capacity = 8
 
 invariant forall (Player: p, Tournament: t) :- enrolled(p, t) => player(p) and tournament(t)
-invariant forall (Player: p, q, Tournament: t) :- inMatch(p, q, t) => enrolled(p, t) and enrolled(q, t) and (active(t) or finished(t))
+invariant forall (Player: p, q, Tournament: t) :- inMatch(p, q, t) => enrolled(p, t) and enrolled(q, t)
+invariant forall (Player: p, q, Tournament: t) :- inMatch(p, q, t) => active(t) or finished(t)
 invariant forall (Tournament: t) :- #enrolled(*, t) <= Capacity
 invariant forall (Tournament: t) :- active(t) => tournament(t)
 invariant forall (Tournament: t) :- finished(t) => tournament(t)
@@ -73,6 +74,7 @@ operation begin_tourn(Tournament: t) {
     active(t) := true
 }
 operation finish_tourn(Tournament: t) {
+    requires active(t)
     finished(t) := true
     active(t) := false
 }

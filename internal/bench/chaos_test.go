@@ -1,6 +1,10 @@
 package bench
 
-import "testing"
+import (
+	"testing"
+
+	"ipa/internal/harness"
+)
 
 func TestRunChaosRate(t *testing.T) {
 	rate, err := RunChaosRate("tournament", 3, 10, 42)
@@ -20,7 +24,7 @@ func TestChaosExperimentShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(e.Series) != 5 {
+	if len(e.Series) != len(harness.Apps()) {
 		t.Fatalf("series = %d, want one per app", len(e.Series))
 	}
 	for _, s := range e.Series {

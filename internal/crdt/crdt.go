@@ -80,6 +80,48 @@ func (m Match) Matches(elem string) bool {
 
 func (m Match) String() string { return fmt.Sprintf("[%d]=%s", m.Index, m.Value) }
 
+// MatchFields selects tuple elements whose components equal the given
+// values at every non-wildcard position — the serialisable form of a
+// pattern like inMatch(p, *, t): Fields lists one value per tuple
+// position, with "" standing for a wildcard. Arity guards against
+// accidentally matching tuples of a different length.
+type MatchFields struct {
+	Arity  int
+	Fields []string
+}
+
+// MatchPattern builds the predicate for a tuple pattern; wildcard
+// positions are "".
+func MatchPattern(fields ...string) MatchFields {
+	return MatchFields{Arity: len(fields), Fields: fields}
+}
+
+// Matches reports whether the element satisfies the pattern.
+func (m MatchFields) Matches(elem string) bool {
+	parts := SplitTuple(elem)
+	if len(parts) != m.Arity || len(m.Fields) != m.Arity {
+		return false
+	}
+	for i, f := range m.Fields {
+		if f != "" && parts[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+func (m MatchFields) String() string {
+	out := make([]string, len(m.Fields))
+	for i, f := range m.Fields {
+		if f == "" {
+			out[i] = "*"
+		} else {
+			out[i] = f
+		}
+	}
+	return "(" + strings.Join(out, ",") + ")"
+}
+
 // MatchAll selects every element (wildcard over the whole set).
 type MatchAll struct{}
 

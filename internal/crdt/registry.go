@@ -72,6 +72,7 @@ func init() {
 	// Predicates travel inside wildcard remove ops.
 	gob.Register(Match{})
 	gob.Register(MatchAll{})
+	gob.Register(MatchFields{})
 }
 
 // Ctor returns the constructor for a kind, for lazily creating an object

@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ipa/internal/crdt"
+	"ipa/internal/logic"
+	"ipa/internal/store"
+)
+
+// state is the logical view of one replica's materialized spec state,
+// extracted inside a single transaction (one consistent multi-key
+// snapshot: every key is bound before any is read).
+type state struct {
+	in logic.Interp
+}
+
+// extract reads every predicate set and numeric counter of the app
+// through tx and rebuilds the specification-level interpretation — the
+// generic form of the hand-written per-app state extraction the
+// analysis reasons over.
+func (a *App) extract(tx *store.Txn) *state {
+	st := &state{in: logic.Interp{
+		Domain: map[logic.Sort][]string{},
+		Truth:  map[string]bool{},
+		Nums:   map[string]int{},
+		Consts: map[string]int{},
+	}}
+	for k, v := range a.consts {
+		st.in.Consts[k] = v
+	}
+	// Every sort is present even when empty: quantifiers over an empty
+	// domain are vacuously true, not an evaluation error.
+	for _, srt := range a.spc.Sorts() {
+		st.in.Domain[srt] = []string{}
+	}
+	seen := map[logic.Sort]map[string]bool{}
+	addDomain := func(srt logic.Sort, el string) {
+		if srt == "" {
+			return
+		}
+		m := seen[srt]
+		if m == nil {
+			m = map[string]bool{}
+			seen[srt] = m
+		}
+		if !m[el] {
+			m[el] = true
+			st.in.Domain[srt] = append(st.in.Domain[srt], el)
+		}
+	}
+	record := func(sorts []logic.Sort, parts []string) {
+		for i, p := range parts {
+			if i < len(sorts) {
+				addDomain(sorts[i], p)
+			}
+		}
+	}
+	// Predicates and fields read in sorted name order, elements in sorted
+	// order: extraction feeds planning, and the emitted CRDT operations
+	// must be a deterministic function of the state for seed replay.
+	for _, name := range sortedKeys(a.preds) {
+		pi := a.preds[name]
+		if len(pi.sorts) == 0 {
+			// 0-ary predicate: membership of the unit element is its truth.
+			if len(a.setElems(tx, pi)) > 0 {
+				st.in.Truth[name] = true
+			}
+			continue
+		}
+		for _, elem := range sortedElems(a.setElems(tx, pi)) {
+			parts := crdt.SplitTuple(elem)
+			if len(parts) != len(pi.sorts) {
+				continue // foreign tuple shape: ignore rather than misparse
+			}
+			st.in.Truth[logic.GroundAtom(name, parts...)] = true
+			record(pi.sorts, parts)
+		}
+	}
+	for _, name := range sortedKeys(a.nums) {
+		ni := a.nums[name]
+		for _, tuple := range sortedElems(store.AWSetAt(tx, ni.idxKey).Elems()) {
+			var val int64
+			if ni.bounded {
+				// A bounded field's effective value is the raw escrow
+				// counter plus its replenish ledger (see numInfo.ledgerPfx).
+				val = store.BoundedAt(tx, ni.key(tuple)).Value() + ledgerSum(tx, ni.ledger(tuple))
+			} else {
+				val = store.CounterAt(tx, ni.key(tuple)).Value()
+			}
+			// 0-ary fields index the unit tuple but evaluate under the bare
+			// field name — the same key planning and formula evaluation use.
+			if len(ni.sorts) == 0 {
+				if tuple == unitElem {
+					st.in.Nums[name] = int(val)
+				}
+				continue
+			}
+			parts := crdt.SplitTuple(tuple)
+			if len(parts) != len(ni.sorts) {
+				continue // foreign tuple shape: ignore rather than misparse
+			}
+			st.in.Nums[logic.GroundAtom(name, parts...)] = int(val)
+			record(ni.sorts, parts)
+		}
+	}
+	return st
+}
+
+// ledgerSum totals a replenish ledger's "r<epoch>:<amount>" entries.
+func ledgerSum(tx *store.Txn, key string) int64 {
+	var sum int64
+	for _, e := range store.AWSetAt(tx, key).Elems() {
+		if i := strings.IndexByte(e, ':'); i >= 0 {
+			if n, err := strconv.ParseInt(e[i+1:], 10, 64); err == nil {
+				sum += n
+			}
+		}
+	}
+	return sum
+}
+
+// setElems reads a predicate's member tuples.
+func (a *App) setElems(tx *store.Txn, pi *predInfo) []string {
+	if pi.remWins {
+		return store.RWSetAt(tx, pi.key).Elems()
+	}
+	return store.AWSetAt(tx, pi.key).Elems()
+}
+
+// clone deep-copies the state for post-state simulation.
+func (s *state) clone() *state {
+	c := &state{in: logic.Interp{
+		Domain: map[logic.Sort][]string{},
+		Truth:  make(map[string]bool, len(s.in.Truth)),
+		Nums:   make(map[string]int, len(s.in.Nums)),
+		Consts: s.in.Consts,
+	}}
+	for k, v := range s.in.Domain {
+		c.in.Domain[k] = append([]string(nil), v...)
+	}
+	for k, v := range s.in.Truth {
+		c.in.Truth[k] = v
+	}
+	for k, v := range s.in.Nums {
+		c.in.Nums[k] = v
+	}
+	return c
+}
+
+// addDomain registers a call argument under its parameter's sort.
+func (s *state) addDomain(srt logic.Sort, el string) {
+	if srt == "" {
+		return
+	}
+	for _, have := range s.in.Domain[srt] {
+		if have == el {
+			return
+		}
+	}
+	s.in.Domain[srt] = append(s.in.Domain[srt], el)
+}
+
+// trueMatches lists the true atoms of pred whose arguments match the
+// pattern ("" = wildcard), as argument tuples, sorted.
+func (s *state) trueMatches(pred string, pattern []string) [][]string {
+	var out [][]string
+	prefix := pred + "("
+	keys := make([]string, 0)
+	for key, v := range s.in.Truth {
+		if v && strings.HasPrefix(key, prefix) && strings.HasSuffix(key, ")") {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		args := strings.Split(key[len(prefix):len(key)-1], ",")
+		if len(args) != len(pattern) {
+			continue
+		}
+		ok := true
+		for i, p := range pattern {
+			if p != "" && p != args[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, args)
+		}
+	}
+	return out
+}
+
+// enumBindings enumerates all assignments of the clause variables over
+// the state's domains, in deterministic order. Missing sorts yield no
+// bindings (the clause is then vacuously true in this state).
+func (s *state) enumBindings(vars []logic.Var) []map[string]string {
+	out := []map[string]string{{}}
+	for _, v := range vars {
+		elems := s.in.Domain[v.Sort]
+		if len(elems) == 0 {
+			return nil
+		}
+		var next []map[string]string
+		for _, env := range out {
+			for _, el := range elems {
+				inner := make(map[string]string, len(env)+1)
+				for k, x := range env {
+					inner[k] = x
+				}
+				inner[v.Name] = el
+				next = append(next, inner)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedElems(elems []string) []string {
+	out := append([]string(nil), elems...)
+	sort.Strings(out)
+	return out
+}
+
+// EvalClauses evaluates invariant clauses against an interpretation and
+// returns the violated ones — the generic replacement for hand-written
+// per-application invariant checkers.
+func EvalClauses(in logic.Interp, clauses []logic.Formula) ([]logic.Formula, error) {
+	var violated []logic.Formula
+	for _, cl := range clauses {
+		ok, err := in.Eval(cl, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			violated = append(violated, cl)
+		}
+	}
+	return violated, nil
+}
+
+// DigestOf renders an interpretation as a canonical state digest: the
+// sorted true atoms plus every numeric field value. Two replicas of a
+// converged cluster digest identically; a spec-driven executor and a
+// hand-coded application that reach the same specification-level state
+// digest identically regardless of their key layouts.
+func DigestOf(in logic.Interp) string {
+	var parts []string
+	for atom, v := range in.Truth {
+		if v {
+			parts = append(parts, atom)
+		}
+	}
+	for key, v := range in.Nums {
+		parts = append(parts, fmt.Sprintf("%s=%d", key, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}

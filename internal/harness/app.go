@@ -48,9 +48,14 @@ type App interface {
 
 // newApp builds the adapter for cfg.App.
 func newApp(cfg Config) (App, error) {
+	if strings.HasPrefix(cfg.App, SpecAppPrefix) {
+		return newSpecFileChaos(cfg)
+	}
 	switch cfg.App {
 	case "tournament":
 		return newTournamentChaos(cfg), nil
+	case "tournament-spec":
+		return newTournamentSpecChaos(cfg)
 	case "ticket":
 		return newTicketChaos(cfg), nil
 	case "twitter":
@@ -66,16 +71,24 @@ func newApp(cfg Config) (App, error) {
 		}
 		return newEscrowChaos(cfg), nil
 	default:
-		return nil, fmt.Errorf("harness: unknown app %q (want tournament, ticket, twitter, tpcw, or escrow)", cfg.App)
+		return nil, fmt.Errorf("harness: unknown app %q (want %s, or %s<file>)",
+			cfg.App, strings.Join(Apps(), ", "), SpecAppPrefix)
 	}
 }
 
-// Apps lists the chaos-drivable application names.
-func Apps() []string { return []string{"tournament", "ticket", "twitter", "tpcw", "escrow"} }
+// Apps lists the chaos-drivable application names. tournament-spec is
+// the spec-driven engine executing the analyzed tournament
+// specification; `spec:<file>` (not listed — it takes a path) drives any
+// specification the same way.
+func Apps() []string {
+	return []string{"tournament", "tournament-spec", "ticket", "twitter", "tpcw", "escrow"}
+}
 
 // PortableApps lists the applications that run on every backend (escrow
 // is coupled to the simulated latency model and stays sim-only).
-func PortableApps() []string { return []string{"tournament", "ticket", "twitter", "tpcw"} }
+func PortableApps() []string {
+	return []string{"tournament", "tournament-spec", "ticket", "twitter", "tpcw"}
+}
 
 // NewChaosApp builds the chaos adapter for cfg. Exported for callers that
 // drive App adapters outside the engine, such as the bench serving

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+
+	"ipa/internal/analysis"
+	"ipa/internal/apps/tournament"
+	"ipa/internal/engine"
+	"ipa/internal/spec"
+)
+
+// SpecAppPrefix selects the spec-driven application: `spec:<path>` loads
+// the specification file, runs the IPA analysis on it, and fuzzes the
+// engine-executed result — chaos coverage for any user-provided spec,
+// with no per-application Go.
+const SpecAppPrefix = "spec:"
+
+// specChaos drives an engine-executed application: operations, checks,
+// repairs, and digests all come from the analyzed specification.
+type specChaos struct {
+	eng *engine.App
+	// gen materializes one random op (shared by the generic file-backed
+	// app and the tournament equivalence adapter, which substitutes the
+	// hand-coded driver's generator to get the identical op stream).
+	gen func(rng *rand.Rand) Op
+	// setup seeds initial state through the engine (may be nil).
+	setup func(a *specChaos, ctx *Ctx)
+	// aliases maps schedule op kinds to specification operation names.
+	aliases map[string]string
+}
+
+// specEntry caches one source's parse + analysis: the IPA loop costs
+// seconds on larger specs and its output is immutable, while the chaos
+// engine builds a fresh adapter per schedule.
+type specEntry struct {
+	once sync.Once
+	orig *spec.Spec
+	res  *analysis.Result
+	err  error
+}
+
+var specCache sync.Map // source string -> *specEntry
+
+// analyzeSpec parses and analyzes a specification source, cached.
+func analyzeSpec(src string) (*spec.Spec, *analysis.Result, error) {
+	e, _ := specCache.LoadOrStore(src, &specEntry{})
+	entry := e.(*specEntry)
+	entry.once.Do(func() {
+		s, err := spec.Parse(src)
+		if err != nil {
+			entry.err = err
+			return
+		}
+		res, err := analysis.Run(s, analysis.Options{})
+		if err != nil {
+			entry.err = err
+			return
+		}
+		entry.orig, entry.res = s, res
+	})
+	return entry.orig, entry.res, entry.err
+}
+
+// newSpecFileChaos builds the adapter for `spec:<path>`.
+func newSpecFileChaos(cfg Config) (*specChaos, error) {
+	if cfg.Variant != "ipa" {
+		return nil, fmt.Errorf("harness: %s apps run the analyzed (ipa) variant only", SpecAppPrefix)
+	}
+	if cfg.BreakOp != "" {
+		return nil, fmt.Errorf("harness: -break unsupported for %s apps", SpecAppPrefix)
+	}
+	path := strings.TrimPrefix(cfg.App, SpecAppPrefix)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	orig, res, err := analyzeSpec(string(data))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.Mount(orig, res, nil)
+	if err != nil {
+		return nil, err
+	}
+	a := &specChaos{eng: eng}
+	a.gen = a.genericGen()
+	return a, nil
+}
+
+// newTournamentSpecChaos builds the engine-executed tournament: the
+// paper's running example mounted from its analyzed specification, with
+// the hand-coded chaos driver's generator — so a schedule seed yields
+// the identical op stream for both executors, which is what makes their
+// quiescent digests comparable.
+func newTournamentSpecChaos(cfg Config) (*specChaos, error) {
+	if cfg.Variant != "ipa" {
+		return nil, fmt.Errorf("harness: tournament-spec runs the analyzed (ipa) variant only (use tournament -variant causal)")
+	}
+	if cfg.BreakOp != "" {
+		return nil, fmt.Errorf("harness: -break unsupported for tournament-spec (break the hand-coded tournament instead)")
+	}
+	eng, err := engine.Mount(tournament.Spec(), tournament.Analysis(), nil)
+	if err != nil {
+		return nil, err
+	}
+	hand := newTournamentChaos(cfg)
+	return &specChaos{
+		eng: eng,
+		gen: hand.Gen,
+		setup: func(a *specChaos, ctx *Ctx) {
+			r := ctx.Replica(0)
+			seed := func(kind string, args ...string) {
+				if err := a.eng.Call(r, kind, args...); err != nil {
+					panic(fmt.Sprintf("harness: tournament-spec setup %s(%v): %v", kind, args, err))
+				}
+			}
+			for _, p := range hand.players {
+				seed("add_player", p)
+			}
+			for _, t := range hand.tourns {
+				seed("add_tourn", t)
+			}
+			seed("begin_tourn", hand.tourns[0])
+		},
+		aliases: map[string]string{"begin": "begin_tourn", "finish": "finish_tourn"},
+	}, nil
+}
+
+// genericGen draws uniformly over the spec's operations with arguments
+// from small per-sort pools — tiny domains collide constantly, which is
+// exactly the concurrency the analysis' repairs must survive.
+func (a *specChaos) genericGen() func(rng *rand.Rand) Op {
+	ops := a.eng.Operations()
+	pools := map[string][]string{}
+	poolFor := func(srt string) []string {
+		if p, ok := pools[srt]; ok {
+			return p
+		}
+		base := strings.ToLower(srt)
+		p := []string{base + "0", base + "1", base + "2"}
+		pools[srt] = p
+		return p
+	}
+	return func(rng *rand.Rand) Op {
+		s := a.eng.Spec()
+		name := ops[rng.Intn(len(ops))]
+		op, _ := s.Operation(name)
+		args := make([]string, len(op.Params))
+		for i, p := range op.Params {
+			pool := poolFor(string(p.Sort))
+			args[i] = pool[rng.Intn(len(pool))]
+		}
+		return Op{Kind: name, Args: args}
+	}
+}
+
+func (a *specChaos) Gen(rng *rand.Rand) Op { return a.gen(rng) }
+
+func (a *specChaos) Setup(ctx *Ctx) {
+	if a.setup != nil {
+		a.setup(a, ctx)
+	}
+}
+
+// Apply executes one materialized operation through the engine, treating
+// a failed precondition as the guarded no-op it is; any other error is a
+// harness bug.
+func (a *specChaos) Apply(ctx *Ctx, op Op) {
+	kind := op.Kind
+	if alias, ok := a.aliases[kind]; ok {
+		kind = alias
+	}
+	err := a.eng.Call(ctx.Replica(op.Site), kind, op.Args...)
+	if err != nil && !errors.Is(err, engine.ErrPrecondition) {
+		panic(fmt.Sprintf("harness: spec app %s(%v): %v", kind, op.Args, err))
+	}
+}
+
+func (a *specChaos) MidCheck(ctx *Ctx, site int) []string {
+	return a.eng.CheckInvariants(ctx.Replica(site))
+}
+
+func (a *specChaos) Repair(ctx *Ctx, site int) {
+	a.eng.Repair(ctx.Replica(site))
+}
+
+func (a *specChaos) FinalCheck(ctx *Ctx, site int) []string {
+	return a.eng.CheckQuiescent(ctx.Replica(site))
+}
+
+func (a *specChaos) Digest(ctx *Ctx, site int) string {
+	return a.eng.Digest(ctx.Replica(site))
+}

@@ -3,10 +3,10 @@ package harness
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 
 	"ipa/internal/apps/tournament"
 	"ipa/internal/crdt"
+	"ipa/internal/engine"
 	"ipa/internal/store"
 )
 
@@ -168,15 +168,15 @@ func (a *tournamentChaos) MidCheck(ctx *Ctx, site int) []string   { return a.che
 func (a *tournamentChaos) Repair(ctx *Ctx, site int)              {}
 func (a *tournamentChaos) FinalCheck(ctx *Ctx, site int) []string { return a.check(ctx, site) }
 
+// Digest renders the specification-level state (the predicate
+// interpretation extracted from the hand-chosen CRDT layout): replicas
+// of a converged cluster digest identically, and so does the spec-driven
+// engine executor when it reached the same logical state — the
+// executor-equivalence check relies on exactly this representation.
 func (a *tournamentChaos) Digest(ctx *Ctx, site int) string {
-	tx := ctx.Replica(site).Begin()
-	defer tx.Commit()
-	return strings.Join([]string{
-		digestList("players", store.AWSetAt(tx, tournament.KeyPlayers).Elems()),
-		digestList("tournaments", store.AWSetAt(tx, tournament.KeyTournaments).Elems()),
-		digestList("enrolled", store.AWSetAt(tx, tournament.KeyEnrolled).Elems()),
-		digestList("active", store.RWSetAt(tx, tournament.KeyActive).Elems()),
-		digestList("finished", store.AWSetAt(tx, tournament.KeyFinished).Elems()),
-		digestList("matches", store.RWSetAt(tx, tournament.KeyMatches).Elems()),
-	}, " ")
+	return engine.DigestOf(tournament.Interp(ctx.Replica(site), tournamentCapacity))
 }
+
+// tournamentCapacity is the spec's Capacity constant (digests don't use
+// it, but the extracted interpretation carries it for checkers).
+var tournamentCapacity = tournament.Spec().Consts["Capacity"]

@@ -45,7 +45,7 @@ func TestConfigConcurrencyValidation(t *testing.T) {
 // while Concurrency workers race each other and the apply pipeline, and
 // the engine's unchanged mid-flight + quiescence checks must stay clean.
 func TestChaosConcurrentClients(t *testing.T) {
-	apps := []string{"ticket", "tournament"}
+	apps := []string{"ticket", "tournament", "tournament-spec"}
 	seeds := []uint64{7, 8}
 	if testing.Short() {
 		apps = apps[:1]

@@ -58,6 +58,16 @@ const midChecks = 16
 // schedule drives real sockets and goroutines (see executeNet): workload
 // and fault windows replay exactly, thread interleavings do not.
 func Execute(s *Schedule) (*Violation, error) {
+	_, v, err := ExecuteDigest(s)
+	return v, err
+}
+
+// ExecuteDigest is Execute plus the application's site-0 state digest at
+// clean quiescence (empty when the schedule violated). Executors that
+// must agree state-for-state — the hand-coded tournament and the
+// spec-driven engine, or the same app on two backends — run the same
+// schedule through ExecuteDigest and compare digests.
+func ExecuteDigest(s *Schedule) (string, *Violation, error) {
 	if s.Cfg.Backend == runtime.BackendNet {
 		return executeNet(s)
 	}
@@ -65,10 +75,10 @@ func Execute(s *Schedule) (*Violation, error) {
 }
 
 // executeSim runs one schedule inside the discrete-event simulation.
-func executeSim(s *Schedule) (*Violation, error) {
+func executeSim(s *Schedule) (string, *Violation, error) {
 	app, err := newApp(s.Cfg)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	ctx := newCtx(s)
 
@@ -130,9 +140,13 @@ func executeSim(s *Schedule) (*Violation, error) {
 
 	ctx.Sim.RunUntil(s.Cfg.Horizon)
 	if found != nil {
-		return found, nil
+		return "", found, nil
 	}
-	return Quiesce(ctx, app)
+	v, err := Quiesce(ctx, app)
+	if v != nil || err != nil {
+		return "", v, err
+	}
+	return app.Digest(ctx, 0), nil, nil
 }
 
 // Quiesce drives a run's end-of-schedule protocol, shared by both

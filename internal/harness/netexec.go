@@ -67,15 +67,15 @@ type netEvent struct {
 // checks briefly gate the pool (checkGate) so each check still reads a
 // site snapshot no local client is mutating mid-transaction group; the
 // quiescence protocol is unchanged — workers join before Quiesce runs.
-func executeNet(s *Schedule) (*Violation, error) {
+func executeNet(s *Schedule) (string, *Violation, error) {
 	app, err := newApp(s.Cfg)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	sites := siteIDs(s.Cfg.Replicas)
 	cluster, err := runtime.NewNetCluster(sites, chaosNetConfig(s.Cfg.Ops))
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	defer cluster.Close()
 	ctx := NewCtx(s.Cfg, cluster, sites)
@@ -83,7 +83,7 @@ func executeNet(s *Schedule) (*Violation, error) {
 	// Seed state and let it replicate everywhere before chaos starts.
 	app.Setup(ctx)
 	if err := cluster.Settle(); err != nil {
-		return nil, err
+		return "", nil, err
 	}
 
 	var found *Violation
@@ -197,7 +197,11 @@ func executeNet(s *Schedule) (*Violation, error) {
 	}
 	join()
 	if found != nil {
-		return found, nil
+		return "", found, nil
 	}
-	return Quiesce(ctx, app)
+	v, err := Quiesce(ctx, app)
+	if v != nil || err != nil {
+		return "", v, err
+	}
+	return app.Digest(ctx, 0), nil, nil
 }

@@ -17,6 +17,7 @@ import (
 //	tag NAME
 //	invariant FORMULA            (one line)
 //	operation NAME(Sort: a, ...) {
+//	    requires FORMULA
 //	    pred(a, *, ...) := true|false
 //	    fn(a) += INT | fn(a) -= INT
 //	}
@@ -92,6 +93,17 @@ func Parse(src string) (*Spec, error) {
 				}
 				if body == "}" {
 					break
+				}
+				if kw, rest := splitWord(body); kw == "requires" {
+					if rest == "" {
+						return nil, fmt.Errorf("spec: line %d: requires needs a formula", i)
+					}
+					pre, err := logic.Parse(rest)
+					if err != nil {
+						return nil, fmt.Errorf("spec: line %d: %v", i, err)
+					}
+					op.Pre = append(op.Pre, pre)
+					continue
 				}
 				eff, err := parseEffect(body, i)
 				if err != nil {

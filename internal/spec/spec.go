@@ -95,10 +95,19 @@ func (e Effect) Equal(o Effect) bool {
 	return e.Val == o.Val && e.Delta == o.Delta
 }
 
-// Operation is a named operation with sorted parameters and effects.
+// Operation is a named operation with sorted parameters, optional
+// preconditions, and effects.
 type Operation struct {
-	Name    string
-	Params  []logic.Var
+	Name   string
+	Params []logic.Var
+	// Pre are explicit preconditions ("requires" clauses): formulas over
+	// the operation's parameters that must hold in the origin replica's
+	// visible state for the operation to execute (the paper's model has
+	// every operation verify its preconditions against local state; a
+	// failed precondition makes the operation a no-op). The analysis
+	// ignores them — restricting executability can only remove conflicts,
+	// so reasoning without them is conservative.
+	Pre     []logic.Formula
 	Effects []Effect
 }
 
@@ -106,6 +115,7 @@ type Operation struct {
 func (o *Operation) Clone() *Operation {
 	c := &Operation{Name: o.Name}
 	c.Params = append([]logic.Var(nil), o.Params...)
+	c.Pre = append([]logic.Formula(nil), o.Pre...)
 	for _, e := range o.Effects {
 		e.Args = append([]logic.Term(nil), e.Args...)
 		c.Effects = append(c.Effects, e)
@@ -141,6 +151,9 @@ func (o *Operation) String() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "operation %s(%s) {\n", o.Name, strings.Join(params, ", "))
+	for _, p := range o.Pre {
+		fmt.Fprintf(&b, "    requires %s\n", p)
+	}
 	for _, e := range o.Effects {
 		fmt.Fprintf(&b, "    %s\n", e)
 	}
@@ -324,6 +337,13 @@ func (s *Spec) Validate() error {
 		}
 		if len(o.Effects) == 0 {
 			return fmt.Errorf("spec: operation %s has no effects", o.Name)
+		}
+		for _, pre := range o.Pre {
+			for _, v := range logic.FreeVars(pre) {
+				if !params[v] {
+					return fmt.Errorf("spec: operation %s: precondition %s uses undeclared parameter %q", o.Name, pre, v)
+				}
+			}
 		}
 		for _, e := range o.Effects {
 			for _, a := range e.Args {

@@ -420,6 +420,61 @@ func (r CounterRef) Add(delta int64) {
 // Value returns the current count.
 func (r CounterRef) Value() int64 { return r.c.Value() }
 
+// BoundedRef is a transaction-scoped view of a bounded (escrow) counter.
+type BoundedRef struct {
+	tx  *Txn
+	key string
+	c   *crdt.BoundedCounter
+}
+
+// BoundedAt binds the bounded counter stored at key, creating it empty
+// (no rights anywhere) when absent.
+func BoundedAt(tx *Txn, key string) BoundedRef {
+	obj, _ := tx.object(key, crdt.Ctor(crdt.KindBoundedCounter))
+	c, ok := obj.(*crdt.BoundedCounter)
+	if !ok {
+		panic(fmt.Sprintf("store: %s holds %s, not bounded-counter", key, obj.Type()))
+	}
+	return BoundedRef{tx: tx, key: key, c: c}
+}
+
+// Grant adds n fresh rights at the transaction's origin replica (an
+// increment of the value).
+func (r BoundedRef) Grant(n int64) {
+	op := r.c.PrepareGrant(r.tx.r.id, n, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Consume spends n locally held rights (a decrement of the value). It
+// returns false — and records nothing — when the origin holds fewer than
+// n rights: with every replica respecting this escrow guard the global
+// value can never drop below zero, partitions included.
+func (r BoundedRef) Consume(n int64) bool {
+	if r.c.Local(r.tx.r.id) < n {
+		return false
+	}
+	op, _ := r.c.PrepareConsume(r.tx.r.id, n, r.tx.NewTag())
+	r.tx.Apply(r.key, op, nil)
+	return true
+}
+
+// ForceConsume decrements by n regardless of locally held rights — the
+// optimistic overdraft path: the caller has checked the globally visible
+// value instead, accepting that a concurrent ForceConsume at a
+// partitioned replica can take the merged value below the bound, to be
+// repaired by a compensation at read time.
+func (r BoundedRef) ForceConsume(n int64) {
+	op := crdt.BCConsumeOp{Replica: r.tx.r.id, N: n, Tag: r.tx.NewTag()}
+	r.tx.Apply(r.key, op, nil)
+}
+
+// Value returns the globally visible value (total rights minus total
+// consumed).
+func (r BoundedRef) Value() int64 { return r.c.Value() }
+
+// Local returns the rights locally available to the origin replica.
+func (r BoundedRef) Local() int64 { return r.c.Local(r.tx.r.id) }
+
 // RegisterRef is a transaction-scoped view of an LWW register.
 type RegisterRef struct {
 	tx  *Txn

@@ -56,6 +56,50 @@ func TestPublicAnalysisPipeline(t *testing.T) {
 	}
 }
 
+// TestOpenMountCall drives the client API end to end: spec in,
+// invariant-preserving cluster out.
+func TestOpenMountCall(t *testing.T) {
+	if _, err := Open(ClusterOptions{Backend: "weird"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	db, err := Open(ClusterOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Mount("operation } {"); err == nil {
+		t.Fatal("unparseable spec mounted")
+	}
+	app, err := db.Mount(demoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Analysis().Applied) == 0 {
+		t.Fatal("analysis applied no repairs")
+	}
+	s := app.At(PaperSites()[0])
+	if err := s.Call("nope"); err == nil {
+		t.Fatal("unknown operation accepted")
+	}
+	for _, call := range [][]string{{"add_player", "ann"}, {"add_tourn", "open"}, {"enroll", "ann", "open"}} {
+		if err := s.Call(call[0], call[1:]...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if v := app.CheckInvariants(); len(v) > 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	base := app.Digest(PaperSites()[0])
+	for _, id := range db.Replicas() {
+		if app.Digest(id) != base {
+			t.Fatalf("digest diverged at %s", id)
+		}
+	}
+}
+
 func TestPublicRuntime(t *testing.T) {
 	sim, cluster := NewPaperCluster(7)
 	sites := PaperSites()
