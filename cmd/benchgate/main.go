@@ -1,0 +1,67 @@
+// Command benchgate compares a freshly measured BENCH_engine.json
+// against the committed baseline and exits non-zero when the spec
+// engine's compiled/interpreted speed-up has regressed beyond the
+// tolerance. CI runs it after `ipabench -experiment engine`; the ratio
+// is machine-independent (both executors share the runner), so the
+// committed baseline stays meaningful across hardware.
+//
+// Usage:
+//
+//	benchgate -current artifacts/BENCH_engine.json \
+//	          -baseline internal/bench/testdata/BENCH_engine_baseline.json
+//
+// Refresh the baseline after a deliberate engine change:
+//
+//	go run ./cmd/ipabench -experiment engine -quick -json internal/bench/testdata
+//	mv internal/bench/testdata/BENCH_engine.json internal/bench/testdata/BENCH_engine_baseline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ipa/internal/bench"
+)
+
+func main() {
+	var (
+		current   = flag.String("current", "", "freshly measured BENCH_engine.json")
+		baseline  = flag.String("baseline", "internal/bench/testdata/BENCH_engine_baseline.json", "committed baseline BENCH_engine.json")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed speed-up erosion (0.20 = fail below 80% of baseline)")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	cur, err := bench.ReadExperimentJSON(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	base, err := bench.ReadExperimentJSON(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	if ratios, err := bench.EngineSpeedups(cur); err == nil {
+		names := make([]string, 0, len(ratios))
+		for n := range ratios {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		baseRatios, _ := bench.EngineSpeedups(base)
+		for _, n := range names {
+			fmt.Printf("%-12s compiled/interpreted %.2fx (baseline %.2fx)\n", n, ratios[n], baseRatios[n])
+		}
+	}
+
+	if err := bench.CheckEngineBaseline(cur, base, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

@@ -15,11 +15,14 @@
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8a, fig8b, fig9, the
 // ablations beyond the paper: ablation-numeric, ablation-touch,
-// ablation-stability, ablation-scope, and three wall-clock benchmarks of
+// ablation-stability, ablation-scope, and four wall-clock benchmarks of
 // the repository's own infrastructure: `transport` — the real-socket
 // netrepl throughput comparison (streaming vs legacy) — `chaos` — the
 // chaos harness's schedules-per-second rate on 3- and 5-replica sims —
-// and `serve` — closed-loop serving of all four applications over the
+// `engine` — the spec engine's compiled plans vs the reference
+// interpreter on every application spec (cmd/benchgate gates the
+// compiled/interpreted ratio against a committed baseline) — and
+// `serve` — closed-loop serving of all four applications over the
 // backend-agnostic runtime (sim or netrepl), with invariant checks.
 //
 // The paper figures model latency inside the simulation, so they are
@@ -78,7 +81,7 @@ func main() {
 	// -backend.
 	simFigures := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
 		"ablation-numeric", "ablation-touch", "ablation-stability", "ablation-scope"}
-	fixed := []string{"transport", "chaos"}
+	fixed := []string{"transport", "chaos", "engine"}
 	all := append(append(append([]string(nil), simFigures...), fixed...), "serve")
 
 	var wanted []string
@@ -154,6 +157,8 @@ func main() {
 			e, err = bench.Transport(opts)
 		case "chaos":
 			e, err = bench.Chaos(opts)
+		case "engine":
+			e, err = bench.EngineExecutors(opts)
 		case "serve":
 			e, err = bench.Serve(bench.ServeOptions{Backend: *backend, Ops: serveOps, Seed: *seed, Workers: workers})
 		default:

@@ -9,6 +9,7 @@ package ticket
 
 import (
 	"fmt"
+	"strings"
 
 	"ipa/internal/crdt"
 	"ipa/internal/runtime"
@@ -49,6 +50,16 @@ operation refund(Ticket: k, Event: e) {
 
 // Spec parses and returns the specification.
 func Spec() *spec.Spec { return spec.MustParse(SpecSource) }
+
+// SpecSourceWithCapacity returns the specification source with
+// EventCapacity rewritten to n — the chaos harness sells tiny events
+// (capacity 5) against a buy-heavy mix so overselling actually happens,
+// and the spec-driven executor must be analyzed at the same bound to be
+// comparable.
+func SpecSourceWithCapacity(n int) string {
+	return strings.Replace(SpecSource,
+		"const EventCapacity = 100", fmt.Sprintf("const EventCapacity = %d", n), 1)
+}
 
 // Variant selects the executable flavour.
 type Variant int

@@ -1,0 +1,90 @@
+package twitter
+
+import (
+	"ipa/internal/crdt"
+	"ipa/internal/logic"
+	"ipa/internal/runtime"
+	"ipa/internal/store"
+)
+
+// Interp extracts the logical interpretation of a replica's current state
+// — the mapping from this package's hand-chosen CRDT layout back to the
+// specification's predicates — so the hand-coded executor's state can be
+// digest-compared with the spec-driven engine's, which extracts the same
+// abstraction from its own generic layout.
+//
+// Two representation gaps are inherent to the hand layout and define the
+// comparable fragment:
+//
+//   - author(w) is not extracted. The spec keeps the unary author fact
+//     independent of the tweet (del_tweet falsifies tweet(w) only), while
+//     the hand layout embeds the author inside the tweet tuple — deleting
+//     the tweet deletes the only record of authorship. Equivalence
+//     comparisons therefore exclude the author predicate.
+//   - inTimeline(w, u) is extracted only for visible users u. The hand
+//     layout never clears a removed user's timeline object; it hides it
+//     by dropping the user, which is exactly what the analyzed spec's
+//     rem_user wipe (inTimeline(*, u) := false, see Analysis) achieves
+//     eagerly.
+func Interp(r runtime.Replica, strategy Strategy) logic.Interp {
+	tx := r.Begin()
+	defer tx.Commit()
+
+	truth := map[string]bool{}
+	domain := map[logic.Sort][]string{"Tweet": {}, "User": {}}
+	seenW := map[string]bool{}
+	seenU := map[string]bool{}
+	addTweet := func(w string) {
+		if !seenW[w] {
+			seenW[w] = true
+			domain["Tweet"] = append(domain["Tweet"], w)
+		}
+	}
+	addUser := func(u string) {
+		if !seenU[u] {
+			seenU[u] = true
+			domain["User"] = append(domain["User"], u)
+		}
+	}
+
+	var users []string
+	if strategy == RemWins {
+		users = store.RWSetAt(tx, KeyUsers).Elems()
+	} else {
+		users = store.AWSetAt(tx, KeyUsers).Elems()
+	}
+	for _, u := range users {
+		truth[logic.GroundAtom("user", u)] = true
+		addUser(u)
+	}
+	for _, e := range store.AWSetAt(tx, KeyTweets).Elems() {
+		parts := crdt.SplitTuple(e)
+		truth[logic.GroundAtom("tweet", parts[0])] = true
+		addTweet(parts[0])
+	}
+	for _, p := range store.AWSetAt(tx, KeyFollows).Elems() {
+		parts := crdt.SplitTuple(p)
+		truth[logic.GroundAtom("follows", parts[0], parts[1])] = true
+		addUser(parts[0])
+		addUser(parts[1])
+	}
+	for _, u := range users {
+		var entries []string
+		if strategy == RemWins {
+			entries = store.RWSetAt(tx, TimelineKey(u)).Elems()
+		} else {
+			entries = store.AWSetAt(tx, TimelineKey(u)).Elems()
+		}
+		for _, e := range entries {
+			parts := crdt.SplitTuple(e)
+			truth[logic.GroundAtom("inTimeline", parts[0], u)] = true
+			addTweet(parts[0])
+		}
+	}
+
+	return logic.Interp{
+		Domain: domain,
+		Truth:  truth,
+		Consts: map[string]int{},
+	}
+}

@@ -192,6 +192,7 @@ type Series struct {
 type Perf struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	P50Ms     float64 `json:"p50_ms,omitempty"`
+	P95Ms     float64 `json:"p95_ms,omitempty"`
 	P99Ms     float64 `json:"p99_ms,omitempty"`
 }
 

@@ -23,7 +23,10 @@ type ServeOptions struct {
 	// Apps lists the applications to serve. Default: every portable app.
 	Apps []string
 	// Ops is the number of operations per application. Default 2000
-	// (sim), 1000 (netrepl).
+	// (sim), 8000 (netrepl — long enough that the loop reaches steady
+	// state against the concurrent replication pipeline; a short burst
+	// only measures how fast local commits enqueue into empty transport
+	// queues, which flatters whichever app issues fastest).
 	Ops int
 	// Seed drives the workload generators.
 	Seed int64
@@ -45,7 +48,7 @@ func (o ServeOptions) withDefaults() ServeOptions {
 	if o.Ops == 0 {
 		o.Ops = 2000
 		if o.Backend == runtime.BackendNet {
-			o.Ops = 1000
+			o.Ops = 8000
 		}
 		if len(o.Workers) > 0 {
 			// The sweep measures scaling, not startup: local commits are
@@ -64,6 +67,14 @@ func (o ServeOptions) withDefaults() ServeOptions {
 func serveNetConfig() runtime.NetConfig {
 	return runtime.NetConfig{SettleTimeout: 60 * time.Second}
 }
+
+// stabilizeEvery is the serving loop's stability cadence, in operations:
+// like a deployed stability service, the benchmark runs the stability
+// protocol periodically so remove-wins tombstones and dead add records
+// are compacted while traffic flows. Without it metadata grows with run
+// length and every membership check slows down — the measured loop would
+// time metadata accumulation, not serving.
+const stabilizeEvery = 64
 
 // Serve runs the serving benchmark on the chosen backend and reports
 // wall-clock throughput and latency percentiles per application. After
@@ -93,6 +104,7 @@ func Serve(opts ServeOptions) (*Experiment, error) {
 		p := Perf{
 			OpsPerSec: opsPerSec,
 			P50Ms:     rec.Percentile("", 50),
+			P95Ms:     rec.Percentile("", 95),
 			P99Ms:     rec.Percentile("", 99),
 		}
 		e.Perf[app] = p
@@ -139,6 +151,7 @@ func serveWorkersSweep(opts ServeOptions) (*Experiment, error) {
 			p := Perf{
 				OpsPerSec: opsPerSec,
 				P50Ms:     rec.Percentile("", 50),
+				P95Ms:     rec.Percentile("", 95),
 				P99Ms:     rec.Percentile("", 99),
 			}
 			e.Perf[fmt.Sprintf("%s/w%d", app, w)] = p
@@ -232,6 +245,24 @@ func serveAppWorkers(app string, opts ServeOptions, workers int) (*Recorder, flo
 			recs := make([]*Recorder, workers)
 			var wg sync.WaitGroup
 			start := time.Now()
+			// The stability service runs beside the workers (the gather is
+			// one non-blocking pass per round, safe mid-traffic).
+			stop := make(chan struct{})
+			var stabWg sync.WaitGroup
+			stabWg.Add(1)
+			go func() {
+				defer stabWg.Done()
+				tick := time.NewTicker(50 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+						ctx.Cluster.Stabilize()
+					}
+				}
+			}()
 			for w := 0; w < workers; w++ {
 				rec := NewRecorder()
 				recs[w] = rec
@@ -246,6 +277,8 @@ func serveAppWorkers(app string, opts ServeOptions, workers int) (*Recorder, flo
 				}(w)
 			}
 			wg.Wait()
+			close(stop)
+			stabWg.Wait()
 			elapsed := time.Since(start)
 			rec := NewRecorder()
 			for _, r := range recs {
@@ -282,6 +315,9 @@ func serveApp(app string, opts ServeOptions) (*Recorder, float64, error) {
 				rec.Add(op.Kind, wan.Time(time.Since(t0).Microseconds()))
 				if sim != nil {
 					sim.Run()
+				}
+				if (i+1)%stabilizeEvery == 0 {
+					ctx.Cluster.Stabilize()
 				}
 			}
 			elapsed := time.Since(start)

@@ -96,18 +96,26 @@ func MatchPattern(fields ...string) MatchFields {
 	return MatchFields{Arity: len(fields), Fields: fields}
 }
 
-// Matches reports whether the element satisfies the pattern.
+// Matches reports whether the element satisfies the pattern. It walks
+// the element in place — this runs once per wildcard tombstone on every
+// remove-wins membership check, so it must not allocate.
 func (m MatchFields) Matches(elem string) bool {
-	parts := SplitTuple(elem)
-	if len(parts) != m.Arity || len(m.Fields) != m.Arity {
+	if len(m.Fields) != m.Arity {
 		return false
 	}
+	rest := elem
 	for i, f := range m.Fields {
-		if f != "" && parts[i] != f {
+		j := strings.Index(rest, TupleSep)
+		if j < 0 {
+			// Last component: the element must end here too.
+			return i == m.Arity-1 && (f == "" || rest == f)
+		}
+		if f != "" && rest[:j] != f {
 			return false
 		}
+		rest = rest[j+len(TupleSep):]
 	}
-	return true
+	return false // element has more components than Arity
 }
 
 func (m MatchFields) String() string {

@@ -18,6 +18,14 @@ type RWSet struct {
 	removes map[string]map[clock.EventID]*rwTomb   // element -> exact remove tombstones
 	wild    map[clock.EventID]*wildRemove          // wildcard tombstones
 	payload map[string]string
+
+	// present memoizes Contains verdicts. Presence is a pure function of
+	// the element's add records, its tombstones, and the wildcard
+	// tombstones, so the cache only needs invalidating when one of those
+	// changes (Apply); compaction preserves every verdict by contract but
+	// clears the cache anyway out of caution. All access happens under
+	// the owning store's exclusive object lock, like every other field.
+	present map[string]bool
 }
 
 type addRecord struct {
@@ -51,6 +59,7 @@ func NewRWSet() *RWSet {
 		removes: map[string]map[clock.EventID]*rwTomb{},
 		wild:    map[clock.EventID]*wildRemove{},
 		payload: map[string]string{},
+		present: map[string]bool{},
 	}
 }
 
@@ -123,6 +132,7 @@ func (s *RWSet) PrepareRemoveWhere(pred Predicate, tag clock.EventID) RWRemoveWh
 func (s *RWSet) Apply(op Op) {
 	switch o := op.(type) {
 	case RWAddOp:
+		delete(s.present, o.Elem)
 		recs, ok := s.adds[o.Elem]
 		if !ok {
 			recs = map[clock.EventID]addRecord{}
@@ -140,6 +150,7 @@ func (s *RWSet) Apply(op Op) {
 			s.payload[o.Elem] = o.Pay
 		}
 	case RWRemoveOp:
+		delete(s.present, o.Elem)
 		rs, ok := s.removes[o.Elem]
 		if !ok {
 			rs = map[clock.EventID]*rwTomb{}
@@ -147,6 +158,12 @@ func (s *RWSet) Apply(op Op) {
 		}
 		rs[o.Tag] = &rwTomb{}
 	case RWRemoveWhereOp:
+		// A wildcard only changes the verdicts of matching elements.
+		for e := range s.present {
+			if o.Pred.Matches(e) {
+				delete(s.present, e)
+			}
+		}
 		s.wild[o.Tag] = &wildRemove{pred: o.Pred}
 	}
 }
@@ -158,6 +175,18 @@ func (s *RWSet) Contains(elem string) bool {
 	if !ok {
 		return false
 	}
+	if v, ok := s.present[elem]; ok {
+		return v
+	}
+	v := s.containsSlow(elem, recs)
+	if s.present == nil {
+		s.present = map[string]bool{}
+	}
+	s.present[elem] = v
+	return v
+}
+
+func (s *RWSet) containsSlow(elem string, recs map[clock.EventID]addRecord) bool {
 	removes := s.removes[elem]
 	for _, rec := range recs {
 		alive := true
@@ -267,6 +296,7 @@ func (s *RWSet) Compact(horizon clock.Vector) {
 // point every add it could ever defeat has been delivered and judged, and
 // surviving adds can also forget they observed it.
 func (s *RWSet) CompactWithFrontier(horizon, frontier clock.Vector) {
+	clear(s.present)
 	// Identify stable wildcard tombstones.
 	stableWild := map[clock.EventID]*wildRemove{}
 	for wid, w := range s.wild {

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"ipa/internal/apps/tournament"
+	"ipa/internal/clock"
+	"ipa/internal/runtime"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+// benchApp mounts the tournament spec on a fresh two-replica sim
+// cluster and seeds a mid-sized serving state: players, tournaments,
+// and enrolments, settled across both replicas.
+func benchApp(b *testing.B, opts ...MountOption) (*App, runtime.Replica, *wan.Sim) {
+	b.Helper()
+	sim := wan.NewSim(1)
+	cluster := runtime.NewSimCluster(store.NewCluster(sim, wan.PaperTopology(),
+		[]clock.ReplicaID{"a", "b"}))
+	app, err := Mount(tournament.Spec(), tournament.Analysis(), cluster, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := cluster.Replica("a")
+	for i := 0; i < 16; i++ {
+		if err := app.Call(r, "add_player", fmt.Sprintf("p%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		t := fmt.Sprintf("t%d", i)
+		if err := app.Call(r, "add_tourn", t); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 6; j++ {
+			if err := app.Call(r, "enroll", fmt.Sprintf("p%d", (i+j)%16), t); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := app.Call(r, "begin_tourn", "t0"); err != nil {
+		b.Fatal(err)
+	}
+	sim.Run()
+	return app, r, sim
+}
+
+// BenchmarkEngineExtract measures state extraction per call: the full
+// whole-state read of the reference executor vs the compiled footprint
+// of a representative operation.
+func BenchmarkEngineExtract(b *testing.B) {
+	app, r, _ := benchApp(b)
+	co := app.ops["enroll"]
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tx := r.Begin()
+			app.extract(tx, nil)
+			tx.Commit()
+		}
+	})
+	b.Run("scoped", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tx := r.Begin()
+			app.extract(tx, co.plan.fp)
+			tx.Commit()
+		}
+	})
+}
+
+// BenchmarkEnginePlan measures effect planning (grounding, post-state
+// simulation, explicit preconditions) against an extracted state.
+func BenchmarkEnginePlan(b *testing.B) {
+	app, r, _ := benchApp(b)
+	co := app.ops["enroll"]
+	binding := map[string]string{"p": "p3", "t": "t2"}
+	tx := r.Begin()
+	pre := app.extract(tx, co.plan.fp)
+	tx.Commit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := app.plan(co, pre.clone(), binding); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineGuard measures the no-new-violation guard: the
+// reference full cross-product enumeration vs the compiled
+// trigger-restricted enumeration, on the same planned call.
+func BenchmarkEngineGuard(b *testing.B) {
+	app, r, _ := benchApp(b)
+	co := app.ops["enroll"]
+	binding := map[string]string{"p": "p3", "t": "t2"}
+	tx := r.Begin()
+	pre := app.extract(tx, nil)
+	tx.Commit()
+	_, post, changes, err := app.plan(co, pre, binding)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := app.guardFull(co, pre, post); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := app.guardCompiled(co, pre, post, changes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineCall measures the end-to-end call path on both
+// executors (idempotent enroll on a settled state).
+func BenchmarkEngineCall(b *testing.B) {
+	b.Run("compiled", func(b *testing.B) {
+		app, r, _ := benchApp(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := app.Call(r, "enroll", "p3", "t2"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interpreted", func(b *testing.B) {
+		app, r, _ := benchApp(b, WithInterpreter())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := app.Call(r, "enroll", "p3", "t2"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -36,9 +36,11 @@ type action struct {
 // plan simulates the operation's patched execution against the
 // extracted pre-state: it grounds every effect, evaluates cascade
 // conditions against the visible state, builds the local post-state,
-// and checks the preconditions. It returns the concrete update list, or
+// and checks the explicit preconditions. It returns the concrete update
+// list, the simulated post-state, and the truth/value changes relative
+// to the pre-state (the compiled guard's trigger input), or
 // ErrPrecondition.
-func (a *App) plan(co *compiledOp, pre *state, binding map[string]string) ([]action, error) {
+func (a *App) plan(co *compiledOp, pre *state, binding map[string]string) ([]action, *state, []change, error) {
 	// post is the guard's view of the operation's outcome: the base
 	// effects, the cascades, and the analysis-injected retractions — but
 	// NOT the injected re-assertions or the derived ensure touches. Those
@@ -51,6 +53,7 @@ func (a *App) plan(co *compiledOp, pre *state, binding map[string]string) ([]act
 		post.addDomain(p.Sort, binding[p.Name])
 	}
 	var acts []action
+	var changes []change
 	planned := map[string]bool{} // dedupe positive assertions by atom
 
 	ground := func(args []logic.Term) ([]string, bool, error) {
@@ -88,12 +91,19 @@ func (a *App) plan(co *compiledOp, pre *state, binding map[string]string) ([]act
 		}
 		acts = append(acts, action{kind: kind, pred: pred, args: args})
 		if !touch {
+			if !pre.in.Truth[key] {
+				changes = append(changes, change{pred: pred, args: args, dir: 1})
+			}
 			post.in.Truth[key] = true
 		}
 	}
 	retractGround := func(pred string, args []string) {
 		acts = append(acts, action{kind: actRemove, pred: pred, args: args})
-		post.in.Truth[atomKey(pred, args)] = false
+		key := atomKey(pred, args)
+		if pre.in.Truth[key] {
+			changes = append(changes, change{pred: pred, args: args, dir: -1})
+		}
+		post.in.Truth[key] = false
 	}
 	wipe := func(pred string, pattern []string, emit bool) {
 		matches := pre.trueMatches(pred, pattern)
@@ -101,6 +111,7 @@ func (a *App) plan(co *compiledOp, pre *state, binding map[string]string) ([]act
 			acts = append(acts, action{kind: actWipe, pred: pred, pattern: pattern})
 		}
 		for _, m := range matches {
+			changes = append(changes, change{pred: pred, args: m, dir: -1})
 			post.in.Truth[atomKey(pred, m)] = false
 		}
 	}
@@ -115,6 +126,13 @@ func (a *App) plan(co *compiledOp, pre *state, binding map[string]string) ([]act
 			case e.Kind == spec.NumDelta:
 				acts = append(acts, action{kind: actDelta, pred: e.Pred, args: args, delta: e.Delta})
 				post.in.Nums[atomKey(e.Pred, args)] += e.Delta
+				if e.Delta != 0 {
+					d := int8(1)
+					if e.Delta < 0 {
+						d = -1
+					}
+					changes = append(changes, change{pred: e.Pred, args: args, dir: d, numeric: true})
+				}
 			case e.Val:
 				assert(e.Pred, args, touch)
 			case wild:
@@ -128,22 +146,22 @@ func (a *App) plan(co *compiledOp, pre *state, binding map[string]string) ([]act
 		return nil
 	}
 	if err := apply(co.base, false); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if err := apply(co.patches, true); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	for _, t := range co.ensures {
 		args, _, err := ground(t.terms)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		assert(t.pred, args, true)
 	}
 	for _, c := range co.cascades {
 		args, _, err := ground(c.terms)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		// Cascades are ground and conditional: retract only what the
 		// origin sees (a remove the origin has no grounds for would
@@ -153,30 +171,32 @@ func (a *App) plan(co *compiledOp, pre *state, binding map[string]string) ([]act
 		}
 	}
 
-	// Explicit preconditions, against the visible pre-state.
-	for _, p := range co.op.Pre {
-		env := map[string]string{}
-		for k, v := range binding {
-			env[k] = v
-		}
-		ok, err := pre.in.Eval(p, env)
+	// Explicit preconditions, against the visible pre-state. Eval never
+	// mutates its env, so the call binding is passed as-is.
+	for i, p := range co.op.Pre {
+		ok, err := pre.in.Eval(p, binding)
 		if err != nil {
-			return nil, fmt.Errorf("engine: %s: requires %s: %w", co.op.Name, p, err)
+			return nil, nil, nil, fmt.Errorf("engine: %s: requires %s: %w", co.op.Name, p, err)
 		}
 		if !ok {
-			return nil, fmt.Errorf("%w: %s: requires %s", ErrPrecondition, co.op.Name, p)
+			return nil, nil, nil, co.preErrs[i]
 		}
 	}
-	// Generic guard: the operation must not introduce a violation the
-	// origin can see — for every relevant clause and binding, a clause
-	// instance that held before must still hold after (instances already
-	// violated by earlier merges don't block progress).
-	for _, cl := range co.guards {
+	return acts, post, changes, nil
+}
+
+// guardFull is the reference form of the generic no-new-violation
+// guard: the operation must not introduce a violation the origin can
+// see — for every relevant clause and binding, a clause instance that
+// held before must still hold after (instances already violated by
+// earlier merges don't block progress).
+func (a *App) guardFull(co *compiledOp, pre, post *state) error {
+	for i, cl := range co.guards {
 		envs := post.enumBindings(cl.vars)
 		for _, env := range envs {
 			okPost, err := post.in.Eval(cl.body, env)
 			if err != nil {
-				return nil, fmt.Errorf("engine: %s: guard %s: %w", co.op.Name, cl.Formula, err)
+				return fmt.Errorf("engine: %s: guard %s: %w", co.op.Name, cl.Formula, err)
 			}
 			if okPost {
 				continue
@@ -185,10 +205,16 @@ func (a *App) plan(co *compiledOp, pre *state, binding map[string]string) ([]act
 			if err != nil || !okPre {
 				continue // already violated (or not evaluable) before
 			}
-			return nil, fmt.Errorf("%w: %s would violate %s", ErrPrecondition, co.op.Name, cl.Formula)
+			return co.violErrs[i]
 		}
 	}
-	return acts, nil
+	return nil
+}
+
+// useReference reports whether the operation runs on the whole-state
+// reference executor (by mount option, or by per-op fallback).
+func (a *App) useReference(co *compiledOp) bool {
+	return a.interpreted || co.plan == nil || co.plan.fallback
 }
 
 // Call executes one specification operation at a replica, inside a
@@ -226,8 +252,25 @@ func (a *App) Call(r runtime.Replica, opName string, args ...string) error {
 			tx.Commit()
 		}
 	}()
-	pre := a.extract(tx)
-	acts, err := a.plan(co, pre, binding)
+	var fp *footprint
+	if !a.useReference(co) {
+		fp = co.plan.fp
+	}
+	pre := a.extract(tx, fp)
+	if fp != nil {
+		if err := a.readMembers(tx, pre, co.plan.members, binding); err != nil {
+			return err
+		}
+	}
+	acts, post, changes, err := a.plan(co, pre, binding)
+	if err != nil {
+		return err
+	}
+	if a.useReference(co) {
+		err = a.guardFull(co, pre, post)
+	} else {
+		err = a.guardCompiled(co, pre, post, changes)
+	}
 	if err != nil {
 		return err
 	}

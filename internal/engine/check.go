@@ -29,7 +29,7 @@ func (a *App) CheckQuiescent(r runtime.Replica) []string {
 func (a *App) check(r runtime.Replica, want func(*Clause) bool) []string {
 	tx := r.Begin()
 	defer tx.Commit()
-	st := a.extract(tx)
+	st := a.extract(tx, nil)
 	var out []string
 	for _, cl := range a.clauses {
 		if !want(cl) {
@@ -54,7 +54,7 @@ func (a *App) check(r runtime.Replica, want func(*Clause) bool) []string {
 func (a *App) Digest(r runtime.Replica) string {
 	tx := r.Begin()
 	defer tx.Commit()
-	return DigestOf(a.extract(tx).in)
+	return DigestOf(a.extract(tx, nil).in)
 }
 
 // Interp extracts the replica's current specification-level
@@ -62,7 +62,7 @@ func (a *App) Digest(r runtime.Replica) string {
 func (a *App) Interp(r runtime.Replica) logic.Interp {
 	tx := r.Begin()
 	defer tx.Commit()
-	return a.extract(tx).in
+	return a.extract(tx, nil).in
 }
 
 // Repair runs the analysis' compensations as read-time repairs at the
@@ -84,7 +84,7 @@ func (a *App) Repair(r runtime.Replica) {
 	}
 	tx := r.Begin()
 	defer tx.Commit()
-	st := a.extract(tx)
+	st := a.extract(tx, nil)
 	for _, cl := range a.clauses {
 		if cl.Class != ReadRepaired {
 			continue

@@ -1,0 +1,693 @@
+// Mount-time compilation of per-operation execution plans.
+//
+// The reference executor re-extracts the whole specification-level state
+// on every call and delta-checks every guard clause over the full
+// binding cross-product. Almost all of that work is invariant across
+// calls of the same operation, so Mount precomputes, per operation:
+//
+//   - the footprint: the predicate sets and numeric counters the call
+//     can read or write — its effects, patches, ensures, cascades, the
+//     `requires` clauses, and the guard clauses it can actually trip —
+//     closed over the sorts any guard enumeration needs, so the
+//     extracted domains for those sorts are exactly the reference
+//     executor's;
+//   - the trigger set: for each guard clause, the occurrences of the
+//     clause's predicates whose polarity lets a change the operation
+//     makes lower the clause (a positive occurrence going false, a
+//     negative one going true, any change under a count or field read).
+//     Clauses with no compatible (change, occurrence) pair can never be
+//     newly violated by the operation and are compiled out entirely;
+//   - a fallback flag for degenerate clause shapes (nested quantifiers,
+//     stray wildcards, free variables, constant effect arguments) whose
+//     evaluation errors and binding universes only the whole-state
+//     interpreter reproduces exactly.
+//
+// At call time the executor grounds each concrete truth change against
+// the compatible occurrences, yielding partial bindings of the clause
+// variables; only the residual variables enumerate their domains. The
+// guard then evaluates the same clause bodies, on the same pre/post
+// interpretations, as the reference executor — restricted extraction and
+// restricted enumeration are the only differences, which is what the
+// differential suite pins.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"ipa/internal/logic"
+	"ipa/internal/spec"
+)
+
+// footprint names the predicate sets and numeric counters one operation
+// must extract in full. nil means "everything" (the reference executor's
+// whole-state extraction).
+type footprint struct {
+	preds map[string]bool
+	nums  map[string]bool
+}
+
+// memberRead is one ground key the operation reads instead of scanning
+// a whole set: the predicate or field applied to argument templates
+// over the call parameters (and constants), resolved per call. Most
+// operations' precondition checks are exactly such point reads — the
+// hand-coded applications' `Contains` checks, recovered from the spec.
+type memberRead struct {
+	pred    string
+	args    []logic.Term
+	numeric bool
+}
+
+// guardPlan is one guard clause with its precomputed trigger
+// occurrences and variable sorts.
+type guardPlan struct {
+	cl      *Clause
+	occs    []logic.Occurrence
+	sortOf  map[string]logic.Sort
+	violErr error // mount-time refusal error (same instance guardFull returns)
+}
+
+// opPlan is the compiled execution plan of one operation.
+type opPlan struct {
+	fp       *footprint
+	members  []memberRead
+	guards   []*guardPlan // triggered clauses, in deriveGuards order
+	fallback bool
+	reason   string
+}
+
+// change is one concrete truth or value change a planned call makes,
+// relative to the origin's visible pre-state.
+type change struct {
+	pred    string
+	args    []string
+	dir     int8 // +1 asserted, -1 retracted; for numeric, sign of delta
+	numeric bool
+}
+
+// changeShape is the static form of a change: known predicate, known
+// direction, argument templates whose values arrive at call time.
+// paramArgs means every template term is a call parameter (or constant)
+// — wipe matches instead carry values read from extracted state.
+type changeShape struct {
+	pred      string
+	args      []logic.Term
+	dir       int8
+	numeric   bool
+	paramArgs bool
+}
+
+// compilePlans computes the execution plan of every operation. Runs
+// after deriveRemWins so the guard and effect sets are final.
+func (a *App) compilePlans() {
+	for _, name := range a.opNames {
+		co := a.ops[name]
+		co.plan = a.compilePlan(co)
+	}
+}
+
+func (a *App) compilePlan(co *compiledOp) *opPlan {
+	p := &opPlan{}
+	// Degenerate guard shapes force the whole operation onto the
+	// reference executor: their evaluation errors (and in the
+	// free-variable case, their binding universe) depend on the exact
+	// whole-state enumeration.
+	for _, cl := range co.guards {
+		if reason := irregularClause(cl); reason != "" {
+			p.fallback, p.reason = true, fmt.Sprintf("guard %s: %s", cl.Formula, reason)
+			return p
+		}
+	}
+	// Constant effect arguments produce change values that may be absent
+	// from the interpreter's extracted domains, so the restricted
+	// enumeration could check bindings the reference executor never
+	// enumerates.
+	if pred, ok := a.constEffectArg(co); ok {
+		p.fallback, p.reason = true, fmt.Sprintf("constant argument in effect on %s", pred)
+		return p
+	}
+
+	needPred := map[string]bool{}
+	needNum := map[string]bool{}
+	needSort := map[logic.Sort]bool{}
+	var members []memberRead
+	memberSeen := map[string]bool{}
+	addFull := func(n string) {
+		if a.preds[n] != nil {
+			needPred[n] = true
+		}
+		if a.nums[n] != nil {
+			needNum[n] = true
+		}
+	}
+	addMember := func(name string, args []logic.Term) {
+		m := memberRead{pred: name, args: args, numeric: a.nums[name] != nil}
+		if !m.numeric && a.preds[name] == nil {
+			return
+		}
+		key := termsKey(name, args)
+		if memberSeen[key] {
+			return
+		}
+		memberSeen[key] = true
+		members = append(members, m)
+	}
+
+	// Effect planning reads the visible pre-state at the effect's own
+	// ground atom (change detection, cascade conditions); wildcard wipes
+	// scan the whole set for matches. Ensures are touches and read
+	// nothing; numeric deltas write blind.
+	effectReads := func(effects []spec.Effect) {
+		for _, e := range effects {
+			switch {
+			case e.Kind == spec.NumDelta:
+			case hasWildcard(e.Args):
+				addFull(e.Pred)
+			default:
+				addMember(e.Pred, e.Args)
+			}
+		}
+	}
+	effectReads(co.base)
+	effectReads(co.patches)
+	for _, c := range co.cascades {
+		addMember(c.pred, c.terms)
+	}
+	// Explicit preconditions: point reads at parameter-bound atoms,
+	// whole-set reads under quantifiers and counts.
+	for _, f := range co.op.Pre {
+		a.requireAccesses(f, map[string]bool{}, addFull, addMember, needSort)
+	}
+
+	shapes := a.changeShapes(co)
+	for i, cl := range co.guards {
+		occs := logic.Occurrences(cl.body)
+		if !canTrigger(shapes, occs) {
+			// No change this operation makes can lower the clause (touches
+			// don't change truth; matching polarities all point upward):
+			// the guard can never refuse, in either executor.
+			continue
+		}
+		gp := &guardPlan{cl: cl, occs: occs, sortOf: map[string]logic.Sort{}, violErr: co.violErrs[i]}
+		for _, v := range cl.vars {
+			gp.sortOf[v.Name] = v.Sort
+		}
+		p.guards = append(p.guards, gp)
+		a.guardAccesses(co, cl, shapes, occs, addFull, addMember, needSort)
+	}
+
+	// Sort closure: a sort the guard (or a requires-quantifier)
+	// enumerates must carry exactly the domain the whole-state extraction
+	// would build, so every predicate or field with a position of that
+	// sort joins the full footprint.
+	for _, name := range sortedKeys(a.preds) {
+		for _, srt := range a.preds[name].sorts {
+			if needSort[srt] {
+				needPred[name] = true
+			}
+		}
+	}
+	for _, name := range sortedKeys(a.nums) {
+		for _, srt := range a.nums[name].sorts {
+			if needSort[srt] {
+				needNum[name] = true
+			}
+		}
+	}
+	// Point reads of a fully extracted set are redundant.
+	for _, m := range members {
+		if (m.numeric && !needNum[m.pred]) || (!m.numeric && !needPred[m.pred]) {
+			p.members = append(p.members, m)
+		}
+	}
+	p.fp = &footprint{preds: needPred, nums: needNum}
+	return p
+}
+
+// requireAccesses classifies the reads of one requires-formula: atoms
+// and fields applied only to parameters (or constants) are point reads;
+// anything touched by a quantified variable, a wildcard, or a count
+// needs the whole set, and quantified sorts need their full domains.
+func (a *App) requireAccesses(f logic.Formula, enum map[string]bool, addFull func(string), addMember func(string, []logic.Term), needSort map[logic.Sort]bool) {
+	pointArgs := func(args []logic.Term) bool {
+		for _, t := range args {
+			if t.Kind == logic.TermWildcard || (t.Kind == logic.TermVar && enum[t.Name]) {
+				return false
+			}
+		}
+		return true
+	}
+	var walkNum func(t logic.NumTerm)
+	walkNum = func(t logic.NumTerm) {
+		switch u := t.(type) {
+		case *logic.Count:
+			addFull(u.Pred)
+		case *logic.FnApp:
+			if pointArgs(u.Args) {
+				addMember(u.Fn, u.Args)
+			} else {
+				addFull(u.Fn)
+			}
+		case *logic.NumBin:
+			walkNum(u.L)
+			walkNum(u.R)
+		}
+	}
+	switch g := f.(type) {
+	case *logic.Atom:
+		if pointArgs(g.Args) {
+			addMember(g.Pred, g.Args)
+		} else {
+			addFull(g.Pred)
+		}
+	case *logic.Not:
+		a.requireAccesses(g.F, enum, addFull, addMember, needSort)
+	case *logic.And:
+		for _, c := range g.L {
+			a.requireAccesses(c, enum, addFull, addMember, needSort)
+		}
+	case *logic.Or:
+		for _, c := range g.L {
+			a.requireAccesses(c, enum, addFull, addMember, needSort)
+		}
+	case *logic.Implies:
+		a.requireAccesses(g.A, enum, addFull, addMember, needSort)
+		a.requireAccesses(g.B, enum, addFull, addMember, needSort)
+	case *logic.Forall:
+		inner := make(map[string]bool, len(enum)+len(g.Vars))
+		for k := range enum {
+			inner[k] = true
+		}
+		for _, v := range g.Vars {
+			inner[v.Name] = true
+			needSort[v.Sort] = true
+		}
+		a.requireAccesses(g.Body, inner, addFull, addMember, needSort)
+	case *logic.Cmp:
+		walkNum(g.L)
+		walkNum(g.R)
+	}
+}
+
+// guardAccesses classifies the reads of one triggered guard clause.
+// When every downward-compatible (change, occurrence) pair comes from a
+// parameter-argument change and binds every clause variable, every
+// binding the compiled guard can evaluate is parameter-determined: the
+// clause body's atoms become point reads at the statically substituted
+// templates. Otherwise (wipe-sourced changes whose values come from
+// extracted state, or residual variables enumerating domains) the
+// clause's predicates are extracted in full and the residual sorts need
+// their complete domains.
+func (a *App) guardAccesses(co *compiledOp, cl *Clause, shapes []changeShape, occs []logic.Occurrence, addFull func(string), addMember func(string, []logic.Term), needSort map[logic.Sort]bool) {
+	type pairBinding = map[string]logic.Term
+	var bindings []pairBinding
+	full := false
+	for _, occ := range occs {
+		for _, s := range shapes {
+			if !shapeCompatible(s, occ) {
+				continue
+			}
+			// Variables this occurrence leaves unbound enumerate their
+			// domains at call time; the sort closure makes those domains
+			// the reference executor's. Bound values need no closure:
+			// parameters are registered by planning, wipe-matched values
+			// come from atoms of the wiped predicate, which is extracted in
+			// full (and so recorded into the domains) in both executors.
+			bound := map[string]bool{}
+			for _, t := range occ.Args {
+				if t.Kind == logic.TermVar {
+					bound[t.Name] = true
+				}
+			}
+			residual := false
+			for _, v := range cl.vars {
+				if !bound[v.Name] {
+					residual = true
+					needSort[v.Sort] = true
+				}
+			}
+			if !s.paramArgs || residual {
+				// The bindings this pair yields are not statically known
+				// (state-sourced values or domain enumeration): the clause
+				// body reads its predicates in full.
+				full = true
+				continue
+			}
+			b := pairBinding{}
+			for i, t := range occ.Args {
+				if t.Kind != logic.TermVar {
+					continue
+				}
+				// A repeated variable meeting two different templates only
+				// unifies at call time when their values coincide; either
+				// template then grounds to the same value, so keeping the
+				// first is enough.
+				if _, dup := b[t.Name]; !dup {
+					b[t.Name] = s.args[i]
+				}
+			}
+			bindings = append(bindings, b)
+		}
+	}
+	if full {
+		for n := range cl.preds {
+			addFull(n)
+		}
+		return
+	}
+	for _, b := range bindings {
+		for _, occ := range occs {
+			if occ.Count {
+				addFull(occ.Pred)
+				continue
+			}
+			tmpl := make([]logic.Term, len(occ.Args))
+			for i, t := range occ.Args {
+				if t.Kind == logic.TermVar {
+					tmpl[i] = b[t.Name]
+				} else {
+					tmpl[i] = t
+				}
+			}
+			addMember(occ.Pred, tmpl)
+		}
+	}
+}
+
+// irregularClause reports why a guard clause needs the reference
+// executor, or "" when the compiled guard handles it.
+func irregularClause(cl *Clause) string {
+	if logic.HasForall(cl.body) {
+		return "nested quantifier"
+	}
+	if logic.HasBareWildcard(cl.body) {
+		return "wildcard argument outside count"
+	}
+	bound := map[string]bool{}
+	for _, v := range cl.vars {
+		bound[v.Name] = true
+	}
+	for _, v := range logic.FreeVars(cl.body) {
+		if !bound[v] {
+			return fmt.Sprintf("free variable %q", v)
+		}
+	}
+	return ""
+}
+
+// constEffectArg finds a constant argument in the operation's effects or
+// cascades (ensures are touches — they never change truth).
+func (a *App) constEffectArg(co *compiledOp) (string, bool) {
+	hasConst := func(args []logic.Term) bool {
+		for _, t := range args {
+			if t.Kind == logic.TermConst {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range co.base {
+		if hasConst(e.Args) {
+			return e.Pred, true
+		}
+	}
+	for _, e := range co.patches {
+		if hasConst(e.Args) {
+			return e.Pred, true
+		}
+	}
+	for _, c := range co.cascades {
+		if hasConst(c.terms) {
+			return c.pred, true
+		}
+	}
+	return "", false
+}
+
+// changeShapes lists the static change forms the operation's planned
+// execution can produce. Touches (patch re-assertions, ensures) change
+// no truth and produce no shape.
+func (a *App) changeShapes(co *compiledOp) []changeShape {
+	var out []changeShape
+	add := func(s changeShape) { out = append(out, s) }
+	effectShapes := func(effects []spec.Effect, touch bool) {
+		for _, e := range effects {
+			params := !hasWildcard(e.Args)
+			switch {
+			case e.Kind == spec.NumDelta:
+				if e.Delta != 0 {
+					d := int8(1)
+					if e.Delta < 0 {
+						d = -1
+					}
+					add(changeShape{pred: e.Pred, args: e.Args, dir: d, numeric: true, paramArgs: params})
+				}
+			case e.Val:
+				if !touch {
+					add(changeShape{pred: e.Pred, args: e.Args, dir: 1, paramArgs: params})
+				}
+			default:
+				// Ground retraction or wildcard wipe: either way the only
+				// concrete changes are retractions of visible atoms.
+				add(changeShape{pred: e.Pred, args: e.Args, dir: -1, paramArgs: params})
+			}
+		}
+	}
+	effectShapes(co.base, false)
+	effectShapes(co.patches, true)
+	for _, c := range co.cascades {
+		add(changeShape{pred: c.pred, args: c.terms, dir: -1, paramArgs: !hasWildcard(c.terms)})
+	}
+	return out
+}
+
+// downward reports whether a change in the given direction can lower a
+// formula through an occurrence of the given polarity.
+func downward(pol logic.Polarity, dir int8) bool {
+	switch pol {
+	case logic.PolPos:
+		return dir < 0
+	case logic.PolNeg:
+		return dir > 0
+	}
+	return true
+}
+
+// shapeCompatible reports whether one change shape is
+// downward-compatible with the occurrence.
+func shapeCompatible(s changeShape, o logic.Occurrence) bool {
+	return o.Pred == s.pred && len(o.Args) == len(s.args) &&
+		o.Numeric == s.numeric && downward(o.Pol, s.dir)
+}
+
+// occCompatible reports whether any change shape is downward-compatible
+// with the occurrence.
+func occCompatible(shapes []changeShape, o logic.Occurrence) bool {
+	for _, s := range shapes {
+		if shapeCompatible(s, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// canTrigger reports whether any change shape is downward-compatible
+// with any occurrence: if not, the operation can never newly violate
+// the clause.
+func canTrigger(shapes []changeShape, occs []logic.Occurrence) bool {
+	for _, o := range occs {
+		if occCompatible(shapes, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// unifyGround matches a concrete change tuple against an occurrence's
+// argument templates, binding clause variables. Constants must match
+// exactly; wildcards (count positions) constrain nothing; a repeated
+// variable must bind consistently.
+func unifyGround(tmpl []logic.Term, vals []string) (map[string]string, bool) {
+	var m map[string]string
+	for i, t := range tmpl {
+		switch t.Kind {
+		case logic.TermVar:
+			if prev, ok := m[t.Name]; ok {
+				if prev != vals[i] {
+					return nil, false
+				}
+				continue
+			}
+			if m == nil {
+				m = map[string]string{}
+			}
+			m[t.Name] = vals[i]
+		case logic.TermConst:
+			if t.Name != vals[i] {
+				return nil, false
+			}
+		case logic.TermWildcard:
+		}
+	}
+	return m, true
+}
+
+// forTriggerEnvs enumerates the clause bindings the changes can have
+// lowered and calls fn on each, deduplicated, in deterministic order:
+// each change grounds the compatible occurrences into a partial binding
+// whose residual variables then enumerate the post-state domains. Every
+// produced binding is one the reference executor's full cross-product
+// also contains (bound values come from call parameters or extracted
+// state, both in the domains), and every binding whose clause instance
+// held before but fails after is produced — a true-to-false flip needs
+// at least one downward-compatible change grounding at that binding.
+// The env map passed to fn is reused across invocations; fn must not
+// retain it. A non-nil error from fn stops the enumeration.
+func forTriggerEnvs(gp *guardPlan, changes []change, post *state, fn func(env map[string]string) error) error {
+	var seen map[string]bool
+	vars := gp.cl.vars
+	for _, ch := range changes {
+		for _, occ := range gp.occs {
+			if occ.Pred != ch.pred || len(occ.Args) != len(ch.args) ||
+				occ.Numeric != ch.numeric || !downward(occ.Pol, ch.dir) {
+				continue
+			}
+			partial, ok := unifyGround(occ.Args, ch.args)
+			if !ok {
+				continue
+			}
+			// The interpreter only enumerates domain members: a bound value
+			// outside its sort's domain is a binding it would never check.
+			ok = true
+			for v, val := range partial {
+				if !inDomain(post, gp.sortOf[v], val) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if partial == nil {
+				partial = map[string]string{}
+			}
+			if seen == nil {
+				seen = map[string]bool{}
+			}
+			if err := expandResidual(vars, 0, partial, post, seen, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func inDomain(st *state, srt logic.Sort, val string) bool {
+	for _, el := range st.in.Domain[srt] {
+		if el == val {
+			return true
+		}
+	}
+	return false
+}
+
+// expandResidual enumerates the unbound clause variables over the
+// post-state domains, calling fn on each complete, unseen binding. The
+// binding map is extended and un-extended in place.
+func expandResidual(vars []logic.Var, i int, partial map[string]string, post *state, seen map[string]bool, fn func(env map[string]string) error) error {
+	if i == len(vars) {
+		key := envKey(vars, partial)
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		return fn(partial)
+	}
+	v := vars[i]
+	if _, ok := partial[v.Name]; ok {
+		return expandResidual(vars, i+1, partial, post, seen, fn)
+	}
+	for _, el := range post.in.Domain[v.Sort] {
+		partial[v.Name] = el
+		if err := expandResidual(vars, i+1, partial, post, seen, fn); err != nil {
+			return err
+		}
+	}
+	delete(partial, v.Name)
+	return nil
+}
+
+func envKey(vars []logic.Var, env map[string]string) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = env[v.Name]
+	}
+	return logic.GroundAtom("", parts...)
+}
+
+// guardCompiled is the compiled form of the no-new-violation guard: the
+// same clause bodies, evaluated on the same pre/post interpretations, at
+// only the bindings the operation's changes can have lowered. Clause
+// order matches the reference executor's, so the first refusing clause
+// (and its error) is identical.
+func (a *App) guardCompiled(co *compiledOp, pre, post *state, changes []change) error {
+	for _, gp := range co.plan.guards {
+		err := forTriggerEnvs(gp, changes, post, func(env map[string]string) error {
+			okPost, err := post.in.Eval(gp.cl.body, env)
+			if err != nil {
+				return fmt.Errorf("engine: %s: guard %s: %w", co.op.Name, gp.cl.Formula, err)
+			}
+			if okPost {
+				return nil
+			}
+			okPre, err := pre.in.Eval(gp.cl.body, env)
+			if err != nil || !okPre {
+				return nil // already violated (or not evaluable) before
+			}
+			return gp.violErr
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compiled reports whether the operation executes on the compiled plan
+// (false when mounted WithInterpreter or when the plan fell back), and
+// the fallback reason if any — exposed for tests and tooling.
+func (a *App) Compiled(opName string) (bool, string) {
+	co, ok := a.ops[opName]
+	if !ok || co.plan == nil {
+		return false, "unknown operation"
+	}
+	if a.interpreted {
+		return false, "mounted with reference interpreter"
+	}
+	if co.plan.fallback {
+		return false, co.plan.reason
+	}
+	return true, ""
+}
+
+// Footprint returns the sorted predicate/field names the operation's
+// compiled plan extracts, or nil when it extracts everything.
+func (a *App) Footprint(opName string) []string {
+	co, ok := a.ops[opName]
+	if !ok || co.plan == nil || co.plan.fp == nil || a.interpreted || co.plan.fallback {
+		return nil
+	}
+	var out []string
+	for n := range co.plan.fp.preds {
+		if co.plan.fp.preds[n] {
+			out = append(out, n)
+		}
+	}
+	for n := range co.plan.fp.nums {
+		if co.plan.fp.nums[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -156,6 +156,14 @@ type compiledOp struct {
 	ensures  []ensureTmpl
 	cascades []cascadeTmpl
 	guards   []*Clause // clauses delta-checked as preconditions
+	plan     *opPlan   // mount-time execution plan (see compile.go)
+
+	// preErrs and violErrs are the refusal errors for each requires
+	// clause and each guard clause, built once at mount: rendering a
+	// formula allocates, and guarded no-ops are a normal outcome on the
+	// serving path, not an exceptional one.
+	preErrs  []error // aligned with op.Pre
+	violErrs []error // aligned with guards
 }
 
 // App is a mounted, executable application: the spec-execution engine
@@ -173,6 +181,28 @@ type App struct {
 	opNames []string
 	clauses []*Clause
 	consts  map[string]int
+	// sortList caches spc.Sorts() — extraction seeds every sort's domain
+	// on each call. predList/numList cache the sorted map keys for the
+	// same reason: extraction order must be deterministic, and sorting
+	// per call is measurable on the serving path.
+	sortList []logic.Sort
+	predList []string
+	numList  []string
+
+	// interpreted forces the reference executor: whole-state extraction
+	// and full cross-product guard enumeration on every call.
+	interpreted bool
+}
+
+// MountOption configures a mounted application.
+type MountOption func(*App)
+
+// WithInterpreter mounts the application on the reference whole-state
+// interpreter instead of the compiled per-operation plans. The compiled
+// executor must be observationally identical; this option exists so the
+// differential suite (and any suspicious user) can run both.
+func WithInterpreter() MountOption {
+	return func(a *App) { a.interpreted = true }
 }
 
 // Mount compiles an analyzed specification into an executable
@@ -180,7 +210,7 @@ type App struct {
 // (used to tell an operation's own effects from the analysis-injected
 // ones, which execute as payload-preserving touches); nil means every
 // effect of res.Spec counts as base. res.Spec must validate.
-func Mount(orig *spec.Spec, res *analysis.Result, cluster runtime.Cluster) (*App, error) {
+func Mount(orig *spec.Spec, res *analysis.Result, cluster runtime.Cluster, opts ...MountOption) (*App, error) {
 	if res == nil || res.Spec == nil {
 		return nil, fmt.Errorf("engine: nil analysis result")
 	}
@@ -220,6 +250,13 @@ func Mount(orig *spec.Spec, res *analysis.Result, cluster runtime.Cluster) (*App
 		return nil, err
 	}
 	a.deriveRemWins()
+	a.sortList = s.Sorts()
+	a.predList = sortedKeys(a.preds)
+	a.numList = sortedKeys(a.nums)
+	a.compilePlans()
+	for _, opt := range opts {
+		opt(a)
+	}
 	return a, nil
 }
 
@@ -824,7 +861,13 @@ func (a *App) deriveGuards(co *compiledOp) {
 		}
 		if relevant {
 			co.guards = append(co.guards, cl)
+			co.violErrs = append(co.violErrs,
+				fmt.Errorf("%w: %s would violate %s", ErrPrecondition, co.op.Name, cl.Formula))
 		}
+	}
+	for _, p := range co.op.Pre {
+		co.preErrs = append(co.preErrs,
+			fmt.Errorf("%w: %s: requires %s", ErrPrecondition, co.op.Name, p))
 	}
 }
 

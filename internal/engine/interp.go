@@ -18,39 +18,38 @@ type state struct {
 	in logic.Interp
 }
 
-// extract reads every predicate set and numeric counter of the app
-// through tx and rebuilds the specification-level interpretation — the
-// generic form of the hand-written per-app state extraction the
-// analysis reasons over.
-func (a *App) extract(tx *store.Txn) *state {
+// extract reads the app's predicate sets and numeric counters through
+// tx and rebuilds the specification-level interpretation — the generic
+// form of the hand-written per-app state extraction the analysis
+// reasons over. A non-nil footprint restricts the read to the named
+// predicates and fields (the compiled per-operation plans); nil reads
+// everything (checking, repair, digests, and the reference executor).
+func (a *App) extract(tx *store.Txn, fp *footprint) *state {
 	st := &state{in: logic.Interp{
 		Domain: map[logic.Sort][]string{},
 		Truth:  map[string]bool{},
 		Nums:   map[string]int{},
-		Consts: map[string]int{},
+		Consts: a.consts, // read-only: shared, never copied per call
 	}}
-	for k, v := range a.consts {
-		st.in.Consts[k] = v
-	}
 	// Every sort is present even when empty: quantifiers over an empty
 	// domain are vacuously true, not an evaluation error.
-	for _, srt := range a.spc.Sorts() {
+	for _, srt := range a.sortList {
 		st.in.Domain[srt] = []string{}
 	}
-	seen := map[logic.Sort]map[string]bool{}
+	// Domains hold the handful of entities visible to one call, so the
+	// dedup is a linear scan — cheaper than per-call hash sets for sets
+	// this size, and allocation-free.
 	addDomain := func(srt logic.Sort, el string) {
 		if srt == "" {
 			return
 		}
-		m := seen[srt]
-		if m == nil {
-			m = map[string]bool{}
-			seen[srt] = m
+		have := st.in.Domain[srt]
+		for _, h := range have {
+			if h == el {
+				return
+			}
 		}
-		if !m[el] {
-			m[el] = true
-			st.in.Domain[srt] = append(st.in.Domain[srt], el)
-		}
+		st.in.Domain[srt] = append(have, el)
 	}
 	record := func(sorts []logic.Sort, parts []string) {
 		for i, p := range parts {
@@ -59,10 +58,14 @@ func (a *App) extract(tx *store.Txn) *state {
 			}
 		}
 	}
-	// Predicates and fields read in sorted name order, elements in sorted
-	// order: extraction feeds planning, and the emitted CRDT operations
-	// must be a deterministic function of the state for seed replay.
-	for _, name := range sortedKeys(a.preds) {
+	// Predicates and fields read in sorted name order (cached at mount),
+	// elements in sorted order (the sets' Elems are already sorted):
+	// extraction feeds planning, and the emitted CRDT operations must be
+	// a deterministic function of the state for seed replay.
+	for _, name := range a.predList {
+		if fp != nil && !fp.preds[name] {
+			continue
+		}
 		pi := a.preds[name]
 		if len(pi.sorts) == 0 {
 			// 0-ary predicate: membership of the unit element is its truth.
@@ -71,7 +74,7 @@ func (a *App) extract(tx *store.Txn) *state {
 			}
 			continue
 		}
-		for _, elem := range sortedElems(a.setElems(tx, pi)) {
+		for _, elem := range a.setElems(tx, pi) {
 			parts := crdt.SplitTuple(elem)
 			if len(parts) != len(pi.sorts) {
 				continue // foreign tuple shape: ignore rather than misparse
@@ -80,9 +83,12 @@ func (a *App) extract(tx *store.Txn) *state {
 			record(pi.sorts, parts)
 		}
 	}
-	for _, name := range sortedKeys(a.nums) {
+	for _, name := range a.numList {
+		if fp != nil && !fp.nums[name] {
+			continue
+		}
 		ni := a.nums[name]
-		for _, tuple := range sortedElems(store.AWSetAt(tx, ni.idxKey).Elems()) {
+		for _, tuple := range store.AWSetAt(tx, ni.idxKey).Elems() {
 			var val int64
 			if ni.bounded {
 				// A bounded field's effective value is the raw escrow
@@ -110,6 +116,67 @@ func (a *App) extract(tx *store.Txn) *state {
 	return st
 }
 
+// readMembers resolves the plan's member-read templates against the
+// call binding and point-reads each ground key into the extracted
+// state: set membership via Contains, numeric values via their counters
+// — but only for tuples the field's index set knows, exactly like the
+// full scan. Member values are call parameters or constants, so the
+// interpretation's domains are unaffected (plan registers parameters).
+func (a *App) readMembers(tx *store.Txn, st *state, members []memberRead, binding map[string]string) error {
+	for _, m := range members {
+		args := make([]string, len(m.args))
+		for i, t := range m.args {
+			switch t.Kind {
+			case logic.TermVar:
+				v, ok := binding[t.Name]
+				if !ok {
+					return fmt.Errorf("engine: unbound parameter %q", t.Name)
+				}
+				args[i] = v
+			case logic.TermConst:
+				args[i] = t.Name
+			default:
+				return fmt.Errorf("engine: wildcard in member read of %s", m.pred)
+			}
+		}
+		tuple := elem(args)
+		if m.numeric {
+			ni := a.nums[m.pred]
+			if !store.AWSetAt(tx, ni.idxKey).Contains(tuple) {
+				continue
+			}
+			var val int64
+			if ni.bounded {
+				val = store.BoundedAt(tx, ni.key(tuple)).Value() + ledgerSum(tx, ni.ledger(tuple))
+			} else {
+				val = store.CounterAt(tx, ni.key(tuple)).Value()
+			}
+			st.in.Nums[logic.GroundAtom(m.pred, args...)] = int(val)
+			continue
+		}
+		pi := a.preds[m.pred]
+		if len(pi.sorts) == 0 {
+			// 0-ary predicate: any member makes it true (mirrors extract).
+			if len(a.setElems(tx, pi)) > 0 {
+				st.in.Truth[m.pred] = true
+			}
+			continue
+		}
+		if a.setContains(tx, pi, tuple) {
+			st.in.Truth[logic.GroundAtom(m.pred, args...)] = true
+		}
+	}
+	return nil
+}
+
+// setContains point-reads a predicate's membership.
+func (a *App) setContains(tx *store.Txn, pi *predInfo, elem string) bool {
+	if pi.remWins {
+		return store.RWSetAt(tx, pi.key).Contains(elem)
+	}
+	return store.AWSetAt(tx, pi.key).Contains(elem)
+}
+
 // ledgerSum totals a replenish ledger's "r<epoch>:<amount>" entries.
 func ledgerSum(tx *store.Txn, key string) int64 {
 	var sum int64
@@ -131,16 +198,19 @@ func (a *App) setElems(tx *store.Txn, pi *predInfo) []string {
 	return store.AWSetAt(tx, pi.key).Elems()
 }
 
-// clone deep-copies the state for post-state simulation.
+// clone copies the state for post-state simulation. Truth and Nums are
+// deep-copied (planning mutates them); the domain slices are shared —
+// addDomain only ever appends, which either reallocates or writes past
+// the original's length, so the source state never observes the change.
 func (s *state) clone() *state {
 	c := &state{in: logic.Interp{
-		Domain: map[logic.Sort][]string{},
+		Domain: make(map[logic.Sort][]string, len(s.in.Domain)),
 		Truth:  make(map[string]bool, len(s.in.Truth)),
 		Nums:   make(map[string]int, len(s.in.Nums)),
 		Consts: s.in.Consts,
 	}}
 	for k, v := range s.in.Domain {
-		c.in.Domain[k] = append([]string(nil), v...)
+		c.in.Domain[k] = v
 	}
 	for k, v := range s.in.Truth {
 		c.in.Truth[k] = v

@@ -48,6 +48,9 @@ type App interface {
 
 // newApp builds the adapter for cfg.App.
 func newApp(cfg Config) (App, error) {
+	if cfg.Variant == "interp" && !strings.HasPrefix(cfg.App, SpecAppPrefix) && !strings.HasSuffix(cfg.App, "-spec") {
+		return nil, fmt.Errorf("harness: variant interp selects the spec-driven engine's reference executor; app %q is hand-coded", cfg.App)
+	}
 	if strings.HasPrefix(cfg.App, SpecAppPrefix) {
 		return newSpecFileChaos(cfg)
 	}
@@ -56,6 +59,10 @@ func newApp(cfg Config) (App, error) {
 		return newTournamentChaos(cfg), nil
 	case "tournament-spec":
 		return newTournamentSpecChaos(cfg)
+	case "twitter-spec":
+		return newTwitterSpecChaos(cfg)
+	case "ticket-spec":
+		return newTicketSpecChaos(cfg)
 	case "ticket":
 		return newTicketChaos(cfg), nil
 	case "twitter":
@@ -76,18 +83,20 @@ func newApp(cfg Config) (App, error) {
 	}
 }
 
-// Apps lists the chaos-drivable application names. tournament-spec is
-// the spec-driven engine executing the analyzed tournament
-// specification; `spec:<file>` (not listed — it takes a path) drives any
-// specification the same way.
+// Apps lists the chaos-drivable application names. The -spec entries are
+// the spec-driven engine executing the analyzed specification of the
+// like-named hand-coded app; `spec:<file>` (not listed — it takes a
+// path) drives any specification the same way.
 func Apps() []string {
-	return []string{"tournament", "tournament-spec", "ticket", "twitter", "tpcw", "escrow"}
+	return []string{"tournament", "tournament-spec", "ticket", "ticket-spec",
+		"twitter", "twitter-spec", "tpcw", "escrow"}
 }
 
 // PortableApps lists the applications that run on every backend (escrow
 // is coupled to the simulated latency model and stays sim-only).
 func PortableApps() []string {
-	return []string{"tournament", "tournament-spec", "ticket", "twitter", "tpcw"}
+	return []string{"tournament", "tournament-spec", "ticket", "ticket-spec",
+		"twitter", "twitter-spec", "tpcw"}
 }
 
 // NewChaosApp builds the chaos adapter for cfg. Exported for callers that

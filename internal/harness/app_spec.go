@@ -9,8 +9,11 @@ import (
 	"sync"
 
 	"ipa/internal/analysis"
+	"ipa/internal/apps/ticket"
 	"ipa/internal/apps/tournament"
+	"ipa/internal/apps/twitter"
 	"ipa/internal/engine"
+	"ipa/internal/runtime"
 	"ipa/internal/spec"
 )
 
@@ -66,10 +69,26 @@ func analyzeSpec(src string) (*spec.Spec, *analysis.Result, error) {
 	return entry.orig, entry.res, entry.err
 }
 
+// specMountOpts maps a spec-driven app's variant to engine mount
+// options: "ipa" runs the compiled per-operation plans, "interp" the
+// whole-state reference interpreter — same analyzed spec, different
+// executor, so chaos schedules double as executor-differential tests.
+func specMountOpts(cfg Config, app string) ([]engine.MountOption, error) {
+	switch cfg.Variant {
+	case "ipa":
+		return nil, nil
+	case "interp":
+		return []engine.MountOption{engine.WithInterpreter()}, nil
+	default:
+		return nil, fmt.Errorf("harness: %s runs the analyzed spec (variant ipa, or interp for the reference executor)", app)
+	}
+}
+
 // newSpecFileChaos builds the adapter for `spec:<path>`.
 func newSpecFileChaos(cfg Config) (*specChaos, error) {
-	if cfg.Variant != "ipa" {
-		return nil, fmt.Errorf("harness: %s apps run the analyzed (ipa) variant only", SpecAppPrefix)
+	opts, err := specMountOpts(cfg, SpecAppPrefix+"<file>")
+	if err != nil {
+		return nil, err
 	}
 	if cfg.BreakOp != "" {
 		return nil, fmt.Errorf("harness: -break unsupported for %s apps", SpecAppPrefix)
@@ -83,7 +102,7 @@ func newSpecFileChaos(cfg Config) (*specChaos, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.Mount(orig, res, nil)
+	eng, err := engine.Mount(orig, res, nil, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -98,13 +117,14 @@ func newSpecFileChaos(cfg Config) (*specChaos, error) {
 // the identical op stream for both executors, which is what makes their
 // quiescent digests comparable.
 func newTournamentSpecChaos(cfg Config) (*specChaos, error) {
-	if cfg.Variant != "ipa" {
-		return nil, fmt.Errorf("harness: tournament-spec runs the analyzed (ipa) variant only (use tournament -variant causal)")
+	opts, err := specMountOpts(cfg, "tournament-spec")
+	if err != nil {
+		return nil, err
 	}
 	if cfg.BreakOp != "" {
 		return nil, fmt.Errorf("harness: -break unsupported for tournament-spec (break the hand-coded tournament instead)")
 	}
-	eng, err := engine.Mount(tournament.Spec(), tournament.Analysis(), nil)
+	eng, err := engine.Mount(tournament.Spec(), tournament.Analysis(), nil, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +149,96 @@ func newTournamentSpecChaos(cfg Config) (*specChaos, error) {
 		},
 		aliases: map[string]string{"begin": "begin_tourn", "finish": "finish_tourn"},
 	}, nil
+}
+
+// newTwitterSpecChaos builds the engine-executed Twitter clone: the
+// specification analyzed with the Fig. 6 rem-wins repair choices
+// (twitter.Analysis — rem_user and del_tweet carry rem-wins wildcard
+// wipes), fuzzed with the generic generator over tiny domains so the
+// wipes constantly race concurrent tweets, retweets, and follows.
+func newTwitterSpecChaos(cfg Config) (*specChaos, error) {
+	opts, err := specMountOpts(cfg, "twitter-spec")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BreakOp != "" {
+		return nil, fmt.Errorf("harness: -break unsupported for twitter-spec (break the hand-coded twitter instead)")
+	}
+	eng, err := engine.Mount(twitter.Spec(), twitter.Analysis(), nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	a := &specChaos{
+		eng: eng,
+		setup: func(a *specChaos, ctx *Ctx) {
+			r := ctx.Replica(0)
+			// Seed the generator's user pool so early tweets and follows
+			// pass their guards instead of refusing into an empty state.
+			for _, u := range []string{"user0", "user1", "user2"} {
+				specSeed(a, r, "add_user", u)
+			}
+			specSeed(a, r, "follow", "user0", "user1")
+		},
+	}
+	a.gen = a.genericGen()
+	return a, nil
+}
+
+// newTicketSpecChaos builds the engine-executed FusionTicket: the
+// specification analyzed at the chaos harness's tiny capacity (5) so the
+// buy-heavy mix oversells constantly and the synthesized trim-excess
+// compensation must repair every oversell at read time. The generator
+// issues a fresh ticket id per buy (the spec is tagged unique-ids) and
+// refunds only tickets it sold before.
+func newTicketSpecChaos(cfg Config) (*specChaos, error) {
+	opts, err := specMountOpts(cfg, "ticket-spec")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BreakOp != "" {
+		return nil, fmt.Errorf("harness: -break unsupported for ticket-spec (break the hand-coded ticket instead)")
+	}
+	orig, res, err := analyzeSpec(ticket.SpecSourceWithCapacity(5))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.Mount(orig, res, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	events := []string{"ev0", "ev1"}
+	a := &specChaos{
+		eng: eng,
+		setup: func(a *specChaos, ctx *Ctx) {
+			r := ctx.Replica(0)
+			for _, e := range events {
+				specSeed(a, r, "add_event", e)
+			}
+		},
+	}
+	var sold []Op // generator-side state: tickets issued so far
+	a.gen = func(rng *rand.Rand) Op {
+		e := events[rng.Intn(len(events))]
+		switch {
+		case rng.Float64() < 0.7 || len(sold) == 0:
+			op := Op{Kind: "buy", Args: []string{fmt.Sprintf("k%d", len(sold)), e}}
+			sold = append(sold, op)
+			return op
+		default:
+			prev := sold[rng.Intn(len(sold))]
+			return Op{Kind: "refund", Args: prev.Args}
+		}
+	}
+	return a, nil
+}
+
+// specSeed executes one setup operation through the engine, panicking on
+// refusal: seeding runs on a quiescent single-origin state, so a failure
+// is a harness bug, not a legitimate guard.
+func specSeed(a *specChaos, r runtime.Replica, kind string, args ...string) {
+	if err := a.eng.Call(r, kind, args...); err != nil {
+		panic(fmt.Sprintf("harness: %s setup %s(%v): %v", a.eng.Spec().Name, kind, args, err))
+	}
 }
 
 // genericGen draws uniformly over the spec's operations with arguments

@@ -124,8 +124,11 @@ func (c Config) Norm() (Config, error) {
 	if c.Replicas < 2 {
 		return c, fmt.Errorf("harness: need at least 2 replicas, got %d", c.Replicas)
 	}
-	if c.Variant != "ipa" && c.Variant != "causal" {
-		return c, fmt.Errorf("harness: unknown variant %q (want ipa or causal)", c.Variant)
+	// "interp" is accepted only by the spec-driven apps, which mount the
+	// whole-state reference executor instead of the compiled plans — the
+	// per-adapter constructors reject it everywhere else.
+	if c.Variant != "ipa" && c.Variant != "causal" && c.Variant != "interp" {
+		return c, fmt.Errorf("harness: unknown variant %q (want ipa or causal, or interp for spec-driven apps)", c.Variant)
 	}
 	if _, err := newApp(c); err != nil {
 		return c, err

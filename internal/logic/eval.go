@@ -208,21 +208,34 @@ func (in Interp) evalCount(u *Count, env map[string]string) (int, error) {
 	return n, nil
 }
 
+// groundKey builds the Truth/Nums lookup key for an atom under env —
+// the single-Builder equivalent of GroundAtom. This runs once per atom
+// per guard evaluation, so it allocates exactly the key string.
 func (in Interp) groundKey(pred string, args []Term, env map[string]string) (string, error) {
-	ground := make([]string, len(args))
+	if len(args) == 0 {
+		return pred, nil
+	}
+	var b strings.Builder
+	b.Grow(len(pred) + 2 + 12*len(args))
+	b.WriteString(pred)
+	b.WriteByte('(')
 	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
 		switch a.Kind {
 		case TermVar:
 			el, ok := env[a.Name]
 			if !ok {
 				return "", fmt.Errorf("logic: unbound variable %q in %s", a.Name, pred)
 			}
-			ground[i] = el
+			b.WriteString(el)
 		case TermConst:
-			ground[i] = a.Name
+			b.WriteString(a.Name)
 		case TermWildcard:
 			return "", fmt.Errorf("logic: wildcard outside count in %s", pred)
 		}
 	}
-	return GroundAtom(pred, ground...), nil
+	b.WriteByte(')')
+	return b.String(), nil
 }

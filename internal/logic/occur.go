@@ -1,0 +1,210 @@
+package logic
+
+// Polarity classifies how a formula's truth depends on one predicate
+// occurrence: positive occurrences can only lower the formula when the
+// atom goes false, negative ones when it goes true, and Both covers
+// occurrences (counts, numeric fields, mixed contexts) where any change
+// to the underlying facts can move the formula either way.
+type Polarity uint8
+
+// Polarities.
+const (
+	PolPos Polarity = iota
+	PolNeg
+	PolBoth
+)
+
+func (p Polarity) String() string {
+	switch p {
+	case PolPos:
+		return "+"
+	case PolNeg:
+		return "-"
+	}
+	return "±"
+}
+
+// Flip negates a polarity; Both stays Both.
+func (p Polarity) Flip() Polarity {
+	switch p {
+	case PolPos:
+		return PolNeg
+	case PolNeg:
+		return PolPos
+	}
+	return PolBoth
+}
+
+// Occurrence is one syntactic use of a predicate or numeric field inside
+// a formula: the name, the argument templates (variables, constants,
+// wildcards), the polarity of the surrounding context, and whether the
+// occurrence reads the field's numeric value rather than atom truth.
+// Count occurrences report the counted predicate with polarity Both:
+// adding or removing any matching atom can move the comparison either
+// way, so both directions matter.
+type Occurrence struct {
+	Pred    string
+	Args    []Term
+	Pol     Polarity
+	Numeric bool
+	// Count marks a cardinality occurrence (#pred(...)): the occurrence
+	// reads the whole atom table of the predicate, not one ground atom.
+	Count bool
+}
+
+// Occurrences walks f and returns every predicate and field occurrence
+// with its polarity, in syntactic order. Quantifiers are transparent:
+// occurrences under a Forall keep the bound variables as argument
+// templates.
+func Occurrences(f Formula) []Occurrence {
+	var out []Occurrence
+	collectOcc(f, PolPos, &out)
+	return out
+}
+
+func collectOcc(f Formula, pol Polarity, out *[]Occurrence) {
+	switch g := f.(type) {
+	case *BoolLit:
+	case *Atom:
+		*out = append(*out, Occurrence{Pred: g.Pred, Args: g.Args, Pol: pol})
+	case *Not:
+		collectOcc(g.F, pol.Flip(), out)
+	case *And:
+		for _, c := range g.L {
+			collectOcc(c, pol, out)
+		}
+	case *Or:
+		for _, c := range g.L {
+			collectOcc(c, pol, out)
+		}
+	case *Implies:
+		collectOcc(g.A, pol.Flip(), out)
+		collectOcc(g.B, pol, out)
+	case *Forall:
+		collectOcc(g.Body, pol, out)
+	case *Cmp:
+		collectNumOcc(g.L, out)
+		collectNumOcc(g.R, out)
+	}
+}
+
+func collectNumOcc(t NumTerm, out *[]Occurrence) {
+	switch u := t.(type) {
+	case *Count:
+		*out = append(*out, Occurrence{Pred: u.Pred, Args: u.Args, Pol: PolBoth, Count: true})
+	case *FnApp:
+		*out = append(*out, Occurrence{Pred: u.Fn, Args: u.Args, Pol: PolBoth, Numeric: true})
+	case *NumBin:
+		collectNumOcc(u.L, out)
+		collectNumOcc(u.R, out)
+	}
+}
+
+// ForallSorts returns the sorts of every quantifier variable in f, in
+// syntactic order without duplicates — the domains an evaluator needs to
+// enumerate when the formula is checked.
+func ForallSorts(f Formula) []Sort {
+	var out []Sort
+	seen := map[Sort]bool{}
+	var walk func(Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case *Not:
+			walk(g.F)
+		case *And:
+			for _, c := range g.L {
+				walk(c)
+			}
+		case *Or:
+			for _, c := range g.L {
+				walk(c)
+			}
+		case *Implies:
+			walk(g.A)
+			walk(g.B)
+		case *Forall:
+			for _, v := range g.Vars {
+				if !seen[v.Sort] {
+					seen[v.Sort] = true
+					out = append(out, v.Sort)
+				}
+			}
+			walk(g.Body)
+		}
+	}
+	walk(f)
+	return out
+}
+
+// HasForall reports whether f quantifies anywhere (at any depth).
+func HasForall(f Formula) bool {
+	switch g := f.(type) {
+	case *Not:
+		return HasForall(g.F)
+	case *And:
+		for _, c := range g.L {
+			if HasForall(c) {
+				return true
+			}
+		}
+	case *Or:
+		for _, c := range g.L {
+			if HasForall(c) {
+				return true
+			}
+		}
+	case *Implies:
+		return HasForall(g.A) || HasForall(g.B)
+	case *Forall:
+		return true
+	}
+	return false
+}
+
+// HasBareWildcard reports whether f applies a wildcard argument outside
+// a count — the one term shape Eval cannot ground.
+func HasBareWildcard(f Formula) bool {
+	switch g := f.(type) {
+	case *Atom:
+		for _, a := range g.Args {
+			if a.Kind == TermWildcard {
+				return true
+			}
+		}
+	case *Not:
+		return HasBareWildcard(g.F)
+	case *And:
+		for _, c := range g.L {
+			if HasBareWildcard(c) {
+				return true
+			}
+		}
+	case *Or:
+		for _, c := range g.L {
+			if HasBareWildcard(c) {
+				return true
+			}
+		}
+	case *Implies:
+		return HasBareWildcard(g.A) || HasBareWildcard(g.B)
+	case *Forall:
+		return HasBareWildcard(g.Body)
+	case *Cmp:
+		return numHasBareWildcard(g.L) || numHasBareWildcard(g.R)
+	}
+	return false
+}
+
+func numHasBareWildcard(t NumTerm) bool {
+	switch u := t.(type) {
+	case *FnApp:
+		for _, a := range u.Args {
+			if a.Kind == TermWildcard {
+				return true
+			}
+		}
+	case *NumBin:
+		return numHasBareWildcard(u.L) || numHasBareWildcard(u.R)
+	}
+	return false
+}
