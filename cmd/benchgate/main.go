@@ -1,22 +1,30 @@
-// Command benchgate compares a freshly measured BENCH_engine.json
-// against the committed baseline and exits non-zero when the spec
-// engine's compiled/interpreted speed-up has regressed beyond the
-// tolerance. CI runs it after `ipabench -experiment engine`; the ratio
-// is machine-independent (both executors share the runner), so the
-// committed baseline stays meaningful across hardware.
+// Command benchgate compares a freshly measured benchmark artifact
+// against its committed baseline and exits non-zero on regression. It
+// gates ratios, not raw ops/sec, so the committed baselines stay
+// meaningful across hardware: both sides of each ratio run on the same
+// runner, and the variance cancels. Two experiments are gated, selected
+// by the artifact's ID:
+//
+//   - engine (BENCH_engine.json): the spec engine's compiled/interpreted
+//     speed-up per application spec;
+//   - serve_remote (BENCH_serve_remote.json): the wire-protocol server's
+//     remote/in-process throughput ratio (with an absolute 50% floor).
 //
 // Usage:
 //
 //	benchgate -current artifacts/BENCH_engine.json \
 //	          -baseline internal/bench/testdata/BENCH_engine_baseline.json
+//	benchgate -current artifacts/BENCH_serve_remote.json \
+//	          -baseline internal/bench/testdata/BENCH_serve_remote_baseline.json
 //
-// Refresh the baseline after a deliberate engine change:
+// Refresh a baseline after a deliberate change, e.g.:
 //
 //	go run ./cmd/ipabench -experiment engine -quick -json internal/bench/testdata
 //	mv internal/bench/testdata/BENCH_engine.json internal/bench/testdata/BENCH_engine_baseline.json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,42 +34,86 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:]); err != nil {
+		code := 1
+		var ue usageError
+		if errors.As(err, &ue) {
+			code = 2
+		}
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(code)
+	}
+	fmt.Println("benchgate: ok")
+}
+
+// usageError marks invocation problems (exit 2) as opposed to gate
+// failures (exit 1).
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	var (
-		current   = flag.String("current", "", "freshly measured BENCH_engine.json")
-		baseline  = flag.String("baseline", "internal/bench/testdata/BENCH_engine_baseline.json", "committed baseline BENCH_engine.json")
-		tolerance = flag.Float64("tolerance", 0.20, "allowed speed-up erosion (0.20 = fail below 80% of baseline)")
+		current   = fs.String("current", "", "freshly measured BENCH_<id>.json")
+		baseline  = fs.String("baseline", "", "committed baseline (default per experiment ID)")
+		tolerance = fs.Float64("tolerance", 0.20, "allowed ratio erosion (0.20 = fail below 80% of baseline)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
 	if *current == "" {
-		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
-		os.Exit(2)
+		return usageError{errors.New("-current is required")}
 	}
 	cur, err := bench.ReadExperimentJSON(*current)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		return usageError{err}
 	}
-	base, err := bench.ReadExperimentJSON(*baseline)
+
+	basePath := *baseline
+	if basePath == "" {
+		switch cur.ID {
+		case "engine":
+			basePath = "internal/bench/testdata/BENCH_engine_baseline.json"
+		case "serve_remote":
+			basePath = "internal/bench/testdata/BENCH_serve_remote_baseline.json"
+		default:
+			return usageError{fmt.Errorf("no default baseline for experiment %q; pass -baseline", cur.ID)}
+		}
+	}
+	base, err := bench.ReadExperimentJSON(basePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		return usageError{err}
 	}
 
-	if ratios, err := bench.EngineSpeedups(cur); err == nil {
-		names := make([]string, 0, len(ratios))
-		for n := range ratios {
-			names = append(names, n)
+	switch cur.ID {
+	case "engine":
+		if ratios, err := bench.EngineSpeedups(cur); err == nil {
+			baseRatios, _ := bench.EngineSpeedups(base)
+			for _, n := range sortedKeys(ratios) {
+				fmt.Printf("%-12s compiled/interpreted %.2fx (baseline %.2fx)\n", n, ratios[n], baseRatios[n])
+			}
 		}
-		sort.Strings(names)
-		baseRatios, _ := bench.EngineSpeedups(base)
-		for _, n := range names {
-			fmt.Printf("%-12s compiled/interpreted %.2fx (baseline %.2fx)\n", n, ratios[n], baseRatios[n])
+		return bench.CheckEngineBaseline(cur, base, *tolerance)
+	case "serve_remote":
+		if ratios, err := bench.ServeRemoteRatios(cur); err == nil {
+			baseRatios, _ := bench.ServeRemoteRatios(base)
+			for _, n := range sortedKeys(ratios) {
+				fmt.Printf("%-12s remote/in-process %.0f%% (baseline %.0f%%)\n", n, 100*ratios[n], 100*baseRatios[n])
+			}
 		}
+		return bench.CheckServeRemoteBaseline(cur, base, *tolerance)
+	default:
+		return usageError{fmt.Errorf("experiment %q has no gate (want engine or serve_remote)", cur.ID)}
 	}
+}
 
-	if err := bench.CheckEngineBaseline(cur, base, *tolerance); err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(1)
+func sortedKeys(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
 	}
-	fmt.Println("benchgate: ok")
+	sort.Strings(names)
+	return names
 }

@@ -31,8 +31,13 @@ import (
 	"ipa/internal/wan"
 )
 
-func runChaos(args []string) {
-	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+// errViolation signals that the campaign (or replay) reproduced an
+// invariant violation: the details are already printed, the process
+// must exit 1.
+var errViolation = fmt.Errorf("chaos violation: %w", errReported)
+
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
 	var (
 		app       = fs.String("app", "tournament", "application to drive: "+strings.Join(harness.Apps(), ", ")+", or spec:<file> to mount and fuzz any specification")
 		backend   = fs.String("backend", "sim", "replication backend: sim (deterministic, replayable) or netrepl (real TCP sockets)")
@@ -57,7 +62,9 @@ func runChaos(args []string) {
 		killMs   = fs.Int("kill-every", 20, "soak: milliseconds between connection kills")
 		soakSeed = fs.Int64("soak-seed", 1, "soak: seed for the kill sequence")
 	)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return errReported
+	}
 
 	switch {
 	case *soak:
@@ -68,28 +75,29 @@ func runChaos(args []string) {
 			Seed:        *soakSeed,
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(res)
 		if !res.Converged {
-			os.Exit(1)
+			return errViolation
 		}
+		return nil
 
 	case *replay != "":
 		s, err := harness.ReadScheduleFile(*replay)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		v, err := harness.Execute(s)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if v == nil {
 			fmt.Printf("schedule %s: no violation (%d ops, %d faults)\n", *replay, len(s.Ops), len(s.Faults))
-			return
+			return nil
 		}
 		fmt.Printf("schedule %s reproduces:\n  %s\n", *replay, v)
-		os.Exit(1)
+		return errViolation
 
 	default:
 		cfg, err := harness.Config{
@@ -105,24 +113,24 @@ func runChaos(args []string) {
 			Concurrency: *conc,
 		}.Norm()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 
 		if *seedStr != "" {
 			seed, err := parseSeed(*seedStr)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			s, v, err := harness.Replay(cfg, seed)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if v == nil {
 				fmt.Printf("seed %#x: no violation (%d ops, %d faults)\n", seed, len(s.Ops), len(s.Faults))
-				return
+				return nil
 			}
 			fmt.Printf("seed %#x reproduces:\n  %s\n", seed, v)
-			os.Exit(1)
+			return errViolation
 		}
 
 		var progress func(int, *harness.Schedule, *harness.Violation)
@@ -141,11 +149,11 @@ func runChaos(args []string) {
 		}
 		res, err := harness.RunWithShrink(cfg, *campaign, *schedules, !*noShrink, progress)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if res.Violation == nil {
 			fmt.Printf("%s/%s: %s\n", cfg.App, cfg.Variant, res.Summary())
-			return
+			return nil
 		}
 		fmt.Print(res.Summary())
 		fmt.Printf("\nreplay (full schedule):\n  ipa chaos %s -seed %#x\n", cfgFlags(cfg), res.Seed)
@@ -155,7 +163,7 @@ func runChaos(args []string) {
 				path = fmt.Sprintf("chaos-repro-%#x.json", res.Seed)
 			}
 			if err := res.Shrunk.WriteFile(path); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("replay (shrunk, exact violation):\n  ipa chaos -replay %s\n", path)
 		} else if res.Schedule != nil {
@@ -167,11 +175,11 @@ func runChaos(args []string) {
 				path = fmt.Sprintf("chaos-repro-%#x.json", res.Seed)
 			}
 			if err := res.Schedule.WriteFile(path); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("replay (full schedule, workload-exact):\n  ipa chaos -replay %s\n", path)
 		}
-		os.Exit(1)
+		return errViolation
 	}
 }
 

@@ -1,8 +1,9 @@
-// Command ipa is the IPA analysis tool (paper §4.1): it reads an
-// application specification, detects the operation pairs that can violate
-// invariants under concurrency, proposes repairs, and prints the patched,
-// invariant-preserving specification together with the synthesised
-// compensations.
+// Command ipa is the IPA analysis tool (paper §4.1) and server: it reads
+// an application specification, detects the operation pairs that can
+// violate invariants under concurrency, proposes repairs, and prints the
+// patched, invariant-preserving specification together with the
+// synthesised compensations — or serves analyzed applications to network
+// clients.
 //
 // Usage:
 //
@@ -14,6 +15,7 @@
 //	ipa -list                           # list bundled applications
 //	ipa -netrepl 3                      # TCP replication smoke ring + metrics
 //	ipa -netrepl 5 -netrepl-legacy      # same over the legacy transport
+//	ipa serve -app tournament           # serve over TCP (see serve.go)
 //	ipa chaos -app tournament           # deterministic chaos campaign (see chaos.go)
 //	ipa chaos -app spec:app.spec        # mount and fuzz any specification file
 //	ipa chaos -replay repro.json        # replay a shrunk failure exactly
@@ -21,8 +23,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -43,35 +47,56 @@ var bundled = map[string]func() *spec.Spec{
 	"tpcw":       tpcw.Spec,
 }
 
+// errReported signals a failure whose message is already on the user's
+// terminal (flag usage, chaos violation summaries): main should exit
+// non-zero without printing anything more.
+var errReported = errors.New("already reported")
+
+// main is the single exit point: every subcommand returns its error here
+// so deferred cleanup (cluster close, listener release, artifact flush)
+// has run by the time the process exits.
 func main() {
-	// Subcommand dispatch precedes flag parsing: `ipa chaos ...` owns its
-	// own flag set.
-	if len(os.Args) > 1 && os.Args[1] == "chaos" {
-		runChaos(os.Args[2:])
-		return
+	if err := run(os.Args[1:]); err != nil {
+		if !errors.Is(err, errReported) {
+			fmt.Fprintln(os.Stderr, "ipa:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	// Subcommand dispatch precedes flag parsing: `ipa chaos ...` and
+	// `ipa serve ...` own their flag sets.
+	if len(args) > 0 {
+		switch args[0] {
+		case "chaos":
+			return runChaos(args[1:])
+		case "serve":
+			return runServe(args[1:])
+		}
 	}
 
+	fs := flag.NewFlagSet("ipa", flag.ContinueOnError)
 	var (
-		specPath    = flag.String("spec", "", "path to a specification file")
-		appName     = flag.String("app", "", "bundled application to analyse")
-		list        = flag.Bool("list", false, "list bundled applications")
-		onlyConf    = flag.Bool("conflicts", false, "only detect and print conflicts")
-		classify    = flag.Bool("classify", false, "classify invariants (Table 1 style)")
-		interactive = flag.Bool("interactive", false, "choose repairs interactively")
-		scope       = flag.Int("scope", 0, "domain elements per sort (default 2)")
-		maxPreds    = flag.Int("max-preds", 0, "max extra effects per repair (default 2)")
+		specPath    = fs.String("spec", "", "path to a specification file")
+		appName     = fs.String("app", "", "bundled application to analyse")
+		list        = fs.Bool("list", false, "list bundled applications")
+		onlyConf    = fs.Bool("conflicts", false, "only detect and print conflicts")
+		classify    = fs.Bool("classify", false, "classify invariants (Table 1 style)")
+		interactive = fs.Bool("interactive", false, "choose repairs interactively")
+		scope       = fs.Int("scope", 0, "domain elements per sort (default 2)")
+		maxPreds    = fs.Int("max-preds", 0, "max extra effects per repair (default 2)")
 
-		netreplN      = flag.Int("netrepl", 0, "run a TCP replication smoke ring with this many nodes and print transport metrics")
-		netreplTxns   = flag.Int("netrepl-txns", 1000, "transactions per node in the smoke ring")
-		netreplLegacy = flag.Bool("netrepl-legacy", false, "use the legacy per-txn-connection transport in the smoke ring")
+		netreplN      = fs.Int("netrepl", 0, "run a TCP replication smoke ring with this many nodes and print transport metrics")
+		netreplTxns   = fs.Int("netrepl-txns", 1000, "transactions per node in the smoke ring")
+		netreplLegacy = fs.Bool("netrepl-legacy", false, "use the legacy per-txn-connection transport in the smoke ring")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return errReported // the flag package already printed usage
+	}
 
 	if *netreplN > 0 {
-		if err := runNetrepl(*netreplN, *netreplTxns, *netreplLegacy); err != nil {
-			fatal(err)
-		}
-		return
+		return runNetrepl(*netreplN, *netreplTxns, *netreplLegacy)
 	}
 
 	if *list {
@@ -83,13 +108,12 @@ func main() {
 		for _, n := range names {
 			fmt.Println(n)
 		}
-		return
+		return nil
 	}
 
 	s, err := loadSpec(*specPath, *appName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ipa:", err)
-		os.Exit(1)
+		return err
 	}
 
 	opts := analysis.Options{Scope: *scope, MaxRepairPreds: *maxPreds}
@@ -101,11 +125,11 @@ func main() {
 	case *onlyConf:
 		conflicts, err := analysis.FindConflicts(s, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if len(conflicts) == 0 {
 			fmt.Println("no conflicting operation pairs: the specification is I-confluent")
-			return
+			return nil
 		}
 		for _, c := range conflicts {
 			fmt.Println(c)
@@ -116,7 +140,7 @@ func main() {
 	case *classify:
 		ccs, err := analysis.Classify(s, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("%-18s %-10s %-6s  %s\n", "class", "I-Conf.", "IPA", "clause")
 		for _, cc := range ccs {
@@ -134,7 +158,7 @@ func main() {
 	default:
 		res, err := analysis.Run(s, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Print(res.Summary())
 		fmt.Println()
@@ -144,6 +168,7 @@ func main() {
 		fmt.Println("---- patched specification ----")
 		fmt.Print(res.Spec.String())
 	}
+	return nil
 }
 
 func loadSpec(path, app string) (*spec.Spec, error) {
@@ -167,7 +192,7 @@ func loadSpec(path, app string) (*spec.Spec, error) {
 // promptChooser implements the paper's interactive pickResolution: the
 // programmer sees every proposed repair and selects the semantics that
 // fits the application.
-func promptChooser(in *os.File, out *os.File) func(*analysis.Conflict, []analysis.Repair) int {
+func promptChooser(in io.Reader, out io.Writer) func(*analysis.Conflict, []analysis.Repair) int {
 	reader := bufio.NewReader(in)
 	return func(c *analysis.Conflict, repairs []analysis.Repair) int {
 		fmt.Fprintf(out, "\n%s\n", c)
@@ -190,9 +215,4 @@ func promptChooser(in *os.File, out *os.File) func(*analysis.Conflict, []analysi
 		}
 		return n
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ipa:", err)
-	os.Exit(1)
 }

@@ -12,6 +12,8 @@
 //	ipabench -experiment serve          # serving benchmark (all four apps)
 //	ipabench -backend netrepl           # the same apps on real TCP sockets
 //	ipabench -experiment serve -json artifacts   # write BENCH_serve.json
+//	ipabench serve -remote 127.0.0.1:6390        # drive a live `ipa serve` over the wire
+//	ipabench serve -conns 4 -pipeline 8          # self-hosted remote benchmark
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8a, fig8b, fig9, the
 // ablations beyond the paper: ablation-numeric, ablation-touch,
@@ -25,6 +27,14 @@
 // `serve` — closed-loop serving of all four applications over the
 // backend-agnostic runtime (sim or netrepl), with invariant checks.
 //
+// The `serve` subcommand (distinct from `-experiment serve`) benchmarks
+// the wire path: it drives an `ipa serve` server — a live one via
+// -remote, or a self-hosted netrepl-backed one — with pipelined
+// connections pinned to sites, measures end-to-end ops/sec and latency
+// percentiles, runs the same workload through the in-process loop for
+// comparison, and writes BENCH_serve_remote.json (cmd/benchgate gates
+// the remote/in-process ratio).
+//
 // The paper figures model latency inside the simulation, so they are
 // sim-only; with -backend netrepl the default experiment set is `serve`.
 // -json writes each experiment as BENCH_<name>.json (ops/sec, p50/p99
@@ -32,6 +42,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,30 +54,51 @@ import (
 	"ipa/internal/runtime"
 )
 
+// errReported signals a failure already printed (flag usage): main exits
+// non-zero without repeating it.
+var errReported = errors.New("already reported")
+
+// main is the single exit point; subcommands return errors here so
+// deferred cleanup (cluster close, server shutdown, artifact flush) runs
+// before the process exits.
 func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if !errors.Is(err, errReported) {
+			fmt.Fprintln(os.Stderr, "ipabench:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServeRemote(args[1:])
+	}
+
+	fs := flag.NewFlagSet("ipabench", flag.ContinueOnError)
 	var (
-		experiment = flag.String("experiment", "", "which experiment to run (comma separated; default all on sim, serve on netrepl)")
-		backend    = flag.String("backend", runtime.BackendSim, "replication backend for the serve benchmark: sim or netrepl")
-		quick      = flag.Bool("quick", false, "reduced parameters (faster, noisier)")
-		seed       = flag.Int64("seed", 42, "simulation seed")
-		jsonDir    = flag.String("json", "", "also write each experiment as BENCH_<name>.json into this directory")
-		workersCSV = flag.String("workers", "", "serve: comma-separated client worker counts for a concurrency sweep, e.g. 1,2,4,8 (netrepl only)")
+		experiment = fs.String("experiment", "", "which experiment to run (comma separated; default all on sim, serve on netrepl)")
+		backend    = fs.String("backend", runtime.BackendSim, "replication backend for the serve benchmark: sim or netrepl")
+		quick      = fs.Bool("quick", false, "reduced parameters (faster, noisier)")
+		seed       = fs.Int64("seed", 42, "simulation seed")
+		jsonDir    = fs.String("json", "", "also write each experiment as BENCH_<name>.json into this directory")
+		workersCSV = fs.String("workers", "", "serve: comma-separated client worker counts for a concurrency sweep, e.g. 1,2,4,8 (netrepl only)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return errReported
+	}
 
 	var workers []int
 	if *workersCSV != "" {
 		for _, s := range strings.Split(*workersCSV, ",") {
 			w, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || w < 1 {
-				fmt.Fprintf(os.Stderr, "ipabench: bad -workers entry %q (want positive integers, e.g. 1,2,4,8)\n", s)
-				os.Exit(1)
+				return fmt.Errorf("bad -workers entry %q (want positive integers, e.g. 1,2,4,8)", s)
 			}
 			workers = append(workers, w)
 		}
 		if *backend != runtime.BackendNet {
-			fmt.Fprintln(os.Stderr, "ipabench: -workers needs -backend netrepl (the simulator is single-threaded)")
-			os.Exit(1)
+			return fmt.Errorf("-workers needs -backend netrepl (the simulator is single-threaded)")
 		}
 	}
 
@@ -90,8 +122,7 @@ func main() {
 		wanted = strings.Split(*experiment, ",")
 	case *backend == runtime.BackendNet:
 		if *experiment == "all" {
-			fmt.Fprintln(os.Stderr, "ipabench: -experiment all is sim-only (the figures model latency in the simulation); with -backend netrepl name the experiments, e.g. -experiment serve")
-			os.Exit(1)
+			return fmt.Errorf("-experiment all is sim-only (the figures model latency in the simulation); with -backend netrepl name the experiments, e.g. -experiment serve")
 		}
 		// No experiment named: the meaningful default on the real-socket
 		// backend is the serving benchmark over all four applications.
@@ -113,14 +144,12 @@ func main() {
 		if *backend != runtime.BackendSim {
 			for _, s := range simFigures {
 				if name == s {
-					fmt.Fprintf(os.Stderr, "ipabench: experiment %q models latency in the simulation and is sim-only (drop -backend, or run -experiment serve)\n", name)
-					os.Exit(1)
+					return fmt.Errorf("experiment %q models latency in the simulation and is sim-only (drop -backend, or run -experiment serve)", name)
 				}
 			}
 			for _, s := range fixed {
 				if name == s {
-					fmt.Fprintf(os.Stderr, "ipabench: experiment %q already benchmarks a fixed substrate and does not take -backend (drop -backend, or run -experiment serve)\n", name)
-					os.Exit(1)
+					return fmt.Errorf("experiment %q already benchmarks a fixed substrate and does not take -backend (drop -backend, or run -experiment serve)", name)
 				}
 			}
 		}
@@ -162,22 +191,61 @@ func main() {
 		case "serve":
 			e, err = bench.Serve(bench.ServeOptions{Backend: *backend, Ops: serveOps, Seed: *seed, Workers: workers})
 		default:
-			fmt.Fprintf(os.Stderr, "ipabench: unknown experiment %q (want one of %s)\n",
-				name, strings.Join(all, ", "))
-			os.Exit(1)
+			return fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ipabench:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(e.Render())
-		if *jsonDir != "" {
-			path, err := e.WriteJSON(*jsonDir)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "ipabench:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n", path)
+		if err := emit(e, *jsonDir); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// runServeRemote is the `ipabench serve` subcommand: the remote serving
+// benchmark over the wire protocol.
+func runServeRemote(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		remote   = fs.String("remote", "", "address of a live `ipa serve` server (empty: self-host a netrepl-backed server on loopback)")
+		app      = fs.String("app", "tournament", "mounted application to call")
+		conns    = fs.Int("conns", 2, "client connections")
+		pipeline = fs.Int("pipeline", 8, "closed-loop pipeline depth per connection")
+		ops      = fs.Int("ops", 8000, "total measured CALLs across connections")
+		rate     = fs.Int("rate", 0, "open-loop CALLs/sec per connection (0: closed loop)")
+		seed     = fs.Int64("seed", 42, "workload seed")
+		noInproc = fs.Bool("no-inproc", false, "skip the in-process baseline run")
+		jsonDir  = fs.String("json", "", "also write BENCH_serve_remote.json into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return errReported
+	}
+	e, err := bench.ServeRemote(bench.ServeRemoteOptions{
+		Addr:       *remote,
+		App:        *app,
+		Conns:      *conns,
+		Pipeline:   *pipeline,
+		Ops:        *ops,
+		RatePerSec: *rate,
+		Seed:       *seed,
+		SkipInproc: *noInproc,
+	})
+	if err != nil {
+		return err
+	}
+	return emit(e, *jsonDir)
+}
+
+// emit renders an experiment and optionally writes its JSON artifact.
+func emit(e *bench.Experiment, jsonDir string) error {
+	fmt.Println(e.Render())
+	if jsonDir != "" {
+		path, err := e.WriteJSON(jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
 }

@@ -50,6 +50,77 @@ func EngineSpeedups(e *Experiment) (map[string]float64, error) {
 	return out, nil
 }
 
+// ServeRemoteRatios extracts the per-app remote/in-process throughput
+// ratios from a serve_remote experiment's Perf map — the fraction of
+// in-process serving throughput the wire protocol retains.
+func ServeRemoteRatios(e *Experiment) (map[string]float64, error) {
+	out := map[string]float64{}
+	for key, p := range e.Perf {
+		name, ok := strings.CutSuffix(key, "/remote")
+		if !ok {
+			continue
+		}
+		i, ok := e.Perf[name+"/inproc"]
+		if !ok || i.OpsPerSec <= 0 || p.OpsPerSec <= 0 {
+			return nil, fmt.Errorf("bench: experiment %q has no usable remote/inproc pair for %q", e.ID, name)
+		}
+		out[name] = p.OpsPerSec / i.OpsPerSec
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: experiment %q carries no <app>/remote Perf entries", e.ID)
+	}
+	return out, nil
+}
+
+// serveRemoteFloor is the absolute acceptance floor, independent of the
+// committed baseline: remote serving must retain at least half of the
+// in-process throughput at the benchmark's default pipeline depth.
+const serveRemoteFloor = 0.50
+
+// CheckServeRemoteBaseline compares current against baseline
+// remote/in-process ratios, failing any app whose ratio regressed by
+// more than tolerance below its baseline or under the absolute 50%
+// floor. Same shape as CheckEngineBaseline: ratio-based so hardware
+// variance cancels, missing measurements fail, new apps pass.
+func CheckServeRemoteBaseline(current, baseline *Experiment, tolerance float64) error {
+	cur, err := ServeRemoteRatios(current)
+	if err != nil {
+		return err
+	}
+	base, err := ServeRemoteRatios(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		c, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run (baseline %.0f%%)", name, 100*base[name]))
+			continue
+		}
+		floor := base[name] * (1 - tolerance)
+		switch {
+		case c < floor:
+			failures = append(failures,
+				fmt.Sprintf("%s: remote/in-process %.0f%%, below %.0f%% (baseline %.0f%% - %.0f%%)",
+					name, 100*c, 100*floor, 100*base[name], tolerance*100))
+		case c < serveRemoteFloor:
+			failures = append(failures,
+				fmt.Sprintf("%s: remote serving under the absolute floor (%.0f%% < %.0f%% of in-process)",
+					name, 100*c, 100*serveRemoteFloor))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("remote serving ratio regressed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 // CheckEngineBaseline compares current against baseline speed-ups and
 // returns an error naming every spec whose compiled/interpreted ratio
 // regressed by more than tolerance (0.20 = fail below 80% of baseline).

@@ -1,0 +1,535 @@
+package bench
+
+// The remote serving benchmark: drive an `ipa serve` server over the
+// wire protocol and measure end-to-end throughput and latency, beside an
+// in-process baseline of the same engine-executed application. The
+// remote/in-process ratio is the cost of the serving layer itself
+// (protocol parsing, socket hops, per-connection sessions) — cmd/benchgate
+// gates it against a committed baseline, machine-independently, the same
+// way the engine gate works.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"ipa/internal/apps/tournament"
+	"ipa/internal/clock"
+	"ipa/internal/runtime"
+	"ipa/internal/server"
+	"ipa/internal/wan"
+)
+
+// ServeRemoteOptions shapes the remote serving benchmark.
+type ServeRemoteOptions struct {
+	// Addr is the server to drive. Empty self-hosts: the benchmark boots
+	// its own netrepl-backed server on loopback, drives it, and shuts it
+	// down — the reproducible configuration CI uses.
+	Addr string
+	// App is the mounted application to call. Default "tournament" (the
+	// benchmark knows how to generate its workload); if the server does
+	// not have it mounted, the benchmark MOUNTs the spec source itself.
+	App string
+	// Conns is the number of client connections. Default 2 (the serving
+	// and client processes share cores in CI containers; more
+	// connections measure scheduler churn, not the serving path).
+	Conns int
+	// Pipeline is the closed-loop batch depth per connection: send K
+	// CALLs, flush, read K replies. Default 8.
+	Pipeline int
+	// Ops is the total measured CALLs across all connections. Default
+	// 8000 (matching the in-process netrepl serve methodology: long
+	// enough for steady state against the replication pipeline).
+	Ops int
+	// RatePerSec switches a connection from closed-loop to open-loop:
+	// CALLs are issued at this paced rate per connection regardless of
+	// replies, so recorded latency includes queueing delay. 0 = closed.
+	RatePerSec int
+	// Seed drives the workload generator.
+	Seed int64
+	// SkipInproc skips the in-process baseline run (useful against a
+	// remote machine where a local baseline would not be comparable).
+	SkipInproc bool
+}
+
+func (o ServeRemoteOptions) withDefaults() ServeRemoteOptions {
+	if o.App == "" {
+		o.App = "tournament"
+	}
+	if o.Conns <= 0 {
+		o.Conns = 2
+	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 8
+	}
+	if o.Ops <= 0 {
+		o.Ops = 8000
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// ServeRemote runs the remote serving benchmark and, unless skipped, the
+// in-process baseline of the same app on the same backend. The
+// experiment's Perf map carries `<app>/remote` and `<app>/inproc`
+// entries; ServeRemoteRatios/CheckServeRemoteBaseline gate their ratio.
+func ServeRemote(opts ServeRemoteOptions) (*Experiment, error) {
+	opts = opts.withDefaults()
+
+	addr := opts.Addr
+	var srv *server.Server
+	var cluster runtime.Cluster
+	if addr == "" {
+		// Self-host: a 3-site netrepl cluster behind the server, the
+		// same substrate the in-process baseline serves directly.
+		ids := make([]clock.ReplicaID, 0, 3)
+		for _, s := range wan.Sites() {
+			ids = append(ids, clock.ReplicaID(s))
+		}
+		var err error
+		cluster, err = runtime.NewNetCluster(ids, serveNetConfig())
+		if err != nil {
+			return nil, err
+		}
+		defer cluster.Close()
+		srv = server.New(cluster, server.Config{})
+		if _, err := srv.MountAnalyzed(tournament.Spec(), tournament.Analysis()); err != nil {
+			return nil, err
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		defer srv.Shutdown()
+		addr = srv.Addr()
+	}
+
+	rec, opsPerSec, err := driveRemote(addr, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve remote %s: %w", addr, err)
+	}
+
+	mode := "closed loop"
+	if opts.RatePerSec > 0 {
+		mode = fmt.Sprintf("open loop, %d ops/s per conn", opts.RatePerSec)
+	}
+	e := &Experiment{
+		ID:     "serve_remote",
+		Title:  fmt.Sprintf("Remote serving over the wire protocol (%d conns, pipeline %d, %s)", opts.Conns, opts.Pipeline, mode),
+		XLabel: "path",
+		YLabel: "ops/sec",
+		Perf:   map[string]Perf{},
+	}
+	remote := Perf{
+		OpsPerSec: opsPerSec,
+		P50Ms:     rec.Percentile("", 50),
+		P95Ms:     rec.Percentile("", 95),
+		P99Ms:     rec.Percentile("", 99),
+	}
+	e.Perf[opts.App+"/remote"] = remote
+	e.XTicks = append(e.XTicks, "remote")
+	s := Series{Name: opts.App}
+	s.Points = append(s.Points, Point{X: 0, Y: remote.OpsPerSec,
+		Aux: map[string]float64{"p50 ms": remote.P50Ms, "p99 ms": remote.P99Ms}})
+
+	if !opts.SkipInproc {
+		// The baseline: the same engine-executed application served by a
+		// plain in-process loop on the same backend — what the serving
+		// layer's overhead is measured against.
+		inRec, inOps, err := serveApp(opts.App+"-spec", ServeOptions{
+			Backend: runtime.BackendNet, Ops: opts.Ops, Seed: opts.Seed,
+		}.withDefaults())
+		if err != nil {
+			return nil, fmt.Errorf("bench: serve remote in-process baseline: %w", err)
+		}
+		inproc := Perf{
+			OpsPerSec: inOps,
+			P50Ms:     inRec.Percentile("", 50),
+			P95Ms:     inRec.Percentile("", 95),
+			P99Ms:     inRec.Percentile("", 99),
+		}
+		e.Perf[opts.App+"/inproc"] = inproc
+		e.XTicks = append(e.XTicks, "inproc")
+		s.Points = append(s.Points, Point{X: 1, Y: inproc.OpsPerSec,
+			Aux: map[string]float64{"p50 ms": inproc.P50Ms, "p99 ms": inproc.P99Ms}})
+		e.Notes = append(e.Notes, fmt.Sprintf("remote sustains %.0f%% of the in-process loop",
+			100*remote.OpsPerSec/inproc.OpsPerSec))
+	}
+	e.Series = append(e.Series, s)
+	e.Notes = append(e.Notes,
+		"remote: CALLs over TCP with RESP framing, per-conn site affinity, batched pipelining;",
+		"in-process: the same engine app driven directly through runtime.Cluster;",
+		"latency is per-op wire round-trip (closed loop amortizes it over the batch).")
+	return e, nil
+}
+
+// driveRemote runs the measured loop against a live server.
+func driveRemote(addr string, opts ServeRemoteOptions) (*Recorder, float64, error) {
+	// Discover sites and make sure the app is mounted.
+	ctl, err := server.Dial(addr, 5*time.Second)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer ctl.Close()
+	sites, err := remoteSites(ctl)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := ensureMounted(ctl, opts.App); err != nil {
+		return nil, 0, err
+	}
+	// Seed the workload's domain (players, tournaments, one active
+	// tournament) before measuring, and settle so every site serves from
+	// the seeded state.
+	gen := newTournamentGen(opts.Seed)
+	for _, call := range gen.seedCalls() {
+		rp, err := ctl.Do(append([]string{"CALL", opts.App}, call...)...)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := callErr(rp); err != nil {
+			return nil, 0, fmt.Errorf("seeding %v: %w", call, err)
+		}
+	}
+	if err := ctl.DoOK("SETTLE"); err != nil {
+		return nil, 0, err
+	}
+
+	// The stability service: like the in-process serve loop's periodic
+	// Stabilize, a side connection runs the stability protocol while
+	// traffic flows so tombstone metadata is compacted, not measured.
+	// It borrows ctl, so it must stop (stopStab) before ctl is used
+	// again — the client is single-goroutine.
+	stop := make(chan struct{})
+	var stabWg sync.WaitGroup
+	stabWg.Add(1)
+	go func() {
+		defer stabWg.Done()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				ctl.DoOK("STABILIZE")
+			}
+		}
+	}()
+	stabStopped := false
+	stopStab := func() {
+		if !stabStopped {
+			stabStopped = true
+			close(stop)
+			stabWg.Wait()
+		}
+	}
+	defer stopStab()
+
+	// Workers: one connection each, pinned to sites round-robin. Ops
+	// pre-generate sequentially (the generator keeps cross-op state) and
+	// stripe across connections.
+	calls := make([][]string, opts.Ops)
+	for i := range calls {
+		calls[i] = gen.next()
+	}
+	workers := make([]*remoteWorker, opts.Conns)
+	for w := range workers {
+		c, err := server.Dial(addr, 5*time.Second)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer c.Close()
+		if err := c.DoOK("SITE", sites[w%len(sites)]); err != nil {
+			return nil, 0, err
+		}
+		var mine [][]string
+		for i := w; i < len(calls); i += opts.Conns {
+			mine = append(mine, calls[i])
+		}
+		workers[w] = &remoteWorker{client: c, app: opts.App, calls: mine, rec: NewRecorder()}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	start := time.Now()
+	for w, rw := range workers {
+		wg.Add(1)
+		go func(w int, rw *remoteWorker) {
+			defer wg.Done()
+			if opts.RatePerSec > 0 {
+				errs[w] = rw.runOpen(opts.RatePerSec)
+			} else {
+				errs[w] = rw.runClosed(opts.Pipeline)
+			}
+		}(w, rw)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rec := NewRecorder()
+	for w, rw := range workers {
+		if errs[w] != nil {
+			return nil, 0, fmt.Errorf("conn %d: %w", w, errs[w])
+		}
+		rec.Merge(rw.rec)
+	}
+
+	// Verify before reporting, with the harness's quiescence protocol
+	// over the wire: settle, two rounds of repair-reads + settle (a
+	// repair's own writes must replicate before the next read), a
+	// stability pass, then invariant checks and cross-replica digest
+	// convergence — a run that corrupted state fails instead of
+	// producing numbers.
+	stopStab()
+	if err := ctl.DoOK("SETTLE"); err != nil {
+		return nil, 0, err
+	}
+	for round := 0; round < 2; round++ {
+		if err := ctl.DoOK("REPAIR", opts.App); err != nil {
+			return nil, 0, err
+		}
+		if err := ctl.DoOK("SETTLE"); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := ctl.DoOK("STABILIZE"); err != nil {
+		return nil, 0, err
+	}
+	rp, err := ctl.Do("CHECK", opts.App)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := rp.Err(); err != nil {
+		return nil, 0, err
+	}
+	if v := rp.Strings(); len(v) > 0 {
+		return nil, 0, fmt.Errorf("invariant violations after run: %s", strings.Join(v, "; "))
+	}
+	rp, err = ctl.Do("DIGEST", opts.App)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := rp.Err(); err != nil {
+		return nil, 0, err
+	}
+	if ds := rp.Strings(); len(ds) > 1 {
+		base := digestBody(ds[0])
+		for _, d := range ds[1:] {
+			if digestBody(d) != base {
+				return nil, 0, fmt.Errorf("replicas diverged after run:\n  %s", strings.Join(ds, "\n  "))
+			}
+		}
+	}
+	return rec, float64(opts.Ops) / elapsed.Seconds(), nil
+}
+
+// remoteWorker drives one connection.
+type remoteWorker struct {
+	client *server.Client
+	app    string
+	calls  [][]string
+	rec    *Recorder
+}
+
+// callErr converts a CALL reply into an error, treating PRECONDITION
+// refusals (guarded no-ops) as successful outcomes.
+func callErr(rp server.Reply) error {
+	if rp.Kind != '-' {
+		return nil
+	}
+	if strings.HasPrefix(rp.Str, "PRECONDITION") {
+		return nil
+	}
+	return fmt.Errorf("%s", rp.Str)
+}
+
+// runClosed is the closed loop: send a batch of `depth` CALLs, flush,
+// read the batch's replies, repeat. Per-op latency is the batch
+// round-trip divided across the batch — the standard pipelined-client
+// accounting.
+func (w *remoteWorker) runClosed(depth int) error {
+	for off := 0; off < len(w.calls); off += depth {
+		end := off + depth
+		if end > len(w.calls) {
+			end = len(w.calls)
+		}
+		batch := w.calls[off:end]
+		t0 := time.Now()
+		for _, call := range batch {
+			w.client.Send(append([]string{"CALL", w.app}, call...)...)
+		}
+		if err := w.client.Flush(); err != nil {
+			return err
+		}
+		for _, call := range batch {
+			rp, err := w.client.Recv()
+			if err != nil {
+				return err
+			}
+			if err := callErr(rp); err != nil {
+				return fmt.Errorf("CALL %v: %w", call, err)
+			}
+		}
+		perOp := time.Since(t0) / time.Duration(len(batch))
+		for _, call := range batch {
+			w.rec.Add(call[0], wan.Time(perOp.Microseconds()))
+		}
+	}
+	return w.client.Flush()
+}
+
+// runOpen is the open loop: a pacer issues CALLs at the configured rate
+// whether or not replies have come back, and a reader records
+// issue-to-reply latency — so queueing delay under overload is measured,
+// not hidden (the coordinated-omission-free shape).
+func (w *remoteWorker) runOpen(rate int) error {
+	interval := time.Second / time.Duration(rate)
+	issued := make(chan time.Time, len(w.calls))
+	var readErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(w.calls); i++ {
+			t0, ok := <-issued
+			if !ok {
+				return
+			}
+			rp, err := w.client.Recv()
+			if err != nil {
+				readErr = err
+				return
+			}
+			if err := callErr(rp); err != nil {
+				readErr = err
+				return
+			}
+			w.rec.Add(w.calls[i][0], wan.Time(time.Since(t0).Microseconds()))
+		}
+	}()
+	next := time.Now()
+	for _, call := range w.calls {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		w.client.Send(append([]string{"CALL", w.app}, call...)...)
+		if err := w.client.Flush(); err != nil {
+			close(issued)
+			wg.Wait()
+			return err
+		}
+		issued <- time.Now()
+		next = next.Add(interval)
+	}
+	close(issued)
+	wg.Wait()
+	return readErr
+}
+
+// digestBody strips the "<site> " prefix off a DIGEST reply line so
+// replica digests compare on content.
+func digestBody(line string) string {
+	if _, rest, ok := strings.Cut(line, " "); ok {
+		return rest
+	}
+	return line
+}
+
+// remoteSites parses the site list out of an INFO reply.
+func remoteSites(c *server.Client) ([]string, error) {
+	rp, err := c.Do("INFO")
+	if err != nil {
+		return nil, err
+	}
+	if err := rp.Err(); err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(rp.Str, "\r\n") {
+		if rest, ok := strings.CutPrefix(line, "sites:"); ok && rest != "" {
+			return strings.Split(rest, ","), nil
+		}
+	}
+	return nil, fmt.Errorf("INFO reply carries no sites")
+}
+
+// ensureMounted mounts the tournament spec when the server does not
+// already have the app (a bare server booted with no -app).
+func ensureMounted(c *server.Client, app string) error {
+	rp, err := c.Do("APPS")
+	if err != nil {
+		return err
+	}
+	for _, name := range rp.Strings() {
+		if name == app {
+			return nil
+		}
+	}
+	if app != "tournament" {
+		return fmt.Errorf("app %q not mounted on the server (the benchmark can only self-mount tournament)", app)
+	}
+	return c.DoOK("MOUNT", tournament.SpecSource)
+}
+
+// tournamentGen generates the remote tournament workload: a seeded
+// domain of players and tournaments, then a weighted mix of the spec's
+// operations. Refusals (enrolling in a full tournament, finishing an
+// inactive one) are expected outcomes, exactly as in the chaos harness.
+type tournamentGen struct {
+	rng     *rand.Rand
+	players []string
+	tourns  []string
+}
+
+func newTournamentGen(seed int64) *tournamentGen {
+	g := &tournamentGen{rng: rand.New(rand.NewSource(seed))}
+	// The enrolling pool stays within the spec's Capacity (8): the
+	// benchmark measures serving throughput, so the workload exercises
+	// the guarded paths without living permanently over capacity (the
+	// chaos harness owns that regime).
+	for i := 0; i < 8; i++ {
+		g.players = append(g.players, fmt.Sprintf("p%d", i))
+	}
+	for i := 0; i < 4; i++ {
+		g.tourns = append(g.tourns, fmt.Sprintf("t%d", i))
+	}
+	return g
+}
+
+// seedCalls returns the setup operations establishing the domain.
+func (g *tournamentGen) seedCalls() [][]string {
+	var calls [][]string
+	for _, p := range g.players {
+		calls = append(calls, []string{"add_player", p})
+	}
+	for _, t := range g.tourns {
+		calls = append(calls, []string{"add_tourn", t})
+	}
+	calls = append(calls, []string{"begin_tourn", g.tourns[0]})
+	return calls
+}
+
+func (g *tournamentGen) player() string { return g.players[g.rng.Intn(len(g.players))] }
+func (g *tournamentGen) tourn() string  { return g.tourns[g.rng.Intn(len(g.tourns))] }
+
+// next generates one operation call: [op, args...].
+func (g *tournamentGen) next() []string {
+	switch n := g.rng.Intn(100); {
+	case n < 35:
+		return []string{"enroll", g.player(), g.tourn()}
+	case n < 60:
+		return []string{"do_match", g.player(), g.player(), g.tourn()}
+	case n < 72:
+		return []string{"disenroll", g.player(), g.tourn()}
+	case n < 82:
+		return []string{"begin_tourn", g.tourn()}
+	case n < 92:
+		return []string{"finish_tourn", g.tourn()}
+	case n < 96:
+		return []string{"add_player", fmt.Sprintf("p%d", g.rng.Intn(64))}
+	default:
+		return []string{"add_tourn", fmt.Sprintf("t%d", g.rng.Intn(8))}
+	}
+}

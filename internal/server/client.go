@@ -1,0 +1,86 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a minimal pipelining client for the server's protocol: Send
+// queues commands, Flush writes the batch, Recv reads one reply. Do is
+// the one-shot convenience. It is what the remote bench workers and the
+// end-to-end tests speak; it is not safe for concurrent use (one Client
+// per goroutine, like one connection per worker).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	wbuf []byte
+}
+
+// Dial connects to an ipa server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (tests use net.Pipe-style pairs).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReaderSize(conn, 64<<10)}
+}
+
+// Send queues one command in the write buffer without flushing.
+func (c *Client) Send(args ...string) {
+	c.wbuf = AppendCommand(c.wbuf, args...)
+}
+
+// SendInline queues a raw inline command line (human/redis-cli form).
+func (c *Client) SendInline(line string) {
+	c.wbuf = append(c.wbuf, line...)
+	c.wbuf = append(c.wbuf, '\r', '\n')
+}
+
+// Flush writes all queued commands to the socket.
+func (c *Client) Flush() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	_, err := c.conn.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	return err
+}
+
+// Recv reads one reply.
+func (c *Client) Recv() (Reply, error) {
+	return ParseReply(c.r)
+}
+
+// Do sends one command and waits for its reply (flushing anything queued
+// before it, whose replies the caller must already have consumed... so
+// only call Do with an empty pipeline).
+func (c *Client) Do(args ...string) (Reply, error) {
+	c.Send(args...)
+	if err := c.Flush(); err != nil {
+		return Reply{}, err
+	}
+	return c.Recv()
+}
+
+// DoOK runs Do and converts non-error replies to nil, error replies to
+// Go errors — for commands whose only interesting outcome is success.
+func (c *Client) DoOK(args ...string) error {
+	rp, err := c.Do(args...)
+	if err != nil {
+		return err
+	}
+	if err := rp.Err(); err != nil {
+		return fmt.Errorf("%s: %w", args[0], err)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
