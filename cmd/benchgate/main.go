@@ -2,13 +2,17 @@
 // against its committed baseline and exits non-zero on regression. It
 // gates ratios, not raw ops/sec, so the committed baselines stay
 // meaningful across hardware: both sides of each ratio run on the same
-// runner, and the variance cancels. Two experiments are gated, selected
-// by the artifact's ID:
+// runner, and the variance cancels. Three experiments are gated,
+// selected by the artifact's ID:
 //
 //   - engine (BENCH_engine.json): the spec engine's compiled/interpreted
 //     speed-up per application spec;
 //   - serve_remote (BENCH_serve_remote.json): the wire-protocol server's
-//     remote/in-process throughput ratio (with an absolute 50% floor).
+//     remote/in-process throughput ratio (with an absolute 50% floor);
+//   - wire (BENCH_wire.json): the replication frame codec's v2/gob
+//     throughput ratios (absolute 2x floor per direction), its combined
+//     allocation improvement (absolute 5x floor), and v2 bytes/txn
+//     non-growth.
 //
 // Usage:
 //
@@ -78,6 +82,8 @@ func run(args []string) error {
 			basePath = "internal/bench/testdata/BENCH_engine_baseline.json"
 		case "serve_remote":
 			basePath = "internal/bench/testdata/BENCH_serve_remote_baseline.json"
+		case "wire":
+			basePath = "internal/bench/testdata/BENCH_wire_baseline.json"
 		default:
 			return usageError{fmt.Errorf("no default baseline for experiment %q; pass -baseline", cur.ID)}
 		}
@@ -104,8 +110,20 @@ func run(args []string) error {
 			}
 		}
 		return bench.CheckServeRemoteBaseline(cur, base, *tolerance)
+	case "wire":
+		if ratios, err := bench.WireSpeedups(cur); err == nil {
+			baseRatios, _ := bench.WireSpeedups(base)
+			for _, n := range sortedKeys(ratios) {
+				fmt.Printf("%-12s v2/gob %.2fx (baseline %.2fx)\n", n, ratios[n], baseRatios[n])
+			}
+		}
+		if alloc, err := bench.WireAllocImprovement(cur); err == nil {
+			baseAlloc, _ := bench.WireAllocImprovement(base)
+			fmt.Printf("%-12s gob/v2 %.1fx fewer (baseline %.1fx)\n", "allocs", alloc, baseAlloc)
+		}
+		return bench.CheckWireBaseline(cur, base, *tolerance)
 	default:
-		return usageError{fmt.Errorf("experiment %q has no gate (want engine or serve_remote)", cur.ID)}
+		return usageError{fmt.Errorf("experiment %q has no gate (want engine, serve_remote or wire)", cur.ID)}
 	}
 }
 

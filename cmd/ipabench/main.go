@@ -17,15 +17,17 @@
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8a, fig8b, fig9, the
 // ablations beyond the paper: ablation-numeric, ablation-touch,
-// ablation-stability, ablation-scope, and four wall-clock benchmarks of
+// ablation-stability, ablation-scope, and five wall-clock benchmarks of
 // the repository's own infrastructure: `transport` — the real-socket
 // netrepl throughput comparison (streaming vs legacy) — `chaos` — the
 // chaos harness's schedules-per-second rate on 3- and 5-replica sims —
 // `engine` — the spec engine's compiled plans vs the reference
 // interpreter on every application spec (cmd/benchgate gates the
-// compiled/interpreted ratio against a committed baseline) — and
-// `serve` — closed-loop serving of all four applications over the
-// backend-agnostic runtime (sim or netrepl), with invariant checks.
+// compiled/interpreted ratio against a committed baseline) — `wire` —
+// the replication frame codec, v2 binary vs gob (cmd/benchgate gates
+// the throughput and allocation ratios) — and `serve` — closed-loop
+// serving of all four applications over the backend-agnostic runtime
+// (sim or netrepl), with invariant checks.
 //
 // The `serve` subcommand (distinct from `-experiment serve`) benchmarks
 // the wire path: it drives an `ipa serve` server — a live one via
@@ -39,6 +41,11 @@
 // sim-only; with -backend netrepl the default experiment set is `serve`.
 // -json writes each experiment as BENCH_<name>.json (ops/sec, p50/p99
 // where measured) for CI to upload.
+//
+// Both the experiment runner and the `serve` subcommand take
+// -cpuprofile and -memprofile, writing pprof profiles of the measured
+// run (the heap profile is taken after a final GC, so it shows live
+// retention, not transient garbage).
 package main
 
 import (
@@ -46,12 +53,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"ipa/internal/analysis"
 	"ipa/internal/bench"
-	"ipa/internal/runtime"
+	ipartime "ipa/internal/runtime"
 )
 
 // errReported signals a failure already printed (flag usage): main exits
@@ -70,7 +79,47 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// startProfiles starts a CPU profile and arranges a heap profile, per
+// the -cpuprofile/-memprofile flags (empty path: off). The returned stop
+// function finishes both; callers defer it so profiles cover the whole
+// run and land even on error paths.
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			defer f.Close()
+			// A final collection makes the profile show live retention
+			// rather than garbage awaiting the next GC cycle.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}
+
+func run(args []string) (err error) {
 	if len(args) > 0 && args[0] == "serve" {
 		return runServeRemote(args[1:])
 	}
@@ -78,15 +127,27 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ipabench", flag.ContinueOnError)
 	var (
 		experiment = fs.String("experiment", "", "which experiment to run (comma separated; default all on sim, serve on netrepl)")
-		backend    = fs.String("backend", runtime.BackendSim, "replication backend for the serve benchmark: sim or netrepl")
+		backend    = fs.String("backend", ipartime.BackendSim, "replication backend for the serve benchmark: sim or netrepl")
 		quick      = fs.Bool("quick", false, "reduced parameters (faster, noisier)")
 		seed       = fs.Int64("seed", 42, "simulation seed")
 		jsonDir    = fs.String("json", "", "also write each experiment as BENCH_<name>.json into this directory")
 		workersCSV = fs.String("workers", "", "serve: comma-separated client worker counts for a concurrency sweep, e.g. 1,2,4,8 (netrepl only)")
+		wireVer    = fs.Int("wireversion", 0, "serve: force the replication frame encoding on netrepl (1 = legacy gob, 2 = binary; 0 = transport default)")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile (after final GC) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errReported
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	var workers []int
 	if *workersCSV != "" {
@@ -97,7 +158,7 @@ func run(args []string) error {
 			}
 			workers = append(workers, w)
 		}
-		if *backend != runtime.BackendNet {
+		if *backend != ipartime.BackendNet {
 			return fmt.Errorf("-workers needs -backend netrepl (the simulator is single-threaded)")
 		}
 	}
@@ -113,14 +174,14 @@ func run(args []string) error {
 	// -backend.
 	simFigures := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
 		"ablation-numeric", "ablation-touch", "ablation-stability", "ablation-scope"}
-	fixed := []string{"transport", "chaos", "engine"}
+	fixed := []string{"transport", "chaos", "engine", "wire"}
 	all := append(append(append([]string(nil), simFigures...), fixed...), "serve")
 
 	var wanted []string
 	switch {
 	case *experiment != "" && *experiment != "all":
 		wanted = strings.Split(*experiment, ",")
-	case *backend == runtime.BackendNet:
+	case *backend == ipartime.BackendNet:
 		if *experiment == "all" {
 			return fmt.Errorf("-experiment all is sim-only (the figures model latency in the simulation); with -backend netrepl name the experiments, e.g. -experiment serve")
 		}
@@ -141,7 +202,7 @@ func run(args []string) error {
 
 	for _, name := range wanted {
 		name = strings.TrimSpace(name)
-		if *backend != runtime.BackendSim {
+		if *backend != ipartime.BackendSim {
 			for _, s := range simFigures {
 				if name == s {
 					return fmt.Errorf("experiment %q models latency in the simulation and is sim-only (drop -backend, or run -experiment serve)", name)
@@ -188,8 +249,10 @@ func run(args []string) error {
 			e, err = bench.Chaos(opts)
 		case "engine":
 			e, err = bench.EngineExecutors(opts)
+		case "wire":
+			e, err = bench.Wire(opts)
 		case "serve":
-			e, err = bench.Serve(bench.ServeOptions{Backend: *backend, Ops: serveOps, Seed: *seed, Workers: workers})
+			e, err = bench.Serve(bench.ServeOptions{Backend: *backend, Ops: serveOps, Seed: *seed, Workers: workers, WireVersion: *wireVer})
 		default:
 			return fmt.Errorf("unknown experiment %q (want one of %s)", name, strings.Join(all, ", "))
 		}
@@ -205,22 +268,33 @@ func run(args []string) error {
 
 // runServeRemote is the `ipabench serve` subcommand: the remote serving
 // benchmark over the wire protocol.
-func runServeRemote(args []string) error {
+func runServeRemote(args []string) (err error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	var (
-		remote   = fs.String("remote", "", "address of a live `ipa serve` server (empty: self-host a netrepl-backed server on loopback)")
-		app      = fs.String("app", "tournament", "mounted application to call")
-		conns    = fs.Int("conns", 2, "client connections")
-		pipeline = fs.Int("pipeline", 8, "closed-loop pipeline depth per connection")
-		ops      = fs.Int("ops", 8000, "total measured CALLs across connections")
-		rate     = fs.Int("rate", 0, "open-loop CALLs/sec per connection (0: closed loop)")
-		seed     = fs.Int64("seed", 42, "workload seed")
-		noInproc = fs.Bool("no-inproc", false, "skip the in-process baseline run")
-		jsonDir  = fs.String("json", "", "also write BENCH_serve_remote.json into this directory")
+		remote     = fs.String("remote", "", "address of a live `ipa serve` server (empty: self-host a netrepl-backed server on loopback)")
+		app        = fs.String("app", "tournament", "mounted application to call")
+		conns      = fs.Int("conns", 2, "client connections")
+		pipeline   = fs.Int("pipeline", 8, "closed-loop pipeline depth per connection")
+		ops        = fs.Int("ops", 8000, "total measured CALLs across connections")
+		rate       = fs.Int("rate", 0, "open-loop CALLs/sec per connection (0: closed loop)")
+		seed       = fs.Int64("seed", 42, "workload seed")
+		noInproc   = fs.Bool("no-inproc", false, "skip the in-process baseline run")
+		jsonDir    = fs.String("json", "", "also write BENCH_serve_remote.json into this directory")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile (after final GC) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return errReported
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	e, err := bench.ServeRemote(bench.ServeRemoteOptions{
 		Addr:       *remote,
 		App:        *app,

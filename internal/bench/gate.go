@@ -121,6 +121,150 @@ func CheckServeRemoteBaseline(current, baseline *Experiment, tolerance float64) 
 	return nil
 }
 
+// WireSpeedups extracts the per-direction v2/gob throughput ratios from
+// a wire experiment's Perf map — how much faster the binary codec moves
+// frames than gob on each of encode and decode.
+func WireSpeedups(e *Experiment) (map[string]float64, error) {
+	out := map[string]float64{}
+	for key, p := range e.Perf {
+		name, ok := strings.CutSuffix(key, "/v2")
+		if !ok || strings.HasSuffix(name, "_allocs") || name == "bytes_per_txn" {
+			continue
+		}
+		g, ok := e.Perf[name+"/gob"]
+		if !ok || g.OpsPerSec <= 0 || p.OpsPerSec <= 0 {
+			return nil, fmt.Errorf("bench: experiment %q has no usable gob/v2 pair for %q", e.ID, name)
+		}
+		out[name] = p.OpsPerSec / g.OpsPerSec
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: experiment %q carries no <direction>/v2 Perf entries", e.ID)
+	}
+	return out, nil
+}
+
+// WireAllocImprovement extracts the combined encode+decode allocation
+// improvement — total gob allocations per frame divided by total v2
+// allocations per frame. The sides are summed before dividing so a
+// zero-allocation encode path (the steady state) cannot blow the ratio
+// up to infinity: the decode side keeps the denominator finite.
+func WireAllocImprovement(e *Experiment) (float64, error) {
+	var gob, v2 float64
+	for _, dir := range []string{"encode", "decode"} {
+		g, okG := e.Perf[dir+"_allocs/gob"]
+		v, okV := e.Perf[dir+"_allocs/v2"]
+		if !okG || !okV {
+			return 0, fmt.Errorf("bench: experiment %q is missing %s_allocs entries", e.ID, dir)
+		}
+		gob += g.OpsPerSec
+		v2 += v.OpsPerSec
+	}
+	if v2 < 1 {
+		v2 = 1 // fully allocation-free v2 would divide by zero
+	}
+	if gob <= 0 {
+		return 0, fmt.Errorf("bench: experiment %q reports no gob allocations — the measurement is broken", e.ID)
+	}
+	return gob / v2, nil
+}
+
+// Absolute acceptance floors for the wire codec, independent of the
+// committed baseline: v2 must move frames at least twice as fast as gob
+// in each direction and allocate at least five times less overall. These
+// are the repository's published claims for the codec; a baseline
+// refresh must not be able to ratchet them away.
+const (
+	wireSpeedupFloor = 2.0
+	wireAllocFloor   = 5.0
+)
+
+// CheckWireBaseline compares current against baseline wire ratios. It
+// fails when a direction's v2/gob throughput ratio regressed by more
+// than tolerance below its baseline or under the absolute 2x floor, when
+// the combined allocation improvement fell likewise (absolute floor 5x),
+// or when v2 frames grew beyond tolerance past the baseline bytes/txn —
+// the compactness half of the codec's contract.
+func CheckWireBaseline(current, baseline *Experiment, tolerance float64) error {
+	cur, err := WireSpeedups(current)
+	if err != nil {
+		return err
+	}
+	base, err := WireSpeedups(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		c, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run (baseline %.2fx)", name, base[name]))
+			continue
+		}
+		floor := base[name] * (1 - tolerance)
+		switch {
+		case c < floor:
+			failures = append(failures,
+				fmt.Sprintf("%s: v2/gob %.2fx, below %.2fx (baseline %.2fx - %.0f%%)",
+					name, c, floor, base[name], tolerance*100))
+		case c < wireSpeedupFloor:
+			failures = append(failures,
+				fmt.Sprintf("%s: v2 under the absolute floor (%.2fx < %.1fx gob throughput)", name, c, wireSpeedupFloor))
+		}
+	}
+
+	curAlloc, err := WireAllocImprovement(current)
+	if err != nil {
+		failures = append(failures, err.Error())
+	} else if baseAlloc, err := WireAllocImprovement(baseline); err != nil {
+		failures = append(failures, fmt.Sprintf("baseline: %v", err))
+	} else {
+		floor := baseAlloc * (1 - tolerance)
+		switch {
+		case curAlloc < floor:
+			failures = append(failures,
+				fmt.Sprintf("allocs: gob/v2 improvement %.1fx, below %.1fx (baseline %.1fx - %.0f%%)",
+					curAlloc, floor, baseAlloc, tolerance*100))
+		case curAlloc < wireAllocFloor:
+			failures = append(failures,
+				fmt.Sprintf("allocs: improvement under the absolute floor (%.1fx < %.1fx fewer than gob)", curAlloc, wireAllocFloor))
+		}
+	}
+
+	// Bytes/txn is deterministic (no hardware variance), so the check is
+	// direct: current v2 frames may not outgrow the baseline by more than
+	// tolerance, and must stay under gob-sized frames outright.
+	curB, okC := current.Perf["bytes_per_txn/v2"]
+	baseB, okB := baseline.Perf["bytes_per_txn/v2"]
+	curG, okG := current.Perf["bytes_per_txn/gob"]
+	switch {
+	case !okC || !okG:
+		failures = append(failures, "bytes_per_txn entries missing from current run")
+	case !okB:
+		failures = append(failures, "bytes_per_txn/v2 missing from baseline")
+	default:
+		if curB.OpsPerSec > baseB.OpsPerSec*(1+tolerance) {
+			failures = append(failures,
+				fmt.Sprintf("bytes/txn: v2 frames grew to %.0f B/txn, over baseline %.0f + %.0f%%",
+					curB.OpsPerSec, baseB.OpsPerSec, tolerance*100))
+		}
+		if curB.OpsPerSec >= curG.OpsPerSec {
+			failures = append(failures,
+				fmt.Sprintf("bytes/txn: v2 frames (%.0f B/txn) no smaller than gob (%.0f B/txn)",
+					curB.OpsPerSec, curG.OpsPerSec))
+		}
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("wire codec regressed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 // CheckEngineBaseline compares current against baseline speed-ups and
 // returns an error naming every spec whose compiled/interpreted ratio
 // regressed by more than tolerance (0.20 = fail below 80% of baseline).

@@ -36,6 +36,11 @@ type ServeOptions struct {
 	// reports ops/sec per worker count instead of per app. Requires the
 	// netrepl backend — the simulator is single-threaded.
 	Workers []int
+	// WireVersion, when nonzero, forces the replication frame encoding
+	// on the netrepl backend (store.WireVersionGob for the v1 gob
+	// frames) — the knob behind the gob-vs-v2 serving comparison in
+	// EXPERIMENTS.md. Zero takes the transport default (v2).
+	WireVersion int
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -202,6 +207,7 @@ func serveRun(app string, opts ServeOptions, extraQueue int,
 		if extraQueue > 0 {
 			netCfg.Transport.QueueCap = extraQueue
 		}
+		netCfg.WireVersion = opts.WireVersion
 		cluster, err = runtime.NewNetCluster(ids, netCfg)
 		if err != nil {
 			return nil, 0, err

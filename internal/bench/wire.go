@@ -1,0 +1,183 @@
+package bench
+
+// The wire benchmark: wall-clock cost of the replication frame codecs —
+// the v1 gob batch frame versus the v2 compact binary encoding — over a
+// representative replication batch. The numbers CI tracks are the v2/gob
+// throughput ratios (encode and decode) and the gob/v2 allocation
+// improvement: ratios of two loops in the same process are stable across
+// runner hardware where absolute ns/op are not, so the committed
+// baseline (cmd/benchgate) gates the codec itself, not the machine.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ipa/internal/clock"
+	"ipa/internal/crdt"
+	"ipa/internal/store"
+	"ipa/internal/wan"
+)
+
+// wireBatchTxns models a steady replication batch: a few dozen small
+// transactions (adds with payloads, counter bumps, observed-state
+// removes) per frame — the shape the netrepl batcher actually coalesces.
+// It mirrors the benchmark fixture in internal/store/wire_bench_test.go
+// so `go test -bench` and `ipabench -experiment wire` measure the same
+// workload.
+func wireBatchTxns(n int) []store.WireTxn {
+	txns := make([]store.WireTxn, n)
+	for i := range txns {
+		seq := uint64(i + 1)
+		tag := clock.EventID{Replica: "r1", Seq: seq}
+		txns[i] = store.WireTxn{
+			Origin:   "r1",
+			Deps:     clock.Vector{"r1": seq - 1, "r2": 17, "r3": 9},
+			FirstSeq: seq, LastSeq: seq,
+			Updates: []store.Update{
+				{Key: "t/enrolled", Op: crdt.AWAddOp{Elem: "p\x1fq", Tag: tag, Pay: "payload"}},
+				{Key: "t/budget", Op: crdt.CounterOp{Delta: -1, Tag: tag}},
+				{Key: "t/removed", Op: crdt.AWRemoveOp{Elem: "z", Tag: tag,
+					Observed: map[string][]clock.EventID{"z": {{Replica: "r2", Seq: 4}}}}},
+			},
+		}
+	}
+	return txns
+}
+
+// wireMeasure runs fn in a closed loop for roughly the target duration
+// and returns frames/sec plus the net heap allocations per call,
+// measured over the whole loop with runtime.MemStats (the same quantity
+// testing.AllocsPerRun reports, without importing testing into a
+// binary).
+func wireMeasure(target time.Duration, fn func() error) (opsPerSec, allocsPerOp float64, err error) {
+	// Calibrate the iteration count on a short warm-up so the measured
+	// loop runs near the target regardless of codec speed.
+	const warm = 64
+	start := time.Now()
+	for i := 0; i < warm; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	per := time.Since(start) / warm
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	iters := int(target / per)
+	if iters < 256 {
+		iters = 256
+	}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(iters) / elapsed.Seconds(),
+		float64(after.Mallocs-before.Mallocs) / float64(iters),
+		nil
+}
+
+// Wire measures the replication frame codecs head to head and emits the
+// BENCH_wire.json artifact cmd/benchgate gates. Perf keys follow the
+// suffix-pair convention of the other gated experiments:
+//
+//	encode/gob, encode/v2     frames/sec through each encoder
+//	decode/gob, decode/v2     frames/sec through DecodeFrame
+//	encode_allocs/*           heap allocations per encoded frame
+//	decode_allocs/*           heap allocations per decoded frame
+//	bytes_per_txn/*           frame bytes divided by batch size
+func Wire(opts ExpOptions) (*Experiment, error) {
+	batch := wireBatchTxns(32)
+	target := 2 * time.Second
+	if opts.Duration < 10*wan.Second { // quick parameters
+		target = 300 * time.Millisecond
+	}
+
+	gobFrame, err := store.EncodeBatch(batch)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wire: gob encode: %w", err)
+	}
+	v2Frame, err := store.EncodeBatchV2(batch)
+	if err != nil {
+		return nil, fmt.Errorf("bench: wire: v2 encode: %w", err)
+	}
+
+	enc := store.NewFrameEncoder(store.WireVersionV2)
+	runs := []struct {
+		key string
+		fn  func() error
+	}{
+		{"encode/gob", func() error { _, err := store.EncodeBatch(batch); return err }},
+		{"encode/v2", func() error { _, err := enc.Encode(batch); return err }},
+		{"decode/gob", func() error { _, err := store.DecodeFrame(gobFrame); return err }},
+		{"decode/v2", func() error { _, err := store.DecodeFrame(v2Frame); return err }},
+	}
+
+	e := &Experiment{
+		ID:     "wire",
+		Title:  "Replication wire: v2 binary codec vs gob (32-txn batch frames)",
+		XLabel: "direction",
+		YLabel: "frames/sec",
+		XTicks: []string{"encode", "decode"},
+		Perf:   map[string]Perf{},
+	}
+	gobSeries := Series{Name: "gob"}
+	v2Series := Series{Name: "v2"}
+	// Best of two rounds per loop: the gate tracks ratios, so GC pauses
+	// on either side would read as a spurious regression; the max is the
+	// less noisy estimator of the undisturbed rate. Allocations are taken
+	// from the best round too — they are deterministic per codec.
+	for i, r := range runs {
+		var rate, allocs float64
+		for round := 0; round < 2; round++ {
+			rr, aa, err := wireMeasure(target, r.fn)
+			if err != nil {
+				return nil, fmt.Errorf("bench: wire: %s: %w", r.key, err)
+			}
+			if rr > rate {
+				rate, allocs = rr, aa
+			}
+		}
+		e.Perf[r.key] = Perf{OpsPerSec: rate}
+		p := Point{X: float64(i / 2), Y: rate, Aux: map[string]float64{"allocs/op": allocs}}
+		if i%2 == 0 {
+			gobSeries.Points = append(gobSeries.Points, p)
+			e.Perf[e.XTicks[i/2]+"_allocs/gob"] = Perf{OpsPerSec: allocs}
+		} else {
+			v2Series.Points = append(v2Series.Points, p)
+			e.Perf[e.XTicks[i/2]+"_allocs/v2"] = Perf{OpsPerSec: allocs}
+		}
+	}
+	e.Series = []Series{gobSeries, v2Series}
+
+	e.Perf["bytes_per_txn/gob"] = Perf{OpsPerSec: float64(len(gobFrame)) / float64(len(batch))}
+	e.Perf["bytes_per_txn/v2"] = Perf{OpsPerSec: float64(len(v2Frame)) / float64(len(batch))}
+
+	sp, err := WireSpeedups(e)
+	if err != nil {
+		return nil, err
+	}
+	alloc, err := WireAllocImprovement(e)
+	if err != nil {
+		return nil, err
+	}
+	e.Notes = append(e.Notes,
+		fmt.Sprintf("v2/gob throughput: encode %.1fx, decode %.1fx", sp["encode"], sp["decode"]),
+		fmt.Sprintf("gob/v2 allocations (encode+decode combined): %.1fx fewer", alloc),
+		fmt.Sprintf("frame bytes/txn: gob %.0f, v2 %.0f (%.0f%% of gob)",
+			e.Perf["bytes_per_txn/gob"].OpsPerSec, e.Perf["bytes_per_txn/v2"].OpsPerSec,
+			100*e.Perf["bytes_per_txn/v2"].OpsPerSec/e.Perf["bytes_per_txn/gob"].OpsPerSec),
+	)
+	return e, nil
+}

@@ -53,6 +53,11 @@ func register(kind string, ctor func() CRDT, ops ...Op) {
 			panic(fmt.Sprintf("crdt: op %v registered for both %s and %s", t, k, kind))
 		}
 		opKinds[t] = kind
+		// Every replicable op must also speak the binary wire codec
+		// (wire.go): catching a missing MarshalWire/decoder here means a
+		// new op type fails at init — in every test run — instead of
+		// failing to replicate on a live mesh.
+		checkWireCodec(op)
 	}
 }
 

@@ -111,6 +111,12 @@ type Config struct {
 	// connection per transaction per peer, sent synchronously from
 	// Commit. Kept for benchmarking against the streaming path.
 	Legacy bool
+	// WireVersion selects the batch frame encoding this node SENDS:
+	// store.WireVersionV2 (the compact binary codec, the default) or
+	// store.WireVersionGob (the v1 gob frame) for meshes that still
+	// contain pre-v2 receivers. Receiving is always version-agnostic —
+	// every node decodes v0, v1, and v2 frames.
+	WireVersion int
 }
 
 // DefaultConfig returns the streaming transport defaults.
@@ -124,6 +130,7 @@ func DefaultConfig() Config {
 		BackoffMin:    5 * time.Millisecond,
 		BackoffMax:    time.Second,
 		DrainTimeout:  2 * time.Second,
+		WireVersion:   store.WireVersionV2,
 	}
 }
 
@@ -152,6 +159,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = d.DrainTimeout
+	}
+	if c.WireVersion != store.WireVersionGob {
+		c.WireVersion = store.WireVersionV2
 	}
 	return c
 }
@@ -527,8 +537,14 @@ func (n *Node) handle(conn net.Conn) {
 		n.connMu.Unlock()
 		conn.Close()
 	}()
+	// One pooled read buffer per connection, reused for every frame on
+	// the stream: the receive path performs no per-frame buffer
+	// allocation (DecodeFrame copies out everything it keeps, so the
+	// buffer is free to be overwritten by the next frame).
+	bufp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bufp)
 	for {
-		data, err := readFrame(conn)
+		data, err := readFrame(conn, bufp)
 		if err != nil {
 			return
 		}
@@ -831,8 +847,22 @@ func writeFrame(conn net.Conn, data []byte) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame, refusing absurd sizes.
-func readFrame(conn net.Conn) ([]byte, error) {
+// frameBufPool recycles receive buffers across connections. A handler
+// checks one out for the life of its connection (frames on a stream
+// reuse it), so the pool's job is bounding memory across connection
+// churn rather than per-frame recycling.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 16<<10)
+		return &b
+	},
+}
+
+// readFrame reads one length-prefixed frame into *bufp (growing it when
+// the frame exceeds its capacity), refusing absurd sizes. The returned
+// slice aliases *bufp and is valid until the next readFrame call with
+// the same buffer.
+func readFrame(conn net.Conn, bufp *[]byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return nil, err
@@ -841,7 +871,10 @@ func readFrame(conn net.Conn) ([]byte, error) {
 	if size > maxFrame {
 		return nil, fmt.Errorf("netrepl: frame of %d bytes exceeds limit", size)
 	}
-	data := make([]byte, size)
+	if uint32(cap(*bufp)) < size {
+		*bufp = make([]byte, size)
+	}
+	data := (*bufp)[:size]
 	if _, err := io.ReadFull(conn, data); err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package netrepl
 import (
 	"fmt"
 	"hash/fnv"
+	"log"
 	"math/rand"
 	"net"
 	"sync/atomic"
@@ -28,6 +29,13 @@ type peerConn struct {
 	conn      net.Conn
 	connected bool       // a dial has succeeded at least once
 	rng       *rand.Rand // backoff jitter; private so no global rand state
+
+	// enc builds this peer's batch frames into a buffer reused across
+	// frames — the steady-state send path allocates nothing per frame.
+	enc *store.FrameEncoder
+	// oversizedLogged limits the undeliverable-transaction log line to
+	// once per peer (the counter keeps the full tally).
+	oversizedLogged bool
 }
 
 func newPeerConn(n *Node, id clock.ReplicaID, addr string) *peerConn {
@@ -42,6 +50,7 @@ func newPeerConn(n *Node, id clock.ReplicaID, addr string) *peerConn {
 		n: n, id: id, addr: addr,
 		ch:  make(chan store.WireTxn, n.cfg.QueueCap),
 		rng: rand.New(rand.NewSource(int64(h.Sum64()))),
+		enc: store.NewFrameEncoder(n.cfg.WireVersion),
 	}
 }
 
@@ -140,12 +149,17 @@ func (p *peerConn) collect() []store.WireTxn {
 // deadline has passed. Retrying a partially written frame can duplicate
 // transactions — the receiver deduplicates by origin sequence.
 func (p *peerConn) deliver(batch []store.WireTxn) bool {
-	frame, err := store.EncodeBatch(batch)
+	// The frame aliases the peer's reusable encoder buffer; it stays
+	// valid through the retry loop below because nothing else encodes on
+	// this goroutine until deliver returns (the split path re-encodes
+	// only after the first half's frame is fully written).
+	frame, err := p.enc.Encode(batch)
 	if err != nil {
 		// Encoding is deterministic, so this is a programming error
-		// (an unregistered op type). Skipping the batch would open a
-		// permanent causal gap at every receiver; fail loudly instead.
-		panic(fmt.Sprintf("netrepl: encode batch: %v (op type not gob-registered?)", err))
+		// (an op type without a wire codec). Skipping the batch would
+		// open a permanent causal gap at every receiver; fail loudly
+		// instead.
+		panic(fmt.Sprintf("netrepl: encode batch: %v (op type not registered with the crdt wire codec?)", err))
 	}
 	if len(frame) > maxFrame {
 		// The receiver refuses frames this large; retrying the same
@@ -156,7 +170,16 @@ func (p *peerConn) deliver(batch []store.WireTxn) bool {
 		}
 		// A single transaction too large for any frame can never be
 		// delivered (the legacy transport lost these silently — here it
-		// is at least counted). Receivers will stall on the gap.
+		// is counted, and announced once per peer). Every receiver will
+		// stall on the causal gap this opens: the origin's later
+		// transactions queue in reorder buffers forever. See DESIGN.md
+		// ("Oversized transactions").
+		if !p.oversizedLogged {
+			p.oversizedLogged = true
+			w := &batch[0]
+			log.Printf("netrepl: node %s dropping undeliverable transaction for peer %s: origin %s seq %d..%d encodes to %d bytes (maxFrame %d); receivers will stall on the causal gap",
+				p.n.id, p.id, w.Origin, w.FirstSeq, w.LastSeq, len(frame), maxFrame)
+		}
 		atomic.AddUint64(&p.n.m.sendErrors, 1)
 		atomic.AddUint64(&p.n.m.txnsDropped, 1)
 		return true

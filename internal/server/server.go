@@ -15,6 +15,7 @@ import (
 	"ipa/internal/analysis"
 	"ipa/internal/clock"
 	"ipa/internal/engine"
+	"ipa/internal/netrepl"
 	"ipa/internal/runtime"
 	"ipa/internal/spec"
 	"ipa/internal/wan"
@@ -264,6 +265,19 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// replyBufPool recycles per-connection reply buffers across the
+// connection population — short-lived bench and client connections would
+// otherwise pay a fresh write buffer each. maxPooledReply bounds what a
+// returned buffer may retain.
+const maxPooledReply = 64 << 10
+
+var replyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
 // session is one connection's state: the replica site its CALLs execute
 // at. The default is sticky-by-client: a consistent hash of the client's
 // host picks the site, so one client keeps hitting the same replica
@@ -294,7 +308,17 @@ func (s *Server) handle(conn net.Conn) {
 		s.active.Add(-1)
 	}()
 	r := bufio.NewReaderSize(conn, 64<<10)
-	out := make([]byte, 0, 4<<10)
+	bufp := replyBufPool.Get().(*[]byte)
+	out := (*bufp)[:0]
+	defer func() {
+		// Keep steady-size buffers warm; let one-off giants (a pipelined
+		// burst that grew toward MaxWriteBuffer) be collected instead of
+		// pinning their memory in the pool.
+		if cap(out) <= maxPooledReply {
+			*bufp = out
+			replyBufPool.Put(bufp)
+		}
+	}()
 	sess := &session{site: s.defaultSite(conn.RemoteAddr().String())}
 
 	flush := func() bool {
@@ -488,6 +512,32 @@ func (s *Server) dispatch(sess *session, out []byte, args []string) ([]byte, boo
 			"backend:%s\r\nsites:%s\r\napps:%s\r\nconns_accepted:%d\r\nconns_active:%d\r\ncommands:%d\r\ncalls:%d\r\nrefusals:%d\r\n",
 			s.cluster.Backend(), joinSites(s.sites), strings.Join(s.AppNames(), ","),
 			st.ConnsAccepted, st.ConnsActive, st.Commands, st.Calls, st.Refusals)
+		// On the netrepl backend, surface the replication transport's
+		// health counters — repl_txns_dropped in particular: a dropped
+		// transaction opens a permanent causal gap that stalls receivers
+		// (see DESIGN.md), and an operator should see it here rather
+		// than in a node's process log.
+		if nc, ok := s.cluster.(*runtime.NetCluster); ok {
+			var agg netrepl.Metrics
+			for _, id := range s.sites {
+				m := nc.Node(id).Stats()
+				agg.FramesSent += m.FramesSent
+				agg.TxnsSent += m.TxnsSent
+				agg.BytesSent += m.BytesSent
+				agg.FramesRecv += m.FramesRecv
+				agg.TxnsRecv += m.TxnsRecv
+				agg.BytesRecv += m.BytesRecv
+				agg.SendErrors += m.SendErrors
+				agg.TxnsDropped += m.TxnsDropped
+				agg.BackpressureWaits += m.BackpressureWaits
+				agg.Reconnects += m.Reconnects
+			}
+			info += fmt.Sprintf(
+				"repl_frames_sent:%d\r\nrepl_txns_sent:%d\r\nrepl_bytes_sent:%d\r\nrepl_frames_recv:%d\r\nrepl_txns_recv:%d\r\nrepl_bytes_recv:%d\r\nrepl_send_errors:%d\r\nrepl_txns_dropped:%d\r\nrepl_backpressure_waits:%d\r\nrepl_reconnects:%d\r\n",
+				agg.FramesSent, agg.TxnsSent, agg.BytesSent,
+				agg.FramesRecv, agg.TxnsRecv, agg.BytesRecv,
+				agg.SendErrors, agg.TxnsDropped, agg.BackpressureWaits, agg.Reconnects)
+		}
 		return appendBulk(out, info), false
 
 	default:

@@ -471,3 +471,39 @@ func TestDefaultSiteDeterministic(t *testing.T) {
 		t.Fatalf("site %s not in cluster", a)
 	}
 }
+
+// TestInfoReplicationCounters pins the INFO surface for the replication
+// transport on the netrepl backend: after real replicated traffic the
+// aggregate counters must show frames on the wire and no dropped
+// transactions (a nonzero repl_txns_dropped is an operator alarm — it
+// means a permanent causal gap).
+func TestInfoReplicationCounters(t *testing.T) {
+	_, addr := startServer(t, runtime.BackendNet)
+	ctl := dialT(t, addr)
+	for i := 0; i < 5; i++ {
+		callOK(t, ctl, "CALL", "tournament", "add_player", fmt.Sprintf("p%d", i))
+	}
+	if err := ctl.DoOK("SETTLE"); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := ctl.Do("INFO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := map[string]string{}
+	for _, line := range strings.Split(rp.Str, "\r\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			info[k] = v
+		}
+	}
+	for _, key := range []string{"repl_frames_sent", "repl_txns_sent", "repl_txns_recv", "repl_bytes_sent"} {
+		if info[key] == "" || info[key] == "0" {
+			t.Fatalf("INFO %s = %q, want nonzero after replicated traffic\nINFO:\n%s", key, info[key], rp.Str)
+		}
+	}
+	for _, key := range []string{"repl_txns_dropped", "repl_send_errors"} {
+		if info[key] != "0" {
+			t.Fatalf("INFO %s = %q, want 0 on a healthy mesh\nINFO:\n%s", key, info[key], rp.Str)
+		}
+	}
+}

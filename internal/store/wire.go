@@ -2,10 +2,13 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"ipa/internal/clock"
+	"ipa/internal/crdt"
 	"ipa/internal/wan"
 )
 
@@ -57,6 +60,14 @@ func DecodeTxn(data []byte) (WireTxn, error) {
 const (
 	batchMagic   = "IPAB"
 	batchVersion = 1
+
+	// WireVersionGob selects the v1 gob batch frame — kept encodable for
+	// mixed-version meshes (netrepl.Config.WireVersion forces it).
+	WireVersionGob = 1
+	// WireVersionV2 selects the compact binary frame: hand-encoded txn
+	// records and reflection-free op payloads (crdt wire codec). The
+	// default for new senders.
+	WireVersionV2 = 2
 )
 
 type wireBatch struct {
@@ -77,25 +88,218 @@ func EncodeBatch(txns []WireTxn) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeFrame deserialises either frame format: a v1 batch frame (magic
-// header) or a legacy v0 single-transaction frame (bare gob). Receivers
-// use this so old senders interoperate with new ones.
+// DecodeFrame deserialises any frame format a peer may send: a v2 binary
+// batch frame, a v1 gob batch frame (both under the magic header), or a
+// legacy v0 single-transaction frame (bare gob). Receivers use this so
+// senders of any version interoperate. It never panics on any input.
 func DecodeFrame(data []byte) ([]WireTxn, error) {
 	if len(data) >= len(batchMagic)+1 && string(data[:len(batchMagic)]) == batchMagic {
-		if v := data[len(batchMagic)]; v != batchVersion {
+		body := data[len(batchMagic)+1:]
+		switch v := data[len(batchMagic)]; v {
+		case batchVersion:
+			var b wireBatch
+			if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&b); err != nil {
+				return nil, err
+			}
+			return b.Txns, nil
+		case WireVersionV2:
+			return decodeBatchV2(body)
+		default:
 			return nil, fmt.Errorf("store: unsupported batch frame version %d", v)
 		}
-		var b wireBatch
-		if err := gob.NewDecoder(bytes.NewReader(data[len(batchMagic)+1:])).Decode(&b); err != nil {
-			return nil, err
-		}
-		return b.Txns, nil
 	}
 	w, err := DecodeTxn(data)
 	if err != nil {
 		return nil, err
 	}
 	return []WireTxn{w}, nil
+}
+
+// Batch frame format (v2) — the compact binary encoding. Same magic +
+// version header as v1; the body replaces gob with hand-written encoding
+// (varints, length-prefixed strings, crdt wire-ID op payloads):
+//
+//	uvarint txn count
+//	per txn:
+//	  origin    string
+//	  deps      uvarint count, then (replica string, seq uvarint) pairs
+//	            in sorted replica order (deterministic bytes)
+//	  firstSeq  uvarint
+//	  lastSeq   uvarint
+//	  updates   uvarint count, then (key string, op) pairs
+//
+// Strings are uvarint length + raw bytes; ops are one wire-ID byte + the
+// type's MarshalWire payload (see internal/crdt/wire.go).
+
+// FrameEncoder builds batch frames into a reusable buffer, so a steady
+// replication stream encodes with zero per-frame allocations. Not safe
+// for concurrent use; netrepl gives each peer sender its own.
+type FrameEncoder struct {
+	version int
+	buf     []byte
+	deps    []clock.ReplicaID // scratch for sorting dep vectors
+}
+
+// NewFrameEncoder returns an encoder producing frames of the given wire
+// version (0 defaults to WireVersionV2; WireVersionGob selects the v1 gob
+// frame for mixed-version meshes — that path allocates like gob always
+// did).
+func NewFrameEncoder(version int) *FrameEncoder {
+	if version == 0 {
+		version = WireVersionV2
+	}
+	return &FrameEncoder{version: version}
+}
+
+// Version reports the wire version this encoder emits.
+func (e *FrameEncoder) Version() int { return e.version }
+
+// Encode serialises txns as one batch frame. The returned slice aliases
+// the encoder's internal buffer and is valid only until the next Encode
+// call — callers must finish writing it to the socket (or copy it) first.
+func (e *FrameEncoder) Encode(txns []WireTxn) ([]byte, error) {
+	if e.version == WireVersionGob {
+		return EncodeBatch(txns)
+	}
+	b := append(e.buf[:0], batchMagic...)
+	b = append(b, WireVersionV2)
+	b = binary.AppendUvarint(b, uint64(len(txns)))
+	var err error
+	for i := range txns {
+		if b, err = e.appendTxn(b, &txns[i]); err != nil {
+			return nil, err
+		}
+	}
+	e.buf = b
+	return b, nil
+}
+
+func (e *FrameEncoder) appendTxn(b []byte, w *WireTxn) ([]byte, error) {
+	b = crdt.AppendWireString(b, string(w.Origin))
+	b = binary.AppendUvarint(b, uint64(len(w.Deps)))
+	if len(w.Deps) > 0 {
+		keys := e.deps[:0]
+		for rep := range w.Deps {
+			keys = append(keys, rep)
+		}
+		// Insertion sort: dep vectors hold a handful of replicas, and
+		// sort.Slice would allocate (closure + interface header) on every
+		// txn — the exact per-frame garbage this encoder exists to avoid.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		for _, rep := range keys {
+			b = crdt.AppendWireString(b, string(rep))
+			b = binary.AppendUvarint(b, w.Deps[rep])
+		}
+		e.deps = keys[:0]
+	}
+	b = binary.AppendUvarint(b, w.FirstSeq)
+	b = binary.AppendUvarint(b, w.LastSeq)
+	b = binary.AppendUvarint(b, uint64(len(w.Updates)))
+	var err error
+	for i := range w.Updates {
+		b = crdt.AppendWireString(b, w.Updates[i].Key)
+		if b, err = crdt.AppendOpWire(b, w.Updates[i].Op); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// EncodeBatchV2 serialises txns as one v2 frame into a fresh buffer — the
+// convenience form for tests and one-shot callers; hot paths hold a
+// FrameEncoder.
+func EncodeBatchV2(txns []WireTxn) ([]byte, error) {
+	out, err := NewFrameEncoder(WireVersionV2).Encode(txns)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), out...), nil
+}
+
+// internPool recycles string-interning tables across frame decodes.
+// Replication streams repeat replica IDs, keys, and elements on every
+// transaction; a warm table decodes those fields without copying. The
+// table is capacity-capped inside the reader, so pooled maps stay small
+// no matter how hostile or high-cardinality the traffic.
+var internPool = sync.Pool{
+	New: func() any { return make(map[string]string, 64) },
+}
+
+// decodeBatchV2 deserialises the body of a v2 frame (header already
+// consumed). All counts are validated against the remaining bytes before
+// allocating, and every error wraps crdt.ErrMalformedWire — a hostile or
+// truncated frame fails loudly, never panics, never over-allocates.
+func decodeBatchV2(body []byte) ([]WireTxn, error) {
+	intern := internPool.Get().(map[string]string)
+	defer internPool.Put(intern)
+	r := crdt.NewWireReader(body)
+	r.SetIntern(intern)
+	n, err := r.ReadCount()
+	if err != nil {
+		return nil, err
+	}
+	txns := make([]WireTxn, n)
+	for i := range txns {
+		if err := decodeTxnV2(&r, &txns[i]); err != nil {
+			return nil, err
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", crdt.ErrMalformedWire, r.Len())
+	}
+	return txns, nil
+}
+
+func decodeTxnV2(r *crdt.WireReader, w *WireTxn) error {
+	origin, err := r.ReadString()
+	if err != nil {
+		return err
+	}
+	w.Origin = clock.ReplicaID(origin)
+	nd, err := r.ReadCount()
+	if err != nil {
+		return err
+	}
+	if nd > 0 {
+		w.Deps = make(clock.Vector, nd)
+		for i := 0; i < nd; i++ {
+			rep, err := r.ReadString()
+			if err != nil {
+				return err
+			}
+			seq, err := r.ReadUvarint()
+			if err != nil {
+				return err
+			}
+			w.Deps[clock.ReplicaID(rep)] = seq
+		}
+	}
+	if w.FirstSeq, err = r.ReadUvarint(); err != nil {
+		return err
+	}
+	if w.LastSeq, err = r.ReadUvarint(); err != nil {
+		return err
+	}
+	nu, err := r.ReadCount()
+	if err != nil {
+		return err
+	}
+	if nu > 0 {
+		w.Updates = make([]Update, nu)
+		for i := range w.Updates {
+			if w.Updates[i].Key, err = r.ReadString(); err != nil {
+				return err
+			}
+			if w.Updates[i].Op, err = crdt.DecodeOpWire(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // NewSocketCluster creates the single-member cluster an external
