@@ -12,7 +12,11 @@
 //   - wire (BENCH_wire.json): the replication frame codec's v2/gob
 //     throughput ratios (absolute 2x floor per direction), its combined
 //     allocation improvement (absolute 5x floor), and v2 bytes/txn
-//     non-growth.
+//     non-growth;
+//   - recovery (BENCH_recovery.json): the durable/in-memory serving
+//     throughput ratio — the WAL's fsync-before-ack overhead (with a
+//     low absolute floor: the closed loop is the group commit's worst
+//     case).
 //
 // Usage:
 //
@@ -84,6 +88,8 @@ func run(args []string) error {
 			basePath = "internal/bench/testdata/BENCH_serve_remote_baseline.json"
 		case "wire":
 			basePath = "internal/bench/testdata/BENCH_wire_baseline.json"
+		case "recovery":
+			basePath = "internal/bench/testdata/BENCH_recovery_baseline.json"
 		default:
 			return usageError{fmt.Errorf("no default baseline for experiment %q; pass -baseline", cur.ID)}
 		}
@@ -122,8 +128,16 @@ func run(args []string) error {
 			fmt.Printf("%-12s gob/v2 %.1fx fewer (baseline %.1fx)\n", "allocs", alloc, baseAlloc)
 		}
 		return bench.CheckWireBaseline(cur, base, *tolerance)
+	case "recovery":
+		if ratios, err := bench.DurableServeRatios(cur); err == nil {
+			baseRatios, _ := bench.DurableServeRatios(base)
+			for _, n := range sortedKeys(ratios) {
+				fmt.Printf("%-12s durable/memory %.0f%% (baseline %.0f%%)\n", n, 100*ratios[n], 100*baseRatios[n])
+			}
+		}
+		return bench.CheckRecoveryBaseline(cur, base, *tolerance)
 	default:
-		return usageError{fmt.Errorf("experiment %q has no gate (want engine, serve_remote or wire)", cur.ID)}
+		return usageError{fmt.Errorf("experiment %q has no gate (want engine, serve_remote, wire or recovery)", cur.ID)}
 	}
 }
 

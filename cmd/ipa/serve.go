@@ -12,6 +12,7 @@ package main
 //	ipa serve -addr :7000 -app tournament,twitter   # several bundled apps
 //	ipa serve -spec path/to/app.spec                # analyze + serve any spec
 //	ipa serve -backend sim -seed 7                  # deterministic sim backend
+//	ipa serve -app tournament -data-dir /var/ipa    # durable sites; restart recovers
 //	redis-cli -p 6390 PING                          # inline commands round-trip
 //
 // See DESIGN.md ("The serving layer") for the protocol.
@@ -50,6 +51,7 @@ func runServe(args []string) error {
 		specPath = fs.String("spec", "", "specification file to analyze and mount")
 		sites    = fs.Int("sites", 3, "replica sites in the cluster")
 		seed     = fs.Int64("seed", 42, "simulation seed (sim backend)")
+		dataDir  = fs.String("data-dir", "", "durability root (netrepl backend): per-site WAL + snapshots under <dir>/<site>; restart recovers")
 		drain    = fs.Duration("drain", 10*time.Second, "graceful drain timeout on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,7 +64,7 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve: -sites must be at least 1")
 	}
 
-	db, err := ipa.Open(ipa.ClusterOptions{Backend: *backend, Sites: serveSites(*sites), Seed: *seed})
+	db, err := ipa.Open(ipa.ClusterOptions{Backend: *backend, Sites: serveSites(*sites), Seed: *seed, DataDir: *dataDir})
 	if err != nil {
 		return err
 	}

@@ -25,9 +25,12 @@
 // interpreter on every application spec (cmd/benchgate gates the
 // compiled/interpreted ratio against a committed baseline) — `wire` —
 // the replication frame codec, v2 binary vs gob (cmd/benchgate gates
-// the throughput and allocation ratios) — and `serve` — closed-loop
-// serving of all four applications over the backend-agnostic runtime
-// (sim or netrepl), with invariant checks.
+// the throughput and allocation ratios) — `recovery` — durable vs
+// in-memory serving on netrepl plus kill -9 cold-start recovery times,
+// wal-only vs snapshot+tail (cmd/benchgate gates the durable/memory
+// ratio) — and `serve` — closed-loop serving of all four applications
+// over the backend-agnostic runtime (sim or netrepl), with invariant
+// checks.
 //
 // The `serve` subcommand (distinct from `-experiment serve`) benchmarks
 // the wire path: it drives an `ipa serve` server — a live one via
@@ -174,7 +177,7 @@ func run(args []string) (err error) {
 	// -backend.
 	simFigures := []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
 		"ablation-numeric", "ablation-touch", "ablation-stability", "ablation-scope"}
-	fixed := []string{"transport", "chaos", "engine", "wire"}
+	fixed := []string{"transport", "chaos", "engine", "wire", "recovery"}
 	all := append(append(append([]string(nil), simFigures...), fixed...), "serve")
 
 	var wanted []string
@@ -251,6 +254,13 @@ func run(args []string) (err error) {
 			e, err = bench.EngineExecutors(opts)
 		case "wire":
 			e, err = bench.Wire(opts)
+		case "recovery":
+			recOpts := bench.RecoveryOptions{Seed: *seed}
+			if *quick {
+				recOpts.Ops = 500
+				recOpts.Ladder = []int{200, 1000}
+			}
+			e, err = bench.Recovery(recOpts)
 		case "serve":
 			e, err = bench.Serve(bench.ServeOptions{Backend: *backend, Ops: serveOps, Seed: *seed, Workers: workers, WireVersion: *wireVer})
 		default:

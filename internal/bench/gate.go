@@ -121,6 +121,85 @@ func CheckServeRemoteBaseline(current, baseline *Experiment, tolerance float64) 
 	return nil
 }
 
+// DurableServeRatios extracts the per-app durable/memory throughput
+// ratios from a recovery experiment's Perf map — the fraction of
+// in-memory serving throughput that survives turning on the WAL's
+// fsync-before-ack group commit.
+func DurableServeRatios(e *Experiment) (map[string]float64, error) {
+	out := map[string]float64{}
+	for key, p := range e.Perf {
+		name, ok := strings.CutSuffix(key, "/durable")
+		if !ok {
+			continue
+		}
+		m, ok := e.Perf[name+"/memory"]
+		if !ok || m.OpsPerSec <= 0 || p.OpsPerSec <= 0 {
+			return nil, fmt.Errorf("bench: experiment %q has no usable durable/memory pair for %q", e.ID, name)
+		}
+		out[name] = p.OpsPerSec / m.OpsPerSec
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: experiment %q carries no <app>/durable Perf entries", e.ID)
+	}
+	return out, nil
+}
+
+// durableServeFloor is the absolute acceptance floor for durable
+// serving, independent of the committed baseline. It is deliberately
+// low: the serving loop is a single closed-loop client, so every commit
+// pays a full group-commit round (one fsync, nobody to share it with)
+// against an in-memory commit measured in microseconds — the WAL's
+// worst case, with measured ratios in the single-digit percents on
+// ordinary disks. The floor catches collapse (a lost batching path, an
+// accidental double fsync), not erosion; erosion is the baseline
+// check's job, run with a generous tolerance because fsync latency is
+// the one term that does NOT cancel between the legs.
+const durableServeFloor = 0.005
+
+// CheckRecoveryBaseline compares current against baseline durable/memory
+// serving ratios, failing any app whose ratio regressed by more than
+// tolerance below its baseline or under the absolute floor. Same shape
+// as CheckServeRemoteBaseline: ratio-based so hardware variance cancels,
+// missing measurements fail, new apps pass.
+func CheckRecoveryBaseline(current, baseline *Experiment, tolerance float64) error {
+	cur, err := DurableServeRatios(current)
+	if err != nil {
+		return err
+	}
+	base, err := DurableServeRatios(baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		c, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run (baseline %.0f%%)", name, 100*base[name]))
+			continue
+		}
+		floor := base[name] * (1 - tolerance)
+		switch {
+		case c < floor:
+			failures = append(failures,
+				fmt.Sprintf("%s: durable/memory %.0f%%, below %.0f%% (baseline %.0f%% - %.0f%%)",
+					name, 100*c, 100*floor, 100*base[name], tolerance*100))
+		case c < durableServeFloor:
+			failures = append(failures,
+				fmt.Sprintf("%s: durable serving under the absolute floor (%.0f%% < %.0f%% of in-memory)",
+					name, 100*c, 100*durableServeFloor))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("durable serving ratio regressed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
 // WireSpeedups extracts the per-direction v2/gob throughput ratios from
 // a wire experiment's Perf map — how much faster the binary codec moves
 // frames than gob on each of encode and decode.

@@ -4,6 +4,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ipa/internal/harness"
 )
 
 func engineExp(perf map[string]Perf) *Experiment {
@@ -199,6 +201,86 @@ func TestWireBaselineFile(t *testing.T) {
 		t.Errorf("baseline alloc improvement %.1fx under the %.1fx floor", a, wireAllocFloor)
 	}
 	if err := CheckWireBaseline(e, e, 0.20); err != nil {
+		t.Errorf("baseline does not pass its own gate: %v", err)
+	}
+}
+
+// recoveryExp builds a recovery experiment with one durable/memory pair.
+func recoveryExp(durable, memory float64) *Experiment {
+	return &Experiment{ID: "recovery", Perf: map[string]Perf{
+		"app/durable": {OpsPerSec: durable},
+		"app/memory":  {OpsPerSec: memory},
+	}}
+}
+
+func TestDurableServeRatios(t *testing.T) {
+	r, err := DurableServeRatios(recoveryExp(50, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r["app"] != 0.05 {
+		t.Fatalf("ratio = %v, want 0.05", r["app"])
+	}
+	if _, err := DurableServeRatios(&Experiment{ID: "recovery", Perf: map[string]Perf{"app/durable": {OpsPerSec: 50}}}); err == nil {
+		t.Fatal("missing memory entry not detected")
+	}
+	if _, err := DurableServeRatios(&Experiment{ID: "recovery", Perf: map[string]Perf{"serve": {OpsPerSec: 1}}}); err == nil {
+		t.Fatal("experiment without durable pairs not detected")
+	}
+}
+
+func TestCheckRecoveryBaseline(t *testing.T) {
+	base := recoveryExp(50, 1000) // 5% baseline
+
+	// Within tolerance: 4.5% against 5% at 20% (floor 4%) passes.
+	if err := CheckRecoveryBaseline(recoveryExp(45, 1000), base, 0.20); err != nil {
+		t.Fatalf("within-tolerance run failed the gate: %v", err)
+	}
+	// Regressed: 3% is below the 4% floor.
+	err := CheckRecoveryBaseline(recoveryExp(30, 1000), base, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "app") {
+		t.Fatalf("regression not caught: %v", err)
+	}
+	// Absolute floor: a collapse below durableServeFloor fails even
+	// against a baseline low enough for the relative check to pass.
+	lowBase := recoveryExp(5.5, 1000) // 0.55%, relative floor 0.44%
+	err = CheckRecoveryBaseline(recoveryExp(4.5, 1000), lowBase, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "absolute floor") {
+		t.Fatalf("collapse under the absolute floor not caught: %v", err)
+	}
+	// An app missing from the current run must fail, not silently pass.
+	err = CheckRecoveryBaseline(recoveryExp(50, 1000), &Experiment{ID: "recovery", Perf: map[string]Perf{
+		"app/durable": {OpsPerSec: 50}, "app/memory": {OpsPerSec: 1000},
+		"gone/durable": {OpsPerSec: 50}, "gone/memory": {OpsPerSec: 1000},
+	}}, 0.20)
+	if err == nil || !strings.Contains(err.Error(), "gone") {
+		t.Fatalf("missing app not caught: %v", err)
+	}
+}
+
+// TestRecoveryBaselineFile pins the committed baseline artifact: it must
+// parse, carry a durable/memory pair for every portable app, and pass
+// its own gate, so CI compares against real, current data.
+func TestRecoveryBaselineFile(t *testing.T) {
+	e, err := ReadExperimentJSON(filepath.Join("testdata", "BENCH_recovery_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios, err := DurableServeRatios(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range harness.PortableApps() {
+		r, ok := ratios[app]
+		if !ok {
+			t.Errorf("baseline has no durable/memory pair for %s — refresh it (see cmd/benchgate)", app)
+			continue
+		}
+		if r < durableServeFloor {
+			t.Errorf("baseline ratio for %s (%.1f%%) under the absolute floor", app, 100*r)
+		}
+	}
+	if err := CheckRecoveryBaseline(e, e, 0.20); err != nil {
 		t.Errorf("baseline does not pass its own gate: %v", err)
 	}
 }

@@ -1,0 +1,215 @@
+package bench
+
+// The recovery benchmark behind BENCH_recovery.json: what durability
+// costs while serving, and what it buys back at restart.
+//
+// Leg one serves every portable application through the usual closed
+// loop on the netrepl backend twice — once in-memory, once with a WAL —
+// so the durable/memory throughput ratio isolates the fsync-before-ack
+// overhead of the group-commit log (cmd/benchgate gates this ratio
+// against a committed baseline). Leg two measures cold-start recovery
+// directly on a durable node: commit a ladder of transaction counts,
+// kill -9, and time the reopen — once with snapshots disabled (full log
+// replay) and once with the snapshot cycle running (snapshot + log
+// tail), which is the shipped configuration's claim that recovery time
+// is bounded by SnapshotEvery, not by history length.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ipa/internal/clock"
+	"ipa/internal/harness"
+	"ipa/internal/netrepl"
+	"ipa/internal/runtime"
+	"ipa/internal/store"
+)
+
+// RecoveryOptions shapes the durability benchmark.
+type RecoveryOptions struct {
+	// Apps lists the applications for the serve legs. Default: every
+	// portable app.
+	Apps []string
+	// Ops is the number of serve operations per leg. Default 4000 —
+	// smaller than the plain serve benchmark because each leg runs
+	// twice and the durable leg pays a group commit per op.
+	Ops int
+	// Seed drives the workload generators.
+	Seed int64
+	// Ladder is the committed-transaction counts for the recovery-time
+	// series. Default 500, 2000, 8000.
+	Ladder []int
+}
+
+func (o RecoveryOptions) withDefaults() RecoveryOptions {
+	if len(o.Apps) == 0 {
+		o.Apps = harness.PortableApps()
+	}
+	if o.Ops == 0 {
+		o.Ops = 4000
+	}
+	if len(o.Ladder) == 0 {
+		o.Ladder = []int{500, 2000, 8000}
+	}
+	return o
+}
+
+// Recovery runs both legs and returns the experiment.
+func Recovery(opts RecoveryOptions) (*Experiment, error) {
+	opts = opts.withDefaults()
+	e := &Experiment{
+		ID:     "recovery",
+		Title:  "Durability: serve overhead (WAL group commit) and cold-start recovery time",
+		XLabel: "committed transactions before kill -9",
+		YLabel: "recovery ms",
+		Perf:   map[string]Perf{},
+	}
+
+	// Leg one: the serve loop with and without a WAL underneath. Same
+	// netrepl cluster construction, same workload, same invariant-checked
+	// quiescence; only the durability differs, so the ratio is the cost
+	// of fsync-before-ack at this op mix.
+	for _, app := range opts.Apps {
+		serveOpts := ServeOptions{
+			Backend: runtime.BackendNet,
+			Apps:    []string{app},
+			Ops:     opts.Ops,
+			Seed:    opts.Seed,
+		}.withDefaults()
+		rec, opsPerSec, err := serveApp(app, serveOpts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: recovery serve %s (memory): %w", app, err)
+		}
+		e.Perf[app+"/memory"] = Perf{
+			OpsPerSec: opsPerSec,
+			P50Ms:     rec.Percentile("", 50),
+			P95Ms:     rec.Percentile("", 95),
+			P99Ms:     rec.Percentile("", 99),
+		}
+
+		dir, err := os.MkdirTemp("", "ipa-recovery-*")
+		if err != nil {
+			return nil, err
+		}
+		serveOpts.DataDir = dir
+		rec, opsPerSec, err = serveApp(app, serveOpts)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("bench: recovery serve %s (durable): %w", app, err)
+		}
+		e.Perf[app+"/durable"] = Perf{
+			OpsPerSec: opsPerSec,
+			P50Ms:     rec.Percentile("", 50),
+			P95Ms:     rec.Percentile("", 95),
+			P99Ms:     rec.Percentile("", 99),
+		}
+	}
+
+	// Leg two: cold-start recovery time against replay length, with and
+	// without the snapshot cycle.
+	for _, n := range opts.Ladder {
+		e.XTicks = append(e.XTicks, fmt.Sprintf("%d", n))
+	}
+	modes := []struct {
+		name string
+		// snapshotEvery tunes the cycle: huge disables it (recovery is
+		// a full log replay); small keeps snapshots current (recovery
+		// is snapshot load + short tail).
+		snapshotEvery int64
+	}{
+		{"wal-only", 1 << 60},
+		{"snapshot+tail", 64 << 10},
+	}
+	for _, mode := range modes {
+		s := Series{Name: mode.name}
+		for i, count := range opts.Ladder {
+			ms, snaps, err := recoverOnce(count, mode.snapshotEvery)
+			if err != nil {
+				return nil, fmt.Errorf("bench: recovery ladder %s/%d: %w", mode.name, count, err)
+			}
+			s.Points = append(s.Points, Point{X: float64(i), Y: ms,
+				Aux: map[string]float64{"txns": float64(count), "snapshots": float64(snaps)}})
+		}
+		e.Series = append(e.Series, s)
+	}
+
+	e.Notes = append(e.Notes,
+		"serve legs: the closed serving loop on netrepl, in-memory vs durable (per-site WAL,",
+		"fsync before ack) — <app>/durable over <app>/memory is the group-commit overhead,",
+		"gated by cmd/benchgate; recovery series: one durable node commits N transactions,",
+		"dies by kill -9 (unsynced tail abandoned), and the reopen is timed — wal-only",
+		"replays the whole log, snapshot+tail loads the newest snapshot and replays past it,",
+		"so its recovery time tracks SnapshotEvery instead of history length.")
+	return e, nil
+}
+
+// recoverOnce commits count transactions on one durable node, kills it,
+// and times the reopen. Returns the reopen wall-clock in ms and how many
+// snapshots the node took before dying. The recovered state is verified
+// — a recovery that silently lost acked transactions must not report a
+// time.
+func recoverOnce(count int, snapshotEvery int64) (float64, uint64, error) {
+	dir, err := os.MkdirTemp("", "ipa-recovery-ladder-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := netrepl.Config{
+		DataDir:       dir,
+		SnapshotEvery: snapshotEvery,
+		// Small segments so truncation has units to delete at this
+		// scale — otherwise the whole ladder lives in one active
+		// segment and recovery decodes all of it in both modes.
+		SegmentSize:   64 << 10,
+		FlushInterval: 100 * time.Microsecond,
+	}
+	id := clock.ReplicaID("bench")
+	n, err := netrepl.NewNodeWithConfig(id, "127.0.0.1:0", cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	// The workload updates a fixed working set (64 keys), the regime
+	// where snapshots pay: state stays bounded while the log grows with
+	// history, so snapshot+tail recovery is O(SnapshotEvery) where full
+	// replay is O(count). (A workload whose state grows with every
+	// transaction — unique keys — makes the snapshot as large as the
+	// log and the comparison meaningless.) Every 64 commits the
+	// stability round runs, which on a durable node is also the
+	// snapshot-cycle trigger — for a lone node its own clock is the
+	// horizon (every member has applied everything).
+	for i := 0; i < count; i++ {
+		n.Do(func(r *store.Replica) {
+			tx := r.Begin()
+			store.AWSetAt(tx, "items").Add(fmt.Sprintf("item-%d", i%64), "payload-payload-payload")
+			store.CounterAt(tx, "n").Add(1)
+			tx.Commit()
+		})
+		if (i+1)%stabilizeEvery == 0 {
+			vc := n.Clock()
+			n.CompactAll(vc, vc)
+		}
+	}
+	snaps := n.Stats().Snapshots
+	if err := n.Kill(); err != nil {
+		return 0, 0, err
+	}
+
+	t0 := time.Now()
+	rec, err := netrepl.NewNodeWithConfig(id, "127.0.0.1:0", cfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("reopen: %w", err)
+	}
+	ms := float64(time.Since(t0).Microseconds()) / 1000
+	var got int64
+	rec.Do(func(r *store.Replica) {
+		tx := r.Begin()
+		got = store.CounterAt(tx, "n").Value()
+		tx.Commit()
+	})
+	closeErr := rec.Close()
+	if got != int64(count) {
+		return 0, 0, fmt.Errorf("recovered counter %d, committed %d", got, count)
+	}
+	return ms, snaps, closeErr
+}

@@ -41,6 +41,11 @@ type ServeOptions struct {
 	// frames) — the knob behind the gob-vs-v2 serving comparison in
 	// EXPERIMENTS.md. Zero takes the transport default (v2).
 	WireVersion int
+	// DataDir, when non-empty, makes every netrepl node durable (per-site
+	// WAL + snapshots under DataDir/<site>), so the measured loop pays the
+	// fsync-before-ack cost on every commit — the knob behind the
+	// durable-vs-memory serving comparison in the recovery experiment.
+	DataDir string
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -208,6 +213,7 @@ func serveRun(app string, opts ServeOptions, extraQueue int,
 			netCfg.Transport.QueueCap = extraQueue
 		}
 		netCfg.WireVersion = opts.WireVersion
+		netCfg.DataDir = opts.DataDir
 		cluster, err = runtime.NewNetCluster(ids, netCfg)
 		if err != nil {
 			return nil, 0, err

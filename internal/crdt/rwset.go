@@ -74,6 +74,18 @@ type RWAddOp struct {
 	Tag             clock.EventID
 	ObservedRemoves []clock.EventID
 	ObservedWild    []clock.EventID
+
+	// Deps is the add's transaction dependency cut, stamped by the
+	// applying replica (not encoded on the wire — the enclosing
+	// transaction already carries it). The observed lists above enumerate
+	// the tombstones present at the origin when the add was prepared —
+	// but a tombstone the origin had already discarded (stable, fence
+	// passed) cannot be named there, while a crash-recovered replica may
+	// still hold it: recovery replays remove records the rest of the mesh
+	// has compacted away. Deps restores the causal truth the enumeration
+	// loses: any tombstone covered by the cut happened before the add and
+	// cannot defeat it (remove-wins only favours *concurrent* removes).
+	Deps clock.Vector
 }
 
 // ID implements Op.
@@ -141,6 +153,23 @@ func (s *RWSet) Apply(op Op) {
 		rec := addRecord{observedRemoves: eventSet{}, observedWild: eventSet{}}
 		rec.observedRemoves.addAll(o.ObservedRemoves)
 		rec.observedWild.addAll(o.ObservedWild)
+		if o.Deps != nil {
+			// Causal completion: a tombstone inside the add's dependency
+			// cut happened before the add, so the add survives it even
+			// when the origin could no longer name it (see RWAddOp.Deps).
+			// Causal delivery guarantees every such tombstone is already
+			// applied here, so this apply-time sweep is complete.
+			for r := range s.removes[o.Elem] {
+				if o.Deps.Contains(r) {
+					rec.observedRemoves.add(r)
+				}
+			}
+			for wid := range s.wild {
+				if o.Deps.Contains(wid) {
+					rec.observedWild.add(wid)
+				}
+			}
+		}
 		recs[o.Tag] = rec
 		if o.Touch {
 			if _, have := s.payload[o.Elem]; !have {

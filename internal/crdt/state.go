@@ -1,0 +1,526 @@
+package crdt
+
+// State codecs: every CRDT serialises its full materialised state with a
+// hand-written codec, dispatched through a one-byte state kind — the
+// snapshot counterpart of the per-operation wire codec in wire.go. The
+// store's snapshot files and the join/state-transfer protocol are built
+// from these records, so the same rules apply: kinds are append-only and
+// never renumbered, encoding is deterministic (sorted map order), and
+// decoding never panics on any input (ErrMalformedWire on all failures).
+//
+// Caches and local statistics are deliberately not encoded: RWSet.present
+// is rebuilt lazily, CompSet.CompensationsApplied is a per-process
+// counter. Everything else — including remove-wins discard fences, whose
+// nil-vs-set distinction changes compaction behaviour — round-trips
+// exactly.
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"ipa/internal/clock"
+)
+
+// Stable state kinds. Append-only; never renumber.
+const (
+	stateKindAWSet   byte = 1
+	stateKindRWSet   byte = 2
+	stateKindPN      byte = 3
+	stateKindBounded byte = 4
+	stateKindLWW     byte = 5
+	stateKindMV      byte = 6
+	stateKindCompSet byte = 7
+)
+
+// --- Vector / event-set helpers ------------------------------------------
+
+// AppendVectorWire appends a version vector in sorted replica order. A nil
+// vector is encoded distinctly from an empty one: remove-wins discard
+// fences use nil for "not yet fenced", and compaction behaves differently
+// across that boundary.
+func AppendVectorWire(b []byte, v clock.Vector) []byte {
+	if v == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	keys := make([]string, 0, len(v))
+	for r := range v {
+		keys = append(keys, string(r))
+	}
+	sort.Strings(keys)
+	b = binary.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = AppendWireString(b, k)
+		b = binary.AppendUvarint(b, v[clock.ReplicaID(k)])
+	}
+	return b
+}
+
+// DecodeVectorWire consumes one version vector (possibly nil).
+func DecodeVectorWire(r *WireReader) (clock.Vector, error) {
+	present, err := r.readBool()
+	if err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	n, err := r.ReadCount()
+	if err != nil {
+		return nil, err
+	}
+	v := make(clock.Vector, n)
+	for i := 0; i < n; i++ {
+		rep, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		seq, err := r.ReadUvarint()
+		if err != nil {
+			return nil, err
+		}
+		v[clock.ReplicaID(rep)] = seq
+	}
+	return v, nil
+}
+
+func sortedEvents(s eventSet) []clock.EventID {
+	es := s.list()
+	sort.Slice(es, func(i, j int) bool { return es[i].Less(es[j]) })
+	return es
+}
+
+func appendEventSet(b []byte, s eventSet) []byte {
+	return appendEventIDs(b, sortedEvents(s))
+}
+
+func (r *WireReader) readEventSet() (eventSet, error) {
+	es, err := r.readEventIDs()
+	if err != nil {
+		return nil, err
+	}
+	s := make(eventSet, len(es))
+	s.addAll(es)
+	return s, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedReplicas(m map[clock.ReplicaID]int64) []clock.ReplicaID {
+	keys := make([]clock.ReplicaID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// --- Dispatch -------------------------------------------------------------
+
+// AppendCRDTState appends one CRDT's full state as kind + payload.
+func AppendCRDTState(b []byte, c CRDT) ([]byte, error) {
+	switch o := c.(type) {
+	case *AWSet:
+		return o.appendState(append(b, stateKindAWSet)), nil
+	case *RWSet:
+		return o.appendState(append(b, stateKindRWSet))
+	case *PNCounter:
+		return o.appendState(append(b, stateKindPN)), nil
+	case *BoundedCounter:
+		return o.appendState(append(b, stateKindBounded)), nil
+	case *LWWRegister:
+		return o.appendState(append(b, stateKindLWW)), nil
+	case *MVRegister:
+		return o.appendState(append(b, stateKindMV)), nil
+	case *CompSet:
+		return o.appendState(append(b, stateKindCompSet)), nil
+	default:
+		return nil, wireErrf("CRDT %T has no state codec", c)
+	}
+}
+
+// DecodeCRDTState consumes one CRDT state (kind + payload) and
+// materialises a fresh object holding it.
+func DecodeCRDTState(r *WireReader) (CRDT, error) {
+	kind, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case stateKindAWSet:
+		return decodeAWSetState(r)
+	case stateKindRWSet:
+		return decodeRWSetState(r)
+	case stateKindPN:
+		return decodePNState(r)
+	case stateKindBounded:
+		return decodeBoundedState(r)
+	case stateKindLWW:
+		return decodeLWWState(r)
+	case stateKindMV:
+		return decodeMVState(r)
+	case stateKindCompSet:
+		return decodeCompSetState(r)
+	default:
+		return nil, wireErrf("unknown state kind %d", kind)
+	}
+}
+
+// --- AWSet ----------------------------------------------------------------
+
+func (s *AWSet) appendState(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s.tags)))
+	for _, elem := range sortedKeys(s.tags) {
+		b = AppendWireString(b, elem)
+		b = appendEventSet(b, s.tags[elem])
+		b = AppendWireString(b, s.payload[elem])
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.graveyard)))
+	for _, elem := range sortedKeys(s.graveyard) {
+		g := s.graveyard[elem]
+		b = AppendWireString(b, elem)
+		b = AppendWireString(b, g.payload)
+		b = AppendEventID(b, g.removed)
+	}
+	return b
+}
+
+func decodeAWSetState(r *WireReader) (*AWSet, error) {
+	s := NewAWSet()
+	n, err := r.ReadCount()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		elem, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		tags, err := r.readEventSet()
+		if err != nil {
+			return nil, err
+		}
+		pay, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		s.tags[elem] = tags
+		s.payload[elem] = pay
+	}
+	if n, err = r.ReadCount(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		elem, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		pay, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		removed, err := r.ReadEventID()
+		if err != nil {
+			return nil, err
+		}
+		s.graveyard[elem] = graveEntry{payload: pay, removed: removed}
+	}
+	return s, nil
+}
+
+// --- RWSet ----------------------------------------------------------------
+
+func (s *RWSet) appendState(b []byte) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(s.adds)))
+	for _, elem := range sortedKeys(s.adds) {
+		recs := s.adds[elem]
+		b = AppendWireString(b, elem)
+		b = AppendWireString(b, s.payload[elem])
+		events := make([]clock.EventID, 0, len(recs))
+		for e := range recs {
+			events = append(events, e)
+		}
+		sort.Slice(events, func(i, j int) bool { return events[i].Less(events[j]) })
+		b = binary.AppendUvarint(b, uint64(len(events)))
+		for _, e := range events {
+			rec := recs[e]
+			b = AppendEventID(b, e)
+			b = appendEventSet(b, rec.observedRemoves)
+			b = appendEventSet(b, rec.observedWild)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.removes)))
+	for _, elem := range sortedKeys(s.removes) {
+		tombs := s.removes[elem]
+		b = AppendWireString(b, elem)
+		events := make([]clock.EventID, 0, len(tombs))
+		for e := range tombs {
+			events = append(events, e)
+		}
+		sort.Slice(events, func(i, j int) bool { return events[i].Less(events[j]) })
+		b = binary.AppendUvarint(b, uint64(len(events)))
+		for _, e := range events {
+			b = AppendEventID(b, e)
+			b = AppendVectorWire(b, tombs[e].fence)
+		}
+	}
+	wilds := make([]clock.EventID, 0, len(s.wild))
+	for e := range s.wild {
+		wilds = append(wilds, e)
+	}
+	sort.Slice(wilds, func(i, j int) bool { return wilds[i].Less(wilds[j]) })
+	b = binary.AppendUvarint(b, uint64(len(wilds)))
+	for _, e := range wilds {
+		w := s.wild[e]
+		b = AppendEventID(b, e)
+		var err error
+		if b, err = AppendPredicateWire(b, w.pred); err != nil {
+			return nil, err
+		}
+		b = AppendVectorWire(b, w.fence)
+	}
+	return b, nil
+}
+
+func decodeRWSetState(r *WireReader) (*RWSet, error) {
+	s := NewRWSet()
+	n, err := r.ReadCount()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		elem, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		pay, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		m, err := r.ReadCount()
+		if err != nil {
+			return nil, err
+		}
+		recs := make(map[clock.EventID]addRecord, m)
+		for j := 0; j < m; j++ {
+			e, err := r.ReadEventID()
+			if err != nil {
+				return nil, err
+			}
+			removes, err := r.readEventSet()
+			if err != nil {
+				return nil, err
+			}
+			wild, err := r.readEventSet()
+			if err != nil {
+				return nil, err
+			}
+			recs[e] = addRecord{observedRemoves: removes, observedWild: wild}
+		}
+		s.adds[elem] = recs
+		s.payload[elem] = pay
+	}
+	if n, err = r.ReadCount(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		elem, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		m, err := r.ReadCount()
+		if err != nil {
+			return nil, err
+		}
+		tombs := make(map[clock.EventID]*rwTomb, m)
+		for j := 0; j < m; j++ {
+			e, err := r.ReadEventID()
+			if err != nil {
+				return nil, err
+			}
+			fence, err := DecodeVectorWire(r)
+			if err != nil {
+				return nil, err
+			}
+			tombs[e] = &rwTomb{fence: fence}
+		}
+		s.removes[elem] = tombs
+	}
+	if n, err = r.ReadCount(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		e, err := r.ReadEventID()
+		if err != nil {
+			return nil, err
+		}
+		pred, err := DecodePredicateWire(r)
+		if err != nil {
+			return nil, err
+		}
+		fence, err := DecodeVectorWire(r)
+		if err != nil {
+			return nil, err
+		}
+		s.wild[e] = &wildRemove{pred: pred, fence: fence}
+	}
+	return s, nil
+}
+
+// --- Counters ---------------------------------------------------------------
+
+func (c *PNCounter) appendState(b []byte) []byte {
+	b = binary.AppendVarint(b, c.value)
+	b = binary.AppendVarint(b, c.incs)
+	return binary.AppendVarint(b, c.decs)
+}
+
+func decodePNState(r *WireReader) (*PNCounter, error) {
+	c := NewPNCounter()
+	var err error
+	if c.value, err = r.ReadVarint(); err != nil {
+		return nil, err
+	}
+	if c.incs, err = r.ReadVarint(); err != nil {
+		return nil, err
+	}
+	if c.decs, err = r.ReadVarint(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func appendReplicaAmounts(b []byte, m map[clock.ReplicaID]int64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(m)))
+	for _, rep := range sortedReplicas(m) {
+		b = AppendWireString(b, string(rep))
+		b = binary.AppendVarint(b, m[rep])
+	}
+	return b
+}
+
+func (r *WireReader) readReplicaAmounts() (map[clock.ReplicaID]int64, error) {
+	n, err := r.ReadCount()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[clock.ReplicaID]int64, n)
+	for i := 0; i < n; i++ {
+		rep, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.ReadVarint()
+		if err != nil {
+			return nil, err
+		}
+		m[clock.ReplicaID(rep)] = v
+	}
+	return m, nil
+}
+
+func (c *BoundedCounter) appendState(b []byte) []byte {
+	b = appendReplicaAmounts(b, c.rights)
+	return appendReplicaAmounts(b, c.consumed)
+}
+
+func decodeBoundedState(r *WireReader) (*BoundedCounter, error) {
+	rights, err := r.readReplicaAmounts()
+	if err != nil {
+		return nil, err
+	}
+	consumed, err := r.readReplicaAmounts()
+	if err != nil {
+		return nil, err
+	}
+	return &BoundedCounter{rights: rights, consumed: consumed}, nil
+}
+
+// --- Registers --------------------------------------------------------------
+
+func (g *LWWRegister) appendState(b []byte) []byte {
+	b = AppendWireString(b, g.value)
+	b = binary.AppendUvarint(b, g.ts)
+	b = AppendWireString(b, string(g.by))
+	return appendBool(b, g.set)
+}
+
+func decodeLWWState(r *WireReader) (*LWWRegister, error) {
+	g := NewLWWRegister()
+	var err error
+	if g.value, err = r.ReadString(); err != nil {
+		return nil, err
+	}
+	if g.ts, err = r.ReadUvarint(); err != nil {
+		return nil, err
+	}
+	by, err := r.ReadString()
+	if err != nil {
+		return nil, err
+	}
+	g.by = clock.ReplicaID(by)
+	if g.set, err = r.readBool(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *MVRegister) appendState(b []byte) []byte {
+	events := make([]clock.EventID, 0, len(g.values))
+	for e := range g.values {
+		events = append(events, e)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Less(events[j]) })
+	b = binary.AppendUvarint(b, uint64(len(events)))
+	for _, e := range events {
+		b = AppendEventID(b, e)
+		b = AppendWireString(b, g.values[e])
+	}
+	return b
+}
+
+func decodeMVState(r *WireReader) (*MVRegister, error) {
+	g := NewMVRegister()
+	n, err := r.ReadCount()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		e, err := r.ReadEventID()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		g.values[e] = v
+	}
+	return g, nil
+}
+
+// --- CompSet ----------------------------------------------------------------
+
+func (c *CompSet) appendState(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(c.maxSize))
+	return c.set.appendState(b)
+}
+
+func decodeCompSetState(r *WireReader) (*CompSet, error) {
+	maxSize, err := r.ReadUvarint()
+	if err != nil {
+		return nil, err
+	}
+	set, err := decodeAWSetState(r)
+	if err != nil {
+		return nil, err
+	}
+	return &CompSet{set: set, maxSize: int(maxSize)}, nil
+}

@@ -118,10 +118,14 @@ type Ctx struct {
 	// Esc is the escrow manager (escrow scenario, sim backend only).
 	Esc *indigo.Escrow
 
-	paused []int              // pause depth per site (faults may overlap)
-	stalls int                // active stability-stall windows
-	part   map[[2]int]int     // partition depth per link
-	delay  map[[2]int]float64 // delay factor product per link
+	paused  []int              // pause depth per site (faults may overlap)
+	crashed []int              // crash depth per site (faults may overlap)
+	stalls  int                // active stability-stall windows
+	part    map[[2]int]int     // partition depth per link
+	delay   map[[2]int]float64 // delay factor product per link
+	joins   map[string]int     // join depth per joiner id (windows may collide)
+	joinIDs []string           // joiner ids in injection order (healAll determinism)
+	lifeErr error              // first lifecycle-operation failure
 }
 
 // NewCtx builds an execution context over an existing backend cluster,
@@ -133,8 +137,10 @@ func NewCtx(cfg Config, cluster runtime.Cluster, sites []clock.ReplicaID) *Ctx {
 		Cluster: cluster,
 		Sites:   sites,
 		paused:  make([]int, len(sites)),
+		crashed: make([]int, len(sites)),
 		part:    map[[2]int]int{},
 		delay:   map[[2]int]float64{},
+		joins:   map[string]int{},
 	}
 }
 
@@ -180,8 +186,34 @@ func (c *Ctx) faults() runtime.Faults {
 	return f
 }
 
-// Paused reports whether a site is currently paused.
-func (c *Ctx) Paused(site int) bool { return c.paused[site] > 0 }
+// lifecycle returns the cluster's elastic-membership surface, nil when
+// the backend does not support one.
+func (c *Ctx) lifecycle() runtime.Lifecycle {
+	l, _ := c.Cluster.(runtime.Lifecycle)
+	return l
+}
+
+// noteLifeErr records the first lifecycle-operation failure. Fault
+// injection has no error channel (faults are fire-and-forget timeline
+// events), but a failed Recover or Join is a harness bug, not a finding
+// about the application — Quiesce surfaces it as a run error instead of
+// letting the settle phase time out cryptically.
+func (c *Ctx) noteLifeErr(err error) {
+	if c.lifeErr == nil {
+		c.lifeErr = err
+	}
+}
+
+// LifecycleErr returns the first lifecycle-operation failure, if any.
+func (c *Ctx) LifecycleErr() error { return c.lifeErr }
+
+// Paused reports whether a site is currently paused or crashed — either
+// way its clients are down with it and issue no operations.
+func (c *Ctx) Paused(site int) bool { return c.paused[site] > 0 || c.crashed[site] > 0 }
+
+// Crashed reports whether a site is currently inside a crash window. Its
+// state is frozen (sim) or gone (netrepl) — invariant checks skip it.
+func (c *Ctx) Crashed(site int) bool { return c.crashed[site] > 0 }
 
 func link(a, b int) [2]int {
 	if a > b {
@@ -239,7 +271,56 @@ func (c *Ctx) inject(f Fault) {
 		}
 	case FaultStall:
 		c.stalls++
+	case FaultCrash:
+		c.crashed[f.A]++
+		if c.crashed[f.A] == 1 {
+			if lc := c.lifecycle(); lc != nil && lc.Durable() {
+				if err := lc.Crash(c.Sites[f.A]); err != nil {
+					c.noteLifeErr(err)
+				}
+			}
+			// Without a durable lifecycle the window still suppresses the
+			// site's operations — shaping degrades, checks stay valid.
+		}
+	case FaultJoin:
+		// Elastic membership is a netrepl capability; elsewhere the window
+		// is a no-op (like delay spikes on real sockets).
+		lc := c.lifecycle()
+		if lc == nil || !lc.Durable() || c.Cluster.Backend() != runtime.BackendNet {
+			return
+		}
+		id := joinerID(f)
+		if c.joins[id]++; c.joins[id] > 1 {
+			return // colliding window: the site is already joining/joined
+		}
+		donor := c.liveDonor(f.A)
+		if donor < 0 {
+			delete(c.joins, id) // every member crashed: nothing to bootstrap from
+			return
+		}
+		c.joinIDs = append(c.joinIDs, id)
+		if err := lc.Join(clock.ReplicaID(id), c.Sites[donor]); err != nil {
+			c.noteLifeErr(err)
+		}
 	}
+}
+
+// joinerID derives the joining site's name from its fault window. Pure
+// schedule data, so replays join (and decommission) the same site.
+func joinerID(f Fault) string { return fmt.Sprintf("joiner-%dus-%d", int64(f.At), f.A) }
+
+// liveDonor picks the bootstrap donor for a join: the fault's A site if
+// it is up, otherwise the first live member; -1 when every site is down.
+func (c *Ctx) liveDonor(a int) int {
+	if c.crashed[a] == 0 {
+		return a
+	}
+	for i := range c.Sites {
+		if c.crashed[i] == 0 {
+			return i
+		}
+	}
+	return -1
 }
 
 // heal undoes one fault window's start.
@@ -274,13 +355,69 @@ func (c *Ctx) heal(f Fault) {
 		}
 	case FaultStall:
 		c.stalls--
+	case FaultCrash:
+		c.crashed[f.A]--
+		if c.crashed[f.A] == 0 {
+			if lc := c.lifecycle(); lc != nil && lc.Durable() {
+				if err := lc.Recover(c.Sites[f.A]); err != nil {
+					c.noteLifeErr(err)
+				}
+			}
+		}
+	case FaultJoin:
+		lc := c.lifecycle()
+		if lc == nil || !lc.Durable() || c.Cluster.Backend() != runtime.BackendNet {
+			return
+		}
+		id := joinerID(f)
+		if _, ok := c.joins[id]; !ok {
+			return // the matching inject never ran (all sites were down)
+		}
+		if c.joins[id]--; c.joins[id] > 0 {
+			return
+		}
+		delete(c.joins, id)
+		c.joinIDs = removeString(c.joinIDs, id)
+		if err := lc.Decommission(clock.ReplicaID(id)); err != nil {
+			c.noteLifeErr(err)
+		}
 	}
+}
+
+// removeString drops the first occurrence of s, preserving order.
+func removeString(list []string, s string) []string {
+	for i, v := range list {
+		if v == s {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }
 
 // healAll force-clears every live fault (quiescence). Links heal in
 // sorted order — healing flushes buffered messages, and a map-ordered
-// flush would make replays nondeterministic.
+// flush would make replays nondeterministic. Crashed sites recover
+// first: a dead member never converges, so Settle would time out, and
+// link heals tracked while it was down take effect on the new instance.
 func (c *Ctx) healAll() {
+	lc := c.lifecycle()
+	for i := range c.crashed {
+		if c.crashed[i] > 0 && lc != nil && lc.Durable() {
+			if err := lc.Recover(c.Sites[i]); err != nil {
+				c.noteLifeErr(err)
+			}
+		}
+		c.crashed[i] = 0
+	}
+	for _, id := range c.joinIDs {
+		if c.joins[id] > 0 && lc != nil {
+			if err := lc.Decommission(clock.ReplicaID(id)); err != nil {
+				c.noteLifeErr(err)
+			}
+		}
+		delete(c.joins, id)
+	}
+	c.joinIDs = nil
 	fl := c.faults()
 	for _, k := range sortedLinks(c.part) {
 		if c.part[k] > 0 && fl != nil {

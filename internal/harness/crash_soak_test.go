@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"testing"
+
+	"ipa/internal/runtime"
+)
+
+// crashSchedules generates schedules for cfg until want of them carry at
+// least one crash-recover window, and returns those. Fault kinds are
+// drawn randomly, so this filters rather than forces — the schedules
+// stay replayable by seed.
+func crashSchedules(t *testing.T, cfg Config, want int) []*Schedule {
+	t.Helper()
+	var out []*Schedule
+	for i := 0; len(out) < want; i++ {
+		if i > 200*want {
+			t.Fatalf("only %d of %d crash schedules after %d draws", len(out), want, i)
+		}
+		s, err := Generate(cfg, ScheduleSeed(0x9EC0F, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range s.Faults {
+			if f.Kind == FaultCrash {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestChaosCrashRecoverSoak is the recovery soak: schedules guaranteed
+// to kill (and recover) replicas mid-run, for the invariant-heavy
+// applications on both backends. On netrepl the crash is a real kill -9
+// of a durable node — WAL abandon, replay from snapshot, re-mesh — and
+// quiescence asserts cross-replica digest equality, so any acked-op loss
+// or resurrection during recovery surfaces as divergence. Escrow (the
+// paper's coordination baseline, sim-only by construction) rides the
+// same crash windows on the simulator, where its conservation invariant
+// must hold across the crash-as-pause model.
+func TestChaosCrashRecoverSoak(t *testing.T) {
+	n := 6
+	if testing.Short() {
+		n = 2
+	}
+	combos := []struct {
+		app     string
+		backend string
+	}{
+		{"tournament", runtime.BackendSim},
+		{"tournament", runtime.BackendNet},
+		{"escrow", runtime.BackendSim},
+	}
+	for _, combo := range combos {
+		combo := combo
+		t.Run(combo.app+"-"+combo.backend, func(t *testing.T) {
+			t.Parallel()
+			cfg := Defaults(combo.app)
+			cfg.Backend = combo.backend
+			if combo.backend == runtime.BackendNet {
+				cfg.Ops = 40
+			}
+			for _, s := range crashSchedules(t, cfg, n) {
+				v, err := Execute(s)
+				if err != nil {
+					t.Fatalf("seed %#x: %v", s.Seed, err)
+				}
+				if v != nil {
+					t.Fatalf("seed %#x violates under crash-recover: %s", s.Seed, v)
+				}
+			}
+		})
+	}
+}

@@ -129,6 +129,9 @@ func executeSim(s *Schedule) (string, *Violation, error) {
 				ctx.Cluster.Stabilize()
 			}
 			for site := range ctx.Sites {
+				if ctx.Crashed(site) {
+					continue // the site is down; nothing to read
+				}
 				if msgs := app.MidCheck(ctx, site); len(msgs) > 0 {
 					report(&Violation{At: ctx.Sim.Now(), Phase: "mid-flight",
 						Site: string(ctx.Sites[site]), Check: "invariant", Msgs: msgs})
@@ -160,6 +163,12 @@ func executeSim(s *Schedule) (string, *Violation, error) {
 // a clean quiescent state.
 func Quiesce(ctx *Ctx, app App) (*Violation, error) {
 	ctx.healAll()
+	// A failed Recover or Join is a harness/backend bug, not an
+	// application finding — surface it as a run error before the settle
+	// phase times out cryptically on the half-dead mesh it left behind.
+	if err := ctx.LifecycleErr(); err != nil {
+		return nil, err
+	}
 	if err := ctx.Cluster.Settle(); err != nil {
 		return nil, err
 	}

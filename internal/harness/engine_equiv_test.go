@@ -144,7 +144,7 @@ func newSimEquivCluster(seed int64) equivCluster {
 
 func newNetEquivCluster(t *testing.T, ops int) equivCluster {
 	sites := siteIDs(3)
-	cluster, err := runtime.NewNetCluster(sites, chaosNetConfig(ops))
+	cluster, err := runtime.NewNetCluster(sites, chaosNetConfig(ops, ""))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -29,8 +30,14 @@ const netPace = 0.02
 // queue must never fill. A schedule of N ops commits at most a few
 // transactions per op; 4N + slack bounds it with room to spare, and
 // memory stays proportional to the ops actually committed.
-func chaosNetConfig(ops int) runtime.NetConfig {
+// dataDir, when non-empty, makes every node durable — the schedule has
+// lifecycle faults, so crash/recover and join must round-trip through
+// real write-ahead logs and snapshots. SnapshotEvery is tiny on purpose:
+// chaos traffic is a few kilobytes, and the snapshot/truncation cycle is
+// one of the two subtle recovery paths the fuzzing exists to cover.
+func chaosNetConfig(ops int, dataDir string) runtime.NetConfig {
 	return runtime.NetConfig{
+		DataDir: dataDir,
 		Transport: netrepl.Config{
 			FlushInterval: 200 * time.Microsecond,
 			BackoffMin:    time.Millisecond,
@@ -39,9 +46,21 @@ func chaosNetConfig(ops int) runtime.NetConfig {
 			// A violation returns with faults still live; keep the
 			// senders' post-Close flush window short so teardown does not
 			// stall against a still-blocked receiver.
-			DrainTimeout: 200 * time.Millisecond,
+			DrainTimeout:  200 * time.Millisecond,
+			SnapshotEvery: 4096,
 		},
 	}
+}
+
+// hasLifecycleFaults reports whether the schedule crashes or joins
+// sites — the faults that need durable nodes to mean anything.
+func hasLifecycleFaults(s *Schedule) bool {
+	for _, f := range s.Faults {
+		if f.Kind == FaultCrash || f.Kind == FaultJoin {
+			return true
+		}
+	}
+	return false
 }
 
 // netEvent is one timeline entry of a netrepl schedule execution.
@@ -73,7 +92,18 @@ func executeNet(s *Schedule) (string, *Violation, error) {
 		return "", nil, err
 	}
 	sites := siteIDs(s.Cfg.Replicas)
-	cluster, err := runtime.NewNetCluster(sites, chaosNetConfig(s.Cfg.Ops))
+	// Durable nodes only when the schedule exercises lifecycle faults:
+	// every commit then fsyncs (group commit), which is the contract
+	// crash/recover is checked against, and dead weight otherwise.
+	var dataDir string
+	if hasLifecycleFaults(s) {
+		var err error
+		if dataDir, err = os.MkdirTemp("", "ipa-chaos-*"); err != nil {
+			return "", nil, err
+		}
+		defer os.RemoveAll(dataDir)
+	}
+	cluster, err := runtime.NewNetCluster(sites, chaosNetConfig(s.Cfg.Ops, dataDir))
 	if err != nil {
 		return "", nil, err
 	}
@@ -84,6 +114,14 @@ func executeNet(s *Schedule) (string, *Violation, error) {
 	app.Setup(ctx)
 	if err := cluster.Settle(); err != nil {
 		return "", nil, err
+	}
+	// Durable runs snapshot the seeded state before any crash can hit:
+	// objects created out-of-band (comp-set bounds via Replica.Object)
+	// exist in no WAL record, so only a snapshot makes them recoverable.
+	if dataDir != "" {
+		if err := cluster.SnapshotAll(); err != nil {
+			return "", nil, err
+		}
 	}
 
 	var found *Violation
@@ -148,8 +186,23 @@ func executeNet(s *Schedule) (string, *Violation, error) {
 	}
 	for _, f := range s.Faults {
 		f := f
-		events = append(events, netEvent{at: f.At, fn: func() { ctx.inject(f) }})
-		events = append(events, netEvent{at: f.At + f.Dur, fn: func() { ctx.heal(f) }})
+		// Lifecycle faults quiesce the client pool first: a kill -9 must
+		// not race a worker mid-Apply — an operation acknowledged by a
+		// node whose WAL was just abandoned would be acked-but-lost,
+		// which is precisely what the durability contract forbids. The
+		// write lock waits for in-flight ops and holds new ones off.
+		guard := func(fn func()) func() { return fn }
+		if f.Kind == FaultCrash || f.Kind == FaultJoin {
+			guard = func(fn func()) func() {
+				return func() {
+					checkGate.Lock()
+					defer checkGate.Unlock()
+					fn()
+				}
+			}
+		}
+		events = append(events, netEvent{at: f.At, fn: guard(func() { ctx.inject(f) })})
+		events = append(events, netEvent{at: f.At + f.Dur, fn: guard(func() { ctx.heal(f) })})
 	}
 	step := s.Cfg.Horizon / midChecks
 	if step <= 0 {
@@ -170,6 +223,9 @@ func executeNet(s *Schedule) (string, *Violation, error) {
 				cluster.Stabilize()
 			}
 			for site := range ctx.Sites {
+				if ctx.Crashed(site) {
+					continue // the site is down; nothing to read
+				}
 				if msgs := app.MidCheck(ctx, site); len(msgs) > 0 {
 					report(&Violation{At: t, Phase: "mid-flight",
 						Site: string(ctx.Sites[site]), Check: "invariant", Msgs: msgs})

@@ -2,9 +2,9 @@
 // from a single uint64 seed it generates randomized multi-replica
 // workloads over the paper's applications and interleaves them with a
 // randomized fault schedule — network partitions and heals, message-delay
-// spikes, replica pauses, and stability stalls — inside the wan.Sim
-// discrete-event simulation, while checking application invariants
-// mid-flight and at quiescence.
+// spikes, replica pauses, stability stalls, whole-site crash/recover, and
+// join/decommission churn — inside the wan.Sim discrete-event simulation,
+// while checking application invariants mid-flight and at quiescence.
 //
 // The paper's evaluation (§5) exercises hand-picked runs; the harness
 // explores the schedule space the paper's claim actually quantifies over:
@@ -165,6 +165,18 @@ const (
 	// FaultStall suppresses the periodic stability runs, so CRDT metadata
 	// compaction falls arbitrarily far behind.
 	FaultStall FaultKind = "stall"
+	// FaultCrash kills site A abruptly (kill -9 semantics) and recovers it
+	// from its durable state when the window closes. On the netrepl
+	// backend this exercises the real path: WAL replay, snapshot restore,
+	// re-offer of own-origin records. The simulator's sites cannot lose
+	// state, so there it degrades to the delivery pause a crash looks like
+	// from the outside. The site issues no operations while down.
+	FaultCrash FaultKind = "crash"
+	// FaultJoin bootstraps a brand-new site from donor A's snapshot plus
+	// the mesh's op tails, and decommissions it when the window closes —
+	// elastic-membership churn underneath the workload. netrepl only (the
+	// simulator's membership is fixed); a no-op elsewhere.
+	FaultJoin FaultKind = "join"
 )
 
 // Fault is one fault-injection window.
@@ -187,6 +199,10 @@ func (f Fault) String() string {
 		return fmt.Sprintf("@%.1fms delay x%.1f site%d<->site%d for %.1fms", f.At.Millis(), f.Factor, f.A, f.B, f.Dur.Millis())
 	case FaultPause:
 		return fmt.Sprintf("@%.1fms pause site%d for %.1fms", f.At.Millis(), f.A, f.Dur.Millis())
+	case FaultCrash:
+		return fmt.Sprintf("@%.1fms crash site%d, recover after %.1fms", f.At.Millis(), f.A, f.Dur.Millis())
+	case FaultJoin:
+		return fmt.Sprintf("@%.1fms join new site from site%d, decommission after %.1fms", f.At.Millis(), f.A, f.Dur.Millis())
 	default:
 		return fmt.Sprintf("@%.1fms stability stall for %.1fms", f.At.Millis(), f.Dur.Millis())
 	}
@@ -250,7 +266,7 @@ func genFault(rng *rand.Rand, cfg Config) Fault {
 		b++
 	}
 	f.A, f.B = a, b
-	switch rng.Intn(10) {
+	switch rng.Intn(12) {
 	case 0, 1, 2, 3: // partitions dominate: they drive the interesting races
 		f.Kind = FaultPartition
 	case 4, 5, 6:
@@ -258,8 +274,20 @@ func genFault(rng *rand.Rand, cfg Config) Fault {
 		f.Factor = 2 + rng.Float64()*18 // 2x..20x spikes
 	case 7, 8:
 		f.Kind = FaultPause
-	default:
+	case 9:
 		f.Kind = FaultStall
+	case 10:
+		f.Kind = FaultCrash
+	default:
+		// Elastic joins exist on netrepl only; on the simulator the slot
+		// becomes a second crash draw (crash degrades to pause there, but
+		// the op-suppression window is identical on both backends, keeping
+		// generated schedules portable).
+		if cfg.Backend == runtime.BackendNet {
+			f.Kind = FaultJoin
+		} else {
+			f.Kind = FaultCrash
+		}
 	}
 	return f
 }

@@ -52,10 +52,13 @@
 package netrepl
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log"
 	"net"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,8 +68,24 @@ import (
 	"ipa/internal/store"
 )
 
-// maxFrame caps the size of one accepted frame.
-const maxFrame = 64 << 20
+// defaultMaxFrame is the default cap on the size of one frame
+// (Config.MaxFrame).
+const defaultMaxFrame = 64 << 20
+
+// State-transfer request magics. Both protocols share the replication
+// listener: a frame whose payload starts with one of these words is a
+// one-shot request, served on the same connection, instead of a batch.
+// Neither collides with the batch codec ("IPAB" + version).
+const (
+	// tailMagic + an encoded vector asks for the node's own-origin WAL
+	// records above that cut, streamed back as ordinary batch frames
+	// until EOF — the op tail a joining site uses to close the gap
+	// between its adopted snapshot and live replication.
+	tailMagic = "IPAT"
+	// joinMagic asks for a full state snapshot (one length-prefixed
+	// blob), the donor side of bootstrap.
+	joinMagic = "IPAJ"
+)
 
 // ackMagic is the fixed acknowledgement word the receiver writes back
 // after accepting one frame. The protocol is synchronous per connection —
@@ -117,6 +136,36 @@ type Config struct {
 	// contain pre-v2 receivers. Receiving is always version-agnostic —
 	// every node decodes v0, v1, and v2 frames.
 	WireVersion int
+	// DataDir, when non-empty, makes the node durable: committed and
+	// received transactions append to a write-ahead log under it before
+	// they are acknowledged (group commit — see internal/store's WAL),
+	// and periodic snapshots bound replay. A node restarted with the
+	// same DataDir recovers its replica from snapshot + log. Requires
+	// the streaming transport (incompatible with Legacy: the legacy
+	// path has no ack to anchor the durability contract to).
+	DataDir string
+	// MaxFrame caps the size of one frame, sent or accepted. A single
+	// transaction that encodes above it is undeliverable (see
+	// DESIGN.md, "Oversized transactions"). Default 64 MiB.
+	MaxFrame int
+	// SnapshotEvery is how many WAL bytes accumulate between snapshots;
+	// each snapshot lets the log truncate below the stability horizon.
+	// Checked on CompactAll (the stability driver's cadence).
+	// Default 4 MiB.
+	SnapshotEvery int64
+	// SegmentSize is the WAL's segment rotation threshold in bytes
+	// (default 8 MiB). Truncation deletes whole sealed segments, so
+	// smaller segments bound recovery replay more tightly at the cost
+	// of more files. Zero takes the log's default.
+	SegmentSize int64
+	// StallWarn is how long a received transaction may wait for a
+	// causal dependency before its origin is declared stalled: logged
+	// once per origin and counted in Metrics.StalledOrigins. A stall
+	// that never clears means the dependency will never arrive — an
+	// oversized transaction was dropped at the sender, or its origin's
+	// WAL is gone — and the unstick path is state transfer
+	// (decommission + rejoin from a donor snapshot). Default 10s.
+	StallWarn time.Duration
 }
 
 // DefaultConfig returns the streaming transport defaults.
@@ -131,6 +180,9 @@ func DefaultConfig() Config {
 		BackoffMax:    time.Second,
 		DrainTimeout:  2 * time.Second,
 		WireVersion:   store.WireVersionV2,
+		MaxFrame:      defaultMaxFrame,
+		SnapshotEvery: 4 << 20,
+		StallWarn:     10 * time.Second,
 	}
 }
 
@@ -163,6 +215,15 @@ func (c Config) withDefaults() Config {
 	if c.WireVersion != store.WireVersionGob {
 		c.WireVersion = store.WireVersionV2
 	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = d.MaxFrame
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = d.SnapshotEvery
+	}
+	if c.StallWarn <= 0 {
+		c.StallWarn = d.StallWarn
+	}
 	return c
 }
 
@@ -191,6 +252,20 @@ type Metrics struct {
 	// ApplyDepth is the current total of received transactions queued in
 	// the per-origin apply pipeline (accepted but not yet applied).
 	ApplyDepth int
+	// WALAppends/WALSyncs/WALBytes cover the write-ahead log (all zero
+	// on a memory-only node). WALSyncs under WALAppends is the group
+	// commit working: many records per fsync.
+	WALAppends, WALSyncs, WALBytes uint64
+	// WALSegments is the current on-disk segment count (grows with
+	// traffic, shrinks when snapshots let the log truncate).
+	WALSegments int
+	// Snapshots counts state snapshots written (recovery replays from
+	// the latest one).
+	Snapshots uint64
+	// StalledOrigins is the number of origins currently stalled on a
+	// causal gap older than Config.StallWarn — see Config.StallWarn for
+	// what a persistent stall means and the unstick path.
+	StalledOrigins int
 }
 
 func (m Metrics) String() string {
@@ -198,11 +273,19 @@ func (m Metrics) String() string {
 	if m.FramesSent > 0 {
 		batch = float64(m.TxnsSent) / float64(m.FramesSent)
 	}
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"sent %d txns in %d frames (%.1f txns/frame, %d bytes), recv %d txns in %d frames, "+
 			"dials %d (reconnects %d), send errors %d, backpressure waits %d, dropped %d, queue %d, apply queue %d",
 		m.TxnsSent, m.FramesSent, batch, m.BytesSent, m.TxnsRecv, m.FramesRecv,
 		m.Dials, m.Reconnects, m.SendErrors, m.BackpressureWaits, m.TxnsDropped, m.QueueDepth, m.ApplyDepth)
+	if m.WALAppends > 0 || m.Snapshots > 0 {
+		s += fmt.Sprintf(", wal %d appends in %d syncs (%d bytes, %d segments), snapshots %d",
+			m.WALAppends, m.WALSyncs, m.WALBytes, m.WALSegments, m.Snapshots)
+	}
+	if m.StalledOrigins > 0 {
+		s += fmt.Sprintf(", STALLED origins %d", m.StalledOrigins)
+	}
+	return s
 }
 
 // counters holds the atomically updated parts of Metrics.
@@ -259,6 +342,32 @@ type Node struct {
 	blockMu sync.Mutex
 	blocked map[clock.ReplicaID]bool
 
+	// Durability (nil/zero on a memory-only node). wal is the node's
+	// write-ahead log; walEnc builds the single-transaction records the
+	// local commit hook appends — the hook runs under the committing
+	// transaction's tag window, which serialises the encoder. reoffer
+	// holds own-origin records recovered from the log; AddPeer replays
+	// them into each new peer's queue ahead of live traffic, closing
+	// any gap the crash opened at peers that had not yet received them.
+	wal     *store.WAL
+	walEnc  *store.FrameEncoder
+	dataDir string
+	reoffer []store.WireTxn
+	// snapMu serialises snapshot writes; snapBase is the WAL byte count
+	// at the last snapshot (the SnapshotEvery trigger).
+	snapMu    sync.Mutex
+	snapBase  uint64
+	snapshots atomic.Uint64
+	// walFailOnce bounds the durability-lost log line; the WAL error
+	// itself is sticky (no further appends succeed).
+	walFailOnce sync.Once
+
+	// stallMu guards stalled: origins whose apply queue has waited on a
+	// causal dependency for longer than Config.StallWarn (satellite of
+	// the oversized-transaction drop: the gap may never close).
+	stallMu sync.Mutex
+	stalled map[clock.ReplicaID]bool
+
 	m counters
 }
 
@@ -271,14 +380,27 @@ func NewNode(id clock.ReplicaID, addr string) (*Node, error) {
 // NewNodeWithConfig creates a node with an explicit transport
 // configuration. The node's replica lives in a single-member cluster; all
 // replication flows through the TCP transport.
+//
+// With Config.DataDir set the node is durable, and a restart with the
+// same directory RECOVERS the site: the latest snapshot restores the
+// bulk of the state, then every write-ahead-log record re-applies
+// through the same causal delivery path live replication uses (the
+// snapshot's cut deduplicates the overlap). Own-origin records found in
+// the log are also kept for re-offer: AddPeer replays them to each peer
+// ahead of new commits, so a peer that was never sent them (the origin
+// crashed between fsync and broadcast) still converges.
 func NewNodeWithConfig(id clock.ReplicaID, addr string, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Legacy && cfg.DataDir != "" {
+		return nil, fmt.Errorf("netrepl: DataDir requires the streaming transport: the legacy path acknowledges nothing, so there is no ack to anchor the fsync-before-ack contract to")
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netrepl: listen: %w", err)
 	}
 	n := &Node{
 		id:       id,
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		cluster:  store.NewSocketCluster(id),
 		peers:    map[clock.ReplicaID]*peerConn{},
 		ln:       ln,
@@ -286,13 +408,106 @@ func NewNodeWithConfig(id clock.ReplicaID, addr string, cfg Config) (*Node, erro
 		conns:    map[net.Conn]struct{}{},
 		appliers: map[clock.ReplicaID]chan store.WireTxn{},
 		blocked:  map[clock.ReplicaID]bool{},
+		stalled:  map[clock.ReplicaID]bool{},
 	}
 	n.replica = n.cluster.Replica(id)
 	n.pauseCond = sync.NewCond(&n.pauseMu)
-	n.cluster.SetOnCommit(n.broadcast)
+	var leftovers []store.WireTxn
+	if cfg.DataDir != "" {
+		var err error
+		leftovers, err = n.recover()
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	n.cluster.SetOnCommitSync(n.broadcast)
 	n.wg.Add(1)
 	go n.acceptLoop()
+	if n.cfg.StallWarn > 0 {
+		n.wg.Add(1)
+		go n.stallTicker()
+	}
+	// Logged records whose causal dependencies never reached the disk
+	// (the crash hit between receiving a transaction and receiving what
+	// it depends on) re-enter the live apply pipeline and wait there;
+	// the dependency's origin never saw our ack, so it retries.
+	for _, w := range leftovers {
+		n.accept(w)
+	}
 	return n, nil
+}
+
+// recover restores the replica from the data directory: snapshot first,
+// then a synchronous causal replay of the write-ahead log. It returns
+// the records it could not apply (dependencies missing from disk); the
+// caller routes those through the live apply pipeline. Must run before
+// the node accepts commits or frames: replay of own-origin records and
+// the event-tag counter bump both race local commits.
+func (n *Node) recover() ([]store.WireTxn, error) {
+	n.dataDir = n.cfg.DataDir
+	n.walEnc = store.NewFrameEncoder(store.WireVersionV2)
+	if snap, ok := store.ReadSnapshotFile(n.dataDir); ok && snap.Replica == n.id {
+		n.replica.RestoreSnapshot(snap)
+	}
+	var replayed []store.WireTxn
+	wal, err := store.OpenWAL(filepath.Join(n.dataDir, "wal"), func(frame []byte, txns []store.WireTxn) error {
+		replayed = append(replayed, txns...)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("netrepl: recover %s: %w", n.id, err)
+	}
+	wal.SetSegmentSize(n.cfg.SegmentSize)
+	n.wal = wal
+	// The log holds own-origin commits past the snapshot's cut (commits
+	// fsync before Commit returns, snapshots are periodic); new commits
+	// must not reuse their sequence numbers.
+	var maxOwn uint64
+	for i := range replayed {
+		if replayed[i].Origin == n.id {
+			n.reoffer = append(n.reoffer, replayed[i])
+			if replayed[i].LastSeq > maxOwn {
+				maxOwn = replayed[i].LastSeq
+			}
+		}
+	}
+	n.replica.EnsureSeq(maxOwn)
+	// Causal replay: the log is in append order, which is NOT causal
+	// order (a record is logged before it is applied, so it can precede
+	// its dependencies on disk). Sweep until a pass applies nothing:
+	// each pass applies every record whose origin-FIFO position and
+	// dependencies the previous passes satisfied. Own-origin records
+	// always drain — anything they depend on was applied (hence logged)
+	// before they were, and fsync loss is a suffix of append order.
+	tryOnly := func() bool { return true }
+	pending := replayed
+	for len(pending) > 0 {
+		next := pending[:0]
+		for _, w := range pending {
+			if !n.replica.ApplyExternal(w, tryOnly) &&
+				n.replica.Clock().Get(w.Origin) < w.LastSeq {
+				next = append(next, w)
+			}
+		}
+		if len(next) == len(pending) {
+			return next, nil // no progress: dependencies not on disk
+		}
+		pending = next
+	}
+	return nil, nil
+}
+
+// accept routes one transaction into the apply pipeline with the same
+// accounting as the receive path. It returns false when the node is
+// closing.
+func (n *Node) accept(w store.WireTxn) bool {
+	n.applyPending.Add(1)
+	if !n.enqueueApply(w) {
+		n.applyPending.Add(-1)
+		return false
+	}
+	return true
 }
 
 // Addr returns the node's listening address.
@@ -303,17 +518,48 @@ func (n *Node) ID() clock.ReplicaID { return n.id }
 
 // AddPeer registers a peer to replicate to and starts its sender. Adding
 // the same peer id again is a no-op.
+//
+// On a node that recovered from a data directory, every own-origin
+// record found in the log is re-offered to the new peer ahead of new
+// commits: a crash can hit after a commit is durable but before any
+// peer received it, and without the re-offer that transaction would
+// exist only in the origin's log while its successors replicate — a
+// permanent causal gap at every peer. Peers that already have the
+// records deduplicate them by origin sequence.
 func (n *Node) AddPeer(id clock.ReplicaID, addr string) {
 	n.peersMu.Lock()
-	defer n.peersMu.Unlock()
 	if _, ok := n.peers[id]; ok {
+		n.peersMu.Unlock()
 		return
 	}
 	p := newPeerConn(n, id, addr)
 	n.peers[id] = p
-	if !n.cfg.Legacy {
-		n.wg.Add(1)
-		go p.run()
+	n.peersMu.Unlock()
+	if n.cfg.Legacy {
+		return
+	}
+	n.wg.Add(1)
+	go p.run()
+	// After run starts: a re-offer backlog larger than the queue needs
+	// the sender draining it.
+	for _, w := range n.reoffer {
+		p.enqueue(w)
+	}
+}
+
+// RemovePeer stops replicating to a peer and releases its sender — the
+// decommission path. The sender flushes what it can of the queue and
+// exits; anything still queued is for a site that no longer exists.
+// Removing an unknown peer is a no-op.
+func (n *Node) RemovePeer(id clock.ReplicaID) {
+	n.peersMu.Lock()
+	p, ok := n.peers[id]
+	if ok {
+		delete(n.peers, id)
+	}
+	n.peersMu.Unlock()
+	if ok && !n.cfg.Legacy {
+		close(p.quit)
 	}
 }
 
@@ -355,8 +601,65 @@ func (n *Node) Lookup(key string) (crdt.CRDT, bool) {
 // CompactAll lets every CRDT at the node's replica compact metadata below
 // the stability horizon, shard by shard — safe while the node serves
 // traffic (see store.Replica.CompactAll).
+//
+// On a durable node the stability round also drives the snapshot cycle:
+// once Config.SnapshotEvery log bytes have accumulated since the last
+// snapshot, the node captures one and truncates the log below the
+// horizon. The horizon is the right truncation cut on both axes it must
+// respect: it is at or below every member's applied cut (peers will
+// never ask for records beneath it) and at or below this replica's own
+// applied cut, which the snapshot covers (recovery will not need them
+// either).
 func (n *Node) CompactAll(horizon, frontier clock.Vector) {
 	n.replica.CompactAll(horizon, frontier)
+	if n.wal == nil {
+		return
+	}
+	select {
+	case <-n.closed:
+		// Never snapshot a dead node: after Kill, persisting the
+		// in-memory state would resurrect exactly the unsynced suffix
+		// the crash must lose.
+		return
+	default:
+	}
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
+	if n.wal.Stats().Bytes-n.snapBase < uint64(n.cfg.SnapshotEvery) {
+		return
+	}
+	if err := n.snapshotLocked(); err != nil {
+		log.Printf("netrepl: node %s: snapshot failed (log keeps everything): %v", n.id, err)
+		return
+	}
+	if err := n.wal.TruncateBelow(horizon); err != nil {
+		log.Printf("netrepl: node %s: wal truncate: %v", n.id, err)
+	}
+}
+
+// snapshotLocked captures and persists a snapshot; snapMu held.
+func (n *Node) snapshotLocked() error {
+	data, _, err := n.replica.CaptureSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := store.WriteSnapshotFile(n.dataDir, data); err != nil {
+		return err
+	}
+	n.snapBase = n.wal.Stats().Bytes
+	n.snapshots.Add(1)
+	return nil
+}
+
+// ForceSnapshot captures and persists a snapshot immediately, regardless
+// of how little the log has grown.
+func (n *Node) ForceSnapshot() error {
+	if n.wal == nil {
+		return fmt.Errorf("netrepl: node %s is not durable", n.id)
+	}
+	n.snapMu.Lock()
+	defer n.snapMu.Unlock()
+	return n.snapshotLocked()
 }
 
 // SetPaused freezes (or thaws) the node's apply pipeline — the
@@ -439,6 +742,15 @@ func (n *Node) Stats() Metrics {
 		BackpressureWaits: atomic.LoadUint64(&n.m.backpressureWaits),
 		TxnsDropped:       atomic.LoadUint64(&n.m.txnsDropped),
 		ApplyDepth:        int(n.applyPending.Load()),
+		Snapshots:         n.snapshots.Load(),
+		StalledOrigins:    n.stallCount(),
+	}
+	if n.wal != nil {
+		ws := n.wal.Stats()
+		m.WALAppends = ws.Appends
+		m.WALSyncs = ws.Syncs
+		m.WALBytes = ws.Bytes
+		m.WALSegments = ws.Segments
 	}
 	n.peersMu.RLock()
 	for _, p := range n.peers {
@@ -448,20 +760,70 @@ func (n *Node) Stats() Metrics {
 	return m
 }
 
+// Replica exposes the node's store replica — the handle sessions pin
+// (store.Session) and tests inspect. The replica is invalidated when
+// the node is killed or decommissioned, so a stale handle fails loudly.
+func (n *Node) Replica() *store.Replica {
+	return n.replica
+}
+
 // broadcast ships one committed transaction to every peer. Called from
 // Commit under the committing transaction's tag window, so per-peer
 // enqueue order matches the origin's sequence order. In streaming mode it
 // enqueues and returns; in legacy mode it dials and sends synchronously.
-func (n *Node) broadcast(w store.WireTxn) {
+//
+// On a durable node it first appends the transaction to the write-ahead
+// log (the tag window serialises walEnc) and returns a wait function
+// that Commit runs after releasing the transaction's locks: Commit does
+// not return before the record is fsynced — so nothing a client was
+// ever told succeeded can be lost to a crash — but the fsync itself
+// never happens under a lock, and concurrent committers share one group
+// commit. The transaction is stamped with its log sequence so each
+// peer's sender can hold the frame back until the record is durable
+// (see peerConn.deliver): a peer must never hold a transaction the
+// origin could forget, or the origin's recovery would reuse its
+// sequence numbers for different operations.
+func (n *Node) broadcast(w store.WireTxn) func() {
 	if n.cfg.Legacy {
 		n.legacyBroadcast(w)
-		return
+		return nil
+	}
+	var seq uint64
+	if n.wal != nil {
+		frame, err := n.walEnc.Encode([]store.WireTxn{w})
+		if err != nil {
+			// Deterministic encoding: a failure is a programming error (an
+			// op type without a wire codec), same as the sender path.
+			panic(fmt.Sprintf("netrepl: encode commit for wal: %v", err))
+		}
+		if seq, err = n.wal.Append(frame, []store.WireTxn{w}); err != nil {
+			n.walFailed(err)
+			seq = 0
+		}
+		w.SetWALSeq(seq)
 	}
 	n.peersMu.RLock()
-	defer n.peersMu.RUnlock()
 	for _, p := range n.peers {
 		p.enqueue(w)
 	}
+	n.peersMu.RUnlock()
+	if seq == 0 {
+		return nil
+	}
+	return func() {
+		if err := n.wal.WaitSynced(seq); err != nil {
+			n.walFailed(err)
+		}
+	}
+}
+
+// walFailed reports a durability failure once; the WAL error is sticky,
+// so the node keeps serving from memory but stops being durable (and a
+// restart recovers only to the last synced record).
+func (n *Node) walFailed(err error) {
+	n.walFailOnce.Do(func() {
+		log.Printf("netrepl: node %s: WAL failure, durability lost: %v", n.id, err)
+	})
 }
 
 // legacyBroadcast is the original demo transport: one short-lived
@@ -544,8 +906,18 @@ func (n *Node) handle(conn net.Conn) {
 	bufp := frameBufPool.Get().(*[]byte)
 	defer frameBufPool.Put(bufp)
 	for {
-		data, err := readFrame(conn, bufp)
+		data, err := readFrame(conn, bufp, n.cfg.MaxFrame)
 		if err != nil {
+			return
+		}
+		// State-transfer requests share the replication listener; both
+		// are one-shot (serve, then drop the connection).
+		if bytes.HasPrefix(data, []byte(tailMagic)) {
+			n.serveTail(conn, data[len(tailMagic):])
+			return
+		}
+		if bytes.HasPrefix(data, []byte(joinMagic)) {
+			n.serveJoin(conn)
 			return
 		}
 		txns, err := store.DecodeFrame(data)
@@ -559,6 +931,19 @@ func (n *Node) handle(conn net.Conn) {
 		if len(txns) > 0 && n.originBlocked(txns[0].Origin) {
 			return
 		}
+		// Durability: log and fsync the raw frame BEFORE applying or
+		// acknowledging anything from it. Log-before-apply keeps the
+		// replica's delivered cut inside the durable cut (a gathered
+		// stability horizon can then never cover an op recovery would
+		// lose); fsync-before-ack means a sender told to forget a batch
+		// can trust this node to resurrect it from its own log.
+		if n.wal != nil {
+			if seq, err := n.wal.Append(data, txns); err != nil {
+				n.walFailed(err)
+			} else if err := n.wal.WaitSynced(seq); err != nil {
+				n.walFailed(err)
+			}
+		}
 		atomic.AddUint64(&n.m.framesRecv, 1)
 		atomic.AddUint64(&n.m.bytesRecv, uint64(len(data)+4))
 		// Route each transaction into its origin's apply queue. A full
@@ -566,23 +951,198 @@ func (n *Node) handle(conn net.Conn) {
 		// backpressure onto the sender, which will retry the batch (the
 		// apply path deduplicates).
 		for _, w := range txns {
-			n.applyPending.Add(1)
-			if !n.enqueueApply(w) {
-				n.applyPending.Add(-1)
+			if !n.accept(w) {
 				return // node closing
 			}
 		}
 		atomic.AddUint64(&n.m.txnsRecv, uint64(len(txns)))
 		// Acknowledge once the batch is accepted into the apply pipeline:
 		// the sender may now forget it. Applying happens asynchronously —
-		// the pipeline is never torn down before the node itself, so
-		// acceptance is as durable as the old apply-then-ack (neither
-		// survives Close). Legacy senders never read acks; the write then
-		// fails or lands in a buffer nobody drains, both harmless.
+		// the pipeline is never torn down before the node itself, and on
+		// a durable node the batch is already fsynced above, so the ack
+		// is safe against this node's crash too. Legacy senders never
+		// read acks; the write then fails or lands in a buffer nobody
+		// drains, both harmless.
 		if err := writeAck(conn); err != nil {
 			return
 		}
 	}
+}
+
+// stateTransferLimit is the frame cap on the state-transfer paths
+// (snapshot blobs and WAL-record tails). Deliberately far above
+// Config.MaxFrame: state transfer is the unstick path for transactions
+// too large for live replication, so it must carry what the live path
+// cannot.
+const stateTransferLimit = 1 << 30
+
+// serveTail streams every logged record above the requester's cut back
+// as batch frames, then lets the connection close (EOF is the end
+// marker; no acks — the requester retries against another peer on
+// error, and re-applied overlap deduplicates). All origins are served,
+// not just this node's own: a joiner must also obtain records whose
+// origin has since left the mesh, and those exist only in the logs of
+// the nodes that received them.
+func (n *Node) serveTail(conn net.Conn, req []byte) {
+	rd := crdt.NewWireReader(req)
+	have, err := crdt.DecodeVectorWire(&rd)
+	if err != nil || n.wal == nil {
+		return
+	}
+	recs, err := n.wal.RecordsAbove(have)
+	if err != nil {
+		return
+	}
+	enc := store.NewFrameEncoder(store.WireVersionV2)
+	var send func(batch []store.WireTxn) bool
+	send = func(batch []store.WireTxn) bool {
+		frame, err := enc.Encode(batch)
+		if err != nil {
+			return false
+		}
+		if len(frame) > n.cfg.MaxFrame && len(batch) > 1 {
+			// Keep individual frames small where possible; a single
+			// record above MaxFrame still goes out whole — the requester
+			// reads this stream with stateTransferLimit, and carrying
+			// oversized transactions is this path's reason to exist.
+			half := len(batch) / 2
+			return send(batch[:half]) && send(batch[half:])
+		}
+		conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+		return writeFrame(conn, frame) == nil
+	}
+	for len(recs) > 0 {
+		batch := recs
+		if len(batch) > n.cfg.MaxBatchTxns {
+			batch = recs[:n.cfg.MaxBatchTxns]
+		}
+		if !send(batch) {
+			return
+		}
+		recs = recs[len(batch):]
+	}
+}
+
+// serveJoin writes one snapshot of the replica's full state — the donor
+// side of a fresh site's bootstrap.
+func (n *Node) serveJoin(conn net.Conn) {
+	data, _, err := n.replica.CaptureSnapshot()
+	if err != nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+	_ = writeFrame(conn, data)
+}
+
+// fetchSnapshot adopts a donor's full state. Only sound while nothing
+// else writes this replica (a fresh joiner before peers stream to it):
+// the snapshot installs objects wholesale.
+func (n *Node) fetchSnapshot(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+	if err := writeFrame(conn, []byte(joinMagic)); err != nil {
+		return err
+	}
+	bufp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bufp)
+	conn.SetReadDeadline(time.Now().Add(n.cfg.WriteTimeout))
+	data, err := readFrame(conn, bufp, stateTransferLimit)
+	if err != nil {
+		return err
+	}
+	snap, err := store.DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	n.replica.RestoreSnapshot(snap)
+	return nil
+}
+
+// fetchTail pulls all records above this node's delivered cut from the
+// peer at addr, logging each frame before handing its transactions to
+// the apply pipeline (the same log-before-apply order as live receive;
+// no ack is involved, so no fsync wait either).
+func (n *Node) fetchTail(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	req := append([]byte(tailMagic), crdt.AppendVectorWire(nil, n.replica.Clock())...)
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
+	if err := writeFrame(conn, req); err != nil {
+		return err
+	}
+	bufp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bufp)
+	for {
+		conn.SetReadDeadline(time.Now().Add(n.cfg.WriteTimeout))
+		data, err := readFrame(conn, bufp, stateTransferLimit)
+		if err == io.EOF {
+			return nil // clean end of stream
+		}
+		if err != nil {
+			return err
+		}
+		txns, err := store.DecodeFrame(data)
+		if err != nil {
+			return err
+		}
+		if n.wal != nil {
+			if _, err := n.wal.Append(data, txns); err != nil {
+				n.walFailed(err)
+			}
+		}
+		for _, w := range txns {
+			if !n.accept(w) {
+				return nil
+			}
+		}
+	}
+}
+
+// Bootstrap initialises a FRESH site from the mesh: adopt the donor's
+// full state snapshot, then pull each peer's op tail. The caller must
+// sequence membership correctly (runtime.NetCluster.Join does):
+//
+//  1. the joiner is added to the stability membership first, freezing
+//     the horizon at its cut so no peer truncates records the joiner
+//     has not applied;
+//  2. the snapshot is fetched before any peer streams to the joiner
+//     (snapshot adoption is a wholesale install — see fetchSnapshot);
+//  3. peers start streaming (the mesh callback, which AddPeers every
+//     existing node towards the joiner), and only then are tails
+//     fetched: every record is either in the tail response (logged
+//     before it) or in the live stream (committed after the peer began
+//     streaming, which precedes its tail response), with the overlap
+//     deduplicated by origin sequence.
+//
+// On a durable joiner the adopted state is immediately re-snapshotted
+// under the joiner's own identity, so a crash right after the join
+// recovers without re-bootstrapping.
+func (n *Node) Bootstrap(donorAddr string, peerAddrs []string, mesh func()) error {
+	if err := n.fetchSnapshot(donorAddr); err != nil {
+		return fmt.Errorf("netrepl: join %s: snapshot from %s: %w", n.id, donorAddr, err)
+	}
+	if mesh != nil {
+		mesh()
+	}
+	var firstErr error
+	for _, a := range peerAddrs {
+		if err := n.fetchTail(a); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("netrepl: join %s: tail from %s: %w", n.id, a, err)
+		}
+	}
+	if n.wal != nil {
+		if err := n.ForceSnapshot(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // enqueueApply hands one received transaction to its origin's applier,
@@ -638,6 +1198,42 @@ func (n *Node) applyLoop(origin clock.ReplicaID, ch chan store.WireTxn) {
 	// local copy stays authoritative.
 	next := n.replica.Clock().Get(origin)
 	buf := map[uint64]store.WireTxn{} // FIFO reorder buffer: FirstSeq → txn
+	// FIFO-gap stall detection. A dependency wait stalls inside
+	// ApplyExternal, where applyOne's gate notices it — but a gap in the
+	// origin's own sequence keeps its transactions in buf without ever
+	// reaching that gate, and an oversized-transaction drop at the
+	// sender is exactly such a gap, permanent. Watch the buffer from a
+	// ticker: no progress past a non-empty buffer for StallWarn means
+	// the prefix is not coming.
+	var (
+		gapSince  time.Time // non-zero while buf holds work and nothing advances
+		warnedGap bool
+		tick      <-chan time.Time
+	)
+	if n.cfg.StallWarn > 0 {
+		period := n.cfg.StallWarn / 4
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		tk := time.NewTicker(period)
+		defer tk.Stop()
+		tick = tk.C
+	}
+	// gapCheck re-arms the stall watch after handling one transaction:
+	// progress (an apply, or the buffer draining) restarts the clock,
+	// and a drained buffer clears a warned stall — the gap closed.
+	gapCheck := func(progressed bool) {
+		switch {
+		case len(buf) == 0:
+			gapSince = time.Time{}
+			if warnedGap {
+				warnedGap = false
+				n.clearStall(origin)
+			}
+		case progressed || gapSince.IsZero():
+			gapSince = time.Now()
+		}
+	}
 	// Transactions still held in the reorder buffer when the node closes
 	// die with it; they were acknowledged, so account for them (Close
 	// drains the dead channels the same way once the appliers exited).
@@ -659,6 +1255,7 @@ func (n *Node) applyLoop(origin clock.ReplicaID, ch chan store.WireTxn) {
 				} else {
 					buf[w.FirstSeq] = w
 				}
+				gapCheck(false)
 				continue
 			}
 			if !n.applyOne(w, giveUp) {
@@ -679,6 +1276,21 @@ func (n *Node) applyLoop(origin clock.ReplicaID, ch chan store.WireTxn) {
 				}
 				next = w2.LastSeq
 			}
+			gapCheck(true)
+		case <-tick:
+			if !warnedGap && !gapSince.IsZero() && time.Since(gapSince) > n.cfg.StallWarn {
+				warnedGap = true
+				// The oldest buffered transaction names the missing
+				// prefix: everything in (next, oldest.FirstSeq] is
+				// absent and, after this long, presumed unreachable.
+				oldest := store.WireTxn{FirstSeq: ^uint64(0)}
+				for _, b := range buf {
+					if b.FirstSeq < oldest.FirstSeq {
+						oldest = b
+					}
+				}
+				n.noteStall(oldest)
+			}
 		case <-n.closed:
 			return
 		}
@@ -693,13 +1305,27 @@ func (n *Node) applyLoop(origin clock.ReplicaID, ch chan store.WireTxn) {
 // returns false only when the node closed before the transaction was
 // processed — that transaction is then counted dropped.
 func (n *Node) applyOne(w store.WireTxn, giveUp func() bool) bool {
-	gate := func() bool { return giveUp() || n.isPaused() }
+	// Stall detection (see Config.StallWarn): the gate is re-polled on
+	// every clock change and on the stall ticker, so a dependency wait
+	// that outlives the threshold is noticed even when nothing else
+	// moves. The elapsed time deliberately spans pauses and retries —
+	// what matters to a reader of the metric is how long the origin's
+	// queue has been stuck, not why.
+	start := time.Now()
+	warned := false
+	gate := func() bool {
+		if !warned && n.cfg.StallWarn > 0 && time.Since(start) > n.cfg.StallWarn {
+			warned = true
+			n.noteStall(w)
+		}
+		return giveUp() || n.isPaused()
+	}
 	for {
 		if !n.pauseWait() {
 			break // closed while paused
 		}
 		if n.replica.ApplyExternal(w, gate) {
-			n.applyPending.Add(-1)
+			n.settleApply(w.Origin, warned)
 			return true
 		}
 		if giveUp() {
@@ -709,13 +1335,83 @@ func (n *Node) applyOne(w store.WireTxn, giveUp func() bool) bool {
 		// (the delivered cut already covers it — processed) or a pause
 		// aborted the dependency wait (retry after the pause lifts).
 		if n.replica.Clock().Get(w.Origin) >= w.LastSeq {
-			n.applyPending.Add(-1)
+			n.settleApply(w.Origin, warned)
 			return true
 		}
 	}
 	n.applyPending.Add(-1)
 	atomic.AddUint64(&n.m.txnsDropped, 1)
 	return false
+}
+
+// settleApply releases a processed transaction's applyPending slot and
+// clears its origin's stall flag: the queue moved, so the gap closed.
+func (n *Node) settleApply(origin clock.ReplicaID, warned bool) {
+	n.applyPending.Add(-1)
+	if warned {
+		n.clearStall(origin)
+	}
+}
+
+// clearStall retracts a stall mark: the origin's queue moved again.
+func (n *Node) clearStall(origin clock.ReplicaID) {
+	n.stallMu.Lock()
+	delete(n.stalled, origin)
+	n.stallMu.Unlock()
+}
+
+// noteStall marks a transaction's origin as stalled on a causal gap,
+// logging the first occurrence per origin. Deliberately loud: a stall
+// that never clears is silent divergence otherwise — the origin's later
+// transactions pile up in the reorder buffer while reads serve an ever
+// staler prefix. DESIGN.md ("Oversized transactions") describes the
+// state-transfer unstick path.
+//
+// Called from the dependency-wait gate, which runs UNDER the replica's
+// clock lock — nothing here may read the replica's clock (or take any
+// lock ordered after it).
+func (n *Node) noteStall(w store.WireTxn) {
+	n.stallMu.Lock()
+	first := !n.stalled[w.Origin]
+	n.stalled[w.Origin] = true
+	n.stallMu.Unlock()
+	if first {
+		log.Printf("netrepl: node %s: apply queue for origin %s stalled for over %v waiting to apply seq %d..%d (deps %s); "+
+			"the dependency may have been dropped as oversized — if the stall persists, recover the site by state transfer",
+			n.id, w.Origin, n.cfg.StallWarn, w.FirstSeq, w.LastSeq, w.Deps)
+	}
+}
+
+// stallCount reports how many origins are currently stalled.
+func (n *Node) stallCount() int {
+	n.stallMu.Lock()
+	defer n.stallMu.Unlock()
+	return len(n.stalled)
+}
+
+// stallTicker periodically wakes dependency waiters whenever the apply
+// pipeline holds work, so their gates get polled even when no clock
+// movement does it — in a total stall (the dependency will never
+// arrive) nothing else ever broadcasts the condition variable, and the
+// stall would otherwise go undetected.
+func (n *Node) stallTicker() {
+	defer n.wg.Done()
+	period := n.cfg.StallWarn / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.closed:
+			return
+		case <-t.C:
+			if n.applyPending.Load() > 0 {
+				n.replica.WakeExternal()
+			}
+		}
+	}
 }
 
 // writeAck confirms one accepted frame.
@@ -782,11 +1478,30 @@ func (n *Node) Clock() clock.Vector {
 
 // Close drains the outbound queues (for up to Config.DrainTimeout), stops
 // the listener, senders, and appliers, and waits for in-flight handlers.
-// Transactions still queued in the apply pipeline are dropped with the
-// node. Safe to call more than once.
-func (n *Node) Close() error {
+// On a durable node the log is flushed and fsynced. Transactions still
+// queued in the apply pipeline are dropped with the node (on a durable
+// node they are in the log, so a restart re-applies them). Safe to call
+// more than once.
+func (n *Node) Close() error { return n.shutdown(true) }
+
+// Kill is Close with kill -9 semantics — the crash fault hook. No
+// drain: outbound queues are abandoned immediately, and the write-ahead
+// log is dropped without flushing its append buffer, losing exactly the
+// records whose WaitSynced never returned — i.e. nothing that was ever
+// acknowledged to a client or a peer. The replica is invalidated so
+// pinned sessions fail with ErrStale instead of silently reading the
+// dead instance (the site's identity moves to the recovered node).
+// A node restarted from the same data directory recovers the site.
+func (n *Node) Kill() error { return n.shutdown(false) }
+
+func (n *Node) shutdown(graceful bool) error {
 	n.closeOnce.Do(func() {
-		n.drainDL.Store(time.Now().Add(n.cfg.DrainTimeout))
+		if graceful {
+			n.drainDL.Store(time.Now().Add(n.cfg.DrainTimeout))
+		} else {
+			n.drainDL.Store(time.Now())
+			n.replica.Invalidate()
+		}
 		close(n.closed)
 		n.closeErr = n.ln.Close()
 		// Senders flush on their own; inbound connections would block
@@ -824,6 +1539,18 @@ func (n *Node) Close() error {
 			}
 		}
 		n.applyMu.Unlock()
+		// Tear down the log last: handlers that were appending are gone.
+		if n.wal != nil {
+			var err error
+			if graceful {
+				err = n.wal.Close()
+			} else {
+				err = n.wal.Abandon()
+			}
+			if err != nil && n.closeErr == nil {
+				n.closeErr = err
+			}
+		}
 	})
 	return n.closeErr
 }
@@ -859,16 +1586,16 @@ var frameBufPool = sync.Pool{
 }
 
 // readFrame reads one length-prefixed frame into *bufp (growing it when
-// the frame exceeds its capacity), refusing absurd sizes. The returned
-// slice aliases *bufp and is valid until the next readFrame call with
-// the same buffer.
-func readFrame(conn net.Conn, bufp *[]byte) ([]byte, error) {
+// the frame exceeds its capacity), refusing frames above limit. The
+// returned slice aliases *bufp and is valid until the next readFrame
+// call with the same buffer.
+func readFrame(conn net.Conn, bufp *[]byte, limit int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return nil, err
 	}
 	size := binary.BigEndian.Uint32(hdr[:])
-	if size > maxFrame {
+	if size > uint32(limit) {
 		return nil, fmt.Errorf("netrepl: frame of %d bytes exceeds limit", size)
 	}
 	if uint32(cap(*bufp)) < size {

@@ -25,6 +25,11 @@ type peerConn struct {
 	// full — backpressure), the sender goroutine coalesces into batches.
 	ch chan store.WireTxn
 
+	// quit is closed by Node.RemovePeer (decommission): the sender
+	// flushes what it can without retrying and exits. Node close uses
+	// n.closed instead, which allows a drain window.
+	quit chan struct{}
+
 	// Sender-goroutine state; no lock needed.
 	conn      net.Conn
 	connected bool       // a dial has succeeded at least once
@@ -48,9 +53,10 @@ func newPeerConn(n *Node, id clock.ReplicaID, addr string) *peerConn {
 	h.Write([]byte(id))
 	return &peerConn{
 		n: n, id: id, addr: addr,
-		ch:  make(chan store.WireTxn, n.cfg.QueueCap),
-		rng: rand.New(rand.NewSource(int64(h.Sum64()))),
-		enc: store.NewFrameEncoder(n.cfg.WireVersion),
+		ch:   make(chan store.WireTxn, n.cfg.QueueCap),
+		quit: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(int64(h.Sum64()))),
+		enc:  store.NewFrameEncoder(n.cfg.WireVersion),
 	}
 }
 
@@ -118,10 +124,27 @@ func (p *peerConn) collect() []store.WireTxn {
 		default:
 			return nil
 		}
+	case <-p.quit:
+		select {
+		case first = <-p.ch:
+		default:
+			return nil
+		}
 	}
 	batch := append(make([]store.WireTxn, 0, p.n.cfg.MaxBatchTxns), first)
 	timer := time.NewTimer(p.n.cfg.FlushInterval)
 	defer timer.Stop()
+	drain := func() []store.WireTxn {
+		for len(batch) < p.n.cfg.MaxBatchTxns {
+			select {
+			case w := <-p.ch:
+				batch = append(batch, w)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
 	for len(batch) < p.n.cfg.MaxBatchTxns {
 		select {
 		case w := <-p.ch:
@@ -129,15 +152,9 @@ func (p *peerConn) collect() []store.WireTxn {
 		case <-timer.C:
 			return batch
 		case <-p.n.closed:
-			for len(batch) < p.n.cfg.MaxBatchTxns {
-				select {
-				case w := <-p.ch:
-					batch = append(batch, w)
-				default:
-					return batch
-				}
-			}
-			return batch
+			return drain()
+		case <-p.quit:
+			return drain()
 		}
 	}
 	return batch
@@ -149,6 +166,27 @@ func (p *peerConn) collect() []store.WireTxn {
 // deadline has passed. Retrying a partially written frame can duplicate
 // transactions — the receiver deduplicates by origin sequence.
 func (p *peerConn) deliver(batch []store.WireTxn) bool {
+	// Broadcast-after-fsync: nothing leaves this node before its log
+	// record is durable. A peer holding a transaction the crashed origin
+	// forgot would be worse than loss — the recovered origin reuses the
+	// forgotten sequence numbers, and the mesh would hold two different
+	// transactions under one identity. Commits are stamped with their
+	// log sequence at append time (see Node.broadcast); waiting on the
+	// batch's maximum covers every record in it, and the group commit
+	// usually already has (the committer's own wait races this one).
+	if p.n.wal != nil {
+		var maxSeq uint64
+		for i := range batch {
+			if s := batch[i].WALSeq(); s > maxSeq {
+				maxSeq = s
+			}
+		}
+		if maxSeq > 0 {
+			if err := p.n.wal.WaitSynced(maxSeq); err != nil {
+				p.n.walFailed(err)
+			}
+		}
+	}
 	// The frame aliases the peer's reusable encoder buffer; it stays
 	// valid through the retry loop below because nothing else encodes on
 	// this goroutine until deliver returns (the split path re-encodes
@@ -161,7 +199,7 @@ func (p *peerConn) deliver(batch []store.WireTxn) bool {
 		// instead.
 		panic(fmt.Sprintf("netrepl: encode batch: %v (op type not registered with the crdt wire codec?)", err))
 	}
-	if len(frame) > maxFrame {
+	if len(frame) > p.n.cfg.MaxFrame {
 		// The receiver refuses frames this large; retrying the same
 		// frame would wedge replication forever. Split and retry.
 		if len(batch) > 1 {
@@ -172,13 +210,15 @@ func (p *peerConn) deliver(batch []store.WireTxn) bool {
 		// delivered (the legacy transport lost these silently — here it
 		// is counted, and announced once per peer). Every receiver will
 		// stall on the causal gap this opens: the origin's later
-		// transactions queue in reorder buffers forever. See DESIGN.md
+		// transactions queue in reorder buffers forever — until the
+		// receiver's stall detector fires (Config.StallWarn) and the
+		// site is recovered by state transfer. See DESIGN.md
 		// ("Oversized transactions").
 		if !p.oversizedLogged {
 			p.oversizedLogged = true
 			w := &batch[0]
-			log.Printf("netrepl: node %s dropping undeliverable transaction for peer %s: origin %s seq %d..%d encodes to %d bytes (maxFrame %d); receivers will stall on the causal gap",
-				p.n.id, p.id, w.Origin, w.FirstSeq, w.LastSeq, len(frame), maxFrame)
+			log.Printf("netrepl: node %s dropping undeliverable transaction for peer %s: origin %s seq %d..%d encodes to %d bytes (MaxFrame %d); receivers will stall on the causal gap",
+				p.n.id, p.id, w.Origin, w.FirstSeq, w.LastSeq, len(frame), p.n.cfg.MaxFrame)
 		}
 		atomic.AddUint64(&p.n.m.sendErrors, 1)
 		atomic.AddUint64(&p.n.m.txnsDropped, 1)
@@ -247,6 +287,12 @@ func (p *peerConn) pause(backoff *time.Duration) bool {
 	d := *backoff/2 + time.Duration(p.rng.Int63n(int64(*backoff/2)+1))
 	if *backoff *= 2; *backoff > p.n.cfg.BackoffMax {
 		*backoff = p.n.cfg.BackoffMax
+	}
+	select {
+	case <-p.quit:
+		// Decommissioned peer: no retry window — the site is gone.
+		return false
+	default:
 	}
 	select {
 	case <-p.n.closed:

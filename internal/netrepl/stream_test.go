@@ -493,7 +493,7 @@ func TestUnackedFrameRetries(t *testing.T) {
 				first = false
 				go func(c net.Conn) {
 					defer c.Close()
-					if _, err := readFrame(c, new([]byte)); err == nil {
+					if _, err := readFrame(c, new([]byte), defaultMaxFrame); err == nil {
 						mu.Lock()
 						framesSwallowed++
 						mu.Unlock()
@@ -504,7 +504,7 @@ func TestUnackedFrameRetries(t *testing.T) {
 			go func(c net.Conn) {
 				defer c.Close()
 				for {
-					if _, err := readFrame(c, new([]byte)); err != nil {
+					if _, err := readFrame(c, new([]byte), defaultMaxFrame); err != nil {
 						return
 					}
 					mu.Lock()

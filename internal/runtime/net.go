@@ -3,6 +3,8 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
+	"sync"
 	"time"
 
 	"ipa/internal/clock"
@@ -27,6 +29,13 @@ type NetConfig struct {
 	// pre-v2 receivers. Zero keeps Transport's setting (default: the
 	// compact v2 binary codec).
 	WireVersion int
+	// DataDir, when non-empty, makes every node durable: node id gives
+	// the per-site subdirectory (DataDir/<id>), each holding a
+	// write-ahead log and snapshots. Durability is what makes the
+	// Lifecycle surface real — Crash/Recover round-trips a site through
+	// its on-disk state, and a NetCluster recreated over the same
+	// directory recovers every site. Overrides Transport.DataDir.
+	DataDir string
 }
 
 func (c NetConfig) withDefaults() NetConfig {
@@ -42,38 +51,83 @@ func (c NetConfig) withDefaults() NetConfig {
 	return c
 }
 
+// transportFor returns the per-node transport configuration.
+func (c *NetCluster) transportFor(id clock.ReplicaID) netrepl.Config {
+	t := c.cfg.Transport
+	if c.cfg.DataDir != "" {
+		t.DataDir = filepath.Join(c.cfg.DataDir, string(id))
+	}
+	return t
+}
+
+// link is an unordered replica pair — partition bookkeeping.
+type link [2]clock.ReplicaID
+
+func mkLink(a, b clock.ReplicaID) link {
+	if b < a {
+		a, b = b, a
+	}
+	return link{a, b}
+}
+
 // NetCluster runs one netrepl.Node per replica on loopback TCP, fully
 // meshed — the real-socket implementation of Cluster. Replication is
 // asynchronous on real goroutines, so unlike the simulator there is no
 // instantaneous "drain": Settle polls the nodes' causal clocks until they
 // converge. Stabilize gathers a global view the way a stability service
 // would and runs the same compaction as the simulator's.
+//
+// With NetConfig.DataDir set the cluster also implements Lifecycle
+// against real state: Crash kills a node without flushing, Recover
+// restarts it from its write-ahead log and snapshots at the same
+// address, Join bootstraps a new site from a donor, Decommission retires
+// one. Membership mutates under an internal lock; Stabilize serialises
+// with Join so the stability horizon can never advance past a
+// bootstrapping site's cut (which is what keeps peers from truncating
+// log records the joiner still needs).
 type NetCluster struct {
-	cfg   NetConfig
+	cfg NetConfig
+
+	mu    sync.RWMutex
 	order []clock.ReplicaID
 	nodes map[clock.ReplicaID]*netrepl.Node
+	addrs map[clock.ReplicaID]string // listen address, stable across Recover
+	down  map[clock.ReplicaID]bool   // crashed, awaiting Recover
+	// Active fault state, so Recover can reapply it to the replacement
+	// node instance: a partition or pause taken while a site is down
+	// must survive the site's recovery (the fault heals when the fault
+	// heals, not when the node restarts).
+	parts  map[link]bool
+	paused map[clock.ReplicaID]bool
 }
 
 // NewNetCluster creates one node per id on ephemeral loopback ports and
-// meshes them. On error, nodes created so far are closed.
+// meshes them. On error, nodes created so far are closed. With a DataDir
+// configured, sites that already have state under it recover it (a
+// cluster restarted over the same directory resumes where it crashed).
 func NewNetCluster(ids []clock.ReplicaID, cfg NetConfig) (*NetCluster, error) {
 	c := &NetCluster{
-		cfg:   cfg.withDefaults(),
-		order: append([]clock.ReplicaID(nil), ids...),
-		nodes: make(map[clock.ReplicaID]*netrepl.Node, len(ids)),
+		cfg:    cfg.withDefaults(),
+		order:  append([]clock.ReplicaID(nil), ids...),
+		nodes:  make(map[clock.ReplicaID]*netrepl.Node, len(ids)),
+		addrs:  make(map[clock.ReplicaID]string, len(ids)),
+		down:   map[clock.ReplicaID]bool{},
+		parts:  map[link]bool{},
+		paused: map[clock.ReplicaID]bool{},
 	}
 	for _, id := range c.order {
-		n, err := netrepl.NewNodeWithConfig(id, "127.0.0.1:0", c.cfg.Transport)
+		n, err := netrepl.NewNodeWithConfig(id, "127.0.0.1:0", c.transportFor(id))
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("runtime: net cluster: %w", err)
 		}
 		c.nodes[id] = n
+		c.addrs[id] = n.Addr()
 	}
 	for _, a := range c.order {
 		for _, b := range c.order {
 			if a != b {
-				c.nodes[a].AddPeer(b, c.nodes[b].Addr())
+				c.nodes[a].AddPeer(b, c.addrs[b])
 			}
 		}
 	}
@@ -81,17 +135,34 @@ func NewNetCluster(ids []clock.ReplicaID, cfg NetConfig) (*NetCluster, error) {
 }
 
 // Node returns the underlying netrepl node of a replica (for transport
-// metrics and chaos hooks like DropConnections).
-func (c *NetCluster) Node(id clock.ReplicaID) *netrepl.Node { return c.nodes[id] }
+// metrics and chaos hooks like DropConnections), or nil for a site the
+// cluster does not know.
+func (c *NetCluster) Node(id clock.ReplicaID) *netrepl.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[id]
+}
 
 // Backend implements Cluster.
 func (c *NetCluster) Backend() string { return BackendNet }
 
-// Replicas implements Cluster.
-func (c *NetCluster) Replicas() []clock.ReplicaID { return c.order }
+// Replicas implements Cluster. Decommissioned sites are absent; crashed
+// ones remain members (their data is recoverable, and the stability
+// horizon must keep waiting on them).
+func (c *NetCluster) Replicas() []clock.ReplicaID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]clock.ReplicaID(nil), c.order...)
+}
 
-// Replica implements Cluster.
+// Replica implements Cluster. A crashed or decommissioned site still
+// resolves — to its dead node, whose invalidated replica fails pinned
+// sessions with store.ErrStale rather than serving frozen state — so
+// callers racing a lifecycle event get an error, not a panic. Only a
+// site the cluster never knew panics.
 func (c *NetCluster) Replica(id clock.ReplicaID) Replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	n, ok := c.nodes[id]
 	if !ok {
 		panic(fmt.Sprintf("runtime: unknown replica %q", id))
@@ -109,7 +180,19 @@ func (c *NetCluster) Replica(id clock.ReplicaID) Replica {
 // every node by that node's snapshot; any event created later causally
 // follows the horizon, hence each node's frontier entry still upper-bounds
 // everything concurrent with a newly stable event.
+//
+// A crashed site contributes its frozen cut — freezing the horizon at
+// what the site had delivered, which is exactly right: nothing above its
+// cut is stable (the site will recover and still need it), so nothing
+// above it may compact or truncate away. A decommissioned site is out of
+// the membership entirely and stops holding the horizon back.
 func (c *NetCluster) Stabilize() clock.Vector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stabilizeLocked()
+}
+
+func (c *NetCluster) stabilizeLocked() clock.Vector {
 	stab := clock.NewStability(c.order)
 	frontier := clock.New()
 	for _, id := range c.order {
@@ -119,17 +202,26 @@ func (c *NetCluster) Stabilize() clock.Vector {
 	}
 	h := stab.Horizon()
 	for _, id := range c.order {
+		if c.down[id] {
+			// A dead node must not compact — and above all must not
+			// snapshot: persisting its post-crash in-memory state would
+			// quietly resurrect exactly the unsynced suffix the crash is
+			// supposed to lose.
+			continue
+		}
 		c.nodes[id].CompactAll(h, frontier)
 	}
 	return h
 }
 
-// Settle implements Cluster: it waits until every node has delivered every
-// commit issued so far — all causal clocks equal, no queued outbound
-// transactions, no pending causal deliveries — and the picture holds for a
-// few consecutive polls. It errors if the cluster does not converge within
-// SettleTimeout (which usually means a partition is still injected or a
-// replica is still paused).
+// Settle implements Cluster: it waits until every live member has
+// delivered every commit issued so far — all causal clocks equal, no
+// queued outbound transactions, no pending causal deliveries — and the
+// picture holds for a few consecutive polls. It errors if the cluster
+// does not converge within SettleTimeout (which usually means a
+// partition is still injected, a replica is still paused, or a site is
+// still crashed — senders hold queued transactions for a crashed site,
+// so Recover it first).
 func (c *NetCluster) Settle() error {
 	deadline := time.Now().Add(c.cfg.SettleTimeout)
 	stable := 0
@@ -151,6 +243,8 @@ func (c *NetCluster) Settle() error {
 
 // quiet reports one converged snapshot: identical clocks, empty queues.
 func (c *NetCluster) quiet() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var base clock.Vector
 	for _, id := range c.order {
 		n := c.nodes[id]
@@ -167,11 +261,14 @@ func (c *NetCluster) quiet() bool {
 	return true
 }
 
-// Close implements Cluster: it shuts every node down.
+// Close implements Cluster: it shuts every node down (including crashed
+// and decommissioned tombstones — Close is idempotent per node).
 func (c *NetCluster) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var errs []error
-	for _, id := range c.order {
-		if n := c.nodes[id]; n != nil {
+	for _, n := range c.nodes {
+		if n != nil {
 			errs = append(errs, n.Close())
 		}
 	}
@@ -180,24 +277,255 @@ func (c *NetCluster) Close() error {
 
 // SetPartitioned implements Faults: each side refuses frames originating
 // at the other until the partition heals; senders retry with backoff, so
-// no transaction is lost.
+// no transaction is lost. Unknown or retired sites no-op — a fault
+// racing a decommission must not panic — and a partition touching a
+// crashed site is recorded so Recover reapplies it to the replacement
+// node.
 func (c *NetCluster) SetPartitioned(a, b clock.ReplicaID, partitioned bool) {
-	c.nodes[a].BlockOrigin(b, partitioned)
-	c.nodes[b].BlockOrigin(a, partitioned)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if partitioned {
+		c.parts[mkLink(a, b)] = true
+	} else {
+		delete(c.parts, mkLink(a, b))
+	}
+	if na := c.nodes[a]; na != nil {
+		na.BlockOrigin(b, partitioned)
+	}
+	if nb := c.nodes[b]; nb != nil {
+		nb.BlockOrigin(a, partitioned)
+	}
 }
 
-// SetPaused implements Faults.
+// SetPaused implements Faults. Unknown or retired sites no-op; a pause
+// taken while the site is crashed is recorded and reapplied on Recover.
 func (c *NetCluster) SetPaused(id clock.ReplicaID, paused bool) {
-	c.nodes[id].SetPaused(paused)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if paused {
+		c.paused[id] = true
+	} else {
+		delete(c.paused, id)
+	}
+	if n := c.nodes[id]; n != nil {
+		n.SetPaused(paused)
+	}
+}
+
+// Durable implements Lifecycle.
+func (c *NetCluster) Durable() bool { return c.cfg.DataDir != "" }
+
+// SnapshotAll forces an immediate snapshot at every live site. Callers
+// that seed state out-of-band (Replica.Object constructors like the
+// comp-set's bound, which no replicated operation re-creates) run it
+// after seeding: until a snapshot lands on disk, a crash would recover
+// the site without the seeded objects. No-op per site on a non-durable
+// cluster.
+func (c *NetCluster) SnapshotAll() error {
+	if !c.Durable() {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var firstErr error
+	for _, id := range c.order {
+		if c.down[id] {
+			continue
+		}
+		if err := c.nodes[id].ForceSnapshot(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Crash implements Lifecycle: kill -9 for one site. The node's
+// write-ahead log keeps everything that was ever acknowledged; its
+// unsynced tail — operations no client and no peer was told about — dies
+// with the process, which is the loss model Recover is tested against.
+func (c *NetCluster) Crash(id clock.ReplicaID) error {
+	if !c.Durable() {
+		return fmt.Errorf("runtime: crash %q: cluster has no DataDir, the site could never recover", id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("runtime: crash: unknown replica %q", id)
+	}
+	if c.down[id] {
+		return nil // already dead
+	}
+	if err := n.Kill(); err != nil {
+		return err
+	}
+	c.down[id] = true
+	return nil
+}
+
+// Recover implements Lifecycle: restart a crashed site from its data
+// directory at its original address. The replacement node replays
+// snapshot + log before serving, re-offers own-origin records to every
+// peer (peers that never received them converge; peers that did
+// deduplicate), and peer senders that kept retrying the dead address
+// reconnect on their own. Fault state taken while the site was down —
+// partitions, pauses — transfers to the new instance.
+func (c *NetCluster) Recover(id clock.ReplicaID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.down[id] {
+		return fmt.Errorf("runtime: recover %q: site is not crashed", id)
+	}
+	var n *netrepl.Node
+	var err error
+	// The killed node's listener is closed, but give the OS a moment to
+	// release the port on slow days — the address must be stable so
+	// peers' retry loops find the recovered site without re-meshing.
+	for attempt := 0; attempt < 20; attempt++ {
+		n, err = netrepl.NewNodeWithConfig(id, c.addrs[id], c.transportFor(id))
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("runtime: recover %q: %w", id, err)
+	}
+	c.nodes[id] = n
+	delete(c.down, id)
+	// Peer with every member, including ones currently crashed: a down
+	// member's address is stable (Recover reuses it), so the sender just
+	// retry-dials until that site comes back. Skipping down peers here
+	// loses this node's re-offers and live commits to any site that was
+	// down at the moment we recovered — if it recovers after us, nobody
+	// ever re-establishes our side of the link and the mesh wedges on a
+	// permanent causal gap. (Decommissioned sites leave c.order, so this
+	// never queues for a peer that is gone for good.)
+	for _, other := range c.order {
+		if other == id {
+			continue
+		}
+		n.AddPeer(other, c.addrs[other])
+	}
+	for l := range c.parts {
+		switch id {
+		case l[0]:
+			n.BlockOrigin(l[1], true)
+		case l[1]:
+			n.BlockOrigin(l[0], true)
+		}
+	}
+	if c.paused[id] {
+		n.SetPaused(true)
+	}
+	return nil
+}
+
+// Join implements Lifecycle: bootstrap a brand-new site from donor and
+// add it to the mesh and the stability membership. The membership is
+// extended before any state moves, and Join holds the same lock as
+// Stabilize, so from the first horizon computed after this the mesh
+// cannot truncate records the joiner has yet to fetch (see
+// netrepl.Node.Bootstrap for the full soundness argument).
+func (c *NetCluster) Join(id, donor clock.ReplicaID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[id]; ok {
+		for _, live := range c.order {
+			if live == id {
+				return fmt.Errorf("runtime: join: replica %q already exists", id)
+			}
+		}
+		// A tombstone (earlier crash-without-recover or decommission)
+		// may be re-joined as a fresh site below.
+	}
+	dn := c.nodes[donor]
+	if dn == nil || c.down[donor] {
+		return fmt.Errorf("runtime: join %q: donor %q unavailable", id, donor)
+	}
+	n, err := netrepl.NewNodeWithConfig(id, "127.0.0.1:0", c.transportFor(id))
+	if err != nil {
+		return fmt.Errorf("runtime: join %q: %w", id, err)
+	}
+	c.nodes[id] = n
+	c.addrs[id] = n.Addr()
+	c.order = append(c.order, id)
+	delete(c.down, id)
+	// AddPeer to every member — even currently-crashed ones, whose stable
+	// addresses the sender retry-dials until they recover (see Recover for
+	// why skipping them wedges the mesh). Only live members double as
+	// tail-fetch donors for Bootstrap, though: a dead socket can't serve
+	// the joiner's catch-up reads.
+	var peers []string
+	for _, other := range c.order {
+		if other == id {
+			continue
+		}
+		n.AddPeer(other, c.addrs[other])
+		if !c.down[other] {
+			peers = append(peers, c.addrs[other])
+		}
+	}
+	mesh := func() {
+		for _, other := range c.order {
+			if other == id || c.down[other] {
+				continue
+			}
+			c.nodes[other].AddPeer(id, c.addrs[id])
+		}
+	}
+	if err := n.Bootstrap(c.addrs[donor], peers, mesh); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Decommission implements Lifecycle: retire a site permanently. Every
+// remaining node stops replicating to it, it drains and closes, and the
+// stability membership shrinks — the horizon no longer waits on the
+// retired site, so what only it had NOT delivered can now stabilise.
+// The node stays resolvable as a tombstone whose invalidated replica
+// fails sessions with store.ErrStale.
+func (c *NetCluster) Decommission(id clock.ReplicaID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("runtime: decommission: unknown replica %q", id)
+	}
+	keep := c.order[:0]
+	for _, other := range c.order {
+		if other != id {
+			keep = append(keep, other)
+		}
+	}
+	c.order = keep
+	for _, other := range c.order {
+		if nd := c.nodes[other]; nd != nil {
+			nd.RemovePeer(id)
+		}
+	}
+	for l := range c.parts {
+		if l[0] == id || l[1] == id {
+			delete(c.parts, l)
+		}
+	}
+	delete(c.paused, id)
+	delete(c.down, id)
+	err := n.Close()
+	n.Replica().Invalidate()
+	return err
 }
 
 // Compile-time checks: both backends implement the full surface, and both
 // replica types satisfy Replica.
 var (
-	_ Cluster = (*SimCluster)(nil)
-	_ Faults  = (*SimCluster)(nil)
-	_ Cluster = (*NetCluster)(nil)
-	_ Faults  = (*NetCluster)(nil)
-	_ Replica = (*store.Replica)(nil)
-	_ Replica = (*netrepl.Node)(nil)
+	_ Cluster   = (*SimCluster)(nil)
+	_ Faults    = (*SimCluster)(nil)
+	_ Lifecycle = (*SimCluster)(nil)
+	_ Cluster   = (*NetCluster)(nil)
+	_ Faults    = (*NetCluster)(nil)
+	_ Lifecycle = (*NetCluster)(nil)
+	_ Replica   = (*store.Replica)(nil)
+	_ Replica   = (*netrepl.Node)(nil)
 )

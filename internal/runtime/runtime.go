@@ -106,3 +106,40 @@ type Faults interface {
 	// Unpausing drains the buffer in causal order.
 	SetPaused(id clock.ReplicaID, paused bool)
 }
+
+// Lifecycle is the optional elastic-membership surface of a Cluster:
+// whole-site failure and repair, beyond the link- and pipeline-level
+// Faults. Callers type-assert, like Faults.
+//
+// The net backend implements all four operations against real state
+// (per-node write-ahead logs and snapshots; see netrepl's durability
+// contract). The sim backend models Crash/Recover as a delivery pause —
+// its messages are buffered in the simulator and never lost, so a
+// simulated site is durable by construction — and does not support
+// Join/Decommission (fixed membership).
+type Lifecycle interface {
+	// Crash kills a site abruptly — no drain, no flush; kill -9
+	// semantics. Sessions pinned to the dead replica instance fail with
+	// store.ErrStale. The site's data directory survives for Recover.
+	// Fails when the backend cannot recover the site afterwards (net
+	// backend without a DataDir).
+	Crash(id clock.ReplicaID) error
+	// Recover restarts a crashed site from its durable state at the same
+	// address: snapshot restore, write-ahead-log replay, then rejoining
+	// live replication (peers' senders reconnect on their own; the
+	// recovered node re-offers own-origin records its peers may have
+	// missed). Active partitions and pauses involving the site are
+	// reapplied to the new instance.
+	Recover(id clock.ReplicaID) error
+	// Join bootstraps a brand-new site from a donor's snapshot plus the
+	// mesh's op tails and adds it to the replication and stability
+	// membership.
+	Join(id, donor clock.ReplicaID) error
+	// Decommission drains a site's outbound work and removes it from the
+	// mesh and the stability membership permanently; its replica is
+	// invalidated. The remaining sites' horizon no longer waits on it.
+	Decommission(id clock.ReplicaID) error
+	// Durable reports whether crashed sites can actually recover their
+	// state (the net backend: a configured DataDir).
+	Durable() bool
+}

@@ -531,12 +531,27 @@ func (s *Server) dispatch(sess *session, out []byte, args []string) ([]byte, boo
 				agg.TxnsDropped += m.TxnsDropped
 				agg.BackpressureWaits += m.BackpressureWaits
 				agg.Reconnects += m.Reconnects
+				agg.WALAppends += m.WALAppends
+				agg.WALSyncs += m.WALSyncs
+				agg.WALBytes += m.WALBytes
+				agg.WALSegments += m.WALSegments
+				agg.Snapshots += m.Snapshots
+				agg.StalledOrigins += m.StalledOrigins
 			}
 			info += fmt.Sprintf(
 				"repl_frames_sent:%d\r\nrepl_txns_sent:%d\r\nrepl_bytes_sent:%d\r\nrepl_frames_recv:%d\r\nrepl_txns_recv:%d\r\nrepl_bytes_recv:%d\r\nrepl_send_errors:%d\r\nrepl_txns_dropped:%d\r\nrepl_backpressure_waits:%d\r\nrepl_reconnects:%d\r\n",
 				agg.FramesSent, agg.TxnsSent, agg.BytesSent,
 				agg.FramesRecv, agg.TxnsRecv, agg.BytesRecv,
 				agg.SendErrors, agg.TxnsDropped, agg.BackpressureWaits, agg.Reconnects)
+			// Durability counters: repl_stalled_origins is the one to
+			// alert on — a persistent stall means a causal gap that only
+			// crash-recovery (state transfer from the WAL of a peer that
+			// still has the record) will close. The WAL counters show
+			// group commit working: appends well above syncs.
+			info += fmt.Sprintf(
+				"repl_wal_appends:%d\r\nrepl_wal_syncs:%d\r\nrepl_wal_bytes:%d\r\nrepl_wal_segments:%d\r\nrepl_snapshots:%d\r\nrepl_stalled_origins:%d\r\n",
+				agg.WALAppends, agg.WALSyncs, agg.WALBytes,
+				agg.WALSegments, agg.Snapshots, agg.StalledOrigins)
 		}
 		return appendBulk(out, info), false
 

@@ -50,6 +50,16 @@ func (s *Session) CanUse(r *Replica) bool { return r.Covers(s.deps) }
 // single-client state: commit the transaction on the goroutine that owns
 // the session.
 func (s *Session) Begin(r *Replica) (*Txn, error) {
+	if r.Invalidated() {
+		// The instance no longer represents its site: the process
+		// crashed and recovered into a fresh Replica, or the site was
+		// decommissioned. Its state is frozen at (or, after a recovery
+		// from an older snapshot, behind) the moment it died — reads
+		// through it would silently violate monotonicity against the
+		// recovered site. Fail like any other staleness; the client
+		// re-resolves the site and re-pins.
+		return nil, &ErrStale{Replica: r.id, Need: s.deps.Clone(), Have: r.Clock()}
+	}
 	tx := r.Begin()
 	if !s.deps.LEq(tx.deps) {
 		return nil, &ErrStale{Replica: r.id, Need: s.deps.Clone(), Have: tx.deps.Clone()}

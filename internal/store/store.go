@@ -71,8 +71,12 @@ type Cluster struct {
 	blocked     map[[2]clock.ReplicaID][]txnMsg
 
 	// onCommit, when set, receives the wire form of every committed
-	// update transaction (see SetOnCommit).
-	onCommit func(WireTxn)
+	// update transaction (see SetOnCommit). It may return a wait
+	// function, which the commit path invokes after releasing the tag
+	// window and shard locks — the hook durable transports use to hold
+	// Commit until the transaction is fsynced without stalling other
+	// committers (see SetOnCommitSync).
+	onCommit func(WireTxn) func()
 
 	// Stats. Updated atomically: on a socket-backed cluster commits run
 	// on arbitrary client goroutines. Read them only from a quiescent
@@ -245,6 +249,14 @@ type Replica struct {
 	pending []txnMsg
 	paused  bool
 
+	// invalid marks a replica instance that no longer represents its
+	// site: the process crashed and a *different* Replica now carries
+	// the identity (recovery builds a fresh instance from WAL +
+	// snapshot), or the site was decommissioned. Sessions pinned to an
+	// invalidated instance must not silently read its frozen,
+	// possibly pre-snapshot state — Session.Begin fails with ErrStale.
+	invalid atomic.Bool
+
 	// Stats. TxnsExecuted is updated atomically (read-only transactions
 	// commit outside every lock); the delivery counters are guarded by
 	// clockMu. Read them from a quiescent replica.
@@ -252,6 +264,27 @@ type Replica struct {
 	TxnsDelivered uint64
 	TxnsDuplicate uint64
 	QueuedMax     int
+}
+
+// Invalidate marks this replica instance as no longer representing its
+// site (crash or decommission). Idempotent; never unset — a recovered
+// site is a new Replica instance.
+func (r *Replica) Invalidate() { r.invalid.Store(true) }
+
+// Invalidated reports whether Invalidate was called.
+func (r *Replica) Invalidated() bool { return r.invalid.Load() }
+
+// EnsureSeq raises the replica's local event-tag counter to at least
+// seq. Recovery calls it after replaying the write-ahead log: the log
+// can hold own-origin commits past the snapshot's cut, and reusing
+// their sequence numbers for new commits would make two different
+// transactions share identity across the mesh.
+func (r *Replica) EnsureSeq(seq uint64) {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	if seq > r.seq {
+		r.seq = seq
+	}
 }
 
 // ID returns the replica identifier.
@@ -388,7 +421,7 @@ func (r *Replica) classify(m txnMsg) int {
 
 // apply installs one remote transaction's effect group.
 func (r *Replica) apply(m txnMsg) {
-	r.applyRemote(m.origin, m.lastSeq, m.updates)
+	r.applyRemote(m.origin, m.lastSeq, m.updates, m.deps)
 }
 
 // applyRemote applies one effect group atomically with respect to local
@@ -400,7 +433,7 @@ func (r *Replica) apply(m txnMsg) {
 // delivered cut it merges at commit covers everything it read (the local
 // commit path holds its shard locks across its own clock write for the
 // same reason).
-func (r *Replica) applyRemote(origin clock.ReplicaID, lastSeq uint64, updates []Update) {
+func (r *Replica) applyRemote(origin clock.ReplicaID, lastSeq uint64, updates []Update, deps clock.Vector) {
 	var idxBuf [8]int
 	idxs := idxBuf[:0]
 	for _, u := range updates {
@@ -429,7 +462,16 @@ func (r *Replica) applyRemote(origin clock.ReplicaID, lastSeq uint64, updates []
 			obj = crdt.NewForOp(u.Op)
 			sh.objects[u.Key] = obj
 		}
-		obj.Apply(u.Op)
+		op := u.Op
+		if a, ok := op.(crdt.RWAddOp); ok {
+			// Stamp the transaction's dependency cut onto remove-wins adds:
+			// it re-establishes observations of tombstones the origin had
+			// already compacted away but this replica still holds (e.g.
+			// resurrected by crash-recovery WAL replay). See RWAddOp.Deps.
+			a.Deps = deps
+			op = a
+		}
+		obj.Apply(op)
 	}
 	r.clockMu.Lock()
 	r.vc.Set(origin, lastSeq)
@@ -473,7 +515,7 @@ func (r *Replica) ApplyExternal(w WireTxn, giveUp func() bool) bool {
 		r.clockCond.Wait()
 	}
 	r.clockMu.Unlock()
-	r.applyRemote(w.Origin, w.LastSeq, w.Updates)
+	r.applyRemote(w.Origin, w.LastSeq, w.Updates, w.Deps)
 	return true
 }
 

@@ -247,9 +247,12 @@ func (t *Txn) commitUpdates() {
 	// The onCommit hook (an external transport's broadcast) runs under the
 	// tag window so per-origin enqueue order matches sequence order. A full
 	// transport queue blocks here — backpressure holds the window and the
-	// shard locks, by design (see DESIGN.md on queue sizing).
+	// shard locks, by design (see DESIGN.md on queue sizing). A durable
+	// transport returns a wait (fsync) function, which runs only after
+	// release so the disk never stalls the tag window.
+	var wait func()
 	if c.onCommit != nil {
-		c.onCommit(WireTxn{
+		wait = c.onCommit(WireTxn{
 			Origin:   m.origin,
 			Deps:     m.deps.Clone(),
 			FirstSeq: m.firstSq,
@@ -258,6 +261,9 @@ func (t *Txn) commitUpdates() {
 		})
 	}
 	t.release()
+	if wait != nil {
+		wait()
+	}
 }
 
 // Updates returns the number of updates buffered so far.

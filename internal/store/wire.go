@@ -22,7 +22,22 @@ type WireTxn struct {
 	FirstSeq uint64
 	LastSeq  uint64
 	Updates  []Update
+
+	// walSeq is transport bookkeeping, never encoded: the WAL sequence
+	// number the origin's durable commit hook assigned, which the peer
+	// senders wait on before putting the transaction on a socket
+	// (broadcast-after-fsync; see SetWALSeq).
+	walSeq uint64
 }
+
+// SetWALSeq stamps the transaction with its WAL append sequence; WALSeq
+// reads it back. The field rides along in memory only (neither codec
+// encodes it) so a sender goroutine can gate the socket write on
+// WaitSynced without a side table.
+func (w *WireTxn) SetWALSeq(seq uint64) { w.walSeq = seq }
+
+// WALSeq returns the stamp set by SetWALSeq (zero when never stamped).
+func (w *WireTxn) WALSeq() uint64 { return w.walSeq }
 
 // The concrete operation (and predicate) types carried inside the crdt.Op
 // interface are gob-registered by the crdt constructor registry — the one
@@ -313,7 +328,16 @@ func NewSocketCluster(id clock.ReplicaID) *Cluster {
 // OnCommit, when set, is invoked for every committed update transaction
 // with its wire form — the hook external transports use to ship
 // transactions to remote nodes.
-func (c *Cluster) SetOnCommit(fn func(WireTxn)) { c.onCommit = fn }
+func (c *Cluster) SetOnCommit(fn func(WireTxn)) {
+	c.onCommit = func(w WireTxn) func() { fn(w); return nil }
+}
+
+// SetOnCommitSync is SetOnCommit for transports that gate commit on
+// durability: the hook runs under the tag window like SetOnCommit's, and
+// the wait function it returns (nil for none) runs after the transaction
+// has released its locks, blocking Commit — but nothing else — until the
+// transport reports the transaction durable.
+func (c *Cluster) SetOnCommitSync(fn func(WireTxn) func()) { c.onCommit = fn }
 
 // Deliver injects a transaction received from an external transport into
 // the replica with the given id, going through the same causal delivery

@@ -35,6 +35,20 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add([]byte("IPAB\x02\x01"))
 	f.Add([]byte("IPAB\x01junk"))
 	f.Add([]byte{0xFF, 0x00, 0x49})
+	// Torn log tails: the WAL uses frames as record payloads, and a crash
+	// mid-write hands replay a prefix of a valid frame (the CRC check
+	// catches most, but DecodeFrame is the last line and must reject every
+	// truncation cleanly — no panic, no short read past the buffer).
+	if v2, err := EncodeBatchV2(rich); err == nil {
+		for _, cut := range []int{1, len(v2) / 4, len(v2) / 2, len(v2) - 7, len(v2) - 1} {
+			if cut > 0 && cut < len(v2) {
+				f.Add(v2[:cut])
+			}
+		}
+		// A torn tail can also splice two writes: an intact frame with the
+		// head of the next one appended.
+		f.Add(append(append([]byte(nil), v2...), v2[:len(v2)/3]...))
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		txns, err := DecodeFrame(data)

@@ -211,6 +211,11 @@ type ClusterOptions struct {
 	Sites []ReplicaID
 	// Seed drives the simulation (sim backend only).
 	Seed int64
+	// DataDir, when non-empty, makes every replica durable (net backend
+	// only): each site keeps a write-ahead log and periodic snapshots
+	// under DataDir/<site>, survives kill -9, and recovers on reopen.
+	// See runtime.NetConfig.DataDir.
+	DataDir string
 }
 
 // DB is an open replicated database: a cluster of causally consistent
@@ -228,10 +233,13 @@ func Open(opts ClusterOptions) (*DB, error) {
 	}
 	switch opts.Backend {
 	case "", BackendSim:
+		if opts.DataDir != "" {
+			return nil, fmt.Errorf("ipa: DataDir requires the %s backend (the simulator is memory-only)", BackendNet)
+		}
 		sim := wan.NewSim(opts.Seed)
 		return &DB{cluster: NewCluster(sim, wan.PaperTopology(), sites), sim: sim}, nil
 	case BackendNet:
-		c, err := runtime.NewNetCluster(sites, runtime.NetConfig{})
+		c, err := runtime.NewNetCluster(sites, runtime.NetConfig{DataDir: opts.DataDir})
 		if err != nil {
 			return nil, err
 		}
