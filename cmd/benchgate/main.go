@@ -2,7 +2,7 @@
 // against its committed baseline and exits non-zero on regression. It
 // gates ratios, not raw ops/sec, so the committed baselines stay
 // meaningful across hardware: both sides of each ratio run on the same
-// runner, and the variance cancels. Three experiments are gated,
+// runner, and the variance cancels. Five experiments are gated,
 // selected by the artifact's ID:
 //
 //   - engine (BENCH_engine.json): the spec engine's compiled/interpreted
@@ -16,7 +16,13 @@
 //   - recovery (BENCH_recovery.json): the durable/in-memory serving
 //     throughput ratio — the WAL's fsync-before-ack overhead (with a
 //     low absolute floor: the closed loop is the group commit's worst
-//     case).
+//     case);
+//   - loadgen (BENCH_loadgen.json): the coordinated sustained-load run —
+//     steady-state throughput against the baseline, steady p99 under a
+//     fixed headroom, and an absolute 1% error-rate ceiling. This gate
+//     compares raw ops/sec, so benchgate prints a warning when the
+//     current and baseline artifacts were measured on different hosts
+//     (every BENCH_*.json records its host metadata).
 //
 // Usage:
 //
@@ -36,7 +42,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"ipa/internal/bench"
 )
@@ -81,17 +86,10 @@ func run(args []string) error {
 
 	basePath := *baseline
 	if basePath == "" {
-		switch cur.ID {
-		case "engine":
-			basePath = "internal/bench/testdata/BENCH_engine_baseline.json"
-		case "serve_remote":
-			basePath = "internal/bench/testdata/BENCH_serve_remote_baseline.json"
-		case "wire":
-			basePath = "internal/bench/testdata/BENCH_wire_baseline.json"
-		case "recovery":
-			basePath = "internal/bench/testdata/BENCH_recovery_baseline.json"
-		default:
-			return usageError{fmt.Errorf("no default baseline for experiment %q; pass -baseline", cur.ID)}
+		var derr error
+		basePath, derr = bench.DefaultBaseline(cur.ID)
+		if derr != nil {
+			return usageError{fmt.Errorf("%w; pass -baseline", derr)}
 		}
 	}
 	base, err := bench.ReadExperimentJSON(basePath)
@@ -99,53 +97,5 @@ func run(args []string) error {
 		return usageError{err}
 	}
 
-	switch cur.ID {
-	case "engine":
-		if ratios, err := bench.EngineSpeedups(cur); err == nil {
-			baseRatios, _ := bench.EngineSpeedups(base)
-			for _, n := range sortedKeys(ratios) {
-				fmt.Printf("%-12s compiled/interpreted %.2fx (baseline %.2fx)\n", n, ratios[n], baseRatios[n])
-			}
-		}
-		return bench.CheckEngineBaseline(cur, base, *tolerance)
-	case "serve_remote":
-		if ratios, err := bench.ServeRemoteRatios(cur); err == nil {
-			baseRatios, _ := bench.ServeRemoteRatios(base)
-			for _, n := range sortedKeys(ratios) {
-				fmt.Printf("%-12s remote/in-process %.0f%% (baseline %.0f%%)\n", n, 100*ratios[n], 100*baseRatios[n])
-			}
-		}
-		return bench.CheckServeRemoteBaseline(cur, base, *tolerance)
-	case "wire":
-		if ratios, err := bench.WireSpeedups(cur); err == nil {
-			baseRatios, _ := bench.WireSpeedups(base)
-			for _, n := range sortedKeys(ratios) {
-				fmt.Printf("%-12s v2/gob %.2fx (baseline %.2fx)\n", n, ratios[n], baseRatios[n])
-			}
-		}
-		if alloc, err := bench.WireAllocImprovement(cur); err == nil {
-			baseAlloc, _ := bench.WireAllocImprovement(base)
-			fmt.Printf("%-12s gob/v2 %.1fx fewer (baseline %.1fx)\n", "allocs", alloc, baseAlloc)
-		}
-		return bench.CheckWireBaseline(cur, base, *tolerance)
-	case "recovery":
-		if ratios, err := bench.DurableServeRatios(cur); err == nil {
-			baseRatios, _ := bench.DurableServeRatios(base)
-			for _, n := range sortedKeys(ratios) {
-				fmt.Printf("%-12s durable/memory %.0f%% (baseline %.0f%%)\n", n, 100*ratios[n], 100*baseRatios[n])
-			}
-		}
-		return bench.CheckRecoveryBaseline(cur, base, *tolerance)
-	default:
-		return usageError{fmt.Errorf("experiment %q has no gate (want engine, serve_remote, wire or recovery)", cur.ID)}
-	}
-}
-
-func sortedKeys(m map[string]float64) []string {
-	names := make([]string, 0, len(m))
-	for n := range m {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return bench.Gate(cur, base, *tolerance, os.Stdout)
 }

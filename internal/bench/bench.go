@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"ipa/internal/loadgen"
 	"ipa/internal/wan"
 )
 
@@ -79,21 +80,46 @@ func (c Config) String() string {
 	return "?"
 }
 
-// Recorder accumulates latency samples per label.
+// Recorder accumulates latency samples per label. It is backed by the
+// load generator's mergeable log-bucketed histograms instead of raw
+// sample slices: memory stays constant however long a run is, merging
+// per-worker recorders is bucket-wise addition, and percentiles carry a
+// bounded ~0.8% relative error (p0/p100 stay exact via tracked
+// extremes). Means and standard deviations come from exact running
+// sums, not the buckets.
 type Recorder struct {
-	byLabel map[string][]float64 // milliseconds
+	byLabel map[string]*labelStats
 	order   []string
 }
 
+// labelStats is one label's accumulation: the histogram in microseconds
+// (the repo's wan.Time unit) plus exact moment sums in milliseconds.
+type labelStats struct {
+	hist  loadgen.Hist
+	sumMs float64
+	sumSq float64
+}
+
 // NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder { return &Recorder{byLabel: map[string][]float64{}} }
+func NewRecorder() *Recorder { return &Recorder{byLabel: map[string]*labelStats{}} }
+
+func (r *Recorder) stats(label string) *labelStats {
+	s, ok := r.byLabel[label]
+	if !ok {
+		s = &labelStats{}
+		r.byLabel[label] = s
+		r.order = append(r.order, label)
+	}
+	return s
+}
 
 // Add records one latency sample under the label.
 func (r *Recorder) Add(label string, d wan.Time) {
-	if _, ok := r.byLabel[label]; !ok {
-		r.order = append(r.order, label)
-	}
-	r.byLabel[label] = append(r.byLabel[label], d.Millis())
+	s := r.stats(label)
+	s.hist.Record(int64(d))
+	ms := d.Millis()
+	s.sumMs += ms
+	s.sumSq += ms * ms
 }
 
 // Labels returns the labels in first-seen order.
@@ -104,72 +130,86 @@ func (r *Recorder) Labels() []string { return r.order }
 // records into its own Recorder; Recorder itself is not goroutine-safe).
 func (r *Recorder) Merge(o *Recorder) {
 	for _, l := range o.order {
-		if _, ok := r.byLabel[l]; !ok {
-			r.order = append(r.order, l)
-		}
-		r.byLabel[l] = append(r.byLabel[l], o.byLabel[l]...)
+		os := o.byLabel[l]
+		s := r.stats(l)
+		s.hist.Merge(&os.hist)
+		s.sumMs += os.sumMs
+		s.sumSq += os.sumSq
 	}
 }
 
 // Count returns the number of samples for the label ("" for all).
 func (r *Recorder) Count(label string) int {
 	if label != "" {
-		return len(r.byLabel[label])
+		if s, ok := r.byLabel[label]; ok {
+			return int(s.hist.Count())
+		}
+		return 0
 	}
-	n := 0
+	n := int64(0)
 	for _, s := range r.byLabel {
-		n += len(s)
+		n += s.hist.Count()
 	}
-	return n
+	return int(n)
 }
 
-func (r *Recorder) samples(label string) []float64 {
+// all folds every label into one aggregate ("" queries).
+func (r *Recorder) all(label string) labelStats {
 	if label != "" {
-		return r.byLabel[label]
+		if s, ok := r.byLabel[label]; ok {
+			return *s
+		}
+		return labelStats{}
 	}
-	var all []float64
+	var agg labelStats
 	for _, l := range r.order {
-		all = append(all, r.byLabel[l]...)
+		s := r.byLabel[l]
+		agg.hist.Merge(&s.hist)
+		agg.sumMs += s.sumMs
+		agg.sumSq += s.sumSq
 	}
-	return all
+	return agg
 }
 
 // Mean returns the mean latency in milliseconds ("" for all labels).
 func (r *Recorder) Mean(label string) float64 {
-	s := r.samples(label)
-	if len(s) == 0 {
+	s := r.all(label)
+	n := s.hist.Count()
+	if n == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, v := range s {
-		sum += v
-	}
-	return sum / float64(len(s))
+	return s.sumMs / float64(n)
 }
 
 // Stddev returns the sample standard deviation in milliseconds.
 func (r *Recorder) Stddev(label string) float64 {
-	s := r.samples(label)
-	if len(s) < 2 {
+	s := r.all(label)
+	n := float64(s.hist.Count())
+	if n < 2 {
 		return 0
 	}
-	m := r.Mean(label)
-	acc := 0.0
-	for _, v := range s {
-		acc += (v - m) * (v - m)
+	m := s.sumMs / n
+	v := (s.sumSq - n*m*m) / (n - 1)
+	if v < 0 { // floating-point cancellation on near-constant samples
+		v = 0
 	}
-	return math.Sqrt(acc / float64(len(s)-1))
+	return math.Sqrt(v)
 }
 
 // Percentile returns the p-th percentile (0..100) in milliseconds.
 func (r *Recorder) Percentile(label string, p float64) float64 {
-	s := append([]float64(nil), r.samples(label)...)
-	if len(s) == 0 {
+	s := r.all(label)
+	if s.hist.Count() == 0 {
 		return 0
 	}
-	sort.Float64s(s)
-	idx := int(p / 100 * float64(len(s)-1))
-	return s[idx]
+	return float64(s.hist.Quantile(p)) / 1000
+}
+
+// Hist exposes the label's histogram ("" for the aggregate) for callers
+// that need mergeable wire form rather than summary numbers.
+func (r *Recorder) Hist(label string) *loadgen.Hist {
+	s := r.all(label)
+	return &s.hist
 }
 
 // Point is one data point of a series.
@@ -194,6 +234,7 @@ type Perf struct {
 	P50Ms     float64 `json:"p50_ms,omitempty"`
 	P95Ms     float64 `json:"p95_ms,omitempty"`
 	P99Ms     float64 `json:"p99_ms,omitempty"`
+	P999Ms    float64 `json:"p999_ms,omitempty"`
 }
 
 // Experiment is a reproduced table or figure.
@@ -211,6 +252,14 @@ type Experiment struct {
 	// Perf carries wall-clock summaries keyed by app/series name, set by
 	// the experiments that measure real execution.
 	Perf map[string]Perf `json:",omitempty"`
+	// Host records the machine the experiment ran on. WriteJSON stamps
+	// it, so every committed or uploaded BENCH_*.json is self-describing
+	// and benchgate can warn before comparing numbers across hosts.
+	Host *loadgen.HostMeta `json:",omitempty"`
+	// Load carries the full distributed-load report for the loadgen
+	// experiment (phase windows, merged histograms, per-worker
+	// breakdown); nil for every other experiment.
+	Load *loadgen.Report `json:",omitempty"`
 }
 
 // WriteJSON serialises the experiment as BENCH_<ID>.json inside dir
@@ -219,6 +268,10 @@ type Experiment struct {
 func (e *Experiment) WriteJSON(dir string) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
+	}
+	if e.Host == nil {
+		h := loadgen.Host()
+		e.Host = &h
 	}
 	data, err := json.MarshalIndent(e, "", "  ")
 	if err != nil {

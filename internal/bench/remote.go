@@ -107,7 +107,7 @@ func ServeRemote(opts ServeRemoteOptions) (*Experiment, error) {
 		addr = srv.Addr()
 	}
 
-	rec, opsPerSec, err := driveRemote(addr, opts)
+	rec, opsPerSec, stats, err := driveRemote(addr, opts)
 	if err != nil {
 		return nil, fmt.Errorf("bench: serve remote %s: %w", addr, err)
 	}
@@ -130,6 +130,11 @@ func ServeRemote(opts ServeRemoteOptions) (*Experiment, error) {
 		P99Ms:     rec.Percentile("", 99),
 	}
 	e.Perf[opts.App+"/remote"] = remote
+	if stats.Errors > 0 || stats.Reconnects > 0 {
+		e.Notes = append(e.Notes, fmt.Sprintf(
+			"%d calls lost to server disconnects; drivers reconnected %d times and continued",
+			stats.Errors, stats.Reconnects))
+	}
 	e.XTicks = append(e.XTicks, "remote")
 	s := Series{Name: opts.App}
 	s.Points = append(s.Points, Point{X: 0, Y: remote.OpsPerSec,
@@ -167,19 +172,19 @@ func ServeRemote(opts ServeRemoteOptions) (*Experiment, error) {
 }
 
 // driveRemote runs the measured loop against a live server.
-func driveRemote(addr string, opts ServeRemoteOptions) (*Recorder, float64, error) {
+func driveRemote(addr string, opts ServeRemoteOptions) (*Recorder, float64, remoteRunStats, error) {
 	// Discover sites and make sure the app is mounted.
 	ctl, err := server.Dial(addr, 5*time.Second)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, remoteRunStats{}, err
 	}
 	defer ctl.Close()
 	sites, err := remoteSites(ctl)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, remoteRunStats{}, err
 	}
 	if err := ensureMounted(ctl, opts.App); err != nil {
-		return nil, 0, err
+		return nil, 0, remoteRunStats{}, err
 	}
 	// Seed the workload's domain (players, tournaments, one active
 	// tournament) before measuring, and settle so every site serves from
@@ -188,14 +193,14 @@ func driveRemote(addr string, opts ServeRemoteOptions) (*Recorder, float64, erro
 	for _, call := range gen.seedCalls() {
 		rp, err := ctl.Do(append([]string{"CALL", opts.App}, call...)...)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, remoteRunStats{}, err
 		}
 		if err := callErr(rp); err != nil {
-			return nil, 0, fmt.Errorf("seeding %v: %w", call, err)
+			return nil, 0, remoteRunStats{}, fmt.Errorf("seeding %v: %w", call, err)
 		}
 	}
 	if err := ctl.DoOK("SETTLE"); err != nil {
-		return nil, 0, err
+		return nil, 0, remoteRunStats{}, err
 	}
 
 	// The stability service: like the in-process serve loop's periodic
@@ -238,19 +243,15 @@ func driveRemote(addr string, opts ServeRemoteOptions) (*Recorder, float64, erro
 	}
 	workers := make([]*remoteWorker, opts.Conns)
 	for w := range workers {
-		c, err := server.Dial(addr, 5*time.Second)
-		if err != nil {
-			return nil, 0, err
+		rw := &remoteWorker{addr: addr, site: sites[w%len(sites)], app: opts.App, rec: NewRecorder()}
+		if err := rw.dial(); err != nil {
+			return nil, 0, remoteRunStats{}, err
 		}
-		defer c.Close()
-		if err := c.DoOK("SITE", sites[w%len(sites)]); err != nil {
-			return nil, 0, err
-		}
-		var mine [][]string
+		defer rw.close()
 		for i := w; i < len(calls); i += opts.Conns {
-			mine = append(mine, calls[i])
+			rw.calls = append(rw.calls, calls[i])
 		}
-		workers[w] = &remoteWorker{client: c, app: opts.App, calls: mine, rec: NewRecorder()}
+		workers[w] = rw
 	}
 
 	var wg sync.WaitGroup
@@ -270,68 +271,131 @@ func driveRemote(addr string, opts ServeRemoteOptions) (*Recorder, float64, erro
 	wg.Wait()
 	elapsed := time.Since(start)
 	rec := NewRecorder()
+	var stats remoteRunStats
 	for w, rw := range workers {
 		if errs[w] != nil {
-			return nil, 0, fmt.Errorf("conn %d: %w", w, errs[w])
+			return nil, 0, remoteRunStats{}, fmt.Errorf("conn %d: %w", w, errs[w])
 		}
 		rec.Merge(rw.rec)
+		stats.Errors += rw.errors
+		stats.Reconnects += rw.reconnects
 	}
 
-	// Verify before reporting, with the harness's quiescence protocol
-	// over the wire: settle, two rounds of repair-reads + settle (a
-	// repair's own writes must replicate before the next read), a
-	// stability pass, then invariant checks and cross-replica digest
-	// convergence — a run that corrupted state fails instead of
-	// producing numbers.
+	// Verify before reporting — a run that corrupted state fails
+	// instead of producing numbers.
 	stopStab()
+	if err := VerifyOverWire(ctl, opts.App); err != nil {
+		return nil, 0, remoteRunStats{}, err
+	}
+	completed := opts.Ops - int(stats.Errors)
+	return rec, float64(completed) / elapsed.Seconds(), stats, nil
+}
+
+// VerifyOverWire runs the harness's quiescence protocol against a live
+// server: settle, two rounds of repair-reads + settle (a repair's own
+// writes must replicate before the next read), a stability pass, then
+// invariant checks and cross-replica digest convergence. Both the
+// remote serving benchmark and the distributed load generator end every
+// run with it.
+func VerifyOverWire(ctl *server.Client, app string) error {
 	if err := ctl.DoOK("SETTLE"); err != nil {
-		return nil, 0, err
+		return err
 	}
 	for round := 0; round < 2; round++ {
-		if err := ctl.DoOK("REPAIR", opts.App); err != nil {
-			return nil, 0, err
+		if err := ctl.DoOK("REPAIR", app); err != nil {
+			return err
 		}
 		if err := ctl.DoOK("SETTLE"); err != nil {
-			return nil, 0, err
+			return err
 		}
 	}
 	if err := ctl.DoOK("STABILIZE"); err != nil {
-		return nil, 0, err
+		return err
 	}
-	rp, err := ctl.Do("CHECK", opts.App)
+	rp, err := ctl.Do("CHECK", app)
 	if err != nil {
-		return nil, 0, err
+		return err
 	}
 	if err := rp.Err(); err != nil {
-		return nil, 0, err
+		return err
 	}
 	if v := rp.Strings(); len(v) > 0 {
-		return nil, 0, fmt.Errorf("invariant violations after run: %s", strings.Join(v, "; "))
+		return fmt.Errorf("invariant violations after run: %s", strings.Join(v, "; "))
 	}
-	rp, err = ctl.Do("DIGEST", opts.App)
+	rp, err = ctl.Do("DIGEST", app)
 	if err != nil {
-		return nil, 0, err
+		return err
 	}
 	if err := rp.Err(); err != nil {
-		return nil, 0, err
+		return err
 	}
 	if ds := rp.Strings(); len(ds) > 1 {
 		base := digestBody(ds[0])
 		for _, d := range ds[1:] {
 			if digestBody(d) != base {
-				return nil, 0, fmt.Errorf("replicas diverged after run:\n  %s", strings.Join(ds, "\n  "))
+				return fmt.Errorf("replicas diverged after run:\n  %s", strings.Join(ds, "\n  "))
 			}
 		}
 	}
-	return rec, float64(opts.Ops) / elapsed.Seconds(), nil
+	return nil
 }
 
-// remoteWorker drives one connection.
+// remoteRunStats aggregates resilience counters across the workers.
+type remoteRunStats struct {
+	Errors     int64
+	Reconnects int64
+}
+
+// remoteWorker drives one connection. It knows how to redial and re-pin
+// its site, so a mid-run server disconnect is a counted error and a
+// reconnect, not an aborted benchmark — the same contract as the
+// distributed load generator's driver connections.
 type remoteWorker struct {
+	addr   string
+	site   string
 	client *server.Client
 	app    string
 	calls  [][]string
 	rec    *Recorder
+
+	errors     int64 // calls lost to wire failures
+	reconnects int64
+}
+
+// dial opens the worker's connection and pins its site.
+func (w *remoteWorker) dial() error {
+	c, err := server.Dial(w.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	if err := c.DoOK("SITE", w.site); err != nil {
+		c.Close()
+		return err
+	}
+	w.client = c
+	return nil
+}
+
+func (w *remoteWorker) close() {
+	if w.client != nil {
+		w.client.Close()
+		w.client = nil
+	}
+}
+
+// redial reconnects with linear backoff after a wire failure. An error
+// means the server never came back — that stays fatal.
+func (w *remoteWorker) redial() error {
+	w.close()
+	var err error
+	for i := 0; i < 20; i++ {
+		time.Sleep(50 * time.Millisecond * time.Duration(i+1))
+		if err = w.dial(); err == nil {
+			w.reconnects++
+			return nil
+		}
+	}
+	return fmt.Errorf("reconnect to %s: %w", w.addr, err)
 }
 
 // callErr converts a CALL reply into an error, treating PRECONDITION
@@ -349,7 +413,9 @@ func callErr(rp server.Reply) error {
 // runClosed is the closed loop: send a batch of `depth` CALLs, flush,
 // read the batch's replies, repeat. Per-op latency is the batch
 // round-trip divided across the batch — the standard pipelined-client
-// accounting.
+// accounting. A wire failure mid-batch counts the unreceived tail as
+// errors, redials, and continues with the next batch; a semantic CALL
+// error (bad workload, unmounted app) stays fatal.
 func (w *remoteWorker) runClosed(depth int) error {
 	for off := 0; off < len(w.calls); off += depth {
 		end := off + depth
@@ -361,17 +427,27 @@ func (w *remoteWorker) runClosed(depth int) error {
 		for _, call := range batch {
 			w.client.Send(append([]string{"CALL", w.app}, call...)...)
 		}
-		if err := w.client.Flush(); err != nil {
-			return err
+		err := w.client.Flush()
+		recvd := 0
+		if err == nil {
+			for _, call := range batch {
+				rp, rerr := w.client.Recv()
+				if rerr != nil {
+					err = rerr
+					break
+				}
+				if cerr := callErr(rp); cerr != nil {
+					return fmt.Errorf("CALL %v: %w", call, cerr)
+				}
+				recvd++
+			}
 		}
-		for _, call := range batch {
-			rp, err := w.client.Recv()
-			if err != nil {
-				return err
+		if err != nil {
+			w.errors += int64(len(batch) - recvd)
+			if rerr := w.redial(); rerr != nil {
+				return fmt.Errorf("after %v: %w", err, rerr)
 			}
-			if err := callErr(rp); err != nil {
-				return fmt.Errorf("CALL %v: %w", call, err)
-			}
+			continue
 		}
 		perOp := time.Since(t0) / time.Duration(len(batch))
 		for _, call := range batch {
@@ -384,49 +460,98 @@ func (w *remoteWorker) runClosed(depth int) error {
 // runOpen is the open loop: a pacer issues CALLs at the configured rate
 // whether or not replies have come back, and a reader records
 // issue-to-reply latency — so queueing delay under overload is measured,
-// not hidden (the coordinated-omission-free shape).
+// not hidden (the coordinated-omission-free shape). A wire failure
+// drains the in-flight window as counted errors, redials, and resumes
+// pacing the remaining calls.
 func (w *remoteWorker) runOpen(rate int) error {
 	interval := time.Second / time.Duration(rate)
-	issued := make(chan time.Time, len(w.calls))
-	var readErr error
+	next := time.Now()
+	i := 0
+	for i < len(w.calls) {
+		n, fatal, broke := w.openEpoch(i, interval, &next)
+		i += n
+		if fatal != nil {
+			return fatal
+		}
+		if broke && i < len(w.calls) {
+			if rerr := w.redial(); rerr != nil {
+				return rerr
+			}
+			// Re-anchor the pacer: a reconnect gap must not trigger a
+			// catch-up burst no real client population would issue.
+			next = time.Now()
+		}
+	}
+	return nil
+}
+
+// openEpoch paces calls[start:] on the current connection until the
+// schedule of calls is exhausted or the wire breaks. It returns how many
+// calls it consumed (recorded or counted as errors), a fatal semantic
+// error if one occurred, and whether the wire broke.
+func (w *remoteWorker) openEpoch(start int, interval time.Duration, next *time.Time) (consumed int, fatal error, broke bool) {
+	type issue struct {
+		idx int
+		t   time.Time
+	}
+	issued := make(chan issue, len(w.calls)-start)
+	brokenCh := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for i := 0; i < len(w.calls); i++ {
-			t0, ok := <-issued
-			if !ok {
-				return
+		down := false
+		for iss := range issued {
+			if down {
+				w.errors++
+				continue
 			}
 			rp, err := w.client.Recv()
 			if err != nil {
-				readErr = err
-				return
+				down = true
+				close(brokenCh)
+				w.errors++
+				continue
 			}
-			if err := callErr(rp); err != nil {
-				readErr = err
-				return
+			if cerr := callErr(rp); cerr != nil {
+				down = true
+				close(brokenCh)
+				fatal = fmt.Errorf("CALL %v: %w", w.calls[iss.idx], cerr)
+				continue
 			}
-			w.rec.Add(w.calls[i][0], wan.Time(time.Since(t0).Microseconds()))
+			w.rec.Add(w.calls[iss.idx][0], wan.Time(time.Since(iss.t).Microseconds()))
 		}
 	}()
-	next := time.Now()
-	for _, call := range w.calls {
-		if d := time.Until(next); d > 0 {
+
+	i := start
+pace:
+	for ; i < len(w.calls); i++ {
+		select {
+		case <-brokenCh:
+			break pace
+		default:
+		}
+		if d := time.Until(*next); d > 0 {
 			time.Sleep(d)
 		}
-		w.client.Send(append([]string{"CALL", w.app}, call...)...)
+		w.client.Send(append([]string{"CALL", w.app}, w.calls[i]...)...)
 		if err := w.client.Flush(); err != nil {
-			close(issued)
-			wg.Wait()
-			return err
+			w.errors++ // this call never made it onto the wire
+			broke = true
+			i++
+			break pace
 		}
-		issued <- time.Now()
-		next = next.Add(interval)
+		issued <- issue{idx: i, t: time.Now()}
+		*next = next.Add(interval)
 	}
 	close(issued)
 	wg.Wait()
-	return readErr
+	select {
+	case <-brokenCh: // reader saw the wire die
+		broke = true
+	default:
+	}
+	return i - start, fatal, broke
 }
 
 // digestBody strips the "<site> " prefix off a DIGEST reply line so

@@ -1,0 +1,281 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Report is the coordinator's merged view of a run: fleet-wide
+// per-phase stats (histograms merged bucket-wise across workers), the
+// per-worker breakdown, and the host each piece ran on. The
+// steady-state phase is the headline; the ramp windows are reported
+// but excluded from any gating.
+type Report struct {
+	Schedule       Schedule      `json:"schedule"`
+	App            string        `json:"app"`
+	Targets        []string      `json:"targets"`
+	Workers        int           `json:"workers"`
+	ConnsPerWorker int           `json:"conns_per_worker"`
+	Pipeline       int           `json:"pipeline"`
+	RatePerSec     int           `json:"rate_per_sec,omitempty"`
+	Coordinator    HostMeta      `json:"coordinator"`
+	Phases         []PhaseStats  `json:"phases"`
+	PerWorker      []FinalReport `json:"per_worker"`
+}
+
+// PhaseStats is one phase merged across the fleet, with latency
+// percentiles computed from the merged histogram.
+type PhaseStats struct {
+	Phase      string  `json:"phase"`
+	Seconds    float64 `json:"seconds"`
+	Ops        int64   `json:"ops"`
+	Errors     int64   `json:"errors"`
+	Refusals   int64   `json:"refusals"`
+	Reconnects int64   `json:"reconnects"`
+	BytesIn    int64   `json:"bytes_in"`
+	BytesOut   int64   `json:"bytes_out"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	P999Ms     float64 `json:"p999_ms"`
+	Hist       *Hist   `json:"hist"`
+}
+
+// Steady returns the steady-state phase stats.
+func (r *Report) Steady() PhaseStats {
+	for _, p := range r.Phases {
+		if p.Phase == PhaseSteady {
+			return p
+		}
+	}
+	return PhaseStats{}
+}
+
+// ErrorRate returns errors / (ops + errors) over the steady window —
+// the fraction of offered steady-state load that failed.
+func (r *Report) ErrorRate() float64 {
+	s := r.Steady()
+	if s.Ops+s.Errors == 0 {
+		return 0
+	}
+	return float64(s.Errors) / float64(s.Ops+s.Errors)
+}
+
+// RunOptions shapes one coordinated run.
+type RunOptions struct {
+	// WorkerConns are open control connections, one per worker (dialed
+	// TCP conns to `ipabench worker` processes, or in-process pipe ends
+	// from SelfHosted). The coordinator owns and closes them.
+	WorkerConns []net.Conn
+	// Spec is the workload; the coordinator fills the per-worker fields
+	// (WorkerIndex, Workers, rate shares).
+	Spec WorkloadSpec
+	// Schedule is the ramp-up → steady → ramp-down program.
+	Schedule Schedule
+	// OnInterval, when set, receives workers' periodic progress
+	// reports (called from per-worker goroutines, serialized).
+	OnInterval func(Interval)
+}
+
+// Run coordinates one distributed load run: handshake with every
+// worker, distribute the spec, start all workers, stream progress,
+// collect and merge the final reports.
+func Run(opts RunOptions) (*Report, error) {
+	if len(opts.WorkerConns) == 0 {
+		return nil, fmt.Errorf("loadgen: no workers")
+	}
+	workers := len(opts.WorkerConns)
+	defer func() {
+		for _, c := range opts.WorkerConns {
+			c.Close()
+		}
+	}()
+	if opts.Schedule.Run <= 0 {
+		return nil, fmt.Errorf("loadgen: schedule has no steady window")
+	}
+
+	// Handshake + prepare, worker 0 first: it mounts and seeds the
+	// targets, so the others must not race it to Ready.
+	for i, conn := range opts.WorkerConns {
+		if err := WriteFrame(conn, MsgHello, Hello{Version: ProtoVersion}); err != nil {
+			return nil, fmt.Errorf("loadgen: worker %d: %w", i, err)
+		}
+		var welcome Welcome
+		if err := readMsg(conn, MsgWelcome, &welcome); err != nil {
+			return nil, fmt.Errorf("loadgen: worker %d: %w", i, err)
+		}
+		if welcome.Version != ProtoVersion {
+			return nil, fmt.Errorf("loadgen: worker %d speaks protocol %d, coordinator %d", i, welcome.Version, ProtoVersion)
+		}
+		spec := opts.Spec
+		spec.WorkerIndex = i
+		spec.Workers = workers
+		if opts.Spec.RatePerSec > 0 {
+			// Divide the global offered rate across the fleet; the
+			// remainder lands on worker 0 so the aggregate is exact.
+			spec.RatePerSec = opts.Spec.RatePerSec / workers
+			if i == 0 {
+				spec.RatePerSec += opts.Spec.RatePerSec % workers
+			}
+		}
+		if err := WriteFrame(conn, MsgPrepare, spec); err != nil {
+			return nil, fmt.Errorf("loadgen: worker %d: %w", i, err)
+		}
+		if err := readMsg(conn, MsgReady, nil); err != nil {
+			return nil, fmt.Errorf("loadgen: worker %d prepare: %w", i, err)
+		}
+	}
+
+	// Synchronized start: every worker is prepared; the Start frames go
+	// out back to back and each worker's phase clock begins at receipt.
+	// The ramp-up window absorbs the delivery skew.
+	for i, conn := range opts.WorkerConns {
+		if err := WriteFrame(conn, MsgStart, opts.Schedule); err != nil {
+			return nil, fmt.Errorf("loadgen: worker %d start: %w", i, err)
+		}
+	}
+
+	// Collect: one reader per worker streams intervals until Done.
+	finals := make([]*FinalReport, workers)
+	errs := make([]error, workers)
+	var ivMu sync.Mutex
+	var wg sync.WaitGroup
+	for i, conn := range opts.WorkerConns {
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			for {
+				t, payload, err := ReadFrame(conn)
+				if err != nil {
+					errs[i] = fmt.Errorf("loadgen: worker %d mid-run: %w", i, err)
+					return
+				}
+				switch t {
+				case MsgInterval:
+					if opts.OnInterval != nil {
+						var iv Interval
+						if json.Unmarshal(payload, &iv) == nil {
+							ivMu.Lock()
+							opts.OnInterval(iv)
+							ivMu.Unlock()
+						}
+					}
+				case MsgDone:
+					var fr FinalReport
+					if err := json.Unmarshal(payload, &fr); err != nil {
+						errs[i] = fmt.Errorf("loadgen: worker %d report: %w", i, err)
+						return
+					}
+					finals[i] = &fr
+					return
+				case MsgError:
+					var e ErrorMsg
+					json.Unmarshal(payload, &e)
+					errs[i] = fmt.Errorf("loadgen: worker %d: %s", i, e.Error)
+					return
+				default:
+					errs[i] = fmt.Errorf("loadgen: worker %d sent unexpected %s", i, t)
+					return
+				}
+			}
+		}(i, conn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return mergeReports(opts, finals)
+}
+
+// mergeReports folds the per-worker finals into the fleet report.
+func mergeReports(opts RunOptions, finals []*FinalReport) (*Report, error) {
+	rep := &Report{
+		Schedule:       opts.Schedule,
+		App:            opts.Spec.App,
+		Targets:        append([]string(nil), opts.Spec.Targets...),
+		Workers:        len(finals),
+		ConnsPerWorker: opts.Spec.Conns,
+		Pipeline:       opts.Spec.Pipeline,
+		RatePerSec:     opts.Spec.RatePerSec,
+		Coordinator:    Host(),
+	}
+	merged := map[string]*PhaseStats{}
+	for _, fr := range finals {
+		rep.PerWorker = append(rep.PerWorker, *fr)
+		for _, pr := range fr.Phases {
+			ps, ok := merged[pr.Phase]
+			if !ok {
+				ps = &PhaseStats{Phase: pr.Phase, Seconds: pr.Seconds, Hist: &Hist{}}
+				merged[pr.Phase] = ps
+			}
+			ps.Ops += pr.Ops
+			ps.Errors += pr.Errors
+			ps.Refusals += pr.Refusals
+			ps.Reconnects += pr.Reconnects
+			ps.BytesIn += pr.BytesIn
+			ps.BytesOut += pr.BytesOut
+			ps.Hist.Merge(pr.Hist)
+		}
+	}
+	for _, name := range Phases() {
+		ps, ok := merged[name]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: no worker reported phase %q", name)
+		}
+		if ps.Seconds > 0 {
+			ps.OpsPerSec = float64(ps.Ops) / ps.Seconds
+		}
+		ps.P50Ms = float64(ps.Hist.Quantile(50)) / 1000
+		ps.P95Ms = float64(ps.Hist.Quantile(95)) / 1000
+		ps.P99Ms = float64(ps.Hist.Quantile(99)) / 1000
+		ps.P999Ms = float64(ps.Hist.Quantile(99.9)) / 1000
+		rep.Phases = append(rep.Phases, *ps)
+	}
+	sort.Slice(rep.PerWorker, func(i, j int) bool { return rep.PerWorker[i].Worker < rep.PerWorker[j].Worker })
+	return rep, nil
+}
+
+// SelfHosted spawns n in-process workers over pipe pairs and returns
+// the coordinator ends — the single-host mode `ipabench loadgen` uses
+// when no -workers addresses are given, running the identical protocol
+// over in-memory conns. stop waits for the worker goroutines after the
+// run (Run closes the conns, which ends the sessions).
+func SelfHosted(n int, log func(format string, args ...any)) (conns []net.Conn, stop func()) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		c, w := net.Pipe()
+		conns = append(conns, c)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker := &Worker{Log: log}
+			worker.Serve(w)
+			w.Close()
+		}()
+	}
+	return conns, wg.Wait
+}
+
+// DialWorkers connects to remote `ipabench worker -listen` processes.
+func DialWorkers(addrs []string, timeout time.Duration) ([]net.Conn, error) {
+	var conns []net.Conn
+	for _, addr := range addrs {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			for _, open := range conns {
+				open.Close()
+			}
+			return nil, fmt.Errorf("loadgen: worker %s: %w", addr, err)
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}

@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ipa/internal/server"
+)
+
+// countConn wraps a driver connection, counting wire bytes into the
+// worker's shared totals — the bytes columns of interval and phase
+// reports.
+type countConn struct {
+	net.Conn
+	in, out *atomic.Int64
+}
+
+func (c *countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
+// driverConn is one resilient connection to an `ipa serve` target: it
+// knows how to (re)dial, re-pin its site, and re-identify itself, so a
+// mid-run server disconnect is a counted error and a reconnect, not an
+// aborted run — the property multi-minute sustained load needs, and
+// chaos-under-load for free.
+type driverConn struct {
+	addr string
+	site string
+	name string
+	in   *atomic.Int64
+	out  *atomic.Int64
+
+	cli        *server.Client
+	reconnects int64
+
+	// Cumulative outcome totals, published for the interval reporter
+	// (the per-phase accumulators stay goroutine-private).
+	totalOps, totalErrors, totalRefusals atomic.Int64
+}
+
+const (
+	dialTimeout      = 5 * time.Second
+	reconnectBackoff = 50 * time.Millisecond
+	// maxRedial bounds consecutive failed reconnect attempts before the
+	// connection gives up for good (the worker keeps serving from its
+	// other connections; a worker whose every connection is dead
+	// reports what it measured).
+	maxRedial = 20
+)
+
+// connect dials and prepares the connection: pin the site (when the
+// target knows it) and name the session so the server's INFO can count
+// connected load sessions.
+func (d *driverConn) connect() error {
+	raw, err := net.DialTimeout("tcp", d.addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	cli := server.NewClient(&countConn{Conn: raw, in: d.in, out: d.out})
+	if d.site != "" {
+		if err := cli.DoOK("SITE", d.site); err != nil {
+			cli.Close()
+			return err
+		}
+	}
+	// Best-effort: an older server without CLIENT still serves load.
+	if d.name != "" {
+		if _, err := cli.Do("CLIENT", "SETNAME", d.name); err != nil {
+			cli.Close()
+			return err
+		}
+	}
+	d.cli = cli
+	return nil
+}
+
+// reconnect closes the broken connection and redials with backoff.
+// A nil return means the connection is live again.
+func (d *driverConn) reconnect(deadline time.Time) error {
+	if d.cli != nil {
+		d.cli.Close()
+		d.cli = nil
+	}
+	var err error
+	for i := 0; i < maxRedial; i++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: reconnect to %s: schedule over", d.addr)
+		}
+		time.Sleep(reconnectBackoff * time.Duration(i+1))
+		if err = d.connect(); err == nil {
+			d.reconnects++
+			return nil
+		}
+	}
+	return fmt.Errorf("loadgen: reconnect to %s: %w", d.addr, err)
+}
+
+func (d *driverConn) close() {
+	if d.cli != nil {
+		d.cli.Close()
+		d.cli = nil
+	}
+}
+
+// callOutcome classifies a CALL reply: ok, refusal (PRECONDITION — a
+// guarded no-op, an outcome), or error (everything else the server
+// reports; counted, not fatal).
+func callOutcome(rp server.Reply) (refusal, errored bool) {
+	if rp.Kind != '-' {
+		return false, false
+	}
+	if strings.HasPrefix(rp.Str, "PRECONDITION") {
+		return true, false
+	}
+	return false, true
+}

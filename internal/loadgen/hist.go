@@ -1,0 +1,211 @@
+// Package loadgen is the distributed load-generation subsystem: a
+// coordinator drives N worker processes over a small length-prefixed
+// control protocol; workers drive `ipa serve` targets through the wire
+// protocol on a synchronized ramp-up → steady-state → ramp-down
+// schedule and stream back counters plus mergeable latency histograms.
+// Only steady-window samples make the headline numbers; the ramp
+// windows absorb cold connections and drain effects, the shape sibench
+// uses for storage benchmarks. The `ipabench loadgen` subcommand
+// self-hosts workers in-process when no worker addresses are given, so
+// the same code path runs single-host in CI and genuinely distributed
+// across machines.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
+
+// Histogram bucket layout: values are non-negative integers
+// (microseconds throughout this repository). Values below 2^subBits
+// get exact unit buckets; above that, each power-of-two octave splits
+// into 2^subBits linear sub-buckets, so a bucket's width is at most
+// its lower bound / 2^subBits — recording at the bucket midpoint keeps
+// the relative error of any quantile under 1/2^(subBits+1) (~0.8%).
+// The layout is value-indexed and fixed, which is what makes two
+// histograms mergeable by plain bucket-wise addition: shard them
+// across workers, add them up, and the merged histogram is exactly the
+// histogram of the union of the samples.
+const (
+	subBits    = 6
+	subBuckets = 1 << subBits                    // 64
+	numBuckets = subBuckets * (64 - subBits + 1) // covers all of int64
+)
+
+// Hist is a mergeable log-bucketed latency histogram. The zero value
+// is ready to use. It is not goroutine-safe; record into per-goroutine
+// histograms and Merge.
+type Hist struct {
+	counts []int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// bucketIdx maps a value to its bucket.
+func bucketIdx(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	s := bits.Len64(uint64(v)) - subBits - 1
+	return subBuckets*s + int(v>>uint(s))
+}
+
+// bucketMid returns the representative value (midpoint) of a bucket.
+func bucketMid(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	s := idx/subBuckets - 1
+	low := int64(subBuckets+idx%subBuckets) << uint(s)
+	return low + (int64(1)<<uint(s))/2
+}
+
+// Record adds one sample. Negative values clamp to zero.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make([]int64, numBuckets)
+	}
+	h.counts[bucketIdx(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// Sum returns the sum of all recorded samples.
+func (h *Hist) Sum() int64 { return h.sum }
+
+// Min and Max return the exact extremes (0 on an empty histogram).
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the exact mean (sums are tracked outside the buckets).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Merge folds another histogram into this one. Because the bucket
+// layout is fixed, merge-then-quantile equals quantile-over-the-union:
+// the property test pins it.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]int64, numBuckets)
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Quantile returns the p-th percentile (0..100) as a value in the
+// recorded unit, clamped to the exact [min, max] — so Quantile(0) and
+// Quantile(100) are exact, and interior quantiles carry the bucket
+// midpoint's bounded relative error.
+func (h *Hist) Quantile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	// Nearest-rank on the same index convention as a sorted slice:
+	// rank = p/100 * (n-1), take the sample at that (floor) index.
+	rank := int64(p / 100 * float64(h.count-1))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			v := bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// histJSON is the wire form: sparse [index, count] pairs, so an
+// idle-phase histogram costs a few bytes, not numBuckets zeros.
+type histJSON struct {
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Min     int64      `json:"min"`
+	Max     int64      `json:"max"`
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON serialises the histogram in sparse form.
+func (h *Hist) MarshalJSON() ([]byte, error) {
+	j := histJSON{Count: h.count, Sum: h.sum, Min: h.Min(), Max: h.max}
+	for i, c := range h.counts {
+		if c != 0 {
+			j.Buckets = append(j.Buckets, [2]int64{int64(i), c})
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a histogram from its sparse form, rejecting
+// out-of-range bucket indexes and inconsistent totals (a malformed
+// report must error, not corrupt a merge).
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var j histJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*h = Hist{count: j.Count, sum: j.Sum, min: j.Min, max: j.Max}
+	if len(j.Buckets) > 0 {
+		h.counts = make([]int64, numBuckets)
+	}
+	var total int64
+	for _, b := range j.Buckets {
+		idx, c := b[0], b[1]
+		if idx < 0 || idx >= numBuckets || c < 0 {
+			return fmt.Errorf("loadgen: histogram bucket [%d, %d] out of range", idx, c)
+		}
+		h.counts[idx] += c
+		total += c
+	}
+	if total != j.Count {
+		return fmt.Errorf("loadgen: histogram bucket total %d != count %d", total, j.Count)
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+package loadgen
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipa/internal/apps/tournament"
+	"ipa/internal/clock"
+	"ipa/internal/runtime"
+	"ipa/internal/server"
+	"ipa/internal/wan"
+)
+
+// startTarget boots a 3-site netrepl-backed server. With mount unset,
+// the server starts bare and worker 0 must MOUNT the spec source — the
+// spec-distribution path.
+func startTarget(t *testing.T, mount bool) string {
+	t.Helper()
+	var ids []clock.ReplicaID
+	for _, s := range wan.Sites() {
+		ids = append(ids, clock.ReplicaID(s))
+	}
+	cluster, err := runtime.NewNetCluster(ids, runtime.NetConfig{SettleTimeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cluster, server.Config{DrainTimeout: 30 * time.Second})
+	if mount {
+		if _, err := srv.MountAnalyzed(tournament.Spec(), tournament.Analysis()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Shutdown()
+		cluster.Close()
+	})
+	return srv.Addr()
+}
+
+func testSpec(targets ...string) WorkloadSpec {
+	mix, seeds := TournamentWorkload()
+	return WorkloadSpec{
+		App:         "tournament",
+		SpecSource:  tournament.SpecSource,
+		Targets:     targets,
+		Conns:       2,
+		Pipeline:    4,
+		Seed:        42,
+		Mix:         mix,
+		SeedCalls:   seeds,
+		ReportEvery: 50 * time.Millisecond,
+	}
+}
+
+// checkReport asserts the structural invariants every run must satisfy:
+// three phases in schedule order, window lengths from the schedule, a
+// busy steady state, and histogram counts that agree with the op
+// counters.
+func checkReport(t *testing.T, rep *Report, workers int, sched Schedule) {
+	t.Helper()
+	if rep.Workers != workers || len(rep.PerWorker) != workers {
+		t.Fatalf("report covers %d/%d workers, want %d", rep.Workers, len(rep.PerWorker), workers)
+	}
+	want := Phases()
+	if len(rep.Phases) != len(want) {
+		t.Fatalf("report has %d phases, want %d", len(rep.Phases), len(want))
+	}
+	windows := []float64{sched.RampUp.Seconds(), sched.Run.Seconds(), sched.RampDown.Seconds()}
+	for i, ps := range rep.Phases {
+		if ps.Phase != want[i] {
+			t.Errorf("phase %d is %q, want %q", i, ps.Phase, want[i])
+		}
+		if ps.Seconds != windows[i] {
+			t.Errorf("phase %q window %vs, want %vs", ps.Phase, ps.Seconds, windows[i])
+		}
+		if ps.Hist == nil {
+			t.Fatalf("phase %q has no histogram", ps.Phase)
+		}
+		if ps.Hist.Count() != ps.Ops {
+			// Closed-loop histograms record one sample per completed op;
+			// a mismatch means ramp samples leaked across windows.
+			t.Errorf("phase %q: hist count %d != ops %d", ps.Phase, ps.Hist.Count(), ps.Ops)
+		}
+	}
+	steady := rep.Steady()
+	if steady.Ops == 0 {
+		t.Fatalf("steady state completed no ops")
+	}
+	if steady.OpsPerSec <= 0 {
+		t.Errorf("steady ops/sec = %v", steady.OpsPerSec)
+	}
+	for i, wr := range rep.PerWorker {
+		if wr.Worker != i {
+			t.Errorf("per-worker breakdown out of order: slot %d holds worker %d", i, wr.Worker)
+		}
+	}
+}
+
+// TestSelfHostedClosedLoop is the acceptance shape: two in-process
+// workers, closed loop, against a bare server that worker 0 mounts and
+// seeds. Steady-state stats come only from the steady window.
+func TestSelfHostedClosedLoop(t *testing.T) {
+	addr := startTarget(t, false)
+	conns, stop := SelfHosted(2, t.Logf)
+	defer stop()
+
+	var intervals atomic.Int64
+	sched := Schedule{RampUp: 200 * time.Millisecond, Run: 600 * time.Millisecond, RampDown: 200 * time.Millisecond}
+	rep, err := Run(RunOptions{
+		WorkerConns: conns,
+		Spec:        testSpec(addr),
+		Schedule:    sched,
+		OnInterval:  func(iv Interval) { intervals.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, 2, sched)
+	if rep.ErrorRate() != 0 {
+		t.Errorf("error rate %v on a healthy run", rep.ErrorRate())
+	}
+	if intervals.Load() == 0 {
+		t.Errorf("no interval reports streamed")
+	}
+	steady := rep.Steady()
+	if steady.Refusals == 0 {
+		// The tournament mix deliberately drives guarded ops into
+		// refusal (over-capacity enrolls, double begins); a run with
+		// zero refusals means the mix is not exercising the guards.
+		t.Errorf("steady state saw no precondition refusals")
+	}
+	if steady.BytesIn == 0 || steady.BytesOut == 0 {
+		t.Errorf("steady bytes in/out = %d/%d", steady.BytesIn, steady.BytesOut)
+	}
+}
+
+// TestSelfHostedOpenLoop drives the paced mode: offered rate split
+// across workers, issue-to-reply latency in the histograms.
+func TestSelfHostedOpenLoop(t *testing.T) {
+	addr := startTarget(t, true)
+	conns, stop := SelfHosted(2, t.Logf)
+	defer stop()
+
+	sched := Schedule{RampUp: 150 * time.Millisecond, Run: 500 * time.Millisecond, RampDown: 150 * time.Millisecond}
+	spec := testSpec(addr)
+	spec.Conns = 1
+	spec.RatePerSec = 300
+	rep, err := Run(RunOptions{WorkerConns: conns, Spec: spec, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, 2, sched)
+	steady := rep.Steady()
+	// Offered steady load is 300/s × 0.5s = 150 calls; completed ops
+	// cannot meaningfully exceed it (scheduling jitter allows a little).
+	if steady.Ops > 300 {
+		t.Errorf("steady ops %d exceed the offered open-loop load", steady.Ops)
+	}
+	if rep.RatePerSec != 300 {
+		t.Errorf("report rate %d, want 300", rep.RatePerSec)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if _, err := Run(RunOptions{}); err == nil {
+		t.Errorf("no workers accepted")
+	}
+	conns, stop := SelfHosted(1, nil)
+	defer stop()
+	if _, err := Run(RunOptions{WorkerConns: conns, Spec: testSpec("x:1")}); err == nil {
+		t.Errorf("empty schedule accepted")
+	}
+}
+
+func TestPrepareRejectsBadSpec(t *testing.T) {
+	conns, stop := SelfHosted(1, nil)
+	defer stop()
+	spec := testSpec("127.0.0.1:1") // nothing listens on port 1
+	sched := Schedule{Run: 100 * time.Millisecond}
+	if _, err := Run(RunOptions{WorkerConns: conns, Spec: spec, Schedule: sched}); err == nil {
+		t.Errorf("unreachable target accepted")
+	}
+}
+
+// chaosProxy forwards TCP to a target and can kill every live link on
+// demand, while continuing to accept new ones — a mid-run server
+// disconnect from the driver's point of view.
+type chaosProxy struct {
+	ln     net.Listener
+	target string
+	mu     sync.Mutex
+	links  []net.Conn
+}
+
+func newChaosProxy(t *testing.T, target string) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, target: target}
+	t.Cleanup(func() { ln.Close() })
+	go p.accept()
+	return p
+}
+
+func (p *chaosProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.links = append(p.links, c, up)
+		p.mu.Unlock()
+		go func() { io.Copy(up, c); up.Close() }()
+		go func() { io.Copy(c, up); c.Close() }()
+	}
+}
+
+func (p *chaosProxy) killAll() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.links)
+	for _, c := range p.links {
+		c.Close()
+	}
+	p.links = nil
+	return n / 2
+}
+
+// TestReconnectMidRun pins satellite behaviour: a server disconnect
+// mid-run is a counted error plus a reconnect, and the run finishes
+// with a full report instead of aborting.
+func TestReconnectMidRun(t *testing.T) {
+	addr := startTarget(t, true)
+	proxy := newChaosProxy(t, addr)
+
+	conns, stop := SelfHosted(1, t.Logf)
+	defer stop()
+
+	sched := Schedule{RampUp: 150 * time.Millisecond, Run: 800 * time.Millisecond, RampDown: 150 * time.Millisecond}
+	killed := make(chan int, 1)
+	go func() {
+		// Cut every driver link mid-steady-state.
+		time.Sleep(sched.RampUp + 300*time.Millisecond)
+		killed <- proxy.killAll()
+	}()
+
+	rep, err := Run(RunOptions{
+		WorkerConns: conns,
+		Spec:        testSpec(proxy.ln.Addr().String()),
+		Schedule:    sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := <-killed; n == 0 {
+		t.Fatalf("proxy had no links to kill; test never injected a failure")
+	}
+	checkReport(t, rep, 1, sched)
+
+	var errors, reconnects, afterOps int64
+	for _, ps := range rep.Phases {
+		errors += ps.Errors
+		reconnects += ps.Reconnects
+	}
+	// The steady phase must have kept completing ops after the cut:
+	// with 300ms before the cut and 500ms after, a run that died with
+	// its connections would show a steady window starved of most ops.
+	afterOps = rep.Steady().Ops
+	if errors == 0 {
+		t.Errorf("server disconnect produced no counted errors")
+	}
+	if reconnects == 0 {
+		t.Errorf("server disconnect produced no reconnects")
+	}
+	if afterOps == 0 {
+		t.Errorf("no steady ops at all despite reconnect-and-continue")
+	}
+	t.Logf("reconnects=%d errors=%d steadyOps=%d", reconnects, errors, afterOps)
+}
+
+// TestWorkerDaemon exercises the TCP control path end to end: two
+// `ipabench worker`-equivalent daemons on localhost sockets, dialed by
+// the coordinator — the distributed mode, minus the second machine.
+func TestWorkerDaemon(t *testing.T) {
+	addr := startTarget(t, true)
+
+	var workerAddrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		workerAddrs = append(workerAddrs, ln.Addr().String())
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				w := &Worker{Log: t.Logf}
+				w.Serve(c)
+				c.Close()
+			}
+		}()
+	}
+
+	conns, err := DialWorkers(workerAddrs, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule{RampUp: 150 * time.Millisecond, Run: 500 * time.Millisecond, RampDown: 150 * time.Millisecond}
+	rep, err := Run(RunOptions{WorkerConns: conns, Spec: testSpec(addr), Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, 2, sched)
+	for _, wr := range rep.PerWorker {
+		if wr.Host.NumCPU == 0 {
+			t.Errorf("worker %d reported no host metadata", wr.Worker)
+		}
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	c, w := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		(&Worker{}).Serve(w)
+		w.Close()
+	}()
+	defer c.Close()
+	if err := WriteFrame(c, MsgHello, Hello{Version: ProtoVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	var welcome Welcome
+	if err := readMsg(c, MsgWelcome, &welcome); err == nil {
+		t.Errorf("version mismatch handshake succeeded")
+	}
+	<-done
+}

@@ -1,0 +1,325 @@
+package loadgen
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// The control protocol between coordinator and workers: length-prefixed
+// frames carrying one JSON message each. The frame header is a 4-byte
+// big-endian length (of type byte + payload) and a 1-byte message type;
+// the length is bounded so a malformed or hostile peer cannot make the
+// reader allocate unbounded memory, and every decode error is an error
+// return, never a panic (FuzzControlFrame pins it). The handshake
+// carries a protocol version so a coordinator and a worker from
+// different builds fail loudly instead of misinterpreting each other.
+
+// ProtoVersion is the control protocol version. Bump on any
+// incompatible message change.
+const ProtoVersion = 1
+
+// MaxControlFrame bounds a control frame's payload. Final reports carry
+// sparse histograms for three phases; 4 MiB is two orders of magnitude
+// of headroom.
+const MaxControlFrame = 4 << 20
+
+// ErrFrame marks malformed control frames.
+var ErrFrame = errors.New("loadgen: bad control frame")
+
+// MsgType tags a control frame.
+type MsgType byte
+
+// The protocol, in order of a session's life.
+const (
+	// MsgHello (coordinator → worker) opens the session.
+	MsgHello MsgType = 1 + iota
+	// MsgWelcome (worker → coordinator) answers with the worker's
+	// version and host metadata.
+	MsgWelcome
+	// MsgPrepare (coordinator → worker) distributes the workload spec;
+	// the worker dials its target connections and, if it is worker 0,
+	// mounts and seeds the application.
+	MsgPrepare
+	// MsgReady (worker → coordinator) confirms the worker is connected
+	// and seeded.
+	MsgReady
+	// MsgStart (coordinator → worker) starts the schedule; the worker's
+	// clock for phase windows begins at receipt.
+	MsgStart
+	// MsgInterval (worker → coordinator) streams periodic cumulative
+	// counters while the schedule runs.
+	MsgInterval
+	// MsgDone (worker → coordinator) carries the final per-phase report.
+	MsgDone
+	// MsgStop (coordinator → worker) aborts a run early.
+	MsgStop
+	// MsgError (either direction) reports a fatal session error.
+	MsgError
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgWelcome:
+		return "welcome"
+	case MsgPrepare:
+		return "prepare"
+	case MsgReady:
+		return "ready"
+	case MsgStart:
+		return "start"
+	case MsgInterval:
+		return "interval"
+	case MsgDone:
+		return "done"
+	case MsgStop:
+		return "stop"
+	case MsgError:
+		return "error"
+	}
+	return fmt.Sprintf("msg(%d)", byte(t))
+}
+
+// WriteFrame writes one framed message: the JSON encoding of v behind
+// the length/type header.
+func WriteFrame(w io.Writer, t MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload)+1 > MaxControlFrame {
+		return fmt.Errorf("%w: %s payload %d bytes exceeds %d", ErrFrame, t, len(payload), MaxControlFrame)
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	_, err = w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads one framed message, returning its type and raw JSON
+// payload. Malformed input — zero or oversized length, truncation —
+// errors without panicking and without unbounded allocation.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrFrame)
+	}
+	if n > MaxControlFrame {
+		return 0, nil, fmt.Errorf("%w: frame length %d exceeds %d", ErrFrame, n, MaxControlFrame)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: truncated frame: %v", ErrFrame, err)
+		}
+		return 0, nil, err
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// readMsg reads one frame and decodes it into out when its type
+// matches want; a MsgError frame surfaces as the remote error.
+func readMsg(r io.Reader, want MsgType, out any) error {
+	t, payload, err := ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	if t == MsgError {
+		var e ErrorMsg
+		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			return fmt.Errorf("loadgen: remote: %s", e.Error)
+		}
+		return fmt.Errorf("loadgen: remote error")
+	}
+	if t != want {
+		return fmt.Errorf("%w: got %s, want %s", ErrFrame, t, want)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("%w: %s payload: %v", ErrFrame, want, err)
+	}
+	return nil
+}
+
+// HostMeta describes the machine a measurement ran on, so numbers in a
+// BENCH_*.json are self-describing and a gate can warn before comparing
+// a 1-CPU container against a many-core CI runner.
+type HostMeta struct {
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// Host captures the current process's host metadata. The commit comes
+// from the build info's VCS stamp when the binary was built from a
+// checkout (go run / test binaries may carry none).
+func Host() HostMeta {
+	h := HostMeta{
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				h.Commit = s.Value
+			}
+		}
+	}
+	return h
+}
+
+// Hello opens a control session.
+type Hello struct {
+	Version int `json:"version"`
+}
+
+// Welcome answers a Hello.
+type Welcome struct {
+	Version int      `json:"version"`
+	Host    HostMeta `json:"host"`
+}
+
+// ErrorMsg carries a fatal session error.
+type ErrorMsg struct {
+	Error string `json:"error"`
+}
+
+// MixEntry is one operation of a workload mix: a weight and one
+// argument pool per argument position; the generator draws each
+// argument uniformly from its pool.
+type MixEntry struct {
+	Op     string     `json:"op"`
+	Weight int        `json:"weight"`
+	Args   [][]string `json:"args,omitempty"`
+}
+
+// WorkloadSpec tells a worker what to run. The coordinator derives the
+// per-worker fields (index, rate share) from the run options.
+type WorkloadSpec struct {
+	// App is the mounted application to CALL.
+	App string `json:"app"`
+	// SpecSource, when non-empty, is MOUNTed by worker 0 if the target
+	// does not already have App (spec-file workloads).
+	SpecSource string `json:"spec_source,omitempty"`
+	// Targets are the `ipa serve` addresses; connections round-robin
+	// across them.
+	Targets []string `json:"targets"`
+	// Conns is this worker's connection count (closed loop: each is one
+	// pipelined loop; open loop: each is one paced issuer).
+	Conns int `json:"conns"`
+	// Pipeline is the closed-loop batch depth per connection.
+	Pipeline int `json:"pipeline"`
+	// RatePerSec, when positive, switches this worker open-loop at this
+	// aggregate rate (the coordinator has already divided the global
+	// rate across workers).
+	RatePerSec int `json:"rate_per_sec,omitempty"`
+	// Seed drives the workload generators; each connection derives its
+	// own stream from it.
+	Seed int64 `json:"seed"`
+	// Mix is the weighted operation mix.
+	Mix []MixEntry `json:"mix"`
+	// SeedCalls are run once by worker 0 before Ready (domain setup),
+	// followed by a SETTLE so every site serves the seeded state.
+	SeedCalls [][]string `json:"seed_calls,omitempty"`
+	// WorkerIndex and Workers locate this worker in the fleet.
+	WorkerIndex int `json:"worker_index"`
+	Workers     int `json:"workers"`
+	// ReportEvery is the interval-report cadence. Zero: one second.
+	ReportEvery time.Duration `json:"report_every,omitempty"`
+}
+
+// Schedule is the synchronized run schedule. Phase windows are measured
+// on each worker's clock from receipt of MsgStart; the ramp windows
+// absorb the start skew (sub-millisecond on localhost, network RTT
+// across machines).
+type Schedule struct {
+	RampUp   time.Duration `json:"ramp_up"`
+	Run      time.Duration `json:"run"`
+	RampDown time.Duration `json:"ramp_down"`
+}
+
+// Total is the schedule's full duration.
+func (s Schedule) Total() time.Duration { return s.RampUp + s.Run + s.RampDown }
+
+// The phase names, in schedule order. PhaseSteady is the only window
+// whose samples make the headline stats.
+const (
+	PhaseRampUp   = "ramp_up"
+	PhaseSteady   = "steady"
+	PhaseRampDown = "ramp_down"
+)
+
+// Phases lists the phase names in schedule order.
+func Phases() []string { return []string{PhaseRampUp, PhaseSteady, PhaseRampDown} }
+
+// phaseAt maps an elapsed offset to a phase index (0..2).
+func (s Schedule) phaseAt(d time.Duration) int {
+	switch {
+	case d < s.RampUp:
+		return 0
+	case d < s.RampUp+s.Run:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Interval is a worker's periodic progress report: cumulative counters
+// since Start.
+type Interval struct {
+	Worker   int           `json:"worker"`
+	Elapsed  time.Duration `json:"elapsed"`
+	Phase    string        `json:"phase"`
+	Ops      int64         `json:"ops"`
+	Errors   int64         `json:"errors"`
+	Refusals int64         `json:"refusals"`
+	BytesIn  int64         `json:"bytes_in"`
+	BytesOut int64         `json:"bytes_out"`
+}
+
+// PhaseReport is one phase's counters and latency histogram, as
+// measured by one worker (and, after merging, by the whole fleet).
+type PhaseReport struct {
+	Phase string `json:"phase"`
+	// Seconds is the phase window's length.
+	Seconds float64 `json:"seconds"`
+	// Ops counts completed calls whose batch was issued in this window;
+	// Errors counts calls lost to I/O failures or server-side errors
+	// (PRECONDITION refusals are outcomes, counted separately).
+	Ops        int64 `json:"ops"`
+	Errors     int64 `json:"errors"`
+	Refusals   int64 `json:"refusals"`
+	Reconnects int64 `json:"reconnects"`
+	BytesIn    int64 `json:"bytes_in"`
+	BytesOut   int64 `json:"bytes_out"`
+	// Hist holds per-op latency in microseconds.
+	Hist *Hist `json:"hist"`
+}
+
+// FinalReport is a worker's end-of-run report: one PhaseReport per
+// schedule phase, in order.
+type FinalReport struct {
+	Worker int           `json:"worker"`
+	Host   HostMeta      `json:"host"`
+	Phases []PhaseReport `json:"phases"`
+}

@@ -1,0 +1,616 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipa/internal/server"
+)
+
+// Worker is the load-generating side of the control protocol: it serves
+// one coordinator session at a time, dialing driver connections to the
+// `ipa serve` targets named in the Prepare spec and running the Start
+// schedule against them. The zero value is ready; set Log for progress
+// lines (the `ipabench worker` process logs to stderr).
+type Worker struct {
+	// Log, when set, receives human-readable progress lines.
+	Log func(format string, args ...any)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		w.Log(format, args...)
+	}
+}
+
+// ListenAndServe runs a worker daemon: accept coordinator connections
+// on addr and serve them one at a time (a worker drives one run at a
+// time; a second coordinator queues in the accept backlog). This is
+// `ipabench worker -listen addr`.
+func ListenAndServe(addr string, w *Worker) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	w.logf("loadgen worker listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		w.logf("coordinator connected from %s", conn.RemoteAddr())
+		if err := w.Serve(conn); err != nil && !errors.Is(err, io.EOF) {
+			w.logf("session ended: %v", err)
+		} else {
+			w.logf("session complete")
+		}
+		conn.Close()
+	}
+}
+
+// phaseAcc accumulates one phase's outcomes for one connection (or,
+// merged, for a whole worker). Single-goroutine; merged across
+// goroutines only after they finish.
+type phaseAcc struct {
+	hist       Hist
+	ops        int64
+	errors     int64
+	refusals   int64
+	reconnects int64
+}
+
+func (a *phaseAcc) merge(o *phaseAcc) {
+	a.hist.Merge(&o.hist)
+	a.ops += o.ops
+	a.errors += o.errors
+	a.refusals += o.refusals
+	a.reconnects += o.reconnects
+}
+
+// session is one coordinator's run on this worker.
+type session struct {
+	w                 *Worker
+	ctl               net.Conn
+	writeMu           sync.Mutex // MsgInterval streams beside MsgDone
+	spec              WorkloadSpec
+	conns             []*driverConn
+	gens              []*CallGen
+	bytesIn, bytesOut atomic.Int64
+}
+
+func (s *session) send(t MsgType, v any) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return WriteFrame(s.ctl, t, v)
+}
+
+func (s *session) fail(err error) error {
+	s.send(MsgError, ErrorMsg{Error: err.Error()})
+	return err
+}
+
+// ListenAndServe accepts coordinator sessions on ln, serving one at a
+// time until the listener closes — the `ipabench worker` daemon loop.
+// Sessions are sequential by design: a worker commits its whole
+// connection budget to one coordinator, so concurrent runs would
+// contend; later arrivals queue in the accept backlog.
+func (w *Worker) ListenAndServe(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		if err := w.Serve(conn); err != nil {
+			w.logf("session from %v: %v", conn.RemoteAddr(), err)
+		}
+		conn.Close()
+	}
+}
+
+// Serve runs one coordinator session over conn: handshake, prepare,
+// run, report. It returns when the session ends (cleanly or not); the
+// caller owns the conn.
+func (w *Worker) Serve(conn net.Conn) error {
+	s := &session{w: w, ctl: conn}
+	defer s.closeConns()
+
+	var hello Hello
+	if err := readMsg(conn, MsgHello, &hello); err != nil {
+		return err
+	}
+	if hello.Version != ProtoVersion {
+		return s.fail(fmt.Errorf("protocol version %d, worker speaks %d", hello.Version, ProtoVersion))
+	}
+	if err := s.send(MsgWelcome, Welcome{Version: ProtoVersion, Host: Host()}); err != nil {
+		return err
+	}
+
+	if err := readMsg(conn, MsgPrepare, &s.spec); err != nil {
+		return err
+	}
+	if err := s.prepare(); err != nil {
+		return s.fail(err)
+	}
+	if err := s.send(MsgReady, struct{}{}); err != nil {
+		return err
+	}
+
+	var sched Schedule
+	if err := readMsg(conn, MsgStart, &sched); err != nil {
+		return err
+	}
+	report, err := s.run(sched)
+	if err != nil {
+		return s.fail(err)
+	}
+	if err := s.send(MsgDone, report); err != nil {
+		return err
+	}
+	// The coordinator closes (or sends Stop) once it has the report;
+	// either way the session is over. The run's abort watcher already
+	// consumed that frame — nothing more to read here.
+	return nil
+}
+
+// prepare validates the spec, seeds the targets (worker 0), and dials
+// the driver connections.
+func (s *session) prepare() error {
+	spec := &s.spec
+	if spec.App == "" || len(spec.Targets) == 0 {
+		return fmt.Errorf("spec names no app or no targets")
+	}
+	if spec.Conns <= 0 {
+		spec.Conns = 1
+	}
+	if spec.Pipeline <= 0 {
+		spec.Pipeline = 8
+	}
+	if spec.ReportEvery <= 0 {
+		spec.ReportEvery = time.Second
+	}
+	for _, m := range spec.Mix {
+		for _, pool := range m.Args {
+			if len(pool) == 0 {
+				return fmt.Errorf("op %q has an empty argument pool", m.Op)
+			}
+		}
+	}
+
+	// Discover each target's sites, and — as worker 0, exactly once
+	// across the fleet — mount and seed the application, settling so
+	// every site serves the seeded state before any worker starts.
+	sitesOf := make(map[string][]string, len(spec.Targets))
+	for _, addr := range spec.Targets {
+		ctl, err := server.Dial(addr, dialTimeout)
+		if err != nil {
+			return fmt.Errorf("target %s: %w", addr, err)
+		}
+		sites, err := targetSites(ctl)
+		if err == nil && spec.WorkerIndex == 0 {
+			err = s.seedTarget(ctl)
+		}
+		ctl.Close()
+		if err != nil {
+			return fmt.Errorf("target %s: %w", addr, err)
+		}
+		sitesOf[addr] = sites
+	}
+
+	for i := 0; i < spec.Conns; i++ {
+		addr := spec.Targets[i%len(spec.Targets)]
+		sites := sitesOf[addr]
+		d := &driverConn{
+			addr: addr,
+			site: sites[(spec.WorkerIndex*spec.Conns+i)%len(sites)],
+			name: fmt.Sprintf("loadgen-w%d-c%d", spec.WorkerIndex, i),
+			in:   &s.bytesIn,
+			out:  &s.bytesOut,
+		}
+		if err := d.connect(); err != nil {
+			return fmt.Errorf("conn %d to %s: %w", i, addr, err)
+		}
+		s.conns = append(s.conns, d)
+		// Distinct per-connection streams, reproducible from the spec's
+		// seed alone.
+		gen, err := NewCallGen(spec.Mix, spec.Seed+int64(spec.WorkerIndex)*1_000_003+int64(i)*7919)
+		if err != nil {
+			return err
+		}
+		s.gens = append(s.gens, gen)
+	}
+	return nil
+}
+
+// seedTarget mounts the app if missing and runs the seed calls.
+func (s *session) seedTarget(ctl *server.Client) error {
+	spec := &s.spec
+	rp, err := ctl.Do("APPS")
+	if err != nil {
+		return err
+	}
+	mounted := false
+	for _, name := range rp.Strings() {
+		if name == spec.App {
+			mounted = true
+		}
+	}
+	if !mounted {
+		if spec.SpecSource == "" {
+			return fmt.Errorf("app %q not mounted and the spec carries no source", spec.App)
+		}
+		if err := ctl.DoOK("MOUNT", spec.SpecSource); err != nil {
+			return err
+		}
+	}
+	for _, call := range spec.SeedCalls {
+		rp, err := ctl.Do(append([]string{"CALL", spec.App}, call...)...)
+		if err != nil {
+			return err
+		}
+		if _, bad := callOutcome(rp); bad {
+			return fmt.Errorf("seed %v: %s", call, rp.Str)
+		}
+	}
+	return ctl.DoOK("SETTLE")
+}
+
+func (s *session) closeConns() {
+	for _, d := range s.conns {
+		d.close()
+	}
+}
+
+// run executes the schedule: every connection drives its loop, an
+// interval reporter streams cumulative counters, and a phase watcher
+// snapshots the byte counters at window boundaries. The returned
+// report's phases are in schedule order.
+func (s *session) run(sched Schedule) (*FinalReport, error) {
+	if sched.Run <= 0 {
+		return nil, fmt.Errorf("schedule has no steady window")
+	}
+	t0 := time.Now()
+
+	// Abort watch: a Stop frame mid-run cancels the schedule. The
+	// watcher also notices the coordinator dying (read error) — a
+	// headless worker must not keep hammering the targets.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+	go func() {
+		if t, _, err := ReadFrame(s.ctl); err != nil || t == MsgStop {
+			cancel()
+		}
+	}()
+
+	accs := make([][3]phaseAcc, len(s.conns))
+	var wg sync.WaitGroup
+	for i, d := range s.conns {
+		wg.Add(1)
+		go func(i int, d *driverConn) {
+			defer wg.Done()
+			if s.spec.RatePerSec > 0 {
+				s.runOpen(d, s.gens[i], sched, t0, &accs[i], stop)
+			} else {
+				s.runClosed(d, s.gens[i], sched, t0, &accs[i], stop)
+			}
+			d.close()
+		}(i, d)
+	}
+
+	// Byte counters are worker-wide; snapshots at the window boundaries
+	// split them into exact per-window deltas.
+	var bytesMark [4][2]int64
+	var snapWg sync.WaitGroup
+	snapWg.Add(1)
+	go func() {
+		defer snapWg.Done()
+		marks := []time.Duration{0, sched.RampUp, sched.RampUp + sched.Run, sched.Total()}
+		for i, m := range marks {
+			select {
+			case <-stop:
+				for ; i < len(marks); i++ {
+					bytesMark[i] = [2]int64{s.bytesIn.Load(), s.bytesOut.Load()}
+				}
+				return
+			case <-time.After(time.Until(t0.Add(m))):
+				bytesMark[i] = [2]int64{s.bytesIn.Load(), s.bytesOut.Load()}
+			}
+		}
+	}()
+
+	// Interval reporter: cumulative counters on the control conn.
+	repStop := make(chan struct{})
+	var repWg sync.WaitGroup
+	repWg.Add(1)
+	go func() {
+		defer repWg.Done()
+		tick := time.NewTicker(s.spec.ReportEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-repStop:
+				return
+			case <-stop:
+				return
+			case <-tick.C:
+				iv := Interval{
+					Worker:   s.spec.WorkerIndex,
+					Elapsed:  time.Since(t0),
+					Phase:    Phases()[sched.phaseAt(time.Since(t0))],
+					BytesIn:  s.bytesIn.Load(),
+					BytesOut: s.bytesOut.Load(),
+				}
+				for _, d := range s.conns {
+					iv.Ops += d.totalOps.Load()
+					iv.Errors += d.totalErrors.Load()
+					iv.Refusals += d.totalRefusals.Load()
+				}
+				s.send(MsgInterval, iv)
+			}
+		}
+	}()
+
+	wg.Wait()
+	cancel() // unparks the snapshot watcher if drivers died early
+	close(repStop)
+	repWg.Wait()
+	snapWg.Wait()
+
+	rep := &FinalReport{Worker: s.spec.WorkerIndex, Host: Host()}
+	windows := []float64{sched.RampUp.Seconds(), sched.Run.Seconds(), sched.RampDown.Seconds()}
+	for ph, name := range Phases() {
+		merged := phaseAcc{}
+		for i := range accs {
+			merged.merge(&accs[i][ph])
+		}
+		rep.Phases = append(rep.Phases, PhaseReport{
+			Phase:      name,
+			Seconds:    windows[ph],
+			Ops:        merged.ops,
+			Errors:     merged.errors,
+			Refusals:   merged.refusals,
+			Reconnects: merged.reconnects,
+			BytesIn:    bytesMark[ph+1][0] - bytesMark[ph][0],
+			BytesOut:   bytesMark[ph+1][1] - bytesMark[ph][1],
+			Hist:       &merged.hist,
+		})
+	}
+	return rep, nil
+}
+
+// record classifies one reply into an accumulator. Refusals are
+// completed operations (guarded no-ops), counted within ops and again
+// under refusals; only genuine server errors count as errors.
+func (d *driverConn) record(acc *phaseAcc, rp server.Reply) {
+	refusal, bad := callOutcome(rp)
+	if bad {
+		acc.errors++
+		d.totalErrors.Add(1)
+		return
+	}
+	acc.ops++
+	d.totalOps.Add(1)
+	if refusal {
+		acc.refusals++
+		d.totalRefusals.Add(1)
+	}
+}
+
+// runClosed drives one connection closed-loop: send a pipelined batch,
+// read its replies, attribute the batch to the phase it was issued in.
+// A wire failure counts the batch as errors, reconnects, and
+// continues; a connection that cannot come back stops (its peers keep
+// serving).
+func (s *session) runClosed(d *driverConn, gen *CallGen, sched Schedule, t0 time.Time, accs *[3]phaseAcc, stop <-chan struct{}) {
+	deadline := t0.Add(sched.Total())
+	depth := s.spec.Pipeline
+	batch := make([][]string, 0, depth)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		el := time.Since(t0)
+		if el >= sched.Total() {
+			return
+		}
+		ph := sched.phaseAt(el)
+		acc := &accs[ph]
+		batch = batch[:0]
+		for len(batch) < depth {
+			batch = append(batch, gen.Next())
+		}
+		bt0 := time.Now()
+		for _, call := range batch {
+			d.cli.Send(append([]string{"CALL", s.spec.App}, call...)...)
+		}
+		err := d.cli.Flush()
+		recvd := 0
+		if err == nil {
+			for range batch {
+				rp, rerr := d.cli.Recv()
+				if rerr != nil {
+					err = rerr
+					break
+				}
+				d.record(acc, rp)
+				recvd++
+			}
+		}
+		if err != nil {
+			// The wire died mid-batch: replies already read are
+			// recorded above; the unaccounted tail counts as errors.
+			// Then reconnect and carry on.
+			lost := int64(len(batch) - recvd)
+			acc.errors += lost
+			d.totalErrors.Add(lost)
+			acc.reconnects++
+			if rerr := d.reconnect(deadline); rerr != nil {
+				s.w.logf("conn to %s gone for good: %v", d.addr, rerr)
+				return
+			}
+			continue
+		}
+		perOp := time.Since(bt0) / time.Duration(len(batch))
+		for range batch {
+			acc.hist.Record(perOp.Microseconds())
+		}
+	}
+}
+
+// epochEnd says how an open-loop connection epoch finished.
+type epochEnd int
+
+const (
+	epochDone      epochEnd = iota // schedule over, stopped, or conn dead
+	epochReconnect                 // wire broke; reconnected, run another
+)
+
+// runOpen drives one connection open-loop: a pacer issues CALLs at the
+// connection's rate share regardless of replies; a reader records
+// issue-to-reply latency, so queueing delay under overload is measured
+// rather than hidden (the coordinated-omission-free shape). On a wire
+// failure the in-flight window drains as errors, the connection
+// redials, and pacing resumes — offered load stays constant across
+// server restarts.
+func (s *session) runOpen(d *driverConn, gen *CallGen, sched Schedule, t0 time.Time, accs *[3]phaseAcc, stop <-chan struct{}) {
+	// The worker's rate divides evenly across its connections; the
+	// remainder lands on conn 0 so the aggregate is exact.
+	rate := s.spec.RatePerSec / s.spec.Conns
+	if d == s.conns[0] {
+		rate += s.spec.RatePerSec % s.spec.Conns
+	}
+	if rate <= 0 {
+		return
+	}
+	interval := time.Second / time.Duration(rate)
+	for {
+		if s.openEpoch(d, gen, sched, t0, interval, accs, stop) == epochDone {
+			return
+		}
+	}
+}
+
+// openEpoch paces one connection until the schedule ends or the wire
+// breaks. The reader goroutine owns a private accumulator set, merged
+// after it exits — no mid-epoch sharing.
+func (s *session) openEpoch(d *driverConn, gen *CallGen, sched Schedule, t0 time.Time, interval time.Duration, accs *[3]phaseAcc, stop <-chan struct{}) epochEnd {
+	deadline := t0.Add(sched.Total())
+	type issue struct {
+		t  time.Time
+		ph int
+	}
+	inflight := make(chan issue, 8192)
+	var readerAccs [3]phaseAcc
+	readerBroken := make(chan struct{})
+	var readerWg sync.WaitGroup
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		broken := false
+		for iss := range inflight {
+			if !broken {
+				rp, err := d.cli.Recv()
+				if err != nil {
+					broken = true
+					close(readerBroken)
+				} else {
+					refusal, bad := callOutcome(rp)
+					if bad {
+						readerAccs[iss.ph].errors++
+						d.totalErrors.Add(1)
+					} else {
+						readerAccs[iss.ph].ops++
+						d.totalOps.Add(1)
+						if refusal {
+							readerAccs[iss.ph].refusals++
+							d.totalRefusals.Add(1)
+						}
+						readerAccs[iss.ph].hist.Record(time.Since(iss.t).Microseconds())
+					}
+					continue
+				}
+			}
+			// Past the break: every queued issue is a lost call.
+			readerAccs[iss.ph].errors++
+			d.totalErrors.Add(1)
+		}
+	}()
+	endEpoch := func() {
+		close(inflight)
+		readerWg.Wait()
+		for ph := range readerAccs {
+			accs[ph].merge(&readerAccs[ph])
+		}
+	}
+	reconnectAndGo := func(ph int) epochEnd {
+		accs[ph].reconnects++
+		if err := d.reconnect(deadline); err != nil {
+			s.w.logf("conn to %s gone for good: %v", d.addr, err)
+			return epochDone
+		}
+		return epochReconnect
+	}
+
+	next := time.Now()
+	for {
+		el := time.Since(t0)
+		if el >= sched.Total() {
+			endEpoch()
+			return epochDone
+		}
+		select {
+		case <-stop:
+			endEpoch()
+			return epochDone
+		case <-readerBroken:
+			endEpoch()
+			return reconnectAndGo(sched.phaseAt(el))
+		default:
+		}
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		ph := sched.phaseAt(time.Since(t0))
+		d.cli.Send(append([]string{"CALL", s.spec.App}, gen.Next()...)...)
+		if err := d.cli.Flush(); err != nil {
+			endEpoch()
+			accs[ph].errors++
+			d.totalErrors.Add(1)
+			return reconnectAndGo(ph)
+		}
+		inflight <- issue{t: time.Now(), ph: ph}
+		next = next.Add(interval)
+		if time.Since(next) > time.Second {
+			// The pacer fell more than a second behind (a long
+			// reconnect): re-anchor instead of issuing a burst no real
+			// client population would.
+			next = time.Now()
+		}
+	}
+}
+
+// targetSites parses the site list out of a target's INFO reply.
+func targetSites(c *server.Client) ([]string, error) {
+	rp, err := c.Do("INFO")
+	if err != nil {
+		return nil, err
+	}
+	if err := rp.Err(); err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(rp.Str, "\r\n") {
+		if rest, ok := strings.CutPrefix(line, "sites:"); ok && rest != "" {
+			return strings.Split(rest, ","), nil
+		}
+	}
+	return nil, fmt.Errorf("INFO reply carries no sites")
+}

@@ -54,6 +54,11 @@ type Stats struct {
 	// Commands counts every executed command; Calls the CALL subset;
 	// Refusals the CALLs that returned ErrPrecondition (guarded no-ops).
 	Commands, Calls, Refusals int64
+	// LoadSessions counts connected sessions that named themselves with
+	// a "loadgen" prefix via CLIENT SETNAME — an operator checking INFO
+	// during a load run sees how much of the connection count is the
+	// load generator versus real clients.
+	LoadSessions int64
 }
 
 // Server exposes a runtime.Cluster (either backend) over TCP with the
@@ -85,6 +90,7 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 
 	accepted, active, commands, calls, refusals atomic.Int64
+	loadSessions                                atomic.Int64
 }
 
 // New creates a server over an open cluster. The caller keeps ownership
@@ -188,6 +194,7 @@ func (s *Server) Stats() Stats {
 		Commands:      s.commands.Load(),
 		Calls:         s.calls.Load(),
 		Refusals:      s.refusals.Load(),
+		LoadSessions:  s.loadSessions.Load(),
 	}
 }
 
@@ -279,13 +286,22 @@ var replyBufPool = sync.Pool{
 }
 
 // session is one connection's state: the replica site its CALLs execute
-// at. The default is sticky-by-client: a consistent hash of the client's
-// host picks the site, so one client keeps hitting the same replica
-// (session guarantees) while a client population spreads across sites.
-// The SITE command pins it explicitly.
+// at, and the client-declared name (CLIENT SETNAME). The default site is
+// sticky-by-client: a consistent hash of the client's host picks the
+// site, so one client keeps hitting the same replica (session
+// guarantees) while a client population spreads across sites. The SITE
+// command pins it explicitly.
 type session struct {
 	site clock.ReplicaID
+	name string
+	// counted marks a session tallied in loadSessions, so the decrement
+	// on disconnect (or rename) is exact.
+	counted bool
 }
+
+// loadSessionPrefix is the CLIENT SETNAME prefix that counts a session
+// as load-generator traffic in Stats and INFO.
+const loadSessionPrefix = "loadgen"
 
 // defaultSite consistent-hashes the client's host across the replicas.
 func (s *Server) defaultSite(remote string) clock.ReplicaID {
@@ -320,6 +336,11 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}()
 	sess := &session{site: s.defaultSite(conn.RemoteAddr().String())}
+	defer func() {
+		if sess.counted {
+			s.loadSessions.Add(-1)
+		}
+	}()
 
 	flush := func() bool {
 		if len(out) == 0 {
@@ -389,6 +410,24 @@ func (s *Server) dispatch(sess *session, out []byte, args []string) ([]byte, boo
 			}
 		}
 		return appendError(out, fmt.Sprintf("ERR unknown site %q (sites: %s)", args[1], joinSites(s.sites))), false
+
+	case "CLIENT":
+		if len(args) >= 2 && strings.EqualFold(args[1], "GETNAME") {
+			return appendBulk(out, sess.name), false
+		}
+		if len(args) == 3 && strings.EqualFold(args[1], "SETNAME") {
+			if sess.counted {
+				s.loadSessions.Add(-1)
+				sess.counted = false
+			}
+			sess.name = args[2]
+			if strings.HasPrefix(sess.name, loadSessionPrefix) {
+				s.loadSessions.Add(1)
+				sess.counted = true
+			}
+			return appendSimple(out, "OK"), false
+		}
+		return appendError(out, "ERR usage: CLIENT SETNAME <name> | CLIENT GETNAME"), false
 
 	case "APPS":
 		return appendBulkArray(out, s.AppNames()), false
@@ -509,9 +548,9 @@ func (s *Server) dispatch(sess *session, out []byte, args []string) ([]byte, boo
 	case "INFO":
 		st := s.Stats()
 		info := fmt.Sprintf(
-			"backend:%s\r\nsites:%s\r\napps:%s\r\nconns_accepted:%d\r\nconns_active:%d\r\ncommands:%d\r\ncalls:%d\r\nrefusals:%d\r\n",
+			"backend:%s\r\nsites:%s\r\napps:%s\r\nconns_accepted:%d\r\nconns_active:%d\r\ncommands:%d\r\ncalls:%d\r\nrefusals:%d\r\nload_sessions:%d\r\n",
 			s.cluster.Backend(), joinSites(s.sites), strings.Join(s.AppNames(), ","),
-			st.ConnsAccepted, st.ConnsActive, st.Commands, st.Calls, st.Refusals)
+			st.ConnsAccepted, st.ConnsActive, st.Commands, st.Calls, st.Refusals, st.LoadSessions)
 		// On the netrepl backend, surface the replication transport's
 		// health counters — repl_txns_dropped in particular: a dropped
 		// transaction opens a permanent causal gap that stalls receivers

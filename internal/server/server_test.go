@@ -507,3 +507,64 @@ func TestInfoReplicationCounters(t *testing.T) {
 		}
 	}
 }
+
+func TestClientNameAndLoadSessions(t *testing.T) {
+	srv, addr := startServer(t, runtime.BackendSim)
+	c := dialT(t, addr)
+
+	rp, err := c.Do("CLIENT", "GETNAME")
+	if err != nil || rp.Err() != nil || rp.Str != "" {
+		t.Fatalf("GETNAME before SETNAME = %q (%v %v), want empty", rp.Str, err, rp.Err())
+	}
+	if err := c.DoOK("CLIENT", "SETNAME", "loadgen-w0-c0"); err != nil {
+		t.Fatal(err)
+	}
+	rp, err = c.Do("CLIENT", "GETNAME")
+	if err != nil || rp.Str != "loadgen-w0-c0" {
+		t.Fatalf("GETNAME = %q (%v), want loadgen-w0-c0", rp.Str, err)
+	}
+	if got := srv.Stats().LoadSessions; got != 1 {
+		t.Fatalf("LoadSessions = %d after loadgen SETNAME, want 1", got)
+	}
+	rp, err = c.Do("INFO")
+	if err != nil || !strings.Contains(rp.Str, "load_sessions:1\r\n") {
+		t.Fatalf("INFO missing load_sessions:1 (%v):\n%s", err, rp.Str)
+	}
+
+	// Renaming away from the loadgen prefix un-counts the session.
+	if err := c.DoOK("CLIENT", "SETNAME", "ops-probe"); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().LoadSessions; got != 0 {
+		t.Fatalf("LoadSessions = %d after rename, want 0", got)
+	}
+
+	// Disconnect decrements: a crashed load generator must not leave
+	// phantom sessions in the gauge.
+	c2 := dialT(t, addr)
+	if err := c2.DoOK("CLIENT", "SETNAME", "loadgen-w1-c0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().LoadSessions; got != 1 {
+		t.Fatalf("LoadSessions = %d with second load conn, want 1", got)
+	}
+	c2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().LoadSessions != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("LoadSessions stuck at %d after disconnect", srv.Stats().LoadSessions)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Malformed CLIENT is an error reply, not a hangup.
+	rp, err = c.Do("CLIENT")
+	if err != nil || rp.Kind != '-' {
+		t.Fatalf("bare CLIENT = kind %q (%v), want error reply", rp.Kind, err)
+	}
+	if err := c.DoOK("PING"); err == nil {
+		t.Log("connection still serving after CLIENT usage error")
+	} else {
+		t.Fatalf("connection died after CLIENT usage error: %v", err)
+	}
+}
